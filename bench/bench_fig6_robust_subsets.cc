@@ -1,0 +1,48 @@
+// Reproduces Figure 6: maximal subsets detected robust against MVRC by
+// Algorithm 2 (absence of type-II cycles), for all four settings and all
+// three benchmarks. Bold subsets in the paper (those missed by [3]) are
+// marked with '*' here — computed by re-checking each subset with the
+// type-I condition.
+
+#include <cstdio>
+#include <string>
+
+#include "robust/subsets.h"
+#include "workloads/auction.h"
+#include "workloads/smallbank.h"
+#include "workloads/tpcc.h"
+
+namespace mvrc {
+namespace {
+
+void PrintBenchmark(const Workload& workload) {
+  std::printf("\n%s\n", workload.name.c_str());
+  for (AnalysisSettings settings :
+       {AnalysisSettings::TupleDep(), AnalysisSettings::AttrDep(),
+        AnalysisSettings::TupleDepFk(), AnalysisSettings::AttrDepFk()}) {
+    SubsetReport type2 = AnalyzeSubsets(workload.programs, settings, Method::kTypeII);
+    SubsetReport type1 = AnalyzeSubsets(workload.programs, settings, Method::kTypeI);
+    std::string row;
+    for (uint32_t mask : type2.maximal_masks) {
+      if (!row.empty()) row += ", ";
+      row += type2.DescribeMask(mask, workload.abbreviations);
+      if (!type1.IsRobustSubset(mask)) row += "*";  // missed by type-I [3]
+    }
+    std::printf("  %-14s %s\n", settings.name(), row.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace mvrc
+
+int main() {
+  using namespace mvrc;
+  std::printf(
+      "Figure 6: maximal robust subsets per Algorithm 2 (type-II cycles)\n"
+      "('*' marks subsets not detected by the type-I baseline [3] — bold in "
+      "the paper)\n");
+  PrintBenchmark(MakeSmallBank());
+  PrintBenchmark(MakeTpcc());
+  PrintBenchmark(MakeAuction());
+  return 0;
+}

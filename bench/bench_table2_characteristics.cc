@@ -1,0 +1,68 @@
+// Reproduces Table 2: benchmark characteristics — relations, attributes per
+// relation, transaction programs, unfolded LTP nodes, and summary-graph
+// edges (counterflow in parentheses) under the paper's default setting
+// (attribute granularity + foreign keys).
+//
+// Paper reference values: SmallBank 5 programs / 5 nodes / 56 (12);
+// TPC-C 5 / 13 / 396 (83); Auction 2 / 3 / 17 (1); Auction(n) 2n / 3n /
+// 8n + 9n^2 (n). Our TPC-C encoding yields 405 (83) — see EXPERIMENTS.md.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "btp/unfold.h"
+#include "summary/build_summary.h"
+#include "workloads/auction.h"
+#include "workloads/smallbank.h"
+#include "workloads/tpcc.h"
+
+namespace mvrc {
+namespace {
+
+void PrintRow(const Workload& workload) {
+  int min_attrs = 1 << 20, max_attrs = 0;
+  for (RelationId r = 0; r < workload.schema.num_relations(); ++r) {
+    int n = workload.schema.relation(r).num_attrs();
+    min_attrs = std::min(min_attrs, n);
+    max_attrs = std::max(max_attrs, n);
+  }
+  SummaryGraph graph =
+      BuildSummaryGraph(workload.programs, AnalysisSettings::AttrDepFk());
+  char attrs[32];
+  if (min_attrs == max_attrs) {
+    std::snprintf(attrs, sizeof(attrs), "%d", min_attrs);
+  } else {
+    std::snprintf(attrs, sizeof(attrs), "%d-%d", min_attrs, max_attrs);
+  }
+  std::printf("%-12s %10d %12s %10zu %14d %10d (%d)\n", workload.name.c_str(),
+              workload.schema.num_relations(), attrs, workload.programs.size(),
+              graph.num_programs(), graph.num_edges(), graph.num_counterflow_edges());
+}
+
+}  // namespace
+}  // namespace mvrc
+
+int main() {
+  using namespace mvrc;
+  std::printf("Table 2: benchmark characteristics (attr dep + FK)\n");
+  std::printf("%-12s %10s %12s %10s %14s %10s\n", "benchmark", "relations",
+              "attrs/rel", "programs", "unfolded", "edges (cf)");
+  PrintRow(MakeSmallBank());
+  PrintRow(MakeTpcc());
+  PrintRow(MakeAuction());
+  for (int n : {2, 4, 8}) {
+    PrintRow(MakeAuctionN(n));
+  }
+  std::printf("\nAuction(n) closed form: 3n nodes, 8n + 9n^2 edges, n counterflow\n");
+  bool formula_holds = true;
+  for (int n = 1; n <= 12; ++n) {
+    SummaryGraph graph =
+        BuildSummaryGraph(MakeAuctionN(n).programs, AnalysisSettings::AttrDepFk());
+    if (graph.num_programs() != 3 * n || graph.num_edges() != 8 * n + 9 * n * n ||
+        graph.num_counterflow_edges() != n) {
+      formula_holds = false;
+    }
+  }
+  std::printf("formula verified for n = 1..12: %s\n", formula_holds ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Anomaly explorer: run concrete workloads on the in-memory MVCC engine
+// under randomized interleavings and watch the static verdicts come true.
+// Robust program sets never produce a non-serializable execution; dropping
+// to a non-robust set makes read-committed anomalies observable within a
+// few hundred rounds — the practical payoff of robustness detection: the
+// robust sets can safely run at the cheaper isolation level.
+
+#include <cstdio>
+
+#include "engine/random_tester.h"
+#include "engine/tpcc_programs.h"
+#include "workloads/auction.h"
+#include "workloads/smallbank.h"
+#include "workloads/tpcc.h"
+
+using namespace mvrc;
+
+namespace {
+
+void Report(const char* title, const RandomTestReport& report) {
+  std::printf("%-46s rounds=%d serializable=%d anomalies=%d aborts=%lld\n", title,
+              report.rounds_run, report.serializable_rounds,
+              report.non_serializable_rounds,
+              static_cast<long long>(report.total_aborts));
+}
+
+}  // namespace
+
+int main() {
+  RandomTestOptions options;
+  options.rounds = 500;
+
+  auto smallbank_db = [] {
+    Database db(MakeSmallBank().schema);
+    SeedSmallBank(&db, /*customers=*/2, /*initial_balance=*/100);
+    return db;
+  };
+  auto auction_db = [] {
+    Database db(MakeAuction().schema);
+    SeedAuction(&db, /*buyers=*/2, /*initial_bid=*/10);
+    return db;
+  };
+  auto tpcc_db = [] {
+    Database db(MakeTpcc().schema);
+    SeedTpcc(&db, /*warehouses=*/1, /*districts=*/2, /*customers=*/2, /*items=*/2);
+    return db;
+  };
+
+  std::printf("robust program sets (detector: safe under MVRC):\n");
+  Report("  SmallBank {Am, DC, TS}",
+         RunRandomRounds(smallbank_db,
+                         [] {
+                           return std::vector<ConcreteProgram>{
+                               SmallBankAmalgamate(0, 1),
+                               SmallBankDepositChecking(0, 10),
+                               SmallBankTransactSavings(1, -5)};
+                         },
+                         options));
+  Report("  Auction {FindBids, PlaceBid}",
+         RunRandomRounds(auction_db,
+                         [] {
+                           return std::vector<ConcreteProgram>{
+                               AuctionFindBids(0, 15), AuctionPlaceBid(1, 20),
+                               AuctionPlaceBid(1, 30), AuctionFindBids(1, 5)};
+                         },
+                         options));
+
+  Report("  TPC-C {OS, Pay, SL}",
+         RunRandomRounds(tpcc_db,
+                         [] {
+                           return std::vector<ConcreteProgram>{
+                               TpccPayment(0, 0, 0, 10, true, true),
+                               TpccOrderStatus(0, 0, 0, false),
+                               TpccStockLevel(0, 0, 200)};
+                         },
+                         options));
+
+  std::printf("\nnon-robust program sets (detector: unsafe under MVRC):\n");
+  Report("  TPC-C {NewOrder, OrderStatus} (phantom)",
+         RunRandomRounds(tpcc_db,
+                         [] {
+                           return std::vector<ConcreteProgram>{
+                               TpccNewOrder(0, 0, 0, {{0, 0, 1}}),
+                               TpccOrderStatus(0, 0, 0, false)};
+                         },
+                         options));
+  RandomTestReport write_check =
+      RunRandomRounds(smallbank_db,
+                      [] {
+                        return std::vector<ConcreteProgram>{
+                            SmallBankWriteCheck(0, 30), SmallBankWriteCheck(0, 40)};
+                      },
+                      options);
+  Report("  SmallBank {WC, WC} (lost update)", write_check);
+  RandomTestReport bal_mix =
+      RunRandomRounds(smallbank_db,
+                      [] {
+                        return std::vector<ConcreteProgram>{
+                            SmallBankBalance(0), SmallBankBalance(0),
+                            SmallBankTransactSavings(0, 7),
+                            SmallBankDepositChecking(0, 9)};
+                      },
+                      options);
+  Report("  SmallBank {Bal, Bal, TS, DC} (read skew)", bal_mix);
+
+  if (write_check.first_anomaly.has_value()) {
+    std::printf("\nfirst observed anomaly:\n%s\n", write_check.first_anomaly->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// SmallBank end-to-end analysis: subset robustness (Figure 6 row), witness
+// cycles for rejected subsets, and machine-checked counterexample schedules
+// from the exhaustive search — the full §7.2 story for one benchmark.
+
+#include <cstdio>
+
+#include "btp/unfold.h"
+#include "robust/subsets.h"
+#include "search/counterexample.h"
+#include "summary/build_summary.h"
+#include "workloads/smallbank.h"
+
+using namespace mvrc;
+
+int main() {
+  Workload workload = MakeSmallBank();
+
+  std::printf("SmallBank programs:\n");
+  for (size_t i = 0; i < workload.programs.size(); ++i) {
+    std::printf("  %-4s %s\n", workload.abbreviations[i].c_str(),
+                workload.programs[i].name().c_str());
+  }
+
+  SubsetReport report = AnalyzeSubsets(workload.programs,
+                                       AnalysisSettings::AttrDepFk(), Method::kTypeII);
+  std::printf("\nmaximal robust subsets (Algorithm 2):\n");
+  for (const std::string& subset : report.DescribeMaximal(workload.abbreviations)) {
+    std::printf("  %s\n", subset.c_str());
+  }
+
+  // Why is {Bal, DC, TS} rejected? Show the type-II witness in the summary
+  // graph...
+  std::vector<Btp> bal_dc_ts{workload.programs[1], workload.programs[2],
+                             workload.programs[3]};
+  SummaryGraph graph = BuildSummaryGraph(bal_dc_ts, AnalysisSettings::AttrDepFk());
+  if (std::optional<TypeIIWitness> witness = FindTypeIICycle(graph)) {
+    std::printf("\n{Bal, DC, TS} is rejected — %s\n", witness->Describe(graph).c_str());
+  }
+
+  // ... and certify the rejection with a real schedule: two Balance reads
+  // bracketing TransactSavings and DepositChecking in opposite orders.
+  SearchOptions options;
+  options.domain_size = 1;
+  options.fixed_multiset = {0, 0, 2, 1};  // Bal, Bal, TS, DC
+  std::optional<Counterexample> example =
+      FindCounterexample(UnfoldAtMost2(bal_dc_ts), options);
+  if (example.has_value()) {
+    std::printf("\ncertified: an MVRC-allowed, non-serializable schedule exists\n%s\n",
+                example->Describe(workload.schema).c_str());
+  }
+
+  // The robust subsets, by contrast, survive the bounded search.
+  std::vector<Btp> am_dc_ts{workload.programs[0], workload.programs[2],
+                            workload.programs[3]};
+  SearchOptions bounded;
+  bounded.domain_size = 2;
+  SearchStats stats;
+  bool clean = !FindCounterexample(UnfoldAtMost2(am_dc_ts), bounded, &stats).has_value();
+  std::printf("{Am, DC, TS}: no counterexample in %lld bounded schedules — %s\n",
+              static_cast<long long>(stats.schedules_checked),
+              clean ? "consistent with the robust verdict" : "UNEXPECTED");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "btp/ltp.h"
+
+#include <sstream>
+
+namespace mvrc {
+
+bool Ltp::HasConstraint(int parent_pos, ForeignKeyId fk, int child_pos) const {
+  for (const OccFkConstraint& c : constraints_) {
+    if (c.parent_pos == parent_pos && c.fk == fk && c.child_pos == child_pos) return true;
+  }
+  return false;
+}
+
+std::string Ltp::ToDebugString() const {
+  std::ostringstream os;
+  os << name_ << " =";
+  if (occurrences_.empty()) {
+    os << " <empty>";
+  } else {
+    for (size_t i = 0; i < occurrences_.size(); ++i) {
+      os << (i == 0 ? " " : "; ") << occurrences_[i].stmt.label();
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mvrc

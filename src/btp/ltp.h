@@ -1,0 +1,77 @@
+// Linear transaction programs (LTPs, paper §6.1): loop- and branch-free
+// sequences of statement *occurrences*.
+//
+// An occurrence is one appearance of a BTP statement in an unfolding; loop
+// unfolding can duplicate a statement, so occurrences — not statements — are
+// the nodes' constituents referenced by summary-graph edges, and the program
+// order q <_P q' compares occurrence positions. Foreign-key constraints are
+// re-bound to occurrence positions per loop iteration (DESIGN.md §5.2).
+
+#ifndef MVRC_BTP_LTP_H_
+#define MVRC_BTP_LTP_H_
+
+#include <string>
+#include <vector>
+
+#include "btp/program.h"
+#include "btp/statement.h"
+#include "schema/schema.h"
+
+namespace mvrc {
+
+/// One appearance of a statement in an unfolded program.
+struct Occurrence {
+  Statement stmt;              // copy of the statement
+  StmtId source_stmt;          // id within the source BTP
+  std::vector<int> loop_path;  // flattened (loop node id, iteration) markers
+};
+
+/// A foreign-key constraint bound to occurrence positions:
+/// occurrence[parent_pos] = f(occurrence[child_pos]).
+struct OccFkConstraint {
+  int parent_pos;
+  ForeignKeyId fk;
+  int child_pos;
+
+  friend bool operator==(const OccFkConstraint&, const OccFkConstraint&) = default;
+};
+
+/// A linear transaction program.
+class Ltp {
+ public:
+  Ltp(std::string name, std::string source_program, std::vector<Occurrence> occurrences,
+      std::vector<OccFkConstraint> constraints)
+      : name_(std::move(name)),
+        source_program_(std::move(source_program)),
+        occurrences_(std::move(occurrences)),
+        constraints_(std::move(constraints)) {}
+
+  const std::string& name() const { return name_; }
+  /// Name of the BTP this LTP was unfolded from.
+  const std::string& source_program() const { return source_program_; }
+
+  int size() const { return static_cast<int>(occurrences_.size()); }
+  bool empty() const { return occurrences_.empty(); }
+  const Occurrence& occurrence(int pos) const { return occurrences_.at(pos); }
+  const Statement& stmt(int pos) const { return occurrences_.at(pos).stmt; }
+  const std::vector<Occurrence>& occurrences() const { return occurrences_; }
+
+  const std::vector<OccFkConstraint>& constraints() const { return constraints_; }
+
+  /// True iff there is a constraint parent = f(child) for this exact pair of
+  /// occurrence positions and foreign key.
+  bool HasConstraint(int parent_pos, ForeignKeyId fk, int child_pos) const;
+
+  /// One-line description: "PlaceBid1 = q3; q4; q5; q6".
+  std::string ToDebugString() const;
+
+ private:
+  std::string name_;
+  std::string source_program_;
+  std::vector<Occurrence> occurrences_;
+  std::vector<OccFkConstraint> constraints_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_BTP_LTP_H_

@@ -1,0 +1,153 @@
+#include "btp/statement.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+const char* ToString(StatementType type) {
+  switch (type) {
+    case StatementType::kInsert:
+      return "ins";
+    case StatementType::kKeySelect:
+      return "key sel";
+    case StatementType::kPredSelect:
+      return "pred sel";
+    case StatementType::kKeyUpdate:
+      return "key upd";
+    case StatementType::kPredUpdate:
+      return "pred upd";
+    case StatementType::kKeyDelete:
+      return "key del";
+    case StatementType::kPredDelete:
+      return "pred del";
+  }
+  return "?";
+}
+
+bool IsKeyBased(StatementType type) {
+  switch (type) {
+    case StatementType::kInsert:
+    case StatementType::kKeySelect:
+    case StatementType::kKeyUpdate:
+    case StatementType::kKeyDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsPredicateBased(StatementType type) {
+  switch (type) {
+    case StatementType::kPredSelect:
+    case StatementType::kPredUpdate:
+    case StatementType::kPredDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool WritesTuples(StatementType type) {
+  switch (type) {
+    case StatementType::kInsert:
+    case StatementType::kKeyUpdate:
+    case StatementType::kPredUpdate:
+    case StatementType::kKeyDelete:
+    case StatementType::kPredDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Statement::Statement(std::string label, StatementType type, RelationId rel,
+                     std::optional<AttrSet> read_set, std::optional<AttrSet> write_set,
+                     std::optional<AttrSet> pread_set)
+    : label_(std::move(label)),
+      type_(type),
+      rel_(rel),
+      read_set_(read_set),
+      write_set_(write_set),
+      pread_set_(pread_set) {}
+
+namespace {
+
+void CheckWithinRelation(const Schema& schema, RelationId rel,
+                         const std::optional<AttrSet>& set) {
+  if (set.has_value()) {
+    MVRC_CHECK_MSG(set->IsSubsetOf(schema.relation(rel).AllAttrs()),
+                   "attribute set not within relation attributes");
+  }
+}
+
+}  // namespace
+
+Statement Statement::Insert(std::string label, const Schema& schema, RelationId rel) {
+  return Statement(std::move(label), StatementType::kInsert, rel, std::nullopt,
+                   schema.relation(rel).AllAttrs(), std::nullopt);
+}
+
+Statement Statement::KeySelect(std::string label, const Schema& schema, RelationId rel,
+                               AttrSet read_set) {
+  CheckWithinRelation(schema, rel, read_set);
+  return Statement(std::move(label), StatementType::kKeySelect, rel, read_set, std::nullopt,
+                   std::nullopt);
+}
+
+Statement Statement::PredSelect(std::string label, const Schema& schema, RelationId rel,
+                                AttrSet pread_set, AttrSet read_set) {
+  CheckWithinRelation(schema, rel, pread_set);
+  CheckWithinRelation(schema, rel, read_set);
+  return Statement(std::move(label), StatementType::kPredSelect, rel, read_set, std::nullopt,
+                   pread_set);
+}
+
+Statement Statement::KeyUpdate(std::string label, const Schema& schema, RelationId rel,
+                               AttrSet read_set, AttrSet write_set) {
+  CheckWithinRelation(schema, rel, read_set);
+  CheckWithinRelation(schema, rel, write_set);
+  MVRC_CHECK_MSG(!write_set.empty(), "key upd WriteSet must be non-empty (Figure 5)");
+  return Statement(std::move(label), StatementType::kKeyUpdate, rel, read_set, write_set,
+                   std::nullopt);
+}
+
+Statement Statement::PredUpdate(std::string label, const Schema& schema, RelationId rel,
+                                AttrSet pread_set, AttrSet read_set, AttrSet write_set) {
+  CheckWithinRelation(schema, rel, pread_set);
+  CheckWithinRelation(schema, rel, read_set);
+  CheckWithinRelation(schema, rel, write_set);
+  MVRC_CHECK_MSG(!write_set.empty(), "pred upd WriteSet must be non-empty (Figure 5)");
+  return Statement(std::move(label), StatementType::kPredUpdate, rel, read_set, write_set,
+                   pread_set);
+}
+
+Statement Statement::KeyDelete(std::string label, const Schema& schema, RelationId rel) {
+  return Statement(std::move(label), StatementType::kKeyDelete, rel, std::nullopt,
+                   schema.relation(rel).AllAttrs(), std::nullopt);
+}
+
+Statement Statement::PredDelete(std::string label, const Schema& schema, RelationId rel,
+                                AttrSet pread_set) {
+  CheckWithinRelation(schema, rel, pread_set);
+  return Statement(std::move(label), StatementType::kPredDelete, rel, std::nullopt,
+                   schema.relation(rel).AllAttrs(), pread_set);
+}
+
+bool operator==(const Statement& a, const Statement& b) {
+  return a.label_ == b.label_ && a.type_ == b.type_ && a.rel_ == b.rel_ &&
+         a.read_set_ == b.read_set_ && a.write_set_ == b.write_set_ &&
+         a.pread_set_ == b.pread_set_;
+}
+
+std::string Statement::ToDebugString(const Schema& schema) const {
+  std::ostringstream os;
+  os << label_ << ": " << ToString(type_) << " " << schema.relation(rel_).name();
+  if (pread_set_.has_value()) os << " PRead=" << schema.AttrSetToString(rel_, *pread_set_);
+  if (read_set_.has_value()) os << " Read=" << schema.AttrSetToString(rel_, *read_set_);
+  if (write_set_.has_value()) os << " Write=" << schema.AttrSetToString(rel_, *write_set_);
+  return os.str();
+}
+
+}  // namespace mvrc

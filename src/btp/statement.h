@@ -1,0 +1,104 @@
+// BTP statements (paper §5.1, Figure 5).
+//
+// A statement q carries type(q), rel(q), ReadSet(q), WriteSet(q) and
+// PReadSet(q). The undefined value ⊥ is represented as std::nullopt and is
+// distinct from a defined-but-empty attribute set. Figure 5's constraints on
+// which sets may be defined/empty per statement type are enforced by the
+// factory functions.
+
+#ifndef MVRC_BTP_STATEMENT_H_
+#define MVRC_BTP_STATEMENT_H_
+
+#include <optional>
+#include <string>
+
+#include "schema/schema.h"
+#include "util/attr_set.h"
+
+namespace mvrc {
+
+/// type(q) per paper §5.1.
+enum class StatementType {
+  kInsert,      // ins
+  kKeySelect,   // key sel
+  kPredSelect,  // pred sel
+  kKeyUpdate,   // key upd
+  kPredUpdate,  // pred upd
+  kKeyDelete,   // key del
+  kPredDelete,  // pred del
+};
+
+inline constexpr int kNumStatementTypes = 7;
+
+/// "ins", "key sel", ... (paper notation).
+const char* ToString(StatementType type);
+
+/// True for key sel/upd/del and ins: the statement accesses tuples through
+/// their (primary) key. Inserts are key-based in the sense required of the
+/// parent side of a foreign-key constraint annotation (§5.1, §6.2).
+bool IsKeyBased(StatementType type);
+
+/// True for pred sel/upd/del: the statement starts with a predicate read.
+bool IsPredicateBased(StatementType type);
+
+/// True when the statement performs write operations (ins, upd, del).
+bool WritesTuples(StatementType type);
+
+/// A single BTP statement. Value type; immutable after construction.
+class Statement {
+ public:
+  /// Factories; each enforces the Figure 5 constraints for its type. `label`
+  /// is the display name (e.g. "q3"). Sets not listed are ⊥. For ins/del the
+  /// WriteSet is implied: all attributes of the relation.
+  static Statement Insert(std::string label, const Schema& schema, RelationId rel);
+  static Statement KeySelect(std::string label, const Schema& schema, RelationId rel,
+                             AttrSet read_set);
+  static Statement PredSelect(std::string label, const Schema& schema, RelationId rel,
+                              AttrSet pread_set, AttrSet read_set);
+  static Statement KeyUpdate(std::string label, const Schema& schema, RelationId rel,
+                             AttrSet read_set, AttrSet write_set);
+  static Statement PredUpdate(std::string label, const Schema& schema, RelationId rel,
+                              AttrSet pread_set, AttrSet read_set, AttrSet write_set);
+  static Statement KeyDelete(std::string label, const Schema& schema, RelationId rel);
+  static Statement PredDelete(std::string label, const Schema& schema, RelationId rel,
+                              AttrSet pread_set);
+
+  const std::string& label() const { return label_; }
+  StatementType type() const { return type_; }
+  RelationId rel() const { return rel_; }
+
+  /// ReadSet(q): attributes observed, or ⊥.
+  const std::optional<AttrSet>& read_set() const { return read_set_; }
+  /// WriteSet(q): attributes modified, or ⊥.
+  const std::optional<AttrSet>& write_set() const { return write_set_; }
+  /// PReadSet(q): attributes used in selection predicates, or ⊥.
+  const std::optional<AttrSet>& pread_set() const { return pread_set_; }
+
+  /// ReadSet/WriteSet/PReadSet with ⊥ mapped to the empty set (convenient for
+  /// intersection tests at attribute granularity).
+  AttrSet read_or_empty() const { return read_set_.value_or(AttrSet{}); }
+  AttrSet write_or_empty() const { return write_set_.value_or(AttrSet{}); }
+  AttrSet pread_or_empty() const { return pread_set_.value_or(AttrSet{}); }
+
+  /// Structural equality (label included).
+  friend bool operator==(const Statement& a, const Statement& b);
+
+  /// One-line description, e.g. "q2: pred sel Bids PRead={bid} Read={bid}".
+  std::string ToDebugString(const Schema& schema) const;
+
+ private:
+  Statement(std::string label, StatementType type, RelationId rel,
+            std::optional<AttrSet> read_set, std::optional<AttrSet> write_set,
+            std::optional<AttrSet> pread_set);
+
+  std::string label_;
+  StatementType type_;
+  RelationId rel_;
+  std::optional<AttrSet> read_set_;
+  std::optional<AttrSet> write_set_;
+  std::optional<AttrSet> pread_set_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_BTP_STATEMENT_H_

@@ -1,0 +1,26 @@
+// Unfold≤2 (paper §6.1): expands every BTP into the finite set of LTPs
+// obtained by replacing loops with 0, 1 or 2 repetitions and resolving each
+// branch both ways. By Proposition 6.1, robustness of the unfolded set is
+// equivalent to robustness of the original BTPs.
+
+#ifndef MVRC_BTP_UNFOLD_H_
+#define MVRC_BTP_UNFOLD_H_
+
+#include <vector>
+
+#include "btp/ltp.h"
+#include "btp/program.h"
+
+namespace mvrc {
+
+/// All ≤2-unfoldings of one BTP, in deterministic order. Names are the BTP
+/// name when there is a single unfolding, otherwise name1, name2, ...
+/// (matching PlaceBid1/PlaceBid2 of the paper's running example).
+std::vector<Ltp> UnfoldAtMost2(const Btp& program);
+
+/// Unfold≤2(P) for a set of BTPs: concatenation of the per-program results.
+std::vector<Ltp> UnfoldAtMost2(const std::vector<Btp>& programs);
+
+}  // namespace mvrc
+
+#endif  // MVRC_BTP_UNFOLD_H_

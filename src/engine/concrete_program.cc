@@ -1,0 +1,212 @@
+#include "engine/concrete_program.h"
+
+#include "util/check.h"
+#include "workloads/auction.h"
+#include "workloads/smallbank.h"
+
+namespace mvrc {
+
+namespace {
+
+// SmallBank relation/attr ids, resolved once against MakeSmallBank()'s
+// schema layout (Account=0, Savings=1, Checking=2; attrs per Figure 10).
+constexpr RelationId kAccount = 0, kSavings = 1, kChecking = 2;
+constexpr AttrId kCustomerId = 1;  // Account(Name, CustomerId)
+constexpr AttrId kBalance = 1;     // Savings/Checking(CustomerId, Balance)
+
+ConcreteStep ReadAccount(Value customer) {
+  return [customer](EngineTxn& txn, Locals& locals) {
+    Row row;
+    StepResult result = txn.KeySelect(kAccount, customer, AttrSet{kCustomerId}, &row);
+    if (result == StepResult::kOk) locals[":x"] = row[kCustomerId];
+    return result;
+  };
+}
+
+ConcreteStep ReadBalance(RelationId rel, const std::string& into) {
+  return [rel, into](EngineTxn& txn, Locals& locals) {
+    Row row;
+    StepResult result = txn.KeySelect(rel, locals.at(":x"), AttrSet{kBalance}, &row);
+    if (result == StepResult::kOk) locals[into] = row[kBalance];
+    return result;
+  };
+}
+
+ConcreteStep AddToBalance(RelationId rel, const std::string& key_local,
+                          const std::function<Value(const Locals&)>& delta) {
+  return [rel, key_local, delta](EngineTxn& txn, Locals& locals) {
+    return txn.KeyUpdate(rel, locals.at(key_local), AttrSet{kBalance},
+                         AttrSet{kBalance}, [&](const Row& row) {
+                           Row updated = row;
+                           updated[kBalance] += delta(locals);
+                           return updated;
+                         });
+  };
+}
+
+ConcreteStep SetBalance(RelationId rel, const std::string& key_local, Value value,
+                        const std::string& old_into) {
+  return [rel, key_local, value, old_into](EngineTxn& txn, Locals& locals) {
+    return txn.KeyUpdate(rel, locals.at(key_local), AttrSet{kBalance},
+                         AttrSet{kBalance}, [&](const Row& row) {
+                           locals[old_into] = row[kBalance];
+                           Row updated = row;
+                           updated[kBalance] = value;
+                           return updated;
+                         });
+  };
+}
+
+}  // namespace
+
+void SeedSmallBank(Database* db, int customers, Value initial_balance) {
+  for (Value c = 0; c < customers; ++c) {
+    db->Seed(kAccount, c, {c, c});  // Name = CustomerId = c
+    db->Seed(kSavings, c, {c, initial_balance});
+    db->Seed(kChecking, c, {c, initial_balance});
+  }
+}
+
+ConcreteProgram SmallBankBalance(Value customer) {
+  ConcreteProgram program;
+  program.name = "Balance";
+  program.steps.push_back(ReadAccount(customer));
+  program.steps.push_back(ReadBalance(kSavings, ":a"));
+  program.steps.push_back(ReadBalance(kChecking, ":b"));
+  return program;
+}
+
+ConcreteProgram SmallBankDepositChecking(Value customer, Value amount) {
+  ConcreteProgram program;
+  program.name = "DepositChecking";
+  program.steps.push_back(ReadAccount(customer));
+  program.steps.push_back(
+      AddToBalance(kChecking, ":x", [amount](const Locals&) { return amount; }));
+  return program;
+}
+
+ConcreteProgram SmallBankTransactSavings(Value customer, Value amount) {
+  ConcreteProgram program;
+  program.name = "TransactSavings";
+  program.steps.push_back(ReadAccount(customer));
+  program.steps.push_back(
+      AddToBalance(kSavings, ":x", [amount](const Locals&) { return amount; }));
+  return program;
+}
+
+ConcreteProgram SmallBankAmalgamate(Value from_customer, Value to_customer) {
+  ConcreteProgram program;
+  program.name = "Amalgamate";
+  // q1/q2: resolve both accounts.
+  program.steps.push_back([from_customer](EngineTxn& txn, Locals& locals) {
+    Row row;
+    StepResult result =
+        txn.KeySelect(kAccount, from_customer, AttrSet{kCustomerId}, &row);
+    if (result == StepResult::kOk) locals[":x1"] = row[kCustomerId];
+    return result;
+  });
+  program.steps.push_back([to_customer](EngineTxn& txn, Locals& locals) {
+    Row row;
+    StepResult result = txn.KeySelect(kAccount, to_customer, AttrSet{kCustomerId}, &row);
+    if (result == StepResult::kOk) locals[":x2"] = row[kCustomerId];
+    return result;
+  });
+  // q3/q4: zero the source accounts, remembering the old balances.
+  program.steps.push_back(SetBalance(kSavings, ":x1", 0, ":a"));
+  program.steps.push_back(SetBalance(kChecking, ":x1", 0, ":b"));
+  // q5: credit the target checking account.
+  program.steps.push_back(AddToBalance(kChecking, ":x2", [](const Locals& locals) {
+    return locals.at(":a") + locals.at(":b");
+  }));
+  return program;
+}
+
+ConcreteProgram SmallBankWriteCheck(Value customer, Value amount) {
+  ConcreteProgram program;
+  program.name = "WriteCheck";
+  program.steps.push_back(ReadAccount(customer));
+  program.steps.push_back(ReadBalance(kSavings, ":a"));
+  program.steps.push_back(ReadBalance(kChecking, ":b"));
+  program.steps.push_back([amount](EngineTxn& txn, Locals& locals) {
+    Value penalty = locals.at(":a") + locals.at(":b") < amount ? 1 : 0;
+    return txn.KeyUpdate(kChecking, locals.at(":x"), AttrSet{kBalance},
+                         AttrSet{kBalance}, [&](const Row& row) {
+                           Row updated = row;
+                           updated[kBalance] -= amount + penalty;
+                           return updated;
+                         });
+  });
+  return program;
+}
+
+// --------------------------------------------------------------------------
+// Auction (schema of MakeAuction(): Buyer=0, Log=1, Bids=2).
+// --------------------------------------------------------------------------
+
+namespace {
+constexpr RelationId kBuyer = 0, kLog = 1, kBids = 2;
+constexpr AttrId kCalls = 1;     // Buyer(id, calls)
+constexpr AttrId kBid = 1;       // Bids(buyerId, bid)
+}  // namespace
+
+void SeedAuction(Database* db, int buyers, Value initial_bid) {
+  for (Value b = 0; b < buyers; ++b) {
+    db->Seed(kBuyer, b, {b, 0});
+    db->Seed(kBids, b, {b, initial_bid});
+  }
+}
+
+ConcreteProgram AuctionFindBids(Value buyer, Value threshold) {
+  ConcreteProgram program;
+  program.name = "FindBids";
+  program.steps.push_back([buyer](EngineTxn& txn, Locals&) {
+    return txn.KeyUpdate(kBuyer, buyer, AttrSet{kCalls}, AttrSet{kCalls},
+                         [](const Row& row) {
+                           Row updated = row;
+                           updated[kCalls] += 1;
+                           return updated;
+                         });
+  });
+  program.steps.push_back([threshold](EngineTxn& txn, Locals&) {
+    std::vector<Row> rows;
+    return txn.PredSelect(
+        kBids, AttrSet{kBid}, AttrSet{kBid},
+        [threshold](const Row& row) { return row[kBid] >= threshold; }, &rows);
+  });
+  return program;
+}
+
+ConcreteProgram AuctionPlaceBid(Value buyer, Value amount) {
+  ConcreteProgram program;
+  program.name = "PlaceBid";
+  program.steps.push_back([buyer](EngineTxn& txn, Locals&) {
+    return txn.KeyUpdate(kBuyer, buyer, AttrSet{kCalls}, AttrSet{kCalls},
+                         [](const Row& row) {
+                           Row updated = row;
+                           updated[kCalls] += 1;
+                           return updated;
+                         });
+  });
+  program.steps.push_back([buyer](EngineTxn& txn, Locals& locals) {
+    Row row;
+    StepResult result = txn.KeySelect(kBids, buyer, AttrSet{kBid}, &row);
+    if (result == StepResult::kOk) locals[":C"] = row[kBid];
+    return result;
+  });
+  program.steps.push_back([buyer, amount](EngineTxn& txn, Locals& locals) {
+    if (locals.at(":C") >= amount) return StepResult::kOk;  // branch not taken
+    return txn.KeyUpdate(kBids, buyer, AttrSet{}, AttrSet{kBid}, [&](const Row& row) {
+      Row updated = row;
+      updated[kBid] = amount;
+      return updated;
+    });
+  });
+  program.steps.push_back([buyer, amount](EngineTxn& txn, Locals&) {
+    // uniqueLogId() in Figure 1: the engine hands out fresh Log keys.
+    Value log_id = txn.FreshKey(kLog);
+    return txn.Insert(kLog, log_id, {log_id, buyer, amount});
+  });
+  return program;
+}
+
+}  // namespace mvrc

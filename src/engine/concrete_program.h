@@ -1,0 +1,50 @@
+// Concrete, value-level workload programs for the engine: SmallBank and
+// Auction with real balances, bids and predicates. Each program is a list
+// of steps; one step is one SQL statement (one atomic chunk). The random
+// tester interleaves steps of concurrent program instances.
+
+#ifndef MVRC_ENGINE_CONCRETE_PROGRAM_H_
+#define MVRC_ENGINE_CONCRETE_PROGRAM_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/engine_txn.h"
+
+namespace mvrc {
+
+/// Local variables of a running program instance.
+using Locals = std::map<std::string, Value>;
+
+/// One statement: executes against the transaction, reading/writing locals.
+using ConcreteStep = std::function<StepResult(EngineTxn&, Locals&)>;
+
+/// A runnable program instance (steps already bound to parameters).
+struct ConcreteProgram {
+  std::string name;
+  std::vector<ConcreteStep> steps;
+};
+
+/// SmallBank over Database (schema of MakeSmallBank(); Account key = name
+/// id, Savings/Checking key = customer id). `SeedSmallBank` installs
+/// `customers` rows with the given initial balances.
+void SeedSmallBank(Database* db, int customers, Value initial_balance);
+
+ConcreteProgram SmallBankBalance(Value customer);
+ConcreteProgram SmallBankDepositChecking(Value customer, Value amount);
+ConcreteProgram SmallBankTransactSavings(Value customer, Value amount);
+ConcreteProgram SmallBankAmalgamate(Value from_customer, Value to_customer);
+ConcreteProgram SmallBankWriteCheck(Value customer, Value amount);
+
+/// Auction over Database (schema of MakeAuction(); Buyer key = buyer id,
+/// Bids key = buyer id, Log keys assigned by the engine).
+void SeedAuction(Database* db, int buyers, Value initial_bid);
+
+ConcreteProgram AuctionFindBids(Value buyer, Value threshold);
+ConcreteProgram AuctionPlaceBid(Value buyer, Value amount);
+
+}  // namespace mvrc
+
+#endif  // MVRC_ENGINE_CONCRETE_PROGRAM_H_

@@ -1,0 +1,57 @@
+#include "engine/database.h"
+
+#include "util/check.h"
+
+namespace mvrc {
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {}
+
+void Database::Seed(RelationId rel, Value key, Row values) {
+  MVRC_CHECK(static_cast<int>(values.size()) == schema_.relation(rel).num_attrs());
+  RowVersion version;
+  version.values = std::move(values);
+  version.commit_seq = 0;
+  chains_[{rel, key}].push_back(std::move(version));
+  Value& next = next_key_[rel];
+  if (key >= next) next = key + 1;
+}
+
+const RowVersion* Database::LastCommitted(RelationId rel, Value key) const {
+  auto it = chains_.find({rel, key});
+  if (it == chains_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
+
+std::vector<Value> Database::Keys(RelationId rel) const {
+  std::vector<Value> keys;
+  for (const auto& [row_key, chain] : chains_) {
+    if (row_key.first == rel) keys.push_back(row_key.second);
+  }
+  return keys;
+}
+
+bool Database::TryLock(RelationId rel, Value key, int txn_id) {
+  auto [it, inserted] = locks_.try_emplace({rel, key}, txn_id);
+  return inserted || it->second == txn_id;
+}
+
+void Database::ReleaseLocks(int txn_id) {
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    if (it->second == txn_id) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Database::Install(RelationId rel, Value key, RowVersion version) {
+  std::vector<RowVersion>& chain = chains_[{rel, key}];
+  MVRC_CHECK_MSG(chain.empty() || chain.back().commit_seq < version.commit_seq,
+                 "versions must be installed in commit order");
+  chain.push_back(std::move(version));
+}
+
+Value Database::NextKey(RelationId rel) { return next_key_[rel]++; }
+
+}  // namespace mvrc

@@ -1,0 +1,80 @@
+// An in-memory multiversion storage engine implementing the DBMS model the
+// paper assumes (§5.4): every read observes the most recently committed
+// version (read-last-committed), writers take row locks so that dirty
+// writes cannot occur (first-updater-wins: a conflicting writer is reported
+// blocked and the caller aborts), versions are installed at commit in
+// commit order, and each SQL-level statement executes as an atomic chunk.
+//
+// Rows are keyed by a single integer primary-key value; schemas with
+// composite keys can be used by packing the key (sufficient for the
+// workloads shipped here).
+
+#ifndef MVRC_ENGINE_DATABASE_H_
+#define MVRC_ENGINE_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace mvrc {
+
+/// Attribute values are integers; strings are not needed by the workloads.
+using Value = int64_t;
+using Row = std::vector<Value>;
+
+/// One committed version of a row.
+struct RowVersion {
+  Row values;
+  bool deleted = false;
+  uint64_t commit_seq = 0;
+  int writer_txn = -1;  // engine transaction id; -1 for seeded rows
+};
+
+/// The shared database: version chains per row, row write-locks and the
+/// commit sequence counter.
+class Database {
+ public:
+  explicit Database(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Installs an initial committed row (commit_seq 0, no writer).
+  void Seed(RelationId rel, Value key, Row values);
+
+  /// The most recently committed version of (rel, key), or nullptr when the
+  /// row was never written. A deleted last version is returned as-is —
+  /// callers treat `deleted` as absence.
+  const RowVersion* LastCommitted(RelationId rel, Value key) const;
+
+  /// All keys of `rel` with at least one version.
+  std::vector<Value> Keys(RelationId rel) const;
+
+  /// Row write-lock management (first-updater-wins). TryLock returns false
+  /// when another transaction holds the lock.
+  bool TryLock(RelationId rel, Value key, int txn_id);
+  void ReleaseLocks(int txn_id);
+
+  /// Installs a committed version; used by EngineTxn::Commit.
+  void Install(RelationId rel, Value key, RowVersion version);
+
+  /// The next commit sequence number (strictly increasing).
+  uint64_t NextCommitSeq() { return ++commit_seq_; }
+
+  /// A fresh key for inserts into `rel` (monotonic per relation, above any
+  /// seeded key).
+  Value NextKey(RelationId rel);
+
+ private:
+  Schema schema_;
+  std::map<std::pair<RelationId, Value>, std::vector<RowVersion>> chains_;
+  std::map<std::pair<RelationId, Value>, int> locks_;
+  std::map<RelationId, Value> next_key_;
+  uint64_t commit_seq_ = 0;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_ENGINE_DATABASE_H_

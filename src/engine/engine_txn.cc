@@ -1,0 +1,184 @@
+#include "engine/engine_txn.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+EngineTxn::EngineTxn(Database* db, TraceRecorder* recorder)
+    : db_(db), recorder_(recorder), id_(recorder->BeginTxn()) {}
+
+std::optional<Row> EngineTxn::VisibleRow(RelationId rel, Value key) const {
+  // Read-your-own-writes within the transaction (latest pending write
+  // wins), else last committed.
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+    if (it->first == std::make_pair(rel, key)) {
+      if (it->second.deleted) return std::nullopt;
+      return it->second.values;
+    }
+  }
+  const RowVersion* version = db_->LastCommitted(rel, key);
+  if (version == nullptr || version->deleted) return std::nullopt;
+  return version->values;
+}
+
+StepResult EngineTxn::KeySelect(RelationId rel, Value key, AttrSet read_attrs, Row* out) {
+  MVRC_CHECK(!finished_);
+  std::optional<Row> row = VisibleRow(rel, key);
+  if (!row.has_value()) return StepResult::kNotFound;
+  recorder_->BeginStatement(id_);
+  recorder_->Record(id_, OpKind::kRead, rel, key, read_attrs);
+  recorder_->EndStatement(id_);
+  if (out != nullptr) *out = *row;
+  return StepResult::kOk;
+}
+
+StepResult EngineTxn::KeyUpdate(RelationId rel, Value key, AttrSet read_attrs,
+                                AttrSet write_attrs,
+                                const std::function<Row(const Row&)>& update) {
+  MVRC_CHECK(!finished_);
+  std::optional<Row> row = VisibleRow(rel, key);
+  if (!row.has_value()) return StepResult::kNotFound;
+  if (!db_->TryLock(rel, key, id_)) return StepResult::kBlocked;
+  recorder_->BeginStatement(id_);
+  recorder_->Record(id_, OpKind::kRead, rel, key, read_attrs);
+  recorder_->Record(id_, OpKind::kWrite, rel, key, write_attrs);
+  recorder_->EndStatement(id_);
+  PendingWrite pending;
+  pending.values = update(*row);
+  writes_.push_back({{rel, key}, pending});
+  return StepResult::kOk;
+}
+
+StepResult EngineTxn::Insert(RelationId rel, Value key, Row values) {
+  MVRC_CHECK(!finished_);
+  if (VisibleRow(rel, key).has_value()) return StepResult::kNotFound;  // duplicate key
+  if (!db_->TryLock(rel, key, id_)) return StepResult::kBlocked;
+  recorder_->BeginStatement(id_);
+  recorder_->Record(id_, OpKind::kInsert, rel, key,
+                    db_->schema().relation(rel).AllAttrs());
+  recorder_->EndStatement(id_);
+  PendingWrite pending;
+  pending.values = std::move(values);
+  pending.inserted = true;
+  writes_.push_back({{rel, key}, pending});
+  return StepResult::kOk;
+}
+
+StepResult EngineTxn::KeyDelete(RelationId rel, Value key) {
+  MVRC_CHECK(!finished_);
+  if (!VisibleRow(rel, key).has_value()) return StepResult::kNotFound;
+  if (!db_->TryLock(rel, key, id_)) return StepResult::kBlocked;
+  recorder_->BeginStatement(id_);
+  recorder_->Record(id_, OpKind::kDelete, rel, key,
+                    db_->schema().relation(rel).AllAttrs());
+  recorder_->EndStatement(id_);
+  PendingWrite pending;
+  pending.deleted = true;
+  writes_.push_back({{rel, key}, pending});
+  return StepResult::kOk;
+}
+
+StepResult EngineTxn::PredSelect(RelationId rel, AttrSet pread_attrs, AttrSet read_attrs,
+                                 const std::function<bool(const Row&)>& predicate,
+                                 std::vector<Row>* out) {
+  MVRC_CHECK(!finished_);
+  recorder_->BeginStatement(id_);
+  recorder_->Record(id_, OpKind::kPredRead, rel, -1, pread_attrs);
+  if (out != nullptr) out->clear();
+  for (Value key : db_->Keys(rel)) {
+    std::optional<Row> row = VisibleRow(rel, key);
+    if (!row.has_value() || !predicate(*row)) continue;
+    recorder_->Record(id_, OpKind::kRead, rel, key, read_attrs);
+    if (out != nullptr) out->push_back(*row);
+  }
+  recorder_->EndStatement(id_);
+  return StepResult::kOk;
+}
+
+StepResult EngineTxn::PredUpdate(RelationId rel, AttrSet pread_attrs, AttrSet read_attrs,
+                                 AttrSet write_attrs,
+                                 const std::function<bool(const Row&)>& predicate,
+                                 const std::function<Row(const Row&)>& update) {
+  MVRC_CHECK(!finished_);
+  // Evaluate the matching set first so that lock failures leave no trace.
+  std::vector<std::pair<Value, Row>> matches;
+  for (Value key : db_->Keys(rel)) {
+    std::optional<Row> row = VisibleRow(rel, key);
+    if (row.has_value() && predicate(*row)) matches.push_back({key, *row});
+  }
+  for (const auto& [key, row] : matches) {
+    if (!db_->TryLock(rel, key, id_)) return StepResult::kBlocked;
+  }
+  recorder_->BeginStatement(id_);
+  recorder_->Record(id_, OpKind::kPredRead, rel, -1, pread_attrs);
+  for (const auto& [key, row] : matches) {
+    recorder_->Record(id_, OpKind::kRead, rel, key, read_attrs);
+    recorder_->Record(id_, OpKind::kWrite, rel, key, write_attrs);
+    PendingWrite pending;
+    pending.values = update(row);
+    writes_.push_back({{rel, key}, pending});
+  }
+  recorder_->EndStatement(id_);
+  return StepResult::kOk;
+}
+
+StepResult EngineTxn::PredDelete(RelationId rel, AttrSet pread_attrs,
+                                 const std::function<bool(const Row&)>& predicate) {
+  MVRC_CHECK(!finished_);
+  std::vector<Value> matches;
+  for (Value key : db_->Keys(rel)) {
+    std::optional<Row> row = VisibleRow(rel, key);
+    if (row.has_value() && predicate(*row)) matches.push_back(key);
+  }
+  for (Value key : matches) {
+    if (!db_->TryLock(rel, key, id_)) return StepResult::kBlocked;
+  }
+  recorder_->BeginStatement(id_);
+  recorder_->Record(id_, OpKind::kPredRead, rel, -1, pread_attrs);
+  for (Value key : matches) {
+    recorder_->Record(id_, OpKind::kDelete, rel, key,
+                      db_->schema().relation(rel).AllAttrs());
+    PendingWrite pending;
+    pending.deleted = true;
+    writes_.push_back({{rel, key}, pending});
+  }
+  recorder_->EndStatement(id_);
+  return StepResult::kOk;
+}
+
+void EngineTxn::Commit() {
+  MVRC_CHECK(!finished_);
+  finished_ = true;
+  uint64_t seq = db_->NextCommitSeq();
+  // Install the latest pending write per row (later statements win).
+  std::vector<std::pair<RelationId, Value>> installed;
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+    const auto& [row_key, pending] = *it;
+    if (std::find(installed.begin(), installed.end(), row_key) != installed.end()) {
+      continue;
+    }
+    installed.push_back(row_key);
+    RowVersion version;
+    version.values = pending.values;
+    version.deleted = pending.deleted;
+    version.commit_seq = seq;
+    version.writer_txn = id_;
+    db_->Install(row_key.first, row_key.second, std::move(version));
+  }
+  db_->ReleaseLocks(id_);
+  recorder_->CommitTxn(id_);
+}
+
+Value EngineTxn::FreshKey(RelationId rel) { return db_->NextKey(rel); }
+
+void EngineTxn::Abort() {
+  MVRC_CHECK(!finished_);
+  finished_ = true;
+  writes_.clear();
+  db_->ReleaseLocks(id_);
+  recorder_->DiscardTxn(id_);
+}
+
+}  // namespace mvrc

@@ -1,0 +1,96 @@
+// A transaction executing against the engine under read-committed rules:
+// statement-level atomicity, read-last-committed reads, buffered writes
+// installed at commit, and first-updater-wins row locking (a write hitting
+// another transaction's uncommitted write reports kBlocked; the runner
+// aborts and retries, which models the paper's no-dirty-writes requirement
+// without modeling lock waits).
+
+#ifndef MVRC_ENGINE_ENGINE_TXN_H_
+#define MVRC_ENGINE_ENGINE_TXN_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/trace_recorder.h"
+
+namespace mvrc {
+
+/// Result of one statement execution.
+enum class StepResult {
+  kOk,
+  kBlocked,   // write lock held by another transaction; caller should abort
+  kNotFound,  // key-based statement found no visible row; caller should abort
+};
+
+/// One engine transaction. Statements are the atomic units; each statement
+/// records its operations into the TraceRecorder between BeginStatement /
+/// EndStatement.
+class EngineTxn {
+ public:
+  EngineTxn(Database* db, TraceRecorder* recorder);
+
+  int id() const { return id_; }
+  const Schema& schema() const { return db_->schema(); }
+
+  /// SELECT <read_attrs> FROM rel WHERE pk = key.
+  StepResult KeySelect(RelationId rel, Value key, AttrSet read_attrs, Row* out);
+
+  /// UPDATE rel SET ... WHERE pk = key. `update` maps the current row to the
+  /// new row; `read_attrs`/`write_attrs` drive the recorded attribute sets.
+  StepResult KeyUpdate(RelationId rel, Value key, AttrSet read_attrs,
+                       AttrSet write_attrs, const std::function<Row(const Row&)>& update);
+
+  /// INSERT INTO rel VALUES (...). The key is `values[pk_attr]`'s slot —
+  /// callers pass the key explicitly.
+  StepResult Insert(RelationId rel, Value key, Row values);
+
+  /// DELETE FROM rel WHERE pk = key.
+  StepResult KeyDelete(RelationId rel, Value key);
+
+  /// SELECT <read_attrs> FROM rel WHERE <predicate>. Scans all visible rows.
+  StepResult PredSelect(RelationId rel, AttrSet pread_attrs, AttrSet read_attrs,
+                        const std::function<bool(const Row&)>& predicate,
+                        std::vector<Row>* out);
+
+  /// UPDATE rel SET ... WHERE <predicate>.
+  StepResult PredUpdate(RelationId rel, AttrSet pread_attrs, AttrSet read_attrs,
+                        AttrSet write_attrs, const std::function<bool(const Row&)>& predicate,
+                        const std::function<Row(const Row&)>& update);
+
+  /// DELETE FROM rel WHERE <predicate>.
+  StepResult PredDelete(RelationId rel, AttrSet pread_attrs,
+                        const std::function<bool(const Row&)>& predicate);
+
+  /// Commits: installs buffered writes in commit order and records C.
+  void Commit();
+
+  /// Aborts: discards buffered writes, releases locks, drops the trace.
+  void Abort();
+
+  /// A fresh primary-key value for inserts into `rel`.
+  Value FreshKey(RelationId rel);
+
+  bool finished() const { return finished_; }
+
+ private:
+  struct PendingWrite {
+    Row values;
+    bool deleted = false;
+    bool inserted = false;
+  };
+
+  // Visible row = pending write if this txn wrote it, else last committed.
+  std::optional<Row> VisibleRow(RelationId rel, Value key) const;
+
+  Database* db_;
+  TraceRecorder* recorder_;
+  int id_;
+  std::vector<std::pair<std::pair<RelationId, Value>, PendingWrite>> writes_;
+  bool finished_ = false;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_ENGINE_ENGINE_TXN_H_

@@ -1,0 +1,110 @@
+#include "engine/random_tester.h"
+
+#include <memory>
+#include <random>
+#include <sstream>
+
+#include "mvcc/serialization_graph.h"
+#include "util/check.h"
+
+namespace mvrc {
+
+namespace {
+
+// One program instance being executed (possibly restarted after aborts).
+struct RunningProgram {
+  const ConcreteProgram* program;
+  std::unique_ptr<EngineTxn> txn;
+  Locals locals;
+  size_t next_step = 0;
+  int restarts = 0;
+  bool done = false;
+};
+
+}  // namespace
+
+RandomTestReport RunRandomRounds(
+    const std::function<Database()>& make_database,
+    const std::function<std::vector<ConcreteProgram>()>& make_programs,
+    const RandomTestOptions& options) {
+  RandomTestReport report;
+  std::mt19937_64 rng(options.seed);
+
+  for (int round = 0; round < options.rounds; ++round) {
+    Database db = make_database();
+    std::vector<ConcreteProgram> programs = make_programs();
+    TraceRecorder recorder;
+
+    std::vector<RunningProgram> running;
+    running.reserve(programs.size());
+    for (const ConcreteProgram& program : programs) {
+      RunningProgram instance;
+      instance.program = &program;
+      instance.txn = std::make_unique<EngineTxn>(&db, &recorder);
+      running.push_back(std::move(instance));
+    }
+
+    // Interleave until every instance committed or gave up.
+    while (true) {
+      std::vector<int> runnable;
+      for (size_t i = 0; i < running.size(); ++i) {
+        if (!running[i].done) runnable.push_back(static_cast<int>(i));
+      }
+      if (runnable.empty()) break;
+      RunningProgram& instance =
+          running[runnable[rng() % runnable.size()]];
+      StepResult result =
+          instance.program->steps[instance.next_step](*instance.txn, instance.locals);
+      switch (result) {
+        case StepResult::kOk:
+          ++instance.next_step;
+          if (instance.next_step == instance.program->steps.size()) {
+            instance.txn->Commit();
+            instance.done = true;
+          }
+          break;
+        case StepResult::kBlocked:
+        case StepResult::kNotFound: {
+          instance.txn->Abort();
+          ++report.total_aborts;
+          if (result == StepResult::kNotFound ||
+              ++instance.restarts > options.max_restarts_per_txn) {
+            instance.done = true;  // drop this instance
+            break;
+          }
+          instance.txn = std::make_unique<EngineTxn>(&db, &recorder);
+          instance.locals.clear();
+          instance.next_step = 0;
+          break;
+        }
+      }
+    }
+
+    ++report.rounds_run;
+    Result<Schedule> schedule = recorder.ToSchedule();
+    MVRC_CHECK_MSG(schedule.ok(), "engine produced an invalid formal schedule");
+    MVRC_CHECK_MSG(schedule.value().IsMvrcAllowed(),
+                   "engine produced a schedule with dirty writes");
+    SerializationGraph graph = SerializationGraph::Build(schedule.value());
+    if (graph.IsConflictSerializable()) {
+      ++report.serializable_rounds;
+    } else {
+      ++report.non_serializable_rounds;
+      if (!report.first_anomaly.has_value()) {
+        std::ostringstream os;
+        os << "non-serializable execution in round " << round << ":\n  "
+           << schedule.value().ToString(db.schema()) << "\n";
+        graph.EnumerateCycles([&](const DependencyCycle& cycle) {
+          for (const Dependency& dep : cycle) {
+            os << "  " << DescribeDependency(schedule.value(), db.schema(), dep) << "\n";
+          }
+          return false;
+        });
+        report.first_anomaly = os.str();
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mvrc

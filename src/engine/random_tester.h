@@ -1,0 +1,50 @@
+// Randomized end-to-end testing: run rounds of concurrent concrete programs
+// against the engine under random step interleavings, convert each round's
+// committed trace into a formal schedule, and check conflict
+// serializability. For workloads whose BTPs the detector certifies robust,
+// every round must be serializable; for non-robust workloads the tester
+// eventually exhibits a non-serializable execution — the observable anomaly
+// the static analysis predicts.
+
+#ifndef MVRC_ENGINE_RANDOM_TESTER_H_
+#define MVRC_ENGINE_RANDOM_TESTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/concrete_program.h"
+#include "engine/database.h"
+
+namespace mvrc {
+
+struct RandomTestOptions {
+  int rounds = 200;
+  uint64_t seed = 1;
+  int max_restarts_per_txn = 10;  // retries after kBlocked aborts
+};
+
+struct RandomTestReport {
+  int rounds_run = 0;
+  int serializable_rounds = 0;
+  int non_serializable_rounds = 0;
+  int64_t total_aborts = 0;
+  // First non-serializable execution observed, rendered for humans.
+  std::optional<std::string> first_anomaly;
+};
+
+/// Runs `options.rounds` rounds. Each round calls `make_database` for a
+/// fresh seeded database and `make_programs` for the program instances to
+/// run concurrently, then interleaves their statements uniformly at random.
+/// Blocked transactions abort, are discarded from the trace (the paper's
+/// no-aborts convention) and restart as fresh transactions.
+RandomTestReport RunRandomRounds(
+    const std::function<Database()>& make_database,
+    const std::function<std::vector<ConcreteProgram>()>& make_programs,
+    const RandomTestOptions& options = {});
+
+}  // namespace mvrc
+
+#endif  // MVRC_ENGINE_RANDOM_TESTER_H_

@@ -1,0 +1,486 @@
+#include "engine/tpcc_programs.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "workloads/tpcc.h"
+
+namespace mvrc {
+
+namespace {
+
+// Relation ids in MakeTpcc() declaration order.
+constexpr RelationId kWarehouse = 0, kDistrict = 1, kCustomer = 2, kHistory = 3,
+                     kNewOrder = 4, kOrders = 5, kOrderLine = 6, kItem = 7,
+                     kStock = 8;
+
+// Composite primary keys packed into one engine key. Warehouse/district/
+// customer/item ids must stay below 100; order ids are unbounded.
+Value DistrictKey(Value w, Value d) { return w * 100 + d; }
+Value CustomerKey(Value w, Value d, Value c) { return (w * 100 + d) * 100 + c; }
+Value OrderKey(Value o, Value w, Value d) { return o * 10000 + w * 100 + d; }
+Value OrderLineKey(Value o, Value w, Value d, Value number) {
+  return OrderKey(o, w, d) * 100 + number;
+}
+Value StockKey(Value item, Value w) { return item * 100 + w; }
+
+// Attribute-set builder bound to a schema.
+AttrSet A(const Schema& schema, RelationId rel, std::vector<std::string> names) {
+  return schema.MakeAttrSet(rel, names);
+}
+
+// Attribute index by name (resolved per call; relations are small).
+AttrId At(const Schema& schema, RelationId rel, const char* name) {
+  AttrId attr = schema.relation(rel).FindAttr(name);
+  MVRC_CHECK(attr >= 0);
+  return attr;
+}
+
+}  // namespace
+
+void SeedTpcc(Database* db, int warehouses, int districts, int customers, int items) {
+  const Schema& schema = db->schema();
+  MVRC_CHECK(warehouses < 100 && districts < 100 && customers < 100 && items < 100);
+  for (Value w = 0; w < warehouses; ++w) {
+    db->Seed(kWarehouse, w, {w, 0, 0, 0, 0, 0, 0, /*w_tax=*/1, /*w_ytd=*/0});
+    for (Value d = 0; d < districts; ++d) {
+      db->Seed(kDistrict, DistrictKey(w, d),
+               {d, w, 0, 0, 0, 0, 0, 0, /*d_tax=*/1, /*d_ytd=*/0,
+                /*d_next_o_id=*/100});
+      for (Value c = 0; c < customers; ++c) {
+        Row row(schema.relation(kCustomer).num_attrs(), 0);
+        row[At(schema, kCustomer, "c_id")] = c;
+        row[At(schema, kCustomer, "c_d_id")] = d;
+        row[At(schema, kCustomer, "c_w_id")] = w;
+        row[At(schema, kCustomer, "c_last")] = c;  // last name == id
+        row[At(schema, kCustomer, "c_credit")] = 1;
+        row[At(schema, kCustomer, "c_credit_lim")] = 1000;
+        row[At(schema, kCustomer, "c_balance")] = 500;
+        db->Seed(kCustomer, CustomerKey(w, d, c), std::move(row));
+      }
+    }
+  }
+  for (Value i = 0; i < items; ++i) {
+    db->Seed(kItem, i, {i, 0, 0, /*i_price=*/10 + i, 0});
+    for (Value w = 0; w < warehouses; ++w) {
+      Row row(schema.relation(kStock).num_attrs(), 0);
+      row[At(schema, kStock, "s_i_id")] = i;
+      row[At(schema, kStock, "s_w_id")] = w;
+      row[At(schema, kStock, "s_quantity")] = 100;
+      db->Seed(kStock, StockKey(i, w), std::move(row));
+    }
+  }
+}
+
+ConcreteProgram TpccNewOrder(Value w, Value d, Value c,
+                             std::vector<TpccOrderItem> items) {
+  ConcreteProgram program;
+  program.name = "NewOrder";
+  // q8: customer discount/credit/last.
+  program.steps.push_back([w, d, c](EngineTxn& txn, Locals&) {
+    return txn.KeySelect(kCustomer, CustomerKey(w, d, c),
+                         A(txn.schema(), kCustomer, {"c_credit", "c_discount", "c_last"}),
+                         nullptr);
+  });
+  // q9: warehouse tax.
+  program.steps.push_back([w](EngineTxn& txn, Locals&) {
+    return txn.KeySelect(kWarehouse, w, A(txn.schema(), kWarehouse, {"w_tax"}), nullptr);
+  });
+  // q10: allocate the order id.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    const Schema& schema = txn.schema();
+    AttrId next = At(schema, kDistrict, "d_next_o_id");
+    return txn.KeyUpdate(kDistrict, DistrictKey(w, d),
+                         A(schema, kDistrict, {"d_next_o_id", "d_tax"}),
+                         A(schema, kDistrict, {"d_next_o_id"}), [&](const Row& row) {
+                           Row updated = row;
+                           updated[next] = row[next] + 1;
+                           locals[":o_id"] = updated[next];
+                           return updated;
+                         });
+  });
+  // q11: insert the order.
+  program.steps.push_back([w, d, c, items](EngineTxn& txn, Locals& locals) {
+    Value o = locals.at(":o_id");
+    Row row{o, d, w, c, /*entry*/ 0, /*carrier*/ 0,
+            static_cast<Value>(items.size()), /*all_local*/ 1};
+    return txn.Insert(kOrders, OrderKey(o, w, d), std::move(row));
+  });
+  // q12: insert the new-order row.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    Value o = locals.at(":o_id");
+    return txn.Insert(kNewOrder, OrderKey(o, w, d), {o, d, w});
+  });
+  // Per item: q13 item lookup, q14 stock update, q15 order line.
+  for (size_t index = 0; index < items.size(); ++index) {
+    TpccOrderItem item = items[index];
+    program.steps.push_back([item](EngineTxn& txn, Locals&) {
+      return txn.KeySelect(kItem, item.item_id,
+                           A(txn.schema(), kItem, {"i_data", "i_name", "i_price"}),
+                           nullptr);
+    });
+    program.steps.push_back([item](EngineTxn& txn, Locals&) {
+      const Schema& schema = txn.schema();
+      AttrId qty = At(schema, kStock, "s_quantity");
+      AttrId ytd = At(schema, kStock, "s_ytd");
+      AttrId cnt = At(schema, kStock, "s_order_cnt");
+      return txn.KeyUpdate(
+          kStock, StockKey(item.item_id, item.supply_warehouse),
+          A(schema, kStock,
+            {"s_data", "s_dist_01", "s_dist_02", "s_dist_03", "s_dist_04", "s_dist_05",
+             "s_dist_06", "s_dist_07", "s_dist_08", "s_dist_09", "s_dist_10",
+             "s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"}),
+          A(schema, kStock, {"s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"}),
+          [&](const Row& row) {
+            Row updated = row;
+            updated[qty] = std::max<Value>(0, row[qty] - item.quantity);
+            updated[ytd] = row[ytd] + item.quantity;
+            updated[cnt] = row[cnt] + 1;
+            return updated;
+          });
+    });
+    program.steps.push_back([w, d, item, index](EngineTxn& txn, Locals& locals) {
+      Value o = locals.at(":o_id");
+      Value number = static_cast<Value>(index);
+      Row row{o,     d,
+              w,     number,
+              item.item_id, item.supply_warehouse,
+              /*delivery_d*/ 0, item.quantity,
+              /*amount*/ item.quantity * 10, /*dist_info*/ 0};
+      return txn.Insert(kOrderLine, OrderLineKey(o, w, d, number), std::move(row));
+    });
+  }
+  return program;
+}
+
+ConcreteProgram TpccPayment(Value w, Value d, Value c, Value amount,
+                            bool select_by_name, bool update_data) {
+  ConcreteProgram program;
+  program.name = "Payment";
+  // q20: warehouse year-to-date.
+  program.steps.push_back([w, amount](EngineTxn& txn, Locals&) {
+    const Schema& schema = txn.schema();
+    AttrId ytd = At(schema, kWarehouse, "w_ytd");
+    return txn.KeyUpdate(kWarehouse, w,
+                         A(schema, kWarehouse,
+                           {"w_city", "w_name", "w_state", "w_street_1", "w_street_2",
+                            "w_ytd", "w_zip"}),
+                         A(schema, kWarehouse, {"w_ytd"}), [&](const Row& row) {
+                           Row updated = row;
+                           updated[ytd] += amount;
+                           return updated;
+                         });
+  });
+  // q21: district year-to-date.
+  program.steps.push_back([w, d, amount](EngineTxn& txn, Locals&) {
+    const Schema& schema = txn.schema();
+    AttrId ytd = At(schema, kDistrict, "d_ytd");
+    return txn.KeyUpdate(kDistrict, DistrictKey(w, d),
+                         A(schema, kDistrict,
+                           {"d_city", "d_name", "d_state", "d_street_1", "d_street_2",
+                            "d_ytd", "d_zip"}),
+                         A(schema, kDistrict, {"d_ytd"}), [&](const Row& row) {
+                           Row updated = row;
+                           updated[ytd] += amount;
+                           return updated;
+                         });
+  });
+  // q22 (optional): resolve customer by last name.
+  if (select_by_name) {
+    program.steps.push_back([w, d, c](EngineTxn& txn, Locals&) {
+      const Schema& schema = txn.schema();
+      AttrId c_d = At(schema, kCustomer, "c_d_id");
+      AttrId c_w = At(schema, kCustomer, "c_w_id");
+      AttrId c_last = At(schema, kCustomer, "c_last");
+      std::vector<Row> rows;
+      return txn.PredSelect(kCustomer,
+                            A(schema, kCustomer, {"c_d_id", "c_last", "c_w_id"}),
+                            A(schema, kCustomer, {"c_id"}),
+                            [&](const Row& row) {
+                              return row[c_d] == d && row[c_w] == w &&
+                                     row[c_last] == c;
+                            },
+                            &rows);
+    });
+  }
+  // q23: pay.
+  program.steps.push_back([w, d, c, amount](EngineTxn& txn, Locals&) {
+    const Schema& schema = txn.schema();
+    AttrId balance = At(schema, kCustomer, "c_balance");
+    AttrId ytd = At(schema, kCustomer, "c_ytd_payment");
+    AttrId cnt = At(schema, kCustomer, "c_payment_cnt");
+    return txn.KeyUpdate(
+        kCustomer, CustomerKey(w, d, c),
+        A(schema, kCustomer,
+          {"c_balance", "c_city", "c_credit", "c_credit_lim", "c_discount", "c_first",
+           "c_last", "c_middle", "c_phone", "c_since", "c_state", "c_street_1",
+           "c_street_2", "c_ytd_payment", "c_zip"}),
+        A(schema, kCustomer, {"c_balance", "c_payment_cnt", "c_ytd_payment"}),
+        [&](const Row& row) {
+          Row updated = row;
+          updated[balance] -= amount;
+          updated[ytd] += amount;
+          updated[cnt] += 1;
+          return updated;
+        });
+  });
+  // q24/q25 (optional): bad-credit data rewrite.
+  if (update_data) {
+    program.steps.push_back([w, d, c](EngineTxn& txn, Locals& locals) {
+      Row row;
+      StepResult result =
+          txn.KeySelect(kCustomer, CustomerKey(w, d, c),
+                        A(txn.schema(), kCustomer, {"c_data"}), &row);
+      if (result == StepResult::kOk) {
+        locals[":c_data"] = row[At(txn.schema(), kCustomer, "c_data")];
+      }
+      return result;
+    });
+    program.steps.push_back([w, d, c](EngineTxn& txn, Locals& locals) {
+      const Schema& schema = txn.schema();
+      AttrId data = At(schema, kCustomer, "c_data");
+      return txn.KeyUpdate(kCustomer, CustomerKey(w, d, c), AttrSet{},
+                           A(schema, kCustomer, {"c_data"}), [&](const Row& row) {
+                             Row updated = row;
+                             updated[data] = locals.at(":c_data") + 1;
+                             return updated;
+                           });
+    });
+  }
+  // q26: history row.
+  program.steps.push_back([w, d, c, amount](EngineTxn& txn, Locals&) {
+    Value key = txn.FreshKey(kHistory);
+    return txn.Insert(kHistory, key, {c, d, w, d, w, /*date*/ 0, amount, /*data*/ 0});
+  });
+  return program;
+}
+
+ConcreteProgram TpccOrderStatus(Value w, Value d, Value c, bool select_by_name) {
+  ConcreteProgram program;
+  program.name = "OrderStatus";
+  if (select_by_name) {
+    // q16.
+    program.steps.push_back([w, d, c](EngineTxn& txn, Locals&) {
+      const Schema& schema = txn.schema();
+      AttrId c_d = At(schema, kCustomer, "c_d_id");
+      AttrId c_w = At(schema, kCustomer, "c_w_id");
+      AttrId c_last = At(schema, kCustomer, "c_last");
+      std::vector<Row> rows;
+      return txn.PredSelect(
+          kCustomer, A(schema, kCustomer, {"c_d_id", "c_last", "c_w_id"}),
+          A(schema, kCustomer, {"c_balance", "c_first", "c_id", "c_middle"}),
+          [&](const Row& row) {
+            return row[c_d] == d && row[c_w] == w && row[c_last] == c;
+          },
+          &rows);
+    });
+  } else {
+    // q17.
+    program.steps.push_back([w, d, c](EngineTxn& txn, Locals&) {
+      return txn.KeySelect(
+          kCustomer, CustomerKey(w, d, c),
+          A(txn.schema(), kCustomer, {"c_balance", "c_first", "c_last", "c_middle"}),
+          nullptr);
+    });
+  }
+  // q18: most recent order of the customer.
+  program.steps.push_back([w, d, c](EngineTxn& txn, Locals& locals) {
+    const Schema& schema = txn.schema();
+    AttrId o_c = At(schema, kOrders, "o_c_id");
+    AttrId o_d = At(schema, kOrders, "o_d_id");
+    AttrId o_w = At(schema, kOrders, "o_w_id");
+    AttrId o_id = At(schema, kOrders, "o_id");
+    std::vector<Row> rows;
+    StepResult result = txn.PredSelect(
+        kOrders, A(schema, kOrders, {"o_c_id", "o_d_id", "o_w_id"}),
+        A(schema, kOrders, {"o_carrier_id", "o_entry_id", "o_id"}),
+        [&](const Row& row) {
+          return row[o_c] == c && row[o_d] == d && row[o_w] == w;
+        },
+        &rows);
+    Value latest = -1;
+    for (const Row& row : rows) latest = std::max(latest, row[o_id]);
+    locals[":o_id"] = latest;
+    return result;
+  });
+  // q19: the order's lines.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    const Schema& schema = txn.schema();
+    AttrId ol_o = At(schema, kOrderLine, "ol_o_id");
+    AttrId ol_d = At(schema, kOrderLine, "ol_d_id");
+    AttrId ol_w = At(schema, kOrderLine, "ol_w_id");
+    Value o = locals.at(":o_id");
+    std::vector<Row> rows;
+    return txn.PredSelect(
+        kOrderLine, A(schema, kOrderLine, {"ol_d_id", "ol_o_id", "ol_w_id"}),
+        A(schema, kOrderLine,
+          {"ol_amount", "ol_delivery_d", "ol_i_id", "ol_quantity", "ol_supply_w_id"}),
+        [&](const Row& row) {
+          return row[ol_o] == o && row[ol_d] == d && row[ol_w] == w;
+        },
+        &rows);
+  });
+  return program;
+}
+
+ConcreteProgram TpccStockLevel(Value w, Value d, Value threshold) {
+  ConcreteProgram program;
+  program.name = "StockLevel";
+  // q27: next order id.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    Row row;
+    StepResult result = txn.KeySelect(kDistrict, DistrictKey(w, d),
+                                      A(txn.schema(), kDistrict, {"d_next_o_id"}), &row);
+    if (result == StepResult::kOk) {
+      locals[":o_id"] = row[At(txn.schema(), kDistrict, "d_next_o_id")];
+    }
+    return result;
+  });
+  // q28: recently sold items.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    const Schema& schema = txn.schema();
+    AttrId ol_o = At(schema, kOrderLine, "ol_o_id");
+    AttrId ol_d = At(schema, kOrderLine, "ol_d_id");
+    AttrId ol_w = At(schema, kOrderLine, "ol_w_id");
+    Value next = locals.at(":o_id");
+    std::vector<Row> rows;
+    return txn.PredSelect(kOrderLine,
+                          A(schema, kOrderLine, {"ol_d_id", "ol_o_id", "ol_w_id"}),
+                          A(schema, kOrderLine, {"ol_i_id"}),
+                          [&](const Row& row) {
+                            return row[ol_w] == w && row[ol_d] == d &&
+                                   row[ol_o] < next && row[ol_o] >= next - 20;
+                          },
+                          &rows);
+  });
+  // q29: stock below threshold.
+  program.steps.push_back([w, threshold](EngineTxn& txn, Locals&) {
+    const Schema& schema = txn.schema();
+    AttrId s_w = At(schema, kStock, "s_w_id");
+    AttrId qty = At(schema, kStock, "s_quantity");
+    std::vector<Row> rows;
+    return txn.PredSelect(kStock, A(schema, kStock, {"s_quantity", "s_w_id"}),
+                          A(schema, kStock, {"s_i_id"}),
+                          [&](const Row& row) {
+                            return row[s_w] == w && row[qty] < threshold;
+                          },
+                          &rows);
+  });
+  return program;
+}
+
+ConcreteProgram TpccDelivery(Value w, Value d, Value carrier) {
+  ConcreteProgram program;
+  program.name = "Delivery";
+  // q1: oldest open order of the district.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    const Schema& schema = txn.schema();
+    AttrId no_o = At(schema, kNewOrder, "no_o_id");
+    AttrId no_d = At(schema, kNewOrder, "no_d_id");
+    AttrId no_w = At(schema, kNewOrder, "no_w_id");
+    std::vector<Row> rows;
+    StepResult result = txn.PredSelect(
+        kNewOrder, A(schema, kNewOrder, {"no_d_id", "no_w_id"}),
+        A(schema, kNewOrder, {"no_o_id"}),
+        [&](const Row& row) { return row[no_d] == d && row[no_w] == w; }, &rows);
+    Value oldest = -1;
+    for (const Row& row : rows) {
+      if (oldest < 0 || row[no_o] < oldest) oldest = row[no_o];
+    }
+    locals[":no"] = oldest;  // -1: nothing to deliver, later steps no-op
+    return result;
+  });
+  // q2: consume the new-order row.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    Value o = locals.at(":no");
+    if (o < 0) return StepResult::kOk;
+    return txn.KeyDelete(kNewOrder, OrderKey(o, w, d));
+  });
+  // q3: the order's customer.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    Value o = locals.at(":no");
+    if (o < 0) return StepResult::kOk;
+    Row row;
+    StepResult result = txn.KeySelect(kOrders, OrderKey(o, w, d),
+                                      A(txn.schema(), kOrders, {"o_c_id"}), &row);
+    if (result == StepResult::kOk) {
+      locals[":c"] = row[At(txn.schema(), kOrders, "o_c_id")];
+    }
+    return result;
+  });
+  // q4: stamp the carrier.
+  program.steps.push_back([w, d, carrier](EngineTxn& txn, Locals& locals) {
+    Value o = locals.at(":no");
+    if (o < 0) return StepResult::kOk;
+    const Schema& schema = txn.schema();
+    AttrId attr = At(schema, kOrders, "o_carrier_id");
+    return txn.KeyUpdate(kOrders, OrderKey(o, w, d), AttrSet{},
+                         A(schema, kOrders, {"o_carrier_id"}), [&](const Row& row) {
+                           Row updated = row;
+                           updated[attr] = carrier;
+                           return updated;
+                         });
+  });
+  // q5: stamp the delivery date on the lines.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    Value o = locals.at(":no");
+    if (o < 0) return StepResult::kOk;
+    const Schema& schema = txn.schema();
+    AttrId ol_o = At(schema, kOrderLine, "ol_o_id");
+    AttrId ol_d = At(schema, kOrderLine, "ol_d_id");
+    AttrId ol_w = At(schema, kOrderLine, "ol_w_id");
+    AttrId date = At(schema, kOrderLine, "ol_delivery_d");
+    return txn.PredUpdate(kOrderLine,
+                          A(schema, kOrderLine, {"ol_d_id", "ol_o_id", "ol_w_id"}),
+                          AttrSet{}, A(schema, kOrderLine, {"ol_delivery_d"}),
+                          [&](const Row& row) {
+                            return row[ol_o] == o && row[ol_d] == d && row[ol_w] == w;
+                          },
+                          [&](const Row& row) {
+                            Row updated = row;
+                            updated[date] = 1;
+                            return updated;
+                          });
+  });
+  // q6: total the amounts.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    Value o = locals.at(":no");
+    if (o < 0) return StepResult::kOk;
+    const Schema& schema = txn.schema();
+    AttrId ol_o = At(schema, kOrderLine, "ol_o_id");
+    AttrId ol_d = At(schema, kOrderLine, "ol_d_id");
+    AttrId ol_w = At(schema, kOrderLine, "ol_w_id");
+    AttrId amount = At(schema, kOrderLine, "ol_amount");
+    std::vector<Row> rows;
+    StepResult result = txn.PredSelect(
+        kOrderLine, A(schema, kOrderLine, {"ol_d_id", "ol_o_id", "ol_w_id"}),
+        A(schema, kOrderLine, {"ol_amount"}),
+        [&](const Row& row) {
+          return row[ol_o] == o && row[ol_d] == d && row[ol_w] == w;
+        },
+        &rows);
+    Value total = 0;
+    for (const Row& row : rows) total += row[amount];
+    locals[":total"] = total;
+    return result;
+  });
+  // q7: credit the customer.
+  program.steps.push_back([w, d](EngineTxn& txn, Locals& locals) {
+    if (locals.at(":no") < 0) return StepResult::kOk;
+    const Schema& schema = txn.schema();
+    AttrId balance = At(schema, kCustomer, "c_balance");
+    AttrId cnt = At(schema, kCustomer, "c_delivery_cnt");
+    return txn.KeyUpdate(kCustomer, CustomerKey(w, d, locals.at(":c")),
+                         A(schema, kCustomer, {"c_balance", "c_delivery_cnt"}),
+                         A(schema, kCustomer, {"c_balance", "c_delivery_cnt"}),
+                         [&](const Row& row) {
+                           Row updated = row;
+                           updated[balance] += locals.at(":total");
+                           updated[cnt] += 1;
+                           return updated;
+                         });
+  });
+  return program;
+}
+
+}  // namespace mvrc

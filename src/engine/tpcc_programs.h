@@ -1,0 +1,47 @@
+// Concrete TPC-C programs for the MVCC engine: executable versions of the
+// five transactions of Figures 12-16, operating on real rows with the
+// schema of workloads/tpcc.h. Composite primary keys are packed into one
+// engine key (see tpcc_programs.cc); every statement records exactly the
+// attribute sets of Figure 17, so traced executions correspond to
+// instantiations of the analyzed BTPs.
+//
+// Used to validate the paper's TPC-C verdicts on live executions: the
+// {OrderStatus, Payment, StockLevel} subset never produces a
+// non-serializable execution, while NewOrder racing an OrderStatus scan
+// exhibits phantom anomalies (tests/engine_tpcc_test.cc).
+
+#ifndef MVRC_ENGINE_TPCC_PROGRAMS_H_
+#define MVRC_ENGINE_TPCC_PROGRAMS_H_
+
+#include <vector>
+
+#include "engine/concrete_program.h"
+
+namespace mvrc {
+
+/// One order line requested by NewOrder.
+struct TpccOrderItem {
+  Value item_id = 0;
+  Value supply_warehouse = 0;
+  Value quantity = 1;
+};
+
+/// Seeds `warehouses` warehouses with `districts` districts each,
+/// `customers` customers per district, `items` items and full stock.
+/// The database must use MakeTpcc().schema.
+void SeedTpcc(Database* db, int warehouses, int districts, int customers, int items);
+
+/// The five transactions. Parameters follow the paper's SQL.
+ConcreteProgram TpccNewOrder(Value w, Value d, Value c,
+                             std::vector<TpccOrderItem> items);
+ConcreteProgram TpccPayment(Value w, Value d, Value c, Value amount,
+                            bool select_by_name, bool update_data);
+ConcreteProgram TpccOrderStatus(Value w, Value d, Value c, bool select_by_name);
+ConcreteProgram TpccStockLevel(Value w, Value d, Value threshold);
+/// Delivery for a single district (one loop iteration); a no-op when the
+/// district has no open order.
+ConcreteProgram TpccDelivery(Value w, Value d, Value carrier);
+
+}  // namespace mvrc
+
+#endif  // MVRC_ENGINE_TPCC_PROGRAMS_H_

@@ -1,0 +1,130 @@
+#include "engine/trace_recorder.h"
+
+#include <map>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+int TraceRecorder::BeginTxn() {
+  txns_.emplace_back();
+  return static_cast<int>(txns_.size()) - 1;
+}
+
+void TraceRecorder::BeginStatement(int txn_id) {
+  TracedTxn& txn = txns_.at(txn_id);
+  MVRC_CHECK(txn.open_statement < 0);
+  txn.open_statement = txn.next_statement++;
+}
+
+void TraceRecorder::EndStatement(int txn_id) {
+  TracedTxn& txn = txns_.at(txn_id);
+  MVRC_CHECK(txn.open_statement >= 0);
+  txn.open_statement = -1;
+}
+
+void TraceRecorder::Record(int txn_id, OpKind kind, RelationId rel, Value key,
+                           AttrSet attrs) {
+  TracedTxn& txn = txns_.at(txn_id);
+  MVRC_CHECK_MSG(txn.open_statement >= 0, "Record outside a statement");
+  // Merge repeated reads/writes of the same tuple into the first occurrence.
+  if (kind == OpKind::kRead || kind == OpKind::kWrite) {
+    for (TracedOp& prior : txn.ops) {
+      if (prior.kind == kind && prior.rel == rel && prior.key == key) {
+        prior.attrs = prior.attrs.Union(attrs);
+        return;
+      }
+    }
+  }
+  TracedOp op;
+  op.kind = kind;
+  op.rel = rel;
+  op.key = key;
+  op.attrs = attrs;
+  op.chunk = txn.open_statement;
+  global_order_.emplace_back(txn_id, static_cast<int>(txn.ops.size()));
+  txn.ops.push_back(op);
+}
+
+void TraceRecorder::CommitTxn(int txn_id) {
+  TracedTxn& txn = txns_.at(txn_id);
+  MVRC_CHECK(!txn.committed && !txn.discarded);
+  txn.committed = true;
+  TracedOp commit;
+  commit.kind = OpKind::kCommit;
+  commit.rel = -1;
+  commit.key = -1;
+  commit.chunk = -1;
+  global_order_.emplace_back(txn_id, static_cast<int>(txn.ops.size()));
+  txn.ops.push_back(commit);
+}
+
+void TraceRecorder::DiscardTxn(int txn_id) { txns_.at(txn_id).discarded = true; }
+
+int TraceRecorder::num_committed() const {
+  int count = 0;
+  for (const TracedTxn& txn : txns_) {
+    if (txn.committed) ++count;
+  }
+  return count;
+}
+
+Result<Schedule> TraceRecorder::ToSchedule() const {
+  // Renumber committed transactions in order of first global appearance.
+  std::map<int, int> renumber;
+  for (const auto& [txn_id, op_index] : global_order_) {
+    if (txns_[txn_id].committed && !renumber.count(txn_id)) {
+      int fresh = static_cast<int>(renumber.size());
+      renumber[txn_id] = fresh;
+    }
+  }
+
+  // Dense tuple ids per (relation, key).
+  std::map<std::pair<RelationId, Value>, int> tuple_ids;
+  auto tuple_id = [&tuple_ids](RelationId rel, Value key) {
+    auto [it, inserted] = tuple_ids.try_emplace({rel, key},
+                                                static_cast<int>(tuple_ids.size()));
+    return it->second;
+  };
+
+  std::vector<Transaction> formal;
+  formal.reserve(renumber.size());
+  for (int fresh = 0; fresh < static_cast<int>(renumber.size()); ++fresh) {
+    formal.emplace_back(fresh);
+  }
+  for (const auto& [old_id, fresh] : renumber) {
+    const TracedTxn& traced = txns_[old_id];
+    Transaction& txn = formal[fresh];
+    int chunk_start = -1, current_chunk = -1;
+    for (const TracedOp& op : traced.ops) {
+      if (op.kind == OpKind::kCommit) {
+        if (current_chunk >= 0 && txn.size() - 1 > chunk_start) {
+          txn.AddChunk(chunk_start, txn.size() - 1);
+        }
+        txn.FinishWithCommit();
+        break;
+      }
+      if (op.chunk != current_chunk) {
+        if (current_chunk >= 0 && txn.size() - 1 > chunk_start) {
+          txn.AddChunk(chunk_start, txn.size() - 1);
+        }
+        current_chunk = op.chunk;
+        chunk_start = txn.size();
+      }
+      int tuple = op.kind == OpKind::kPredRead ? -1 : tuple_id(op.rel, op.key);
+      txn.Add(op.kind, op.rel, tuple, op.attrs);
+    }
+  }
+
+  std::vector<OpRef> order;
+  for (const auto& [txn_id, op_index] : global_order_) {
+    auto it = renumber.find(txn_id);
+    if (it == renumber.end()) continue;
+    // Merged (deduplicated) operations do not appear in global_order_ again,
+    // so op_index maps 1:1 onto formal positions.
+    order.push_back({it->second, op_index});
+  }
+  return Schedule::ReadLastCommitted(std::move(formal), std::move(order));
+}
+
+}  // namespace mvrc

@@ -1,0 +1,72 @@
+// Records the operations an engine execution performs and converts the
+// trace of *committed* transactions into a formal mvcc::Schedule, bridging
+// the executable engine (S9) and the schedule formalism (S5) so executions
+// can be checked for conflict serializability.
+//
+// The recorder enforces the paper's at-most-one-read/one-write-per-tuple
+// convention by merging repeated reads (and repeated writes) of a tuple
+// into the first occurrence, with attribute-set union — mirroring how the
+// instantiation of Figure 3 merges PlaceBid's q5 read into q4's.
+
+#ifndef MVRC_ENGINE_TRACE_RECORDER_H_
+#define MVRC_ENGINE_TRACE_RECORDER_H_
+
+#include <map>
+#include <vector>
+
+#include "engine/database.h"
+#include "mvcc/schedule.h"
+#include "util/result.h"
+
+namespace mvrc {
+
+/// Collects per-transaction operation traces plus a global order.
+class TraceRecorder {
+ public:
+  /// Starts a new traced transaction; returns its engine id.
+  int BeginTxn();
+
+  /// Statement boundaries: operations recorded in between form one atomic
+  /// chunk.
+  void BeginStatement(int txn_id);
+  void EndStatement(int txn_id);
+
+  /// Records one operation. `key` identifies the tuple within `rel`
+  /// (engine row key); predicate reads pass key = -1.
+  void Record(int txn_id, OpKind kind, RelationId rel, Value key, AttrSet attrs);
+
+  /// Marks the transaction committed (records its commit operation).
+  void CommitTxn(int txn_id);
+
+  /// Drops an aborted transaction's trace entirely.
+  void DiscardTxn(int txn_id);
+
+  int num_committed() const;
+
+  /// Builds the formal schedule over all committed transactions,
+  /// renumbering them to 0..k-1 in order of first appearance.
+  Result<Schedule> ToSchedule() const;
+
+ private:
+  struct TracedOp {
+    OpKind kind;
+    RelationId rel;
+    Value key;
+    AttrSet attrs;
+    int chunk = -1;  // statement index within the transaction
+  };
+  struct TracedTxn {
+    std::vector<TracedOp> ops;
+    bool committed = false;
+    bool discarded = false;
+    int open_statement = -1;
+    int next_statement = 0;
+  };
+
+  std::vector<TracedTxn> txns_;
+  std::vector<std::pair<int, int>> global_order_;  // (txn id, op index)
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_ENGINE_TRACE_RECORDER_H_

@@ -1,0 +1,234 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+Digraph::Digraph(int num_nodes) : num_nodes_(num_nodes), adj_(num_nodes) {
+  MVRC_CHECK(num_nodes >= 0);
+}
+
+void Digraph::AddEdge(int from, int to) {
+  MVRC_CHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  if (!HasEdge(from, to)) adj_[from].push_back(to);
+}
+
+bool Digraph::HasEdge(int from, int to) const {
+  const std::vector<int>& out = adj_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+bool Digraph::Reachability::At(int from, int to) const {
+  MVRC_CHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  const uint64_t word = bits_[static_cast<size_t>(from) * words_per_row_ + to / 64];
+  return (word >> (to % 64)) & 1;
+}
+
+Digraph::Reachability Digraph::ComputeReachability() const {
+  Reachability result;
+  result.num_nodes_ = num_nodes_;
+  result.words_per_row_ = (num_nodes_ + 63) / 64;
+  result.bits_.assign(static_cast<size_t>(num_nodes_) * result.words_per_row_, 0);
+
+  // BFS from every node; rows are bitsets.
+  std::vector<int> queue;
+  std::vector<char> seen(num_nodes_);
+  for (int start = 0; start < num_nodes_; ++start) {
+    std::fill(seen.begin(), seen.end(), 0);
+    queue.clear();
+    queue.push_back(start);
+    seen[start] = 1;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      int node = queue[head];
+      for (int next : adj_[node]) {
+        if (!seen[next]) {
+          seen[next] = 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    uint64_t* row = &result.bits_[static_cast<size_t>(start) * result.words_per_row_];
+    for (int v = 0; v < num_nodes_; ++v) {
+      if (seen[v]) row[v / 64] |= uint64_t{1} << (v % 64);
+    }
+  }
+  return result;
+}
+
+std::vector<int> Digraph::ShortestPath(int from, int to) const {
+  MVRC_CHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  if (from == to) return {from};
+  std::vector<int> parent(num_nodes_, -1);
+  std::deque<int> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    for (int next : adj_[node]) {
+      if (parent[next] >= 0) continue;
+      parent[next] = node;
+      if (next == to) {
+        std::vector<int> path{to};
+        for (int v = to; v != from; v = parent[v]) path.push_back(parent[v]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+bool Digraph::HasCycle() const {
+  // Iterative three-color DFS.
+  enum : char { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<char> color(num_nodes_, kWhite);
+  std::vector<std::pair<int, size_t>> stack;
+  for (int root = 0; root < num_nodes_; ++root) {
+    if (color[root] != kWhite) continue;
+    stack.emplace_back(root, 0);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [node, next_index] = stack.back();
+      if (next_index < adj_[node].size()) {
+        int next = adj_[node][next_index++];
+        if (color[next] == kGray) return true;
+        if (color[next] == kWhite) {
+          color[next] = kGray;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+struct TarjanState {
+  const std::vector<std::vector<int>>* adj;
+  std::vector<int> index, lowlink, component;
+  std::vector<char> on_stack;
+  std::vector<int> stack;
+  int next_index = 0;
+  int next_component = 0;
+
+  // Iterative Tarjan to avoid deep recursion on large graphs.
+  void Run(int root) {
+    struct Frame {
+      int node;
+      size_t edge = 0;
+    };
+    std::vector<Frame> frames{{root}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      int node = frame.node;
+      if (frame.edge < (*adj)[node].size()) {
+        int next = (*adj)[node][frame.edge++];
+        if (index[next] < 0) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = 1;
+          frames.push_back({next});
+        } else if (on_stack[next]) {
+          lowlink[node] = std::min(lowlink[node], index[next]);
+        }
+      } else {
+        if (lowlink[node] == index[node]) {
+          while (true) {
+            int member = stack.back();
+            stack.pop_back();
+            on_stack[member] = 0;
+            component[member] = next_component;
+            if (member == node) break;
+          }
+          ++next_component;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          int parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[node]);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> Digraph::StronglyConnectedComponents() const {
+  TarjanState state;
+  state.adj = &adj_;
+  state.index.assign(num_nodes_, -1);
+  state.lowlink.assign(num_nodes_, 0);
+  state.component.assign(num_nodes_, -1);
+  state.on_stack.assign(num_nodes_, 0);
+  for (int v = 0; v < num_nodes_; ++v) {
+    if (state.index[v] < 0) state.Run(v);
+  }
+  return state.component;
+}
+
+namespace {
+
+// DFS-based simple-cycle enumeration rooted at the smallest node of each
+// cycle (a simplified Johnson-style scheme, adequate for small graphs).
+struct CycleEnumState {
+  const std::vector<std::vector<int>>* adj;
+  const std::function<bool(const std::vector<int>&)>* visit;
+  std::vector<char> in_path;
+  std::vector<int> path;
+  int root = 0;
+  int reported = 0;
+  int max_cycles = 0;
+  bool stopped = false;
+
+  void Dfs(int node) {
+    if (stopped) return;
+    path.push_back(node);
+    in_path[node] = 1;
+    for (int next : (*adj)[node]) {
+      if (stopped) break;
+      if (next == root) {
+        std::vector<int> cycle = path;
+        cycle.push_back(root);
+        ++reported;
+        if (!(*visit)(cycle) || reported >= max_cycles) {
+          stopped = true;
+          break;
+        }
+      } else if (next > root && !in_path[next]) {
+        Dfs(next);
+      }
+    }
+    in_path[node] = 0;
+    path.pop_back();
+  }
+};
+
+}  // namespace
+
+int Digraph::EnumerateSimpleCycles(const std::function<bool(const std::vector<int>&)>& visit,
+                                   int max_cycles) const {
+  CycleEnumState state;
+  state.adj = &adj_;
+  state.visit = &visit;
+  state.in_path.assign(num_nodes_, 0);
+  state.max_cycles = max_cycles;
+  for (int root = 0; root < num_nodes_ && !state.stopped; ++root) {
+    state.root = root;
+    state.Dfs(root);
+  }
+  return state.reported;
+}
+
+}  // namespace mvrc

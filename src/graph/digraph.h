@@ -1,0 +1,72 @@
+// Dense directed graph over nodes 0..n-1 with parallel-edge support,
+// reflexive-transitive reachability (bitset closure), Tarjan SCC and
+// bounded simple-cycle enumeration.
+//
+// Used for program-level connectivity queries in the robustness detector
+// (Algorithm 2 needs "P reachable from Q", possibly via the empty path) and
+// for cycle analysis of serialization graphs in tests.
+
+#ifndef MVRC_GRAPH_DIGRAPH_H_
+#define MVRC_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mvrc {
+
+/// A directed graph on nodes 0..n-1. Parallel edges are collapsed.
+class Digraph {
+ public:
+  explicit Digraph(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Adds edge from -> to (idempotent).
+  void AddEdge(int from, int to);
+
+  bool HasEdge(int from, int to) const;
+
+  const std::vector<int>& OutNeighbors(int node) const { return adj_[node]; }
+
+  /// Reflexive-transitive reachability matrix: result.At(u, v) is true iff
+  /// there is a (possibly empty) path from u to v.
+  class Reachability {
+   public:
+    bool At(int from, int to) const;
+
+   private:
+    friend class Digraph;
+    int num_nodes_ = 0;
+    int words_per_row_ = 0;
+    std::vector<uint64_t> bits_;
+  };
+  Reachability ComputeReachability() const;
+
+  /// A shortest path from `from` to `to` as a node sequence (inclusive), or
+  /// an empty vector when unreachable. from == to yields {from}.
+  std::vector<int> ShortestPath(int from, int to) const;
+
+  /// True iff the graph contains a directed cycle (self-loops count).
+  bool HasCycle() const;
+
+  /// Strongly connected components; result[v] is the component index of v,
+  /// components numbered in reverse topological order.
+  std::vector<int> StronglyConnectedComponents() const;
+
+  /// Enumerates simple cycles (no repeated node except first==last), calling
+  /// `visit` with each cycle as a node sequence [v0, v1, ..., v0]. Stops when
+  /// `visit` returns false or `max_cycles` cycles were reported. Returns the
+  /// number of cycles reported. Intended for the small serialization graphs
+  /// produced in tests.
+  int EnumerateSimpleCycles(const std::function<bool(const std::vector<int>&)>& visit,
+                            int max_cycles = 1 << 20) const;
+
+ private:
+  int num_nodes_;
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_GRAPH_DIGRAPH_H_

@@ -1,0 +1,223 @@
+#include "instantiate/instantiator.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+namespace {
+
+// Helper accumulating operations into a transaction with read-merging and
+// duplicate-write rejection.
+class TxnBuilder {
+ public:
+  explicit TxnBuilder(int txn_id) : txn_(txn_id) {}
+
+  // Adds a read; merges into an earlier read of the same tuple if present.
+  // Returns the position of the effective read operation.
+  int AddRead(RelationId rel, int tuple, AttrSet attrs) {
+    auto it = read_pos_.find({rel, tuple});
+    if (it != read_pos_.end()) {
+      merged_reads_[it->second] = merged_reads_[it->second].Union(attrs);
+      return it->second;
+    }
+    int pos = txn_.Add(OpKind::kRead, rel, tuple, attrs);
+    read_pos_[{rel, tuple}] = pos;
+    merged_reads_[pos] = attrs;
+    return pos;
+  }
+
+  // Adds a write/insert/delete. Returns false when the tuple already has a
+  // write operation in this transaction (inadmissible binding).
+  bool AddWrite(OpKind kind, RelationId rel, int tuple, AttrSet attrs) {
+    if (!write_pos_.emplace(std::make_pair(rel, tuple), txn_.size()).second) {
+      return false;
+    }
+    txn_.Add(kind, rel, tuple, attrs);
+    return true;
+  }
+
+  int AddPredRead(RelationId rel, AttrSet attrs) {
+    return txn_.Add(OpKind::kPredRead, rel, -1, attrs);
+  }
+
+  int size() const { return txn_.size(); }
+  void AddChunk(int first, int last) { txn_.AddChunk(first, last); }
+
+  Transaction Finish() {
+    // Apply merged read attribute sets.
+    Transaction result(txn_.id());
+    for (int pos = 0; pos < txn_.size(); ++pos) {
+      const Operation& op = txn_.op(pos);
+      AttrSet attrs = op.attrs;
+      auto it = merged_reads_.find(pos);
+      if (it != merged_reads_.end()) attrs = it->second;
+      result.Add(op.kind, op.rel, op.tuple, attrs);
+    }
+    for (const auto& [first, last] : txn_.chunks()) result.AddChunk(first, last);
+    result.FinishWithCommit();
+    return result;
+  }
+
+ private:
+  Transaction txn_;
+  std::map<std::pair<RelationId, int>, int> read_pos_;
+  std::map<std::pair<RelationId, int>, int> write_pos_;
+  std::map<int, AttrSet> merged_reads_;
+};
+
+// f(child) == parent under the chosen interpretation (see header).
+bool FkMatches(int child, int parent, int fk_modulus) {
+  if (fk_modulus <= 0) return child == parent;
+  return child % fk_modulus == parent % fk_modulus;
+}
+
+// Checks the LTP's foreign-key constraints against a binding.
+bool BindingsRespectConstraints(const Ltp& ltp,
+                                const std::vector<StatementBinding>& bindings,
+                                int fk_modulus) {
+  for (const OccFkConstraint& constraint : ltp.constraints()) {
+    const StatementBinding& parent = bindings[constraint.parent_pos];
+    const StatementBinding& child = bindings[constraint.child_pos];
+    if (IsPredicateBased(ltp.stmt(constraint.child_pos).type())) {
+      for (int t : child.pred_tuples) {
+        if (!FkMatches(t, parent.tuple, fk_modulus)) return false;
+      }
+    } else {
+      if (!FkMatches(child.tuple, parent.tuple, fk_modulus)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Transaction> InstantiateLtp(const Ltp& ltp,
+                                          const std::vector<StatementBinding>& bindings,
+                                          int txn_id, int fk_modulus,
+                                          PredUpdateChunking chunking) {
+  MVRC_CHECK(static_cast<int>(bindings.size()) == ltp.size());
+  if (!BindingsRespectConstraints(ltp, bindings, fk_modulus)) return std::nullopt;
+
+  TxnBuilder builder(txn_id);
+  for (int pos = 0; pos < ltp.size(); ++pos) {
+    const Statement& stmt = ltp.stmt(pos);
+    const StatementBinding& binding = bindings[pos];
+    // Postgres-style split: a bare predicate read precedes the conventional
+    // chunk (its own chunk of size one needs no marker).
+    if (stmt.type() == StatementType::kPredUpdate &&
+        chunking == PredUpdateChunking::kPostgresSplit) {
+      builder.AddPredRead(stmt.rel(), stmt.pread_or_empty());
+    }
+    const int first = builder.size();
+    switch (stmt.type()) {
+      case StatementType::kInsert:
+        if (!builder.AddWrite(OpKind::kInsert, stmt.rel(), binding.tuple,
+                              stmt.write_or_empty())) {
+          return std::nullopt;
+        }
+        break;
+      case StatementType::kKeySelect:
+        builder.AddRead(stmt.rel(), binding.tuple, stmt.read_or_empty());
+        break;
+      case StatementType::kKeyDelete:
+        if (!builder.AddWrite(OpKind::kDelete, stmt.rel(), binding.tuple,
+                              stmt.write_or_empty())) {
+          return std::nullopt;
+        }
+        break;
+      case StatementType::kKeyUpdate:
+        builder.AddRead(stmt.rel(), binding.tuple, stmt.read_or_empty());
+        if (!builder.AddWrite(OpKind::kWrite, stmt.rel(), binding.tuple,
+                              stmt.write_or_empty())) {
+          return std::nullopt;
+        }
+        break;
+      case StatementType::kPredSelect:
+        builder.AddPredRead(stmt.rel(), stmt.pread_or_empty());
+        for (int t : binding.pred_tuples) {
+          builder.AddRead(stmt.rel(), t, stmt.read_or_empty());
+        }
+        break;
+      case StatementType::kPredUpdate:
+        builder.AddPredRead(stmt.rel(), stmt.pread_or_empty());
+        for (int t : binding.pred_tuples) {
+          builder.AddRead(stmt.rel(), t, stmt.read_or_empty());
+          if (!builder.AddWrite(OpKind::kWrite, stmt.rel(), t, stmt.write_or_empty())) {
+            return std::nullopt;
+          }
+        }
+        break;
+      case StatementType::kPredDelete:
+        builder.AddPredRead(stmt.rel(), stmt.pread_or_empty());
+        for (int t : binding.pred_tuples) {
+          if (!builder.AddWrite(OpKind::kDelete, stmt.rel(), t, stmt.write_or_empty())) {
+            return std::nullopt;
+          }
+        }
+        break;
+    }
+    const int last = builder.size() - 1;
+    if (last > first) builder.AddChunk(first, last);
+  }
+  return builder.Finish();
+}
+
+std::vector<std::vector<StatementBinding>> EnumerateBindings(
+    const Ltp& ltp, int domain_size, bool enumerate_pred_subsets,
+    bool extend_insert_domain) {
+  MVRC_CHECK(domain_size >= 1 && domain_size <= 8);
+  const int fk_modulus = extend_insert_domain ? domain_size : 0;
+
+  // Per-occurrence candidate bindings.
+  std::vector<std::vector<StatementBinding>> candidates(ltp.size());
+  for (int pos = 0; pos < ltp.size(); ++pos) {
+    if (IsPredicateBased(ltp.stmt(pos).type())) {
+      if (enumerate_pred_subsets) {
+        for (int mask = 0; mask < (1 << domain_size); ++mask) {
+          StatementBinding binding;
+          for (int t = 0; t < domain_size; ++t) {
+            if ((mask >> t) & 1) binding.pred_tuples.push_back(t);
+          }
+          candidates[pos].push_back(std::move(binding));
+        }
+      } else {
+        StatementBinding binding;
+        for (int t = 0; t < domain_size; ++t) binding.pred_tuples.push_back(t);
+        candidates[pos].push_back(std::move(binding));
+      }
+    } else {
+      int range = domain_size;
+      if (extend_insert_domain && ltp.stmt(pos).type() == StatementType::kInsert) {
+        range = 2 * domain_size;
+      }
+      for (int t = 0; t < range; ++t) {
+        StatementBinding binding;
+        binding.tuple = t;
+        candidates[pos].push_back(binding);
+      }
+    }
+  }
+
+  std::vector<std::vector<StatementBinding>> result;
+  std::vector<StatementBinding> current(ltp.size());
+  std::function<void(int)> assign = [&](int pos) {
+    if (pos == ltp.size()) {
+      if (BindingsRespectConstraints(ltp, current, fk_modulus)) {
+        result.push_back(current);
+      }
+      return;
+    }
+    for (const StatementBinding& candidate : candidates[pos]) {
+      current[pos] = candidate;
+      assign(pos + 1);
+    }
+  };
+  assign(0);
+  return result;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,74 @@
+// Instantiation of LTPs into transactions (paper §5.2).
+//
+// Each statement occurrence becomes an atomic chunk of operations following
+// §3.3: key upd -> R[t]W[t]; pred sel -> PR[R]R[t1]...R[tn]; pred upd ->
+// PR[R]R[t1]W[t1]...; pred del -> PR[R]D[t1]...; key sel/del and ins become
+// single operations.
+//
+// Tuples are abstract indices per relation. Foreign keys map child tuple
+// index i to parent index i mod m, where the modulus m is the base tuple
+// domain (identity when m == 0, i.e. exact index equality). The modular
+// interpretation lets insert statements range over an extended domain
+// [0, 2m) so that two transactions can insert *distinct* child tuples with
+// the same parent — e.g. Figure 3's two PlaceBids logging l1 and l2 for one
+// buyer — while key-based statements stay within the base domain.
+//
+// Following §3.3's at-most-one-read/write-per-tuple convention, a second
+// read of a tuple is merged into the first (attribute union; cf. Figure 3,
+// where T2's q5 contributes only W2[u1] because q4 already read u1). A
+// second *write* to the same tuple makes the binding inadmissible.
+
+#ifndef MVRC_INSTANTIATE_INSTANTIATOR_H_
+#define MVRC_INSTANTIATE_INSTANTIATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "btp/ltp.h"
+#include "mvcc/transaction.h"
+
+namespace mvrc {
+
+/// The tuples an occurrence accesses: `tuple` for key-based statements and
+/// inserts; `pred_tuples` for predicate-based statements (the tuples the
+/// predicate selects — the instantiation reads/writes exactly these).
+struct StatementBinding {
+  int tuple = -1;
+  std::vector<int> pred_tuples;
+};
+
+/// How predicate updates are turned into chunks. §5.4 discusses that
+/// Postgres re-evaluates the predicate when a selected tuple changed: this
+/// corresponds to instantiating a pred upd as TWO chunks — a bare predicate
+/// read followed by the conventional chunk — which admits strictly more
+/// interleavings but leaves the summary graph (and hence all robustness
+/// verdicts) unchanged.
+enum class PredUpdateChunking {
+  kSingleChunk,    // PR R W R W ...  in one atomic chunk (default)
+  kPostgresSplit,  // [PR] then [PR R W R W ...] as two chunks
+};
+
+/// Instantiates `ltp` under `bindings` (one per occurrence) as transaction
+/// `txn_id`. Returns nullopt when the binding is inadmissible (duplicate
+/// write on a tuple, or a foreign-key constraint violated). `fk_modulus`
+/// selects the foreign-key interpretation: 0 for exact index equality,
+/// m > 0 for f(i) = i mod m.
+std::optional<Transaction> InstantiateLtp(
+    const Ltp& ltp, const std::vector<StatementBinding>& bindings, int txn_id,
+    int fk_modulus = 0,
+    PredUpdateChunking chunking = PredUpdateChunking::kSingleChunk);
+
+/// Enumerates all bindings with tuple indices in [0, domain_size) that
+/// satisfy the LTP's foreign-key constraints. When `enumerate_pred_subsets`
+/// is set, predicate statements range over all subsets of the domain;
+/// otherwise they select the full domain. With `extend_insert_domain`,
+/// insert statements range over [0, 2 * domain_size) and constraints are
+/// checked with fk_modulus = domain_size (pass the same modulus to
+/// InstantiateLtp).
+std::vector<std::vector<StatementBinding>> EnumerateBindings(
+    const Ltp& ltp, int domain_size, bool enumerate_pred_subsets,
+    bool extend_insert_domain = false);
+
+}  // namespace mvrc
+
+#endif  // MVRC_INSTANTIATE_INSTANTIATOR_H_

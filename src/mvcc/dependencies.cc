@@ -1,0 +1,121 @@
+#include "mvcc/dependencies.h"
+
+#include <sstream>
+
+namespace mvrc {
+
+const char* ToString(DepType type) {
+  switch (type) {
+    case DepType::kWW:
+      return "ww";
+    case DepType::kWR:
+      return "wr";
+    case DepType::kRW:
+      return "rw";
+    case DepType::kPredWR:
+      return "pred-wr";
+    case DepType::kPredRW:
+      return "pred-rw";
+  }
+  return "?";
+}
+
+namespace {
+
+bool AttrsConflict(const Operation& a, const Operation& b, Granularity granularity) {
+  if (granularity == Granularity::kTuple) return true;
+  return a.attrs.Intersects(b.attrs);
+}
+
+}  // namespace
+
+std::vector<Dependency> ComputeDependencies(const Schedule& schedule,
+                                            Granularity granularity) {
+  std::vector<Dependency> deps;
+  auto add = [&](OpRef from, OpRef to, DepType type) {
+    Dependency dep;
+    dep.from = from;
+    dep.to = to;
+    dep.type = type;
+    dep.counterflow =
+        schedule.CommitIndex(to.txn) < schedule.CommitIndex(from.txn);
+    deps.push_back(dep);
+  };
+
+  const int n = schedule.num_txns();
+  for (int ti = 0; ti < n; ++ti) {
+    const Transaction& txn_i = schedule.txn(ti);
+    for (const Operation& b : txn_i.ops()) {
+      if (b.kind == OpKind::kCommit) continue;
+      OpRef b_ref{b.txn, b.pos};
+      for (int tj = 0; tj < n; ++tj) {
+        if (tj == ti) continue;
+        const Transaction& txn_j = schedule.txn(tj);
+        for (const Operation& a : txn_j.ops()) {
+          if (a.kind == OpKind::kCommit) continue;
+          OpRef a_ref{a.txn, a.pos};
+
+          // ww-dependency.
+          if (IsWriteOp(b.kind) && IsWriteOp(a.kind) && b.rel == a.rel &&
+              b.tuple == a.tuple && AttrsConflict(b, a, granularity) &&
+              schedule.VersionBefore(schedule.WriteVersion(b_ref),
+                                     schedule.WriteVersion(a_ref))) {
+            add(b_ref, a_ref, DepType::kWW);
+          }
+          // wr-dependency: vw(b) = vr(a) or vw(b) << vr(a).
+          if (IsWriteOp(b.kind) && a.kind == OpKind::kRead && b.rel == a.rel &&
+              b.tuple == a.tuple && AttrsConflict(b, a, granularity)) {
+            Version vw = schedule.WriteVersion(b_ref);
+            Version vr = schedule.ReadVersion(a_ref);
+            if (vw == vr || schedule.VersionBefore(vw, vr)) {
+              add(b_ref, a_ref, DepType::kWR);
+            }
+          }
+          // rw-antidependency: vr(b) << vw(a).
+          if (b.kind == OpKind::kRead && IsWriteOp(a.kind) && b.rel == a.rel &&
+              b.tuple == a.tuple && AttrsConflict(b, a, granularity) &&
+              schedule.VersionBefore(schedule.ReadVersion(b_ref),
+                                     schedule.WriteVersion(a_ref))) {
+            add(b_ref, a_ref, DepType::kRW);
+          }
+          // predicate wr-dependency: b writes a tuple of R, a is PR[R], and
+          // vw(b) = Vset(a)[t] or vw(b) << Vset(a)[t]; attributes must
+          // intersect unless b is an I- or D-operation.
+          if (IsWriteOp(b.kind) && a.kind == OpKind::kPredRead && b.rel == a.rel) {
+            bool attr_ok = b.kind != OpKind::kWrite || AttrsConflict(b, a, granularity);
+            if (attr_ok) {
+              Version vw = schedule.WriteVersion(b_ref);
+              Version vset = schedule.VsetVersion(a_ref, b.rel, b.tuple);
+              if (vw == vset || schedule.VersionBefore(vw, vset)) {
+                add(b_ref, a_ref, DepType::kPredWR);
+              }
+            }
+          }
+          // predicate rw-antidependency: b is PR[R], a writes a tuple of R,
+          // and Vset(b)[t] << vw(a); attributes must intersect unless a is
+          // an I- or D-operation.
+          if (b.kind == OpKind::kPredRead && IsWriteOp(a.kind) && b.rel == a.rel) {
+            bool attr_ok = a.kind != OpKind::kWrite || AttrsConflict(b, a, granularity);
+            if (attr_ok &&
+                schedule.VersionBefore(schedule.VsetVersion(b_ref, a.rel, a.tuple),
+                                       schedule.WriteVersion(a_ref))) {
+              add(b_ref, a_ref, DepType::kPredRW);
+            }
+          }
+        }
+      }
+    }
+  }
+  return deps;
+}
+
+std::string DescribeDependency(const Schedule& schedule, const Schema& schema,
+                               const Dependency& dep) {
+  std::ostringstream os;
+  os << schedule.op(dep.from).ToString(schema) << " -" << ToString(dep.type) << "-> "
+     << schedule.op(dep.to).ToString(schema);
+  if (dep.counterflow) os << " (cf)";
+  return os.str();
+}
+
+}  // namespace mvrc

@@ -1,0 +1,43 @@
+// The five dependency types of §3.4 (ww, wr, rw-anti, predicate wr,
+// predicate rw-anti), computed over a schedule, plus counterflow
+// classification (§4: a dependency b_i -> a_j is counterflow when T_j
+// commits before T_i).
+
+#ifndef MVRC_MVCC_DEPENDENCIES_H_
+#define MVRC_MVCC_DEPENDENCIES_H_
+
+#include <string>
+#include <vector>
+
+#include "mvcc/schedule.h"
+#include "summary/dep_tables.h"
+
+namespace mvrc {
+
+enum class DepType { kWW, kWR, kRW, kPredWR, kPredRW };
+
+const char* ToString(DepType type);
+
+/// A dependency b -> a ("a depends on b").
+struct Dependency {
+  OpRef from;  // b_i
+  OpRef to;    // a_j
+  DepType type = DepType::kWW;
+  bool counterflow = false;
+
+  friend bool operator==(const Dependency&, const Dependency&) = default;
+};
+
+/// All dependencies of `schedule`. At tuple granularity the common-attribute
+/// requirement is dropped (used for the 'tpl dep' analysis settings; the
+/// paper's theory is stated at attribute granularity, the default).
+std::vector<Dependency> ComputeDependencies(
+    const Schedule& schedule, Granularity granularity = Granularity::kAttribute);
+
+/// Rendering such as "W1[A#0] -wr-> R2[A#0]" (with "(cf)" when counterflow).
+std::string DescribeDependency(const Schedule& schedule, const Schema& schema,
+                               const Dependency& dep);
+
+}  // namespace mvrc
+
+#endif  // MVRC_MVCC_DEPENDENCIES_H_

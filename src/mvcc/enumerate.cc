@@ -1,0 +1,75 @@
+#include "mvcc/enumerate.h"
+
+namespace mvrc {
+
+namespace {
+
+std::vector<std::pair<int, int>> Units(const Transaction& txn) {
+  std::vector<std::pair<int, int>> units;
+  int pos = 0;
+  while (pos < txn.size()) {
+    int chunk = txn.ChunkOf(pos);
+    if (chunk >= 0) {
+      units.push_back(txn.chunks()[chunk]);
+      pos = txn.chunks()[chunk].second + 1;
+    } else {
+      units.emplace_back(pos, pos);
+      ++pos;
+    }
+  }
+  return units;
+}
+
+}  // namespace
+
+long ForEachSchedule(const std::vector<Transaction>& txns,
+                     const std::function<bool(const Schedule&)>& visit) {
+  std::vector<std::vector<std::pair<int, int>>> units;
+  units.reserve(txns.size());
+  for (const Transaction& txn : txns) units.push_back(Units(txn));
+
+  long visited = 0;
+  bool stopped = false;
+  std::vector<size_t> next(txns.size(), 0);
+  std::vector<OpRef> order;
+  std::function<void()> recurse = [&]() {
+    if (stopped) return;
+    bool done = true;
+    for (size_t t = 0; t < txns.size(); ++t) {
+      if (next[t] < units[t].size()) {
+        done = false;
+        auto [first, last] = units[t][next[t]];
+        for (int pos = first; pos <= last; ++pos) {
+          order.push_back({txns[t].id(), pos});
+        }
+        ++next[t];
+        recurse();
+        --next[t];
+        order.resize(order.size() - (last - first + 1));
+        if (stopped) return;
+      }
+    }
+    if (done) {
+      Result<Schedule> schedule = Schedule::ReadLastCommitted(txns, order);
+      if (schedule.ok()) {
+        ++visited;
+        if (!visit(schedule.value())) stopped = true;
+      }
+    }
+  };
+  recurse();
+  return visited;
+}
+
+long ForEachMvrcSchedule(const std::vector<Transaction>& txns,
+                         const std::function<bool(const Schedule&)>& visit) {
+  long visited = 0;
+  ForEachSchedule(txns, [&](const Schedule& schedule) {
+    if (!schedule.IsMvrcAllowed()) return true;
+    ++visited;
+    return visit(schedule);
+  });
+  return visited;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,30 @@
+// Exhaustive enumeration of the chunk-respecting interleavings of a set of
+// transactions, surfacing every structurally valid read-last-committed
+// schedule. Used by the theory-validation tests and available to library
+// users for small-scale exploration (the space is exponential; keep the
+// total operation count small).
+
+#ifndef MVRC_MVCC_ENUMERATE_H_
+#define MVRC_MVCC_ENUMERATE_H_
+
+#include <functional>
+#include <vector>
+
+#include "mvcc/schedule.h"
+
+namespace mvrc {
+
+/// Invokes `visit` for every valid schedule over `txns` (all interleavings
+/// that respect program order and atomic chunks and pass schedule
+/// validation). Enumeration stops early when `visit` returns false.
+/// Returns the number of schedules visited.
+long ForEachSchedule(const std::vector<Transaction>& txns,
+                     const std::function<bool(const Schedule&)>& visit);
+
+/// As above, restricted to schedules allowed under mvrc (Definition 3.3).
+long ForEachMvrcSchedule(const std::vector<Transaction>& txns,
+                         const std::function<bool(const Schedule&)>& visit);
+
+}  // namespace mvrc
+
+#endif  // MVRC_MVCC_ENUMERATE_H_

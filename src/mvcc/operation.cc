@@ -1,0 +1,41 @@
+#include "mvcc/operation.h"
+
+#include <sstream>
+
+namespace mvrc {
+
+bool IsWriteOp(OpKind kind) {
+  return kind == OpKind::kWrite || kind == OpKind::kInsert || kind == OpKind::kDelete;
+}
+
+const char* ToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRead:
+      return "R";
+    case OpKind::kWrite:
+      return "W";
+    case OpKind::kInsert:
+      return "I";
+    case OpKind::kDelete:
+      return "D";
+    case OpKind::kPredRead:
+      return "PR";
+    case OpKind::kCommit:
+      return "C";
+  }
+  return "?";
+}
+
+std::string Operation::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << mvrc::ToString(kind) << txn;
+  if (kind == OpKind::kCommit) return os.str();
+  if (kind == OpKind::kPredRead) {
+    os << "[" << schema.relation(rel).name() << "]";
+  } else {
+    os << "[" << schema.relation(rel).name() << "#" << tuple << "]";
+  }
+  return os.str();
+}
+
+}  // namespace mvrc

@@ -1,0 +1,51 @@
+// Operations over tuples and relations (paper §3.2).
+//
+// Tuples are abstract: a tuple is identified by (relation, index). Versions
+// are not materialized; under the read-last-committed semantics used in this
+// library a version is identified by the write operation that created it
+// (or the initial version), and the version order is the commit order
+// (§3.5), so version comparisons reduce to commit-position comparisons.
+
+#ifndef MVRC_MVCC_OPERATION_H_
+#define MVRC_MVCC_OPERATION_H_
+
+#include <string>
+
+#include "schema/schema.h"
+#include "util/attr_set.h"
+
+namespace mvrc {
+
+/// Operation kinds: R[t], W[t], I[t], D[t], PR[R] and the commit C.
+enum class OpKind { kRead, kWrite, kInsert, kDelete, kPredRead, kCommit };
+
+/// "Write operation" in the paper's terminology: W, I or D.
+bool IsWriteOp(OpKind kind);
+
+const char* ToString(OpKind kind);
+
+/// One operation of a transaction. `tuple` indexes an abstract tuple of
+/// `rel` and is -1 for predicate reads and commits.
+struct Operation {
+  OpKind kind = OpKind::kCommit;
+  int txn = -1;   // owning transaction id
+  int pos = -1;   // position within the transaction
+  RelationId rel = -1;
+  int tuple = -1;
+  AttrSet attrs;  // Attr(o); full relation attrs for I/D
+
+  /// Rendered like the paper: "R1[t3]", "PR2[Bids]", "C1".
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Reference to an operation inside a schedule: (transaction id, position).
+struct OpRef {
+  int txn = -1;
+  int pos = -1;
+
+  friend bool operator==(OpRef, OpRef) = default;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_MVCC_OPERATION_H_

@@ -1,0 +1,226 @@
+#include "mvcc/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+Result<Schedule> Schedule::ReadLastCommitted(std::vector<Transaction> txns,
+                                             std::vector<OpRef> order) {
+  Schedule schedule;
+  schedule.txns_ = std::move(txns);
+  schedule.order_ = std::move(order);
+
+  // Index transactions by id for OpRef resolution: we require ids to be
+  // 0..n-1 matching vector positions for O(1) lookup.
+  for (int i = 0; i < schedule.num_txns(); ++i) {
+    if (schedule.txns_[i].id() != i) {
+      return Result<Schedule>::Error("transaction ids must be 0..n-1 in order");
+    }
+    Status status = schedule.txns_[i].Validate();
+    if (!status.ok()) return Result<Schedule>::Error(status.error());
+  }
+
+  // Build order_index_.
+  schedule.txn_op_base_.assign(schedule.num_txns() + 1, 0);
+  for (int i = 0; i < schedule.num_txns(); ++i) {
+    schedule.txn_op_base_[i + 1] = schedule.txn_op_base_[i] + schedule.txns_[i].size();
+  }
+  int total_ops = schedule.txn_op_base_.back();
+  if (static_cast<int>(schedule.order_.size()) != total_ops) {
+    return Result<Schedule>::Error("order does not cover all operations exactly once");
+  }
+  schedule.order_index_.assign(total_ops, -1);
+  for (int position = 0; position < total_ops; ++position) {
+    OpRef ref = schedule.order_[position];
+    if (ref.txn < 0 || ref.txn >= schedule.num_txns() || ref.pos < 0 ||
+        ref.pos >= schedule.txns_[ref.txn].size()) {
+      return Result<Schedule>::Error("order references an unknown operation");
+    }
+    int flat = schedule.txn_op_base_[ref.txn] + ref.pos;
+    if (schedule.order_index_[flat] >= 0) {
+      return Result<Schedule>::Error("order mentions an operation twice");
+    }
+    schedule.order_index_[flat] = position;
+  }
+
+  // Commit positions.
+  schedule.commit_index_.assign(schedule.num_txns(), -1);
+  for (int i = 0; i < schedule.num_txns(); ++i) {
+    schedule.commit_index_[i] =
+        schedule.OrderIndex({i, schedule.txns_[i].size() - 1});
+  }
+
+  // Version chains: committed writes per tuple ordered by committer's commit
+  // position (the version order is consistent with the commit order, §3.5).
+  for (int i = 0; i < schedule.num_txns(); ++i) {
+    for (const Operation& op : schedule.txns_[i].ops()) {
+      if (IsWriteOp(op.kind)) {
+        schedule.version_chain_[{op.rel, op.tuple}].push_back({op.txn, op.pos});
+      }
+    }
+  }
+  for (auto& [tuple, chain] : schedule.version_chain_) {
+    std::sort(chain.begin(), chain.end(), [&schedule](OpRef a, OpRef b) {
+      return schedule.CommitIndex(a.txn) < schedule.CommitIndex(b.txn);
+    });
+  }
+
+  Status status = schedule.Validate();
+  if (!status.ok()) return Result<Schedule>::Error(status.error());
+  return schedule;
+}
+
+Result<Schedule> Schedule::Serial(std::vector<Transaction> txns) {
+  std::vector<OpRef> order;
+  for (const Transaction& txn : txns) {
+    for (int pos = 0; pos < txn.size(); ++pos) order.push_back({txn.id(), pos});
+  }
+  return ReadLastCommitted(std::move(txns), std::move(order));
+}
+
+const Operation& Schedule::op(OpRef ref) const { return txns_.at(ref.txn).op(ref.pos); }
+
+int Schedule::OrderIndex(OpRef ref) const {
+  int index = order_index_.at(txn_op_base_.at(ref.txn) + ref.pos);
+  MVRC_CHECK(index >= 0);
+  return index;
+}
+
+Version Schedule::ReadVersion(OpRef read_ref) const {
+  const Operation& read = op(read_ref);
+  MVRC_CHECK_MSG(read.kind == OpKind::kRead, "ReadVersion on a non-read");
+  return VsetVersion(read_ref, read.rel, read.tuple);
+}
+
+Version Schedule::VsetVersion(OpRef ref, RelationId rel, int tuple) const {
+  int at = OrderIndex(ref);
+  auto it = version_chain_.find({rel, tuple});
+  Version result = Version::Init();
+  if (it == version_chain_.end()) return result;
+  for (OpRef write : it->second) {
+    if (CommitIndex(write.txn) < at) {
+      result = Version{write.txn, write.pos};
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+Version Schedule::WriteVersion(OpRef write_ref) const {
+  MVRC_CHECK_MSG(IsWriteOp(op(write_ref).kind), "WriteVersion on a non-write");
+  return Version{write_ref.txn, write_ref.pos};
+}
+
+bool Schedule::VersionBefore(Version a, Version b) const {
+  if (a == b) return false;
+  if (a.IsInit()) return true;
+  if (b.IsInit()) return false;
+  return CommitIndex(a.txn) < CommitIndex(b.txn);
+}
+
+bool Schedule::ExhibitsDirtyWrite() const {
+  // For each tuple, scan writes in schedule order; a write by another
+  // transaction between a write and its commit is dirty.
+  for (const auto& [tuple, chain] : version_chain_) {
+    for (OpRef b : chain) {
+      int b_at = OrderIndex(b);
+      int b_commit = CommitIndex(b.txn);
+      for (OpRef a : chain) {
+        if (a.txn == b.txn) continue;
+        int a_at = OrderIndex(a);
+        if (b_at < a_at && a_at < b_commit) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<int> Schedule::TuplesOf(RelationId rel) const {
+  std::vector<int> tuples;
+  for (const Transaction& txn : txns_) {
+    for (const Operation& op : txn.ops()) {
+      if (op.rel == rel && op.tuple >= 0) tuples.push_back(op.tuple);
+    }
+  }
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  return tuples;
+}
+
+Status Schedule::Validate() const {
+  // Program order respected.
+  for (const Transaction& txn : txns_) {
+    for (int pos = 0; pos + 1 < txn.size(); ++pos) {
+      if (OrderIndex({txn.id(), pos}) >= OrderIndex({txn.id(), pos + 1})) {
+        return Status::Error("schedule violates program order");
+      }
+    }
+  }
+  // Chunks not interleaved by other transactions.
+  for (const Transaction& txn : txns_) {
+    for (const auto& [first, last] : txn.chunks()) {
+      int begin = OrderIndex({txn.id(), first});
+      int end = OrderIndex({txn.id(), last});
+      for (int position = begin + 1; position < end; ++position) {
+        if (order_[position].txn != txn.id()) {
+          return Status::Error("atomic chunk interleaved by another transaction");
+        }
+      }
+    }
+  }
+  // Version-chain structure: at most one insert and one delete per tuple;
+  // the insert (if any) creates the first version; the delete (if any) the
+  // last. Writes between them are plain W-operations.
+  for (const auto& [tuple, chain] : version_chain_) {
+    int inserts = 0, deletes = 0;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      OpKind kind = op(chain[i]).kind;
+      if (kind == OpKind::kInsert) {
+        ++inserts;
+        if (i != 0) return Status::Error("insert is not the first version of its tuple");
+      } else if (kind == OpKind::kDelete) {
+        ++deletes;
+        if (i + 1 != chain.size()) {
+          return Status::Error("delete is not the last version of its tuple");
+        }
+      }
+    }
+    if (inserts > 1) return Status::Error("multiple inserts of one tuple");
+    if (deletes > 1) return Status::Error("multiple deletes of one tuple");
+  }
+  // Reads observe visible versions: not unborn (tuple has an insert that has
+  // not committed yet) and not dead (after a committed delete).
+  for (const Transaction& txn : txns_) {
+    for (const Operation& operation : txn.ops()) {
+      if (operation.kind != OpKind::kRead) continue;
+      Version version = VsetVersion({operation.txn, operation.pos}, operation.rel,
+                                    operation.tuple);
+      auto it = version_chain_.find({operation.rel, operation.tuple});
+      bool tuple_has_insert =
+          it != version_chain_.end() && !it->second.empty() &&
+          op(it->second.front()).kind == OpKind::kInsert;
+      if (version.IsInit() && tuple_has_insert) {
+        return Status::Error("read observes the unborn version of a tuple");
+      }
+      if (!version.IsInit() && op({version.txn, version.pos}).kind == OpKind::kDelete) {
+        return Status::Error("read observes the dead version of a tuple");
+      }
+    }
+  }
+  return Status();
+}
+
+std::string Schedule::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < order_.size(); ++i) {
+    if (i > 0) os << " ";
+    os << op(order_[i]).ToString(schema);
+  }
+  return os.str();
+}
+
+}  // namespace mvrc

@@ -1,0 +1,118 @@
+// Multiversion schedules (paper §3.3) under the read-last-committed (RLC)
+// version-assignment of §3.5.
+//
+// A Schedule is a total order over the operations of a set of transactions.
+// Version functions are derived rather than stored: the version order is the
+// commit order, vr/Vset map every (predicate) read to the most recently
+// committed version before it (Definition 3.3 deliberately fixes this; see
+// §5.4 for why this strict reading of mvrc is the right one). Versions are
+// identified by the write operation that created them, or kInit.
+//
+// Construction validates the structural schedule axioms (program order,
+// chunk atomicity, at most one insert/delete per tuple, inserts first /
+// deletes last in the version chain, reads observe visible versions).
+// Dirty-write detection is separate so that callers can distinguish
+// "not a schedule at all" from "a schedule that mvrc disallows".
+
+#ifndef MVRC_MVCC_SCHEDULE_H_
+#define MVRC_MVCC_SCHEDULE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mvcc/operation.h"
+#include "mvcc/transaction.h"
+#include "util/result.h"
+
+namespace mvrc {
+
+/// A version of a tuple: the write operation that created it, or the initial
+/// version (txn < 0). The dead version is the one created by a D-operation.
+struct Version {
+  int txn = -1;
+  int pos = -1;
+
+  bool IsInit() const { return txn < 0; }
+  static Version Init() { return Version{}; }
+
+  friend bool operator==(Version, Version) = default;
+};
+
+/// An immutable, validated multiversion schedule with RLC version functions.
+class Schedule {
+ public:
+  /// Builds a schedule from transactions and a total order over their
+  /// operations. Fails when the order is not a valid schedule (wrong
+  /// multiset of operations, program order violated, chunk interleaved,
+  /// multiple inserts/deletes of a tuple, write on a tuple before its
+  /// insert's commit or after its delete's commit, or a read observing an
+  /// unborn/dead version).
+  static Result<Schedule> ReadLastCommitted(std::vector<Transaction> txns,
+                                            std::vector<OpRef> order);
+
+  /// Convenience: the serial schedule running `txns` in the given order.
+  static Result<Schedule> Serial(std::vector<Transaction> txns);
+
+  int num_txns() const { return static_cast<int>(txns_.size()); }
+  const Transaction& txn(int index) const { return txns_.at(index); }
+  const std::vector<Transaction>& txns() const { return txns_; }
+
+  const std::vector<OpRef>& order() const { return order_; }
+  const Operation& op(OpRef ref) const;
+
+  /// Position of an operation in the schedule order (0-based).
+  int OrderIndex(OpRef ref) const;
+
+  /// Position of transaction `txn_index`'s commit in the schedule order.
+  int CommitIndex(int txn_index) const { return commit_index_.at(txn_index); }
+
+  /// vr: the version observed by a read operation.
+  Version ReadVersion(OpRef read_ref) const;
+
+  /// Vset: the version of `tuple` observed by a predicate read. The result
+  /// may be the unborn version (tuple not yet inserted) or the dead version;
+  /// such tuples simply do not satisfy the predicate.
+  Version VsetVersion(OpRef pred_read_ref, RelationId rel, int tuple) const;
+
+  /// vw: the version created by a write operation is the operation itself.
+  Version WriteVersion(OpRef write_ref) const;
+
+  /// True iff version `a` precedes version `b` in the version order <<_s
+  /// (commit order; the initial version first). Both versions must belong
+  /// to the same tuple — not checked.
+  bool VersionBefore(Version a, Version b) const;
+
+  /// Dirty write (§3.5): b_i <_s a_j <_s C_i for write operations of
+  /// different transactions on the same tuple.
+  bool ExhibitsDirtyWrite() const;
+
+  /// Allowed under mvrc (Definition 3.3): read-last-committed holds by
+  /// construction, so this is just the absence of dirty writes.
+  bool IsMvrcAllowed() const { return !ExhibitsDirtyWrite(); }
+
+  /// All tuples of relation `rel` mentioned by any operation (the universe
+  /// used for Vset).
+  std::vector<int> TuplesOf(RelationId rel) const;
+
+  /// Rendering like "R1[A#0] W1[A#0] C1 R2[A#0] C2".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  Schedule() = default;
+
+  Status Validate() const;
+
+  std::vector<Transaction> txns_;
+  std::vector<OpRef> order_;
+  std::vector<int> order_index_;  // flattened [txn][pos] -> order position
+  std::vector<int> txn_op_base_;  // prefix offsets into order_index_
+  std::vector<int> commit_index_;
+  // Committed writes per tuple in commit order (the visible version chain).
+  std::map<std::pair<RelationId, int>, std::vector<OpRef>> version_chain_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_MVCC_SCHEDULE_H_

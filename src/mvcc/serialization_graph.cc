@@ -1,0 +1,112 @@
+#include "mvcc/serialization_graph.h"
+
+#include "util/check.h"
+#include "util/dot_writer.h"
+
+namespace mvrc {
+
+SerializationGraph SerializationGraph::Build(const Schedule& schedule,
+                                             Granularity granularity) {
+  SerializationGraph graph;
+  graph.schedule_ = &schedule;
+  graph.deps_ = ComputeDependencies(schedule, granularity);
+  const int n = schedule.num_txns();
+  graph.txn_graph_ = Digraph(n);
+  graph.deps_by_pair_.assign(n, std::vector<std::vector<int>>(n));
+  for (size_t i = 0; i < graph.deps_.size(); ++i) {
+    const Dependency& dep = graph.deps_[i];
+    graph.txn_graph_.AddEdge(dep.from.txn, dep.to.txn);
+    graph.deps_by_pair_[dep.from.txn][dep.to.txn].push_back(static_cast<int>(i));
+  }
+  return graph;
+}
+
+int SerializationGraph::EnumerateCycles(
+    const std::function<bool(const DependencyCycle&)>& visit, int max_cycles) const {
+  int visited = 0;
+  bool stopped = false;
+  // For each node-level simple cycle, expand the cross product of the
+  // dependency choices on its edges.
+  txn_graph_.EnumerateSimpleCycles(
+      [&](const std::vector<int>& nodes) {
+        const int k = static_cast<int>(nodes.size()) - 1;  // edges in the cycle
+        DependencyCycle current(k);
+        std::function<bool(int)> expand = [&](int edge) -> bool {
+          if (edge == k) {
+            ++visited;
+            if (!visit(current) || visited >= max_cycles) {
+              stopped = true;
+              return false;
+            }
+            return true;
+          }
+          for (int dep_index : deps_by_pair_[nodes[edge]][nodes[edge + 1]]) {
+            current[edge] = deps_[dep_index];
+            if (!expand(edge + 1)) return false;
+          }
+          return true;
+        };
+        expand(0);
+        return !stopped;
+      },
+      max_cycles);
+  return visited;
+}
+
+CycleClassification SerializationGraph::Classify(const DependencyCycle& cycle) const {
+  CycleClassification result;
+  const int k = static_cast<int>(cycle.size());
+  MVRC_CHECK(k >= 1);
+  for (const Dependency& dep : cycle) {
+    (dep.counterflow ? result.has_counterflow : result.has_non_counterflow) = true;
+  }
+  for (int i = 0; i < k; ++i) {
+    const Dependency& prev = cycle[(i + k - 1) % k];  // b_{i-1} -> a_i
+    const Dependency& next = cycle[i];                // b_i -> a_{i+1}
+    MVRC_CHECK_MSG(prev.to.txn == next.from.txn, "not a dependency cycle");
+    if (!next.counterflow) continue;
+    if (prev.counterflow) {
+      result.has_adjacent_counterflow_pair = true;
+      continue;
+    }
+    // Ordered-counterflow pair: b_i <_{T_i} a_i, or b_{i-1} is an R- or
+    // PR-operation.
+    bool bi_before_ai = next.from.pos < prev.to.pos;
+    OpKind prev_kind = schedule_->op(prev.from).kind;
+    bool prev_is_read = prev_kind == OpKind::kRead || prev_kind == OpKind::kPredRead;
+    if (bi_before_ai || prev_is_read) result.has_ordered_counterflow_pair = true;
+  }
+  return result;
+}
+
+std::string SerializationGraph::ToDot(const Schema& schema,
+                                      const std::string& name) const {
+  DotWriter dot(name);
+  for (int t = 0; t < schedule_->num_txns(); ++t) {
+    dot.AddNode("T" + std::to_string(t), "T" + std::to_string(t));
+  }
+  for (const Dependency& dep : deps_) {
+    dot.AddEdge("T" + std::to_string(dep.from.txn), "T" + std::to_string(dep.to.txn),
+                std::string(ToString(dep.type)) + ": " +
+                    schedule_->op(dep.from).ToString(schema) + "->" +
+                    schedule_->op(dep.to).ToString(schema),
+                dep.counterflow);
+  }
+  return dot.ToDot();
+}
+
+bool SerializationGraph::AllCyclesTypeII(int max_cycles) const {
+  bool all_type2 = true;
+  EnumerateCycles(
+      [&](const DependencyCycle& cycle) {
+        if (!Classify(cycle).IsTypeII()) {
+          all_type2 = false;
+          return false;
+        }
+        return true;
+      },
+      max_cycles);
+  return all_type2;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,83 @@
+#include "mvcc/transaction.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+int Transaction::Add(OpKind kind, RelationId rel, int tuple, AttrSet attrs) {
+  MVRC_CHECK_MSG(kind != OpKind::kCommit, "use FinishWithCommit for the commit");
+  MVRC_CHECK_MSG(!committed(), "transaction already committed");
+  Operation op;
+  op.kind = kind;
+  op.txn = id_;
+  op.pos = size();
+  op.rel = rel;
+  op.tuple = tuple;
+  op.attrs = attrs;
+  ops_.push_back(op);
+  return op.pos;
+}
+
+void Transaction::FinishWithCommit() {
+  MVRC_CHECK_MSG(!committed(), "transaction already committed");
+  Operation op;
+  op.kind = OpKind::kCommit;
+  op.txn = id_;
+  op.pos = size();
+  ops_.push_back(op);
+}
+
+void Transaction::AddChunk(int first, int last) {
+  MVRC_CHECK(first >= 0 && first <= last && last < size());
+  chunks_.emplace_back(first, last);
+}
+
+int Transaction::ChunkOf(int pos) const {
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    if (chunks_[i].first <= pos && pos <= chunks_[i].second) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Transaction::Validate() const {
+  if (!committed()) return Status::Error("transaction has no final commit");
+  for (int pos = 0; pos + 1 < size(); ++pos) {
+    if (ops_[pos].kind == OpKind::kCommit) {
+      return Status::Error("commit must be the last operation");
+    }
+  }
+  // At most one read and one write operation per tuple (§3.3). Inserts and
+  // deletes count as write operations.
+  std::map<std::pair<RelationId, int>, int> reads, writes;
+  for (const Operation& op : ops_) {
+    if (op.kind == OpKind::kRead) {
+      if (++reads[{op.rel, op.tuple}] > 1) {
+        return Status::Error("more than one read operation on a tuple");
+      }
+    } else if (IsWriteOp(op.kind)) {
+      if (++writes[{op.rel, op.tuple}] > 1) {
+        return Status::Error("more than one write operation on a tuple");
+      }
+    }
+  }
+  // Chunks are in-bounds (checked on insert) and pairwise disjoint.
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    for (size_t j = i + 1; j < chunks_.size(); ++j) {
+      bool disjoint =
+          chunks_[i].second < chunks_[j].first || chunks_[j].second < chunks_[i].first;
+      if (!disjoint) return Status::Error("overlapping chunks");
+    }
+  }
+  return Status();
+}
+
+std::string Transaction::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (const Operation& op : ops_) os << op.ToString(schema);
+  return os.str();
+}
+
+}  // namespace mvrc

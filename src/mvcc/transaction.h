@@ -1,0 +1,62 @@
+// Transactions (paper §3.3): a sequence of read/write/predicate-read
+// operations followed by a commit, with atomic chunks — spans of operations
+// that other transactions may not interleave (the instantiations of
+// key-based updates and predicate-based statements).
+
+#ifndef MVRC_MVCC_TRANSACTION_H_
+#define MVRC_MVCC_TRANSACTION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mvcc/operation.h"
+#include "util/result.h"
+
+namespace mvrc {
+
+/// A transaction under construction / in a schedule.
+class Transaction {
+ public:
+  explicit Transaction(int id) : id_(id) {}
+
+  int id() const { return id_; }
+
+  /// Appends an operation (commit excluded; use FinishWithCommit).
+  /// Returns the operation's position.
+  int Add(OpKind kind, RelationId rel, int tuple, AttrSet attrs);
+
+  /// Appends the commit operation. Must be called exactly once, last.
+  void FinishWithCommit();
+
+  /// Marks positions [first, last] as an atomic chunk.
+  void AddChunk(int first, int last);
+
+  int size() const { return static_cast<int>(ops_.size()); }
+  const Operation& op(int pos) const { return ops_.at(pos); }
+  const std::vector<Operation>& ops() const { return ops_; }
+  const std::vector<std::pair<int, int>>& chunks() const { return chunks_; }
+
+  bool committed() const { return !ops_.empty() && ops_.back().kind == OpKind::kCommit; }
+
+  /// Position of the chunk containing `pos`, or -1 when the operation is not
+  /// inside any chunk.
+  int ChunkOf(int pos) const;
+
+  /// Checks the paper's well-formedness assumptions: commit present and
+  /// last; at most one read and one write operation per tuple; chunks
+  /// disjoint and in-bounds.
+  Status Validate() const;
+
+  /// "R1[t]W1[t]R1[u]C1"-style rendering.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  int id_;
+  std::vector<Operation> ops_;
+  std::vector<std::pair<int, int>> chunks_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_MVCC_TRANSACTION_H_

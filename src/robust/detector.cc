@@ -1,0 +1,224 @@
+#include "robust/detector.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+namespace {
+
+// Is type(q) one of {key sel, pred sel, pred upd, pred del}? These are the
+// types whose instantiations can place a read operation as the *target* of
+// an incoming dependency while still allowing the ordered-counterflow
+// condition of Theorem 6.4 (the b_{i-1} is an R- or PR-operation case).
+bool IsReadLikeSourceType(StatementType type) {
+  switch (type) {
+    case StatementType::kKeySelect:
+    case StatementType::kPredSelect:
+    case StatementType::kPredUpdate:
+    case StatementType::kPredDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// The statement-level disjunct of Algorithm 2's innermost test, for
+// adjacent edges e3 = (P3,q3,c,q4,P4) and e4 = (P4,q4',cf,q5,P5).
+bool AdjacentPairCondition(const SummaryGraph& graph, const SummaryEdge& e3,
+                           const SummaryEdge& e4) {
+  MVRC_CHECK(e3.to_program == e4.from_program);
+  if (e3.counterflow) return true;                   // adjacent-counterflow pair
+  if (e4.from_occ < e3.to_occ) return true;          // q4' <_{P4} q4
+  const Statement& q3 = graph.program(e3.from_program).stmt(e3.from_occ);
+  return IsReadLikeSourceType(q3.type());            // b_{i-1} is an R/PR-operation
+}
+
+// Boolean n x n matrix with 64-bit packed rows.
+class BoolMatrix {
+ public:
+  explicit BoolMatrix(int n) : n_(n), words_(static_cast<size_t>(n) * WordsPerRow(), 0) {}
+
+  int WordsPerRow() const { return (n_ + 63) / 64; }
+
+  void Set(int r, int c) { row(r)[c / 64] |= uint64_t{1} << (c % 64); }
+  bool At(int r, int c) const { return (row(r)[c / 64] >> (c % 64)) & 1; }
+
+  uint64_t* row(int r) { return words_.data() + static_cast<size_t>(r) * WordsPerRow(); }
+  const uint64_t* row(int r) const {
+    return words_.data() + static_cast<size_t>(r) * WordsPerRow();
+  }
+
+  /// Boolean matrix product this · other.
+  BoolMatrix Multiply(const BoolMatrix& other) const {
+    BoolMatrix out(n_);
+    const int wpr = WordsPerRow();
+    for (int i = 0; i < n_; ++i) {
+      const uint64_t* a_row = row(i);
+      uint64_t* out_row = out.row(i);
+      for (int j = 0; j < n_; ++j) {
+        if ((a_row[j / 64] >> (j % 64)) & 1) {
+          const uint64_t* b_row = other.row(j);
+          for (int w = 0; w < wpr; ++w) out_row[w] |= b_row[w];
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  int n_;
+  std::vector<uint64_t> words_;
+};
+
+BoolMatrix ReachabilityMatrix(const Digraph& graph) {
+  Digraph::Reachability reach = graph.ComputeReachability();
+  BoolMatrix m(graph.num_nodes());
+  for (int u = 0; u < graph.num_nodes(); ++u) {
+    for (int v = 0; v < graph.num_nodes(); ++v) {
+      if (reach.At(u, v)) m.Set(u, v);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string TypeIWitness::Describe(const SummaryGraph& graph) const {
+  std::ostringstream os;
+  os << "type-I cycle: counterflow edge " << graph.DescribeEdge(edge)
+     << "; returns via programs";
+  for (int p : return_path) os << " " << graph.program(p).name();
+  return os.str();
+}
+
+std::string TypeIIWitness::Describe(const SummaryGraph& graph) const {
+  std::ostringstream os;
+  os << "type-II cycle:\n";
+  os << "  e1 (non-counterflow): " << graph.DescribeEdge(e1) << "\n";
+  os << "  e3:                   " << graph.DescribeEdge(e3) << "\n";
+  os << "  e4 (counterflow):     " << graph.DescribeEdge(e4) << "\n";
+  os << "  path P2~>P3:";
+  for (int p : path_p2_to_p3) os << " " << graph.program(p).name();
+  os << "\n  path P5~>P1:";
+  for (int p : path_p5_to_p1) os << " " << graph.program(p).name();
+  return os.str();
+}
+
+std::optional<TypeIWitness> FindTypeICycle(const SummaryGraph& graph) {
+  Digraph program_graph = graph.ProgramGraph();
+  Digraph::Reachability reach = program_graph.ComputeReachability();
+  for (const SummaryEdge& edge : graph.edges()) {
+    if (!edge.counterflow) continue;
+    if (reach.At(edge.to_program, edge.from_program)) {
+      TypeIWitness witness;
+      witness.edge = edge;
+      witness.return_path = program_graph.ShortestPath(edge.to_program, edge.from_program);
+      return witness;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TypeIIWitness> FindTypeIICycle(const SummaryGraph& graph) {
+  const int n = graph.num_programs();
+  if (n == 0) return std::nullopt;
+  Digraph program_graph = graph.ProgramGraph();
+  BoolMatrix reach = ReachabilityMatrix(program_graph);
+
+  // nc_adj[P1][P2] = 1 iff a non-counterflow edge P1 -> P2 exists.
+  BoolMatrix nc_adj(n);
+  bool any_nc = false;
+  for (const SummaryEdge& edge : graph.edges()) {
+    if (!edge.counterflow) {
+      nc_adj.Set(edge.from_program, edge.to_program);
+      any_nc = true;
+    }
+  }
+  if (!any_nc) return std::nullopt;
+
+  // closes[P3][P5] = 1 iff some non-counterflow edge (P1 -> P2) satisfies
+  // P2 ~> P3 and P5 ~> P1; i.e. the pair (e3, e4) can be closed into a
+  // cycle through e1. closes = (reach · nc_adj · reach) transposed:
+  //   closes[x][y] = OR_{P1,P2} reach[y][P1] & nc_adj[P1][P2] & reach[P2][x].
+  BoolMatrix through = reach.Multiply(nc_adj).Multiply(reach);  // through[y][x]
+
+  // Scan adjacent pairs (e3 into P4, counterflow e4 out of P4).
+  Digraph::Reachability plain_reach = program_graph.ComputeReachability();
+  for (int p4 = 0; p4 < n; ++p4) {
+    for (int e4_index : graph.OutEdges(p4)) {
+      const SummaryEdge& e4 = graph.edges()[e4_index];
+      if (!e4.counterflow) continue;
+      for (int e3_index : graph.InEdges(p4)) {
+        const SummaryEdge& e3 = graph.edges()[e3_index];
+        if (!AdjacentPairCondition(graph, e3, e4)) continue;
+        if (!through.At(e4.to_program, e3.from_program)) continue;
+        // Reconstruct a witnessing e1.
+        for (const SummaryEdge& e1 : graph.edges()) {
+          if (e1.counterflow) continue;
+          if (plain_reach.At(e1.to_program, e3.from_program) &&
+              plain_reach.At(e4.to_program, e1.from_program)) {
+            TypeIIWitness witness;
+            witness.e1 = e1;
+            witness.e3 = e3;
+            witness.e4 = e4;
+            witness.path_p2_to_p3 =
+                program_graph.ShortestPath(e1.to_program, e3.from_program);
+            witness.path_p5_to_p1 =
+                program_graph.ShortestPath(e4.to_program, e1.from_program);
+            return witness;
+          }
+        }
+        MVRC_CHECK_MSG(false, "matrix said a closing nc edge exists but scan found none");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TypeIIWitness> FindTypeIICycleNaive(const SummaryGraph& graph) {
+  Digraph program_graph = graph.ProgramGraph();
+  Digraph::Reachability reach = program_graph.ComputeReachability();
+  // Literal Algorithm 2: iterate e1, e3, e4.
+  for (const SummaryEdge& e1 : graph.edges()) {
+    if (e1.counterflow) continue;
+    for (const SummaryEdge& e3 : graph.edges()) {
+      if (!reach.At(e1.to_program, e3.from_program)) continue;
+      for (int e4_index : graph.OutEdges(e3.to_program)) {
+        const SummaryEdge& e4 = graph.edges()[e4_index];
+        if (!e4.counterflow) continue;
+        if (!reach.At(e4.to_program, e1.from_program)) continue;
+        if (!AdjacentPairCondition(graph, e3, e4)) continue;
+        TypeIIWitness witness;
+        witness.e1 = e1;
+        witness.e3 = e3;
+        witness.e4 = e4;
+        witness.path_p2_to_p3 = program_graph.ShortestPath(e1.to_program, e3.from_program);
+        witness.path_p5_to_p1 = program_graph.ShortestPath(e4.to_program, e1.from_program);
+        return witness;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsRobust(const SummaryGraph& graph, Method method) {
+  switch (method) {
+    case Method::kTypeI:
+      return !FindTypeICycle(graph).has_value();
+    case Method::kTypeII:
+      return !FindTypeIICycle(graph).has_value();
+    case Method::kTypeIINaive:
+      return !FindTypeIICycleNaive(graph).has_value();
+  }
+  MVRC_CHECK_MSG(false, "unreachable method");
+  return false;
+}
+
+bool IsRobustAgainstMvrc(const std::vector<Btp>& programs, const AnalysisSettings& settings,
+                         Method method) {
+  return IsRobust(BuildSummaryGraph(programs, settings), method);
+}
+
+}  // namespace mvrc

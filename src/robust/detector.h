@@ -1,0 +1,86 @@
+// Robustness detection against MVRC (paper §6.3).
+//
+// Type-II test (Algorithm 2 / Theorem 6.4): a set of LTPs is reported robust
+// when the summary graph contains no cycle with at least one non-counterflow
+// edge and either (1) two adjacent counterflow edges, or (2) a
+// non-counterflow edge (P_{i-1}, q_{i-1}, nc, q_i, P_i) immediately followed
+// by a counterflow edge (P_i, q'_i, cf, q_{i+1}, P_{i+1}) where q'_i <_{P_i}
+// q_i or type(q_{i-1}) ∈ {key sel, pred sel, pred upd, pred del}.
+//
+// Type-I test (baseline, Alomari & Fekete [3]): robust when no cycle
+// contains a counterflow edge.
+//
+// Both tests are sound but incomplete: `false` does not imply the workload
+// is actually non-robust (Proposition 6.5).
+//
+// Two type-II implementations are provided: FindTypeIICycleNaive follows
+// Algorithm 2 literally (O(|E|^3) edge triples with per-pair reachability);
+// FindTypeIICycle factors the reachability conjunction through boolean
+// matrix products and is the default. They are equivalence-tested and
+// compared in bench/bench_ablation.
+
+#ifndef MVRC_ROBUST_DETECTOR_H_
+#define MVRC_ROBUST_DETECTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "btp/program.h"
+#include "schema/schema.h"
+#include "summary/build_summary.h"
+#include "summary/summary_graph.h"
+
+namespace mvrc {
+
+/// Witness of a type-I cycle: a counterflow edge lying on a cycle.
+struct TypeIWitness {
+  SummaryEdge edge;
+  std::vector<int> return_path;  // program path edge.to_program -> edge.from_program
+
+  std::string Describe(const SummaryGraph& graph) const;
+};
+
+/// Witness of a type-II cycle, in Algorithm 2's terms: a non-counterflow
+/// edge e1 = (P1,q1,nc,q2,P2), an edge e3 = (P3,q3,c,q4,P4) with P3 reachable
+/// from P2, and a counterflow edge e4 = (P4,q4',cf,q5,P5) with P1 reachable
+/// from P5, such that c = cf, or q4' <_{P4} q4, or type(q3) is a (predicate)
+/// read type.
+struct TypeIIWitness {
+  SummaryEdge e1;
+  SummaryEdge e3;
+  SummaryEdge e4;
+  std::vector<int> path_p2_to_p3;  // program path, inclusive
+  std::vector<int> path_p5_to_p1;  // program path, inclusive
+
+  std::string Describe(const SummaryGraph& graph) const;
+};
+
+/// Detection methods.
+enum class Method {
+  kTypeI,        // baseline [3]
+  kTypeII,       // Algorithm 2, optimized implementation
+  kTypeIINaive,  // Algorithm 2, literal implementation
+};
+
+/// Returns a type-I cycle witness, or nullopt when none exists.
+std::optional<TypeIWitness> FindTypeICycle(const SummaryGraph& graph);
+
+/// Returns a type-II cycle witness, or nullopt when none exists.
+std::optional<TypeIIWitness> FindTypeIICycle(const SummaryGraph& graph);
+
+/// Literal Algorithm 2. Equivalent to FindTypeIICycle (the found witnesses
+/// may differ; existence agrees).
+std::optional<TypeIIWitness> FindTypeIICycleNaive(const SummaryGraph& graph);
+
+/// True when `graph` passes the chosen test.
+bool IsRobust(const SummaryGraph& graph, Method method);
+
+/// End-to-end: Unfold≤2, Algorithm 1, then the chosen cycle test
+/// (Algorithm 2 for Method::kTypeII).
+bool IsRobustAgainstMvrc(const std::vector<Btp>& programs, const AnalysisSettings& settings,
+                         Method method = Method::kTypeII);
+
+}  // namespace mvrc
+
+#endif  // MVRC_ROBUST_DETECTOR_H_

@@ -1,0 +1,78 @@
+#include "robust/report.h"
+
+#include <sstream>
+
+#include "btp/unfold.h"
+#include "summary/build_summary.h"
+
+namespace mvrc {
+
+std::string WorkloadReport::ToText() const {
+  std::ostringstream os;
+  os << "workload: " << workload_name << " (" << num_programs << " programs, "
+     << num_unfolded << " unfolded)\n";
+  os << "verdicts:\n";
+  for (const VerdictEntry& entry : verdicts) {
+    os << "  " << entry.settings.name() << " / "
+       << (entry.method == Method::kTypeII ? "type-II (Algorithm 2)" : "type-I [3]")
+       << ": " << (entry.robust ? "robust" : "not robust") << "  [" << entry.num_edges
+       << " edges, " << entry.num_counterflow_edges << " counterflow]\n";
+    if (!entry.witness.empty()) {
+      std::istringstream lines(entry.witness);
+      std::string line;
+      while (std::getline(lines, line)) os << "      " << line << "\n";
+    }
+  }
+  if (maximal_robust_subsets.has_value()) {
+    os << "maximal robust subsets (attr dep + FK, type-II):\n";
+    for (const std::string& subset : *maximal_robust_subsets) {
+      os << "  " << subset << "\n";
+    }
+  }
+  return os.str();
+}
+
+WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets) {
+  WorkloadReport report;
+  report.workload_name = workload.name.empty() ? "(unnamed)" : workload.name;
+  report.num_programs = static_cast<int>(workload.programs.size());
+  report.num_unfolded = static_cast<int>(UnfoldAtMost2(workload.programs).size());
+
+  for (AnalysisSettings settings :
+       {AnalysisSettings::TupleDep(), AnalysisSettings::AttrDep(),
+        AnalysisSettings::TupleDepFk(), AnalysisSettings::AttrDepFk()}) {
+    SummaryGraph graph = BuildSummaryGraph(workload.programs, settings);
+    for (Method method : {Method::kTypeII, Method::kTypeI}) {
+      VerdictEntry entry;
+      entry.settings = settings;
+      entry.method = method;
+      entry.num_edges = graph.num_edges();
+      entry.num_counterflow_edges = graph.num_counterflow_edges();
+      if (method == Method::kTypeII) {
+        std::optional<TypeIIWitness> witness = FindTypeIICycle(graph);
+        entry.robust = !witness.has_value();
+        if (witness.has_value()) entry.witness = witness->Describe(graph);
+      } else {
+        std::optional<TypeIWitness> witness = FindTypeICycle(graph);
+        entry.robust = !witness.has_value();
+        if (witness.has_value()) entry.witness = witness->Describe(graph);
+      }
+      report.verdicts.push_back(std::move(entry));
+    }
+  }
+
+  if (analyze_subsets && report.num_programs >= 1 && report.num_programs <= 20) {
+    SubsetReport subsets = AnalyzeSubsets(workload.programs,
+                                          AnalysisSettings::AttrDepFk(),
+                                          Method::kTypeII);
+    std::vector<std::string> names = workload.abbreviations;
+    if (names.size() != workload.programs.size()) {
+      names.clear();
+      for (const Btp& program : workload.programs) names.push_back(program.name());
+    }
+    report.maximal_robust_subsets = subsets.DescribeMaximal(names);
+  }
+  return report;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,49 @@
+// Full workload analysis report: verdicts across settings and methods,
+// maximal robust subsets, witnesses, and the summary-graph statistics —
+// everything a developer needs to decide whether (and which part of) a
+// workload can run under READ COMMITTED. Rendered as text by the CLI tool
+// and the examples.
+
+#ifndef MVRC_ROBUST_REPORT_H_
+#define MVRC_ROBUST_REPORT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "robust/detector.h"
+#include "robust/subsets.h"
+#include "workloads/workload.h"
+
+namespace mvrc {
+
+/// One (setting, method) verdict.
+struct VerdictEntry {
+  AnalysisSettings settings;
+  Method method = Method::kTypeII;
+  bool robust = false;
+  int num_edges = 0;
+  int num_counterflow_edges = 0;
+  std::string witness;  // empty when robust
+};
+
+/// The analysis report for a workload.
+struct WorkloadReport {
+  std::string workload_name;
+  int num_programs = 0;
+  int num_unfolded = 0;
+  std::vector<VerdictEntry> verdicts;
+  // Maximal robust subsets under attr+FK / type-II, when subset analysis ran.
+  std::optional<std::vector<std::string>> maximal_robust_subsets;
+
+  std::string ToText() const;
+};
+
+/// Analyzes `workload` under all four settings with both methods; when
+/// `analyze_subsets` is set (and the workload has at most 20 programs) also
+/// computes the maximal robust subsets under attr dep + FK.
+WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets);
+
+}  // namespace mvrc
+
+#endif  // MVRC_ROBUST_REPORT_H_

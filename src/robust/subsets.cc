@@ -1,0 +1,108 @@
+#include "robust/subsets.h"
+
+#include <algorithm>
+#include <iterator>
+#include <sstream>
+
+#include "btp/unfold.h"
+#include "summary/build_summary.h"
+#include "util/check.h"
+
+namespace mvrc {
+
+bool SubsetReport::IsRobustSubset(uint32_t mask) const {
+  for (uint32_t robust : robust_masks) {
+    if (robust == mask) return true;
+  }
+  return false;
+}
+
+std::string SubsetReport::DescribeMask(uint32_t mask,
+                                       const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int i = 0; i < num_programs; ++i) {
+    if ((mask >> i) & 1) {
+      if (!first) os << ", ";
+      os << names.at(i);
+      first = false;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+std::vector<std::string> SubsetReport::DescribeMaximal(
+    const std::vector<std::string>& names) const {
+  std::vector<std::string> out;
+  out.reserve(maximal_masks.size());
+  for (uint32_t mask : maximal_masks) out.push_back(DescribeMask(mask, names));
+  return out;
+}
+
+SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSettings& settings,
+                            Method method) {
+  const int n = static_cast<int>(programs.size());
+  MVRC_CHECK_MSG(n >= 1 && n <= 20, "subset analysis supports 1..20 programs");
+  const uint32_t full = (uint32_t{1} << n) - 1;
+
+  // Build the summary graph once for the full program set; every subset's
+  // graph is an induced subgraph (Algorithm 1's conditions are local to the
+  // two programs of an edge). Track which unfolded LTPs belong to which BTP.
+  std::vector<Ltp> all_ltps;
+  std::vector<std::pair<int, int>> ltp_range(n);  // [begin, end) per BTP
+  for (int i = 0; i < n; ++i) {
+    std::vector<Ltp> unfolded = UnfoldAtMost2(programs[i]);
+    ltp_range[i] = {static_cast<int>(all_ltps.size()),
+                    static_cast<int>(all_ltps.size() + unfolded.size())};
+    all_ltps.insert(all_ltps.end(), std::make_move_iterator(unfolded.begin()),
+                    std::make_move_iterator(unfolded.end()));
+  }
+  SummaryGraph full_graph = BuildSummaryGraph(std::move(all_ltps), settings);
+
+  // Evaluate subsets in decreasing popcount order so Proposition 5.2 can
+  // mark subsets of robust sets without re-running the detector.
+  std::vector<char> known_robust(full + 1, 0);
+  std::vector<uint32_t> order;
+  order.reserve(full);
+  for (uint32_t mask = 1; mask <= full; ++mask) order.push_back(mask);
+  std::sort(order.begin(), order.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa > pb : a < b;
+  });
+
+  SubsetReport report;
+  report.num_programs = n;
+  for (uint32_t mask : order) {
+    if (!known_robust[mask]) {
+      std::vector<bool> keep(full_graph.num_programs(), false);
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) {
+          for (int p = ltp_range[i].first; p < ltp_range[i].second; ++p) keep[p] = true;
+        }
+      }
+      if (!IsRobust(full_graph.InducedSubgraph(keep), method)) continue;
+      // Mark this subset and all of its subsets robust (Proposition 5.2).
+      for (uint32_t sub = mask; sub != 0; sub = (sub - 1) & mask) known_robust[sub] = 1;
+    }
+    report.robust_masks.push_back(mask);
+  }
+
+  // Maximal = robust and no robust strict superset.
+  for (uint32_t mask : report.robust_masks) {
+    bool maximal = true;
+    for (uint32_t other : report.robust_masks) {
+      if (other != mask && (other & mask) == mask) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) report.maximal_masks.push_back(mask);
+  }
+  std::sort(report.robust_masks.begin(), report.robust_masks.end());
+  std::sort(report.maximal_masks.begin(), report.maximal_masks.end());
+  return report;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,40 @@
+// Subset analysis for the Figure 6 / Figure 7 experiments: test every
+// non-empty subset of a workload's programs for robustness and report the
+// maximal robust subsets.
+
+#ifndef MVRC_ROBUST_SUBSETS_H_
+#define MVRC_ROBUST_SUBSETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btp/program.h"
+#include "robust/detector.h"
+#include "summary/dep_tables.h"
+
+namespace mvrc {
+
+/// Result of testing all non-empty subsets of a program set.
+struct SubsetReport {
+  int num_programs = 0;
+  std::vector<uint32_t> robust_masks;   // every robust subset, as a bitmask
+  std::vector<uint32_t> maximal_masks;  // robust subsets maximal under inclusion
+
+  /// True when the subset encoded by `mask` was found robust.
+  bool IsRobustSubset(uint32_t mask) const;
+
+  /// Renders masks as "{A, B}" strings using per-program display names.
+  std::string DescribeMask(uint32_t mask, const std::vector<std::string>& names) const;
+  std::vector<std::string> DescribeMaximal(const std::vector<std::string>& names) const;
+};
+
+/// Tests all 2^n - 1 non-empty subsets (n ≤ 20 enforced). Exploits
+/// Proposition 5.2 (robustness is closed under subsets): subsets of a known
+/// robust set are marked robust without re-running the detector.
+SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSettings& settings,
+                            Method method);
+
+}  // namespace mvrc
+
+#endif  // MVRC_ROBUST_SUBSETS_H_

@@ -1,0 +1,88 @@
+#include "schema/schema.h"
+
+#include <sstream>
+
+namespace mvrc {
+
+AttrId Relation::FindAttr(const std::string& name) const {
+  for (int i = 0; i < num_attrs(); ++i) {
+    if (attrs_[i] == name) return i;
+  }
+  return -1;
+}
+
+RelationId Schema::AddRelation(const std::string& name, const std::vector<std::string>& attrs,
+                               const std::vector<std::string>& primary_key) {
+  MVRC_CHECK_MSG(FindRelation(name) < 0, "duplicate relation name");
+  MVRC_CHECK_MSG(static_cast<int>(attrs.size()) <= AttrSet::kMaxAttrs,
+                 "too many attributes in relation");
+  Relation probe(name, attrs, {});
+  std::vector<AttrId> pk_order;
+  for (const std::string& key_attr : primary_key) {
+    AttrId a = probe.FindAttr(key_attr);
+    MVRC_CHECK_MSG(a >= 0, "primary-key attribute not in relation");
+    pk_order.push_back(a);
+  }
+  relations_.emplace_back(name, attrs, pk_order);
+  return static_cast<RelationId>(relations_.size()) - 1;
+}
+
+ForeignKeyId Schema::AddForeignKey(const std::string& name, RelationId dom,
+                                   const std::vector<std::string>& dom_attrs,
+                                   RelationId range) {
+  MVRC_CHECK_MSG(FindForeignKey(name) < 0, "duplicate foreign-key name");
+  MVRC_CHECK(dom >= 0 && dom < num_relations());
+  MVRC_CHECK(range >= 0 && range < num_relations());
+  ForeignKey fk;
+  fk.name = name;
+  fk.dom = dom;
+  fk.range = range;
+  for (const std::string& attr : dom_attrs) {
+    AttrId a = relation(dom).FindAttr(attr);
+    MVRC_CHECK_MSG(a >= 0, "foreign-key attribute not in dom relation");
+    fk.dom_attrs.push_back(a);
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return static_cast<ForeignKeyId>(foreign_keys_.size()) - 1;
+}
+
+RelationId Schema::FindRelation(const std::string& name) const {
+  for (int i = 0; i < num_relations(); ++i) {
+    if (relations_[i].name() == name) return i;
+  }
+  return -1;
+}
+
+ForeignKeyId Schema::FindForeignKey(const std::string& name) const {
+  for (int i = 0; i < num_foreign_keys(); ++i) {
+    if (foreign_keys_[i].name == name) return i;
+  }
+  return -1;
+}
+
+AttrSet Schema::MakeAttrSet(RelationId r, const std::vector<std::string>& names) const {
+  const Relation& rel = relation(r);
+  AttrSet set;
+  for (const std::string& name : names) {
+    AttrId a = rel.FindAttr(name);
+    MVRC_CHECK_MSG(a >= 0, "attribute not in relation");
+    set.Insert(a);
+  }
+  return set;
+}
+
+std::string Schema::AttrSetToString(RelationId r, AttrSet set) const {
+  const Relation& rel = relation(r);
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (AttrId a : set.ToVector()) {
+    if (!first) os << ", ";
+    os << rel.attr_name(a);
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace mvrc

@@ -1,0 +1,104 @@
+// Relational schemas: relations with named attributes and primary keys, plus
+// foreign keys f with dom(f) and range(f) (paper §3.1).
+//
+// A foreign key f conceptually maps every tuple of dom(f) to a tuple of
+// range(f). The referencing columns (the attributes of dom(f) holding the
+// key of range(f)) are recorded so that the SQL analyzer can derive
+// statement-level foreign-key constraint annotations automatically.
+
+#ifndef MVRC_SCHEMA_SCHEMA_H_
+#define MVRC_SCHEMA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/attr_set.h"
+#include "util/check.h"
+
+namespace mvrc {
+
+using RelationId = int;
+using ForeignKeyId = int;
+
+/// A relation: name, ordered attribute list and primary key (kept both as a
+/// set and in declaration order — foreign keys pair child columns with the
+/// parent's key columns positionally).
+class Relation {
+ public:
+  Relation(std::string name, std::vector<std::string> attrs,
+           std::vector<AttrId> primary_key_order)
+      : name_(std::move(name)),
+        attrs_(std::move(attrs)),
+        primary_key_order_(std::move(primary_key_order)) {
+    for (AttrId a : primary_key_order_) primary_key_.Insert(a);
+  }
+
+  const std::string& name() const { return name_; }
+  int num_attrs() const { return static_cast<int>(attrs_.size()); }
+  const std::string& attr_name(AttrId a) const { return attrs_.at(a); }
+  AttrSet primary_key() const { return primary_key_; }
+  const std::vector<AttrId>& primary_key_order() const { return primary_key_order_; }
+
+  /// The set of all attributes, Attr(R).
+  AttrSet AllAttrs() const { return AttrSet::FirstN(num_attrs()); }
+
+  /// Index of the attribute called `name`, or -1 if absent.
+  AttrId FindAttr(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attrs_;
+  std::vector<AttrId> primary_key_order_;
+  AttrSet primary_key_;
+};
+
+/// A foreign key f: dom(f) -> range(f). `dom_attrs` are the referencing
+/// columns inside dom(f) (may be empty when unknown; only the SQL analyzer
+/// needs them).
+struct ForeignKey {
+  std::string name;
+  RelationId dom;
+  RelationId range;
+  std::vector<AttrId> dom_attrs;
+};
+
+/// A relational schema (Rels, FKeys).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers a relation. `primary_key` lists attribute names that must be
+  /// members of `attrs`. Relation names must be unique.
+  RelationId AddRelation(const std::string& name, const std::vector<std::string>& attrs,
+                         const std::vector<std::string>& primary_key);
+
+  /// Registers a foreign key `name`: dom(dom_attrs) -> range.
+  ForeignKeyId AddForeignKey(const std::string& name, RelationId dom,
+                             const std::vector<std::string>& dom_attrs, RelationId range);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  int num_foreign_keys() const { return static_cast<int>(foreign_keys_.size()); }
+
+  const Relation& relation(RelationId r) const { return relations_.at(r); }
+  const ForeignKey& foreign_key(ForeignKeyId f) const { return foreign_keys_.at(f); }
+
+  /// Relation id by name, or -1 if absent.
+  RelationId FindRelation(const std::string& name) const;
+
+  /// Foreign-key id by name, or -1 if absent.
+  ForeignKeyId FindForeignKey(const std::string& name) const;
+
+  /// Builds an AttrSet from attribute names of relation `r`. Unknown names abort.
+  AttrSet MakeAttrSet(RelationId r, const std::vector<std::string>& names) const;
+
+  /// Renders an attribute set of relation `r` as "{a, b}".
+  std::string AttrSetToString(RelationId r, AttrSet set) const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_SCHEMA_SCHEMA_H_

@@ -1,0 +1,421 @@
+#include "search/counterexample.h"
+
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "instantiate/instantiator.h"
+#include "mvcc/serialization_graph.h"
+#include "util/check.h"
+
+namespace mvrc {
+
+Schedule Counterexample::ToSchedule() const {
+  Result<Schedule> result = Schedule::ReadLastCommitted(txns, order);
+  MVRC_CHECK_MSG(result.ok(), "counterexample does not form a valid schedule");
+  return std::move(result).value();
+}
+
+std::string Counterexample::Describe(const Schema& schema) const {
+  Schedule schedule = ToSchedule();
+  std::ostringstream os;
+  os << "counterexample with " << txns.size() << " transactions:\n";
+  for (size_t i = 0; i < txns.size(); ++i) {
+    os << "  T" << i << " ~ " << program_names[i] << ": " << txns[i].ToString(schema)
+       << "\n";
+  }
+  os << "schedule: " << schedule.ToString(schema) << "\n";
+  os << "cycle dependencies:\n";
+  SerializationGraph graph = SerializationGraph::Build(schedule);
+  graph.EnumerateCycles([&](const DependencyCycle& cycle) {
+    for (const Dependency& dep : cycle) {
+      os << "  " << DescribeDependency(schedule, schema, dep) << "\n";
+    }
+    return false;  // first cycle suffices
+  });
+  return os.str();
+}
+
+namespace {
+
+// One transaction prepared for interleaving: its operations split into
+// atomic units (chunks or single operations).
+struct PreparedTxn {
+  Transaction txn;
+  std::string program_name;
+  std::vector<std::pair<int, int>> units;
+};
+
+std::vector<std::pair<int, int>> SplitUnits(const Transaction& txn) {
+  std::vector<std::pair<int, int>> units;
+  int pos = 0;
+  while (pos < txn.size()) {
+    int chunk = txn.ChunkOf(pos);
+    if (chunk >= 0) {
+      units.push_back(txn.chunks()[chunk]);
+      pos = txn.chunks()[chunk].second + 1;
+    } else {
+      units.emplace_back(pos, pos);
+      ++pos;
+    }
+  }
+  return units;
+}
+
+// Necessary condition for a serialization-graph cycle over these concrete
+// transactions: build the "conflict channel" structure (pairs of conflicting
+// operations between two transactions). Any cycle needs either a pair of
+// transactions connected by two distinct channels (a realizable 2-cycle) or
+// an undirected cycle over three or more transactions. Binding combinations
+// failing this test cannot yield a counterexample and are skipped.
+bool HasPotentialCycle(const std::vector<PreparedTxn>& txns) {
+  const int n = static_cast<int>(txns.size());
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      int channels = 0;
+      for (const Operation& b : txns[i].txn.ops()) {
+        if (b.kind == OpKind::kCommit || b.kind == OpKind::kPredRead) continue;
+        for (const Operation& a : txns[j].txn.ops()) {
+          if (a.kind == OpKind::kCommit || a.kind == OpKind::kPredRead) continue;
+          if (b.rel != a.rel || b.tuple != a.tuple) continue;
+          if (!IsWriteOp(b.kind) && !IsWriteOp(a.kind)) continue;
+          if (!b.attrs.Intersects(a.attrs) &&
+              !(IsWriteOp(b.kind) && b.kind != OpKind::kWrite) &&
+              !(IsWriteOp(a.kind) && a.kind != OpKind::kWrite)) {
+            continue;
+          }
+          ++channels;
+        }
+      }
+      // Predicate reads conflict with any write on the relation.
+      for (const Operation& b : txns[i].txn.ops()) {
+        for (const Operation& a : txns[j].txn.ops()) {
+          bool pr_w = b.kind == OpKind::kPredRead && IsWriteOp(a.kind) && b.rel == a.rel;
+          bool w_pr = a.kind == OpKind::kPredRead && IsWriteOp(b.kind) && b.rel == a.rel;
+          if (pr_w || w_pr) ++channels;
+        }
+      }
+      if (channels >= 2) return true;
+      if (channels == 1) {
+        int ri = find(i), rj = find(j);
+        if (ri == rj) return true;  // closes an undirected cycle
+        parent[ri] = rj;
+      }
+    }
+  }
+  return false;
+}
+
+// Incremental interleaving search with dirty-write / visibility pruning,
+// round-robin unit ordering (interleaving-rich schedules first) and early
+// success detection at commit points.
+class InterleavingSearch {
+ public:
+  InterleavingSearch(std::vector<PreparedTxn> txns, int64_t* budget)
+      : txns_(std::move(txns)), budget_(budget) {
+    next_unit_.assign(txns_.size(), 0);
+    for (const PreparedTxn& prepared : txns_) {
+      for (const Operation& op : prepared.txn.ops()) {
+        if (op.kind == OpKind::kInsert) has_insert_.insert({op.rel, op.tuple});
+      }
+    }
+  }
+
+  std::optional<std::vector<OpRef>> Run() {
+    if (Dfs(/*last_txn=*/static_cast<int>(txns_.size()) - 1)) return order_;
+    return std::nullopt;
+  }
+
+ private:
+  using TupleKey = std::pair<RelationId, int>;
+
+  bool UnitAllowed(int t, std::pair<int, int> unit) const {
+    const Transaction& txn = txns_[t].txn;
+    for (int pos = unit.first; pos <= unit.second; ++pos) {
+      const Operation& op = txn.op(pos);
+      TupleKey key{op.rel, op.tuple};
+      if (IsWriteOp(op.kind)) {
+        auto it = uncommitted_writer_.find(key);
+        if (it != uncommitted_writer_.end() && it->second != t) return false;
+        if (op.kind != OpKind::kInsert && has_insert_.count(key) &&
+            !committed_insert_.count(key) && !pending_insert_.count({key, t})) {
+          return false;
+        }
+        if (committed_delete_.count(key)) return false;
+      } else if (op.kind == OpKind::kRead) {
+        if (has_insert_.count(key) && !committed_insert_.count(key)) return false;
+        if (committed_delete_.count(key)) return false;
+      }
+    }
+    return true;
+  }
+
+  void ApplyUnit(int t, std::pair<int, int> unit) {
+    const Transaction& txn = txns_[t].txn;
+    for (int pos = unit.first; pos <= unit.second; ++pos) {
+      const Operation& op = txn.op(pos);
+      order_.push_back({txn.id(), pos});
+      if (IsWriteOp(op.kind)) {
+        TupleKey key{op.rel, op.tuple};
+        uncommitted_writer_[key] = t;
+        if (op.kind == OpKind::kInsert) pending_insert_.insert({key, t});
+      }
+      if (op.kind == OpKind::kCommit) {
+        committed_.insert(t);
+        for (const Operation& w : txn.ops()) {
+          if (!IsWriteOp(w.kind)) continue;
+          TupleKey key{w.rel, w.tuple};
+          uncommitted_writer_.erase(key);
+          if (w.kind == OpKind::kInsert) {
+            committed_insert_.insert(key);
+            pending_insert_.erase({key, t});
+          }
+          if (w.kind == OpKind::kDelete) committed_delete_.insert(key);
+        }
+      }
+    }
+  }
+
+  void UndoUnit(int t, std::pair<int, int> unit) {
+    const Transaction& txn = txns_[t].txn;
+    for (int pos = unit.second; pos >= unit.first; --pos) {
+      const Operation& op = txn.op(pos);
+      order_.pop_back();
+      if (op.kind == OpKind::kCommit) {
+        committed_.erase(t);
+        for (const Operation& w : txn.ops()) {
+          if (!IsWriteOp(w.kind)) continue;
+          TupleKey key{w.rel, w.tuple};
+          uncommitted_writer_[key] = t;
+          if (w.kind == OpKind::kInsert) {
+            committed_insert_.erase(key);
+            pending_insert_.insert({key, t});
+          }
+          if (w.kind == OpKind::kDelete) committed_delete_.erase(key);
+        }
+      }
+    }
+    for (int pos = unit.first; pos <= unit.second; ++pos) {
+      const Operation& op = txn.op(pos);
+      if (!IsWriteOp(op.kind)) continue;
+      TupleKey key{op.rel, op.tuple};
+      bool still_pending = false;
+      for (const OpRef& ref : order_) {
+        const Operation& prior = txns_[ref.txn].txn.op(ref.pos);
+        if (ref.txn == t && IsWriteOp(prior.kind) && prior.rel == op.rel &&
+            prior.tuple == op.tuple) {
+          still_pending = true;
+        }
+      }
+      if (!still_pending) {
+        uncommitted_writer_.erase(key);
+        if (op.kind == OpKind::kInsert) pending_insert_.erase({key, t});
+      }
+    }
+  }
+
+  bool Done() const {
+    for (size_t t = 0; t < txns_.size(); ++t) {
+      if (next_unit_[t] < txns_[t].units.size()) return false;
+    }
+    return true;
+  }
+
+  // Builds the schedule for the current complete order and tests it.
+  bool CheckComplete() {
+    --(*budget_);
+    std::vector<Transaction> txns;
+    txns.reserve(txns_.size());
+    for (const PreparedTxn& prepared : txns_) txns.push_back(prepared.txn);
+    Result<Schedule> schedule = Schedule::ReadLastCommitted(std::move(txns), order_);
+    if (!schedule.ok() || !schedule.value().IsMvrcAllowed()) return false;
+    return !SerializationGraph::Build(schedule.value()).IsConflictSerializable();
+  }
+
+  // After a commit: if the committed transactions alone already form a
+  // non-serializable schedule, try to finish the remaining transactions
+  // greedily; the cycle persists in any completion.
+  bool CommittedPrefixCyclic() {
+    if (committed_.size() < 2) return false;
+    // Renumber committed transactions to 0..k-1 for Schedule construction.
+    std::map<int, int> renumber;
+    std::vector<Transaction> txns;
+    for (int t : committed_) {
+      int new_id = static_cast<int>(renumber.size());
+      renumber[t] = new_id;
+      Transaction copy(new_id);
+      for (const Operation& op : txns_[t].txn.ops()) {
+        if (op.kind == OpKind::kCommit) {
+          copy.FinishWithCommit();
+        } else {
+          copy.Add(op.kind, op.rel, op.tuple, op.attrs);
+        }
+      }
+      for (const auto& [first, last] : txns_[t].txn.chunks()) copy.AddChunk(first, last);
+      txns.push_back(std::move(copy));
+    }
+    std::vector<OpRef> order;
+    for (const OpRef& ref : order_) {
+      auto it = renumber.find(ref.txn);
+      if (it != renumber.end()) order.push_back({it->second, ref.pos});
+    }
+    Result<Schedule> schedule = Schedule::ReadLastCommitted(std::move(txns), order);
+    if (!schedule.ok() || !schedule.value().IsMvrcAllowed()) return false;
+    return !SerializationGraph::Build(schedule.value()).IsConflictSerializable();
+  }
+
+  // Greedy completion: run every unfinished transaction to completion in
+  // round-robin order. Returns true when the completed whole schedule is a
+  // counterexample; restores the search state otherwise.
+  bool TryGreedyCompletion() {
+    std::vector<std::pair<int, std::pair<int, int>>> applied;
+    bool progress = true;
+    while (!Done() && progress) {
+      progress = false;
+      for (size_t t = 0; t < txns_.size(); ++t) {
+        while (next_unit_[t] < txns_[t].units.size()) {
+          std::pair<int, int> unit = txns_[t].units[next_unit_[t]];
+          if (!UnitAllowed(static_cast<int>(t), unit)) break;
+          ApplyUnit(static_cast<int>(t), unit);
+          ++next_unit_[t];
+          applied.emplace_back(static_cast<int>(t), unit);
+          progress = true;
+        }
+      }
+    }
+    if (Done() && CheckComplete()) return true;
+    for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+      --next_unit_[it->first];
+      UndoUnit(it->first, it->second);
+    }
+    return false;
+  }
+
+  bool Dfs(int last_txn) {
+    if (*budget_ < 0) return false;
+    if (Done()) return CheckComplete();
+    const int n = static_cast<int>(txns_.size());
+    // Round-robin: prefer switching away from the last executed transaction,
+    // so interleaving-rich schedules are explored first.
+    for (int offset = 1; offset <= n; ++offset) {
+      int t = (last_txn + offset) % n;
+      if (next_unit_[t] >= txns_[t].units.size()) continue;
+      std::pair<int, int> unit = txns_[t].units[next_unit_[t]];
+      if (!UnitAllowed(t, unit)) continue;
+      ApplyUnit(t, unit);
+      ++next_unit_[t];
+      bool found = false;
+      if (txns_[t].txn.op(unit.second).kind == OpKind::kCommit &&
+          CommittedPrefixCyclic()) {
+        found = TryGreedyCompletion();
+      }
+      if (!found) found = Dfs(t);
+      if (found) return true;
+      --next_unit_[t];
+      UndoUnit(t, unit);
+    }
+    return false;
+  }
+
+  std::vector<PreparedTxn> txns_;
+  int64_t* budget_;
+  std::vector<size_t> next_unit_;
+  std::vector<OpRef> order_;
+  std::map<TupleKey, int> uncommitted_writer_;
+  std::set<TupleKey> committed_insert_, committed_delete_;
+  std::set<std::pair<TupleKey, int>> pending_insert_;
+  std::set<TupleKey> has_insert_;
+  std::set<int> committed_;
+};
+
+}  // namespace
+
+std::optional<Counterexample> FindCounterexample(const std::vector<Ltp>& programs,
+                                                 const SearchOptions& options,
+                                                 SearchStats* stats) {
+  SearchStats local_stats;
+  SearchStats& s = stats != nullptr ? *stats : local_stats;
+  int64_t budget = options.max_schedules;
+
+  std::vector<std::vector<std::vector<StatementBinding>>> bindings(programs.size());
+  for (size_t p = 0; p < programs.size(); ++p) {
+    bindings[p] = EnumerateBindings(programs[p], options.domain_size,
+                                    options.enumerate_pred_subsets,
+                                    /*extend_insert_domain=*/true);
+  }
+
+  std::optional<Counterexample> found;
+
+  auto search_multiset = [&](const std::vector<int>& chosen) -> bool {
+    const int k = static_cast<int>(chosen.size());
+    std::vector<const std::vector<StatementBinding>*> combo(k);
+    std::function<bool(int)> choose_bindings = [&](int txn_slot) {
+      if (budget < 0) return false;
+      if (txn_slot == k) {
+        ++s.bindings_checked;
+        std::vector<PreparedTxn> prepared;
+        prepared.reserve(k);
+        for (int t = 0; t < k; ++t) {
+          std::optional<Transaction> txn = InstantiateLtp(
+              programs[chosen[t]], *combo[t], t, options.domain_size);
+          if (!txn.has_value()) return true;  // inadmissible, keep looking
+          PreparedTxn entry{*std::move(txn), programs[chosen[t]].name(), {}};
+          entry.units = SplitUnits(entry.txn);
+          prepared.push_back(std::move(entry));
+        }
+        if (!HasPotentialCycle(prepared)) return true;
+        InterleavingSearch search(prepared, &budget);
+        std::optional<std::vector<OpRef>> order = search.Run();
+        if (order.has_value()) {
+          Counterexample example;
+          for (const PreparedTxn& entry : prepared) {
+            example.txns.push_back(entry.txn);
+            example.program_names.push_back(entry.program_name);
+          }
+          example.order = *order;
+          found = std::move(example);
+          return false;
+        }
+        return true;
+      }
+      for (const std::vector<StatementBinding>& b : bindings[chosen[txn_slot]]) {
+        combo[txn_slot] = &b;
+        if (!choose_bindings(txn_slot + 1)) return false;
+      }
+      return true;
+    };
+    return choose_bindings(0);
+  };
+
+  if (!options.fixed_multiset.empty()) {
+    search_multiset(options.fixed_multiset);
+  } else {
+    for (int k = options.min_txns; k <= options.max_txns && !found; ++k) {
+      std::vector<int> chosen(k, 0);
+      std::function<bool(int, int)> choose_programs = [&](int slot, int min_index) {
+        if (budget < 0) return false;
+        if (slot == k) return search_multiset(chosen);
+        for (int p = min_index; p < static_cast<int>(programs.size()); ++p) {
+          chosen[slot] = p;
+          if (!choose_programs(slot + 1, p)) return false;
+        }
+        return true;
+      };
+      choose_programs(0, 0);
+    }
+  }
+
+  s.schedules_checked = options.max_schedules - budget;
+  s.budget_exhausted = budget < 0;
+  return found;
+}
+
+}  // namespace mvrc

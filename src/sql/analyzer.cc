@@ -1,0 +1,458 @@
+#include "sql/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/parser.h"
+#include "util/check.h"
+
+namespace mvrc {
+
+namespace {
+
+// The per-statement analysis outcome before BTP assembly.
+struct AnalyzedStatement {
+  std::optional<Statement> statement;
+  // attr -> operand bound by equality/output/VALUES (see header).
+  std::map<AttrId, SqlOperand> bindings;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const SqlWorkloadFile& file) : file_(file) {}
+
+  Result<Workload> Run() {
+    if (!BuildSchema()) return Result<Workload>::Error(error_);
+    for (const SqlProgram& program : file_.programs) {
+      if (!BuildProgram(program)) return Result<Workload>::Error(error_);
+    }
+    return std::move(workload_);
+  }
+
+ private:
+  bool Fail(int line, const std::string& message) {
+    error_ = "analysis error at line " + std::to_string(line) + ": " + message;
+    return false;
+  }
+
+  bool BuildSchema() {
+    for (const SqlTableDecl& table : file_.tables) {
+      if (workload_.schema.FindRelation(table.name) >= 0) {
+        return Fail(0, "duplicate relation " + table.name);
+      }
+      if (static_cast<int>(table.attrs.size()) > AttrSet::kMaxAttrs) {
+        return Fail(0, "relation " + table.name + " has too many attributes");
+      }
+      for (const std::string& key_attr : table.primary_key) {
+        if (std::find(table.attrs.begin(), table.attrs.end(), key_attr) ==
+            table.attrs.end()) {
+          return Fail(0, "primary-key column " + key_attr + " is not an attribute of " +
+                             table.name);
+        }
+      }
+      workload_.schema.AddRelation(table.name, table.attrs, table.primary_key);
+    }
+    for (const SqlFkDecl& fk : file_.foreign_keys) {
+      if (workload_.schema.FindForeignKey(fk.name) >= 0) {
+        return Fail(0, "duplicate foreign key " + fk.name);
+      }
+      RelationId child = workload_.schema.FindRelation(fk.child);
+      RelationId parent = workload_.schema.FindRelation(fk.parent);
+      if (child < 0) return Fail(0, "unknown relation " + fk.child);
+      if (parent < 0) return Fail(0, "unknown relation " + fk.parent);
+      for (const std::string& column : fk.child_columns) {
+        if (workload_.schema.relation(child).FindAttr(column) < 0) {
+          return Fail(0, "foreign-key column " + column + " is not an attribute of " +
+                             fk.child);
+        }
+      }
+      const std::vector<AttrId>& parent_pk =
+          workload_.schema.relation(parent).primary_key_order();
+      if (fk.child_columns.size() != parent_pk.size()) {
+        return Fail(0, "foreign key " + fk.name +
+                           " arity does not match the parent primary key");
+      }
+      workload_.schema.AddForeignKey(fk.name, child, fk.child_columns, parent);
+    }
+    return true;
+  }
+
+  // WHERE analysis: equality bindings (pk_attr = param/const) and the set of
+  // referenced columns.
+  struct WhereInfo {
+    std::map<AttrId, SqlOperand> equalities;
+    AttrSet referenced;
+  };
+
+  bool AnalyzeWhere(const SqlCondition& where, const Relation& rel, int line,
+                    WhereInfo* out) {
+    for (const SqlComparison& cmp : where.conjuncts) {
+      for (const std::vector<SqlOperand>* side : {&cmp.lhs, &cmp.rhs}) {
+        for (const SqlOperand& operand : *side) {
+          if (operand.kind != SqlOperand::Kind::kColumn) continue;
+          AttrId attr = rel.FindAttr(operand.text);
+          if (attr < 0) {
+            return Fail(line, "unknown column " + operand.text + " in relation " +
+                                  rel.name());
+          }
+          out->referenced.Insert(attr);
+        }
+      }
+      // Equality binding: single column on one side, single param/number on
+      // the other.
+      if (cmp.op != "=") continue;
+      for (bool flipped : {false, true}) {
+        const std::vector<SqlOperand>& col_side = flipped ? cmp.rhs : cmp.lhs;
+        const std::vector<SqlOperand>& val_side = flipped ? cmp.lhs : cmp.rhs;
+        if (col_side.size() != 1 || val_side.size() != 1) continue;
+        if (col_side[0].kind != SqlOperand::Kind::kColumn) continue;
+        if (val_side[0].kind == SqlOperand::Kind::kColumn) continue;
+        AttrId attr = rel.FindAttr(col_side[0].text);
+        if (attr >= 0) out->equalities.emplace(attr, val_side[0]);
+      }
+    }
+    return true;
+  }
+
+  bool IsKeyBound(const WhereInfo& info, const Relation& rel) {
+    if (rel.primary_key().empty()) return false;
+    for (AttrId pk : rel.primary_key_order()) {
+      if (!info.equalities.count(pk)) return false;
+    }
+    return true;
+  }
+
+  // Columns read by SET expressions.
+  bool SetExprReads(const SqlStatement& stmt, const Relation& rel, AttrSet* reads) {
+    for (const SqlAssignment& assignment : stmt.assignments) {
+      for (const SqlOperand& operand : assignment.expr) {
+        if (operand.kind != SqlOperand::Kind::kColumn) continue;
+        AttrId attr = rel.FindAttr(operand.text);
+        if (attr < 0) {
+          return Fail(stmt.line, "unknown column " + operand.text + " in relation " +
+                                     rel.name());
+        }
+        reads->Insert(attr);
+      }
+    }
+    return true;
+  }
+
+  bool ColumnsToSet(const std::vector<std::string>& columns, const Relation& rel,
+                    int line, AttrSet* out) {
+    for (const std::string& column : columns) {
+      AttrId attr = rel.FindAttr(column);
+      if (attr < 0) {
+        return Fail(line, "unknown column " + column + " in relation " + rel.name());
+      }
+      out->Insert(attr);
+    }
+    return true;
+  }
+
+  // Joins (SELECT ... FROM A, B WHERE ...) desugar into one predicate/key
+  // selection per joined relation (§5.4's multi-relation extension). The
+  // desugaring over-approximates the schedules of an atomic join evaluation
+  // — the per-relation chunks may be interleaved — which is sound for
+  // robustness (Proposition 5.2). Column names must be unambiguous across
+  // the joined relations.
+  bool AnalyzeJoinSelect(const SqlStatement& stmt, std::vector<AnalyzedStatement>* out) {
+    std::vector<RelationId> rel_ids;
+    for (const std::string& name : stmt.relations) {
+      RelationId rel_id = workload_.schema.FindRelation(name);
+      if (rel_id < 0) return Fail(stmt.line, "unknown relation " + name);
+      rel_ids.push_back(rel_id);
+    }
+    // Resolve a column to the unique relation containing it.
+    auto resolve = [&](const std::string& column, RelationId* owner, AttrId* attr) {
+      *owner = -1;
+      for (RelationId rel_id : rel_ids) {
+        AttrId a = workload_.schema.relation(rel_id).FindAttr(column);
+        if (a < 0) continue;
+        if (*owner >= 0) {
+          Fail(stmt.line, "ambiguous column " + column + " in join");
+          return false;
+        }
+        *owner = rel_id;
+        *attr = a;
+      }
+      if (*owner < 0) {
+        Fail(stmt.line, "unknown column " + column + " in join");
+        return false;
+      }
+      return true;
+    };
+
+    // Partition the WHERE clause per relation.
+    std::map<RelationId, WhereInfo> where_by_rel;
+    for (const SqlComparison& cmp : stmt.where.conjuncts) {
+      for (const std::vector<SqlOperand>* side : {&cmp.lhs, &cmp.rhs}) {
+        for (const SqlOperand& operand : *side) {
+          if (operand.kind != SqlOperand::Kind::kColumn) continue;
+          RelationId owner;
+          AttrId attr;
+          if (!resolve(operand.text, &owner, &attr)) return false;
+          where_by_rel[owner].referenced.Insert(attr);
+        }
+      }
+      if (cmp.op != "=") continue;
+      for (bool flipped : {false, true}) {
+        const std::vector<SqlOperand>& col_side = flipped ? cmp.rhs : cmp.lhs;
+        const std::vector<SqlOperand>& val_side = flipped ? cmp.lhs : cmp.rhs;
+        if (col_side.size() != 1 || val_side.size() != 1) continue;
+        if (col_side[0].kind != SqlOperand::Kind::kColumn) continue;
+        if (val_side[0].kind == SqlOperand::Kind::kColumn) continue;
+        RelationId owner;
+        AttrId attr;
+        if (!resolve(col_side[0].text, &owner, &attr)) return false;
+        where_by_rel[owner].equalities.emplace(attr, val_side[0]);
+      }
+    }
+    // Partition the select list (and the positional INTO bindings).
+    std::map<RelationId, AttrSet> reads_by_rel;
+    std::map<RelationId, std::vector<std::pair<AttrId, std::string>>> outputs_by_rel;
+    for (size_t i = 0; i < stmt.select_columns.size(); ++i) {
+      RelationId owner;
+      AttrId attr;
+      if (!resolve(stmt.select_columns[i], &owner, &attr)) return false;
+      reads_by_rel[owner].Insert(attr);
+      if (i < stmt.into_params.size()) {
+        outputs_by_rel[owner].push_back({attr, stmt.into_params[i]});
+      }
+    }
+    // One selection statement per relation, in FROM order.
+    for (RelationId rel_id : rel_ids) {
+      const std::string label = "q" + std::to_string(++statement_counter_);
+      const WhereInfo& where = where_by_rel[rel_id];
+      bool key_based = IsKeyBound(where, workload_.schema.relation(rel_id));
+      AnalyzedStatement analyzed;
+      analyzed.statement =
+          key_based ? Statement::KeySelect(label, workload_.schema, rel_id,
+                                           reads_by_rel[rel_id])
+                    : Statement::PredSelect(label, workload_.schema, rel_id,
+                                            where.referenced, reads_by_rel[rel_id]);
+      analyzed.bindings = where.equalities;
+      if (key_based) {
+        for (const auto& [attr, param] : outputs_by_rel[rel_id]) {
+          analyzed.bindings.emplace(attr,
+                                    SqlOperand{SqlOperand::Kind::kParam, param});
+        }
+      }
+      out->push_back(std::move(analyzed));
+    }
+    return true;
+  }
+
+  bool AnalyzeStatement(const SqlStatement& stmt, AnalyzedStatement* out) {
+    RelationId rel_id = workload_.schema.FindRelation(stmt.relation);
+    if (rel_id < 0) return Fail(stmt.line, "unknown relation " + stmt.relation);
+    const Relation& rel = workload_.schema.relation(rel_id);
+    const std::string label = "q" + std::to_string(++statement_counter_);
+
+    WhereInfo where;
+    if (stmt.type != SqlStatement::Type::kInsert) {
+      if (!AnalyzeWhere(stmt.where, rel, stmt.line, &where)) return false;
+    }
+    bool key_based = IsKeyBound(where, rel);
+
+    switch (stmt.type) {
+      case SqlStatement::Type::kSelect: {
+        AttrSet read_set;
+        if (!ColumnsToSet(stmt.select_columns, rel, stmt.line, &read_set)) return false;
+        out->statement =
+            key_based
+                ? Statement::KeySelect(label, workload_.schema, rel_id, read_set)
+                : Statement::PredSelect(label, workload_.schema, rel_id,
+                                        where.referenced, read_set);
+        break;
+      }
+      case SqlStatement::Type::kUpdate: {
+        AttrSet write_set, read_set;
+        for (const SqlAssignment& assignment : stmt.assignments) {
+          AttrId attr = rel.FindAttr(assignment.column);
+          if (attr < 0) {
+            return Fail(stmt.line, "unknown column " + assignment.column +
+                                       " in relation " + rel.name());
+          }
+          write_set.Insert(attr);
+        }
+        if (!SetExprReads(stmt, rel, &read_set)) return false;
+        if (!ColumnsToSet(stmt.returning_columns, rel, stmt.line, &read_set)) {
+          return false;
+        }
+        out->statement =
+            key_based
+                ? Statement::KeyUpdate(label, workload_.schema, rel_id, read_set,
+                                       write_set)
+                : Statement::PredUpdate(label, workload_.schema, rel_id,
+                                        where.referenced, read_set, write_set);
+        break;
+      }
+      case SqlStatement::Type::kInsert: {
+        if (static_cast<int>(stmt.values.size()) != rel.num_attrs()) {
+          return Fail(stmt.line, "INSERT arity does not match relation " + rel.name());
+        }
+        out->statement = Statement::Insert(label, workload_.schema, rel_id);
+        break;
+      }
+      case SqlStatement::Type::kDelete: {
+        out->statement =
+            key_based
+                ? Statement::KeyDelete(label, workload_.schema, rel_id)
+                : Statement::PredDelete(label, workload_.schema, rel_id,
+                                        where.referenced);
+        break;
+      }
+    }
+
+    // Bindings for foreign-key derivation: WHERE equalities first.
+    out->bindings = where.equalities;
+    // INSERT VALUES: position i binds attribute i when the value is a single
+    // parameter or constant.
+    if (stmt.type == SqlStatement::Type::kInsert) {
+      for (size_t i = 0; i < stmt.values.size(); ++i) {
+        if (stmt.values[i].size() == 1 &&
+            stmt.values[i][0].kind != SqlOperand::Kind::kColumn) {
+          out->bindings.emplace(static_cast<AttrId>(i), stmt.values[i][0]);
+        }
+      }
+    }
+    // Output bindings (INTO / RETURNING INTO) are functional only for
+    // key-based statements (one row).
+    if (key_based || stmt.type == SqlStatement::Type::kInsert) {
+      for (size_t i = 0; i < stmt.into_params.size(); ++i) {
+        AttrId attr = rel.FindAttr(stmt.select_columns[i]);
+        SqlOperand operand{SqlOperand::Kind::kParam, stmt.into_params[i]};
+        out->bindings.emplace(attr, operand);
+      }
+      for (size_t i = 0; i < stmt.returning_into.size(); ++i) {
+        AttrId attr = rel.FindAttr(stmt.returning_columns[i]);
+        SqlOperand operand{SqlOperand::Kind::kParam, stmt.returning_into[i]};
+        out->bindings.emplace(attr, operand);
+      }
+    }
+    return true;
+  }
+
+  // Recursively lowers a block into BTP structure; appends analyzed
+  // statements to `analyzed_`.
+  bool LowerBlock(const SqlBlock& block, Btp* btp, std::vector<Btp::NodeId>* nodes) {
+    for (const SqlBlockItem& item : block.items) {
+      switch (item.kind) {
+        case SqlBlockItem::Kind::kStatement: {
+          std::vector<AnalyzedStatement> results;
+          if (item.statement.type == SqlStatement::Type::kSelect &&
+              item.statement.relations.size() > 1) {
+            if (!AnalyzeJoinSelect(item.statement, &results)) return false;
+          } else {
+            AnalyzedStatement analyzed;
+            if (!AnalyzeStatement(item.statement, &analyzed)) return false;
+            results.push_back(std::move(analyzed));
+          }
+          for (AnalyzedStatement& analyzed : results) {
+            StmtId id = btp->AddStatement(*analyzed.statement);
+            MVRC_CHECK(id == static_cast<int>(analyzed_.size()));
+            analyzed_.push_back(std::move(analyzed));
+            nodes->push_back(btp->Stmt(id));
+          }
+          break;
+        }
+        case SqlBlockItem::Kind::kIf: {
+          std::vector<Btp::NodeId> then_nodes, else_nodes;
+          if (!LowerBlock(item.then_block, btp, &then_nodes)) return false;
+          Btp::NodeId then_node = btp->Seq(std::move(then_nodes));
+          if (item.has_else) {
+            if (!LowerBlock(item.else_block, btp, &else_nodes)) return false;
+            nodes->push_back(btp->Choice(then_node, btp->Seq(std::move(else_nodes))));
+          } else {
+            nodes->push_back(btp->Optional(then_node));
+          }
+          break;
+        }
+        case SqlBlockItem::Kind::kLoop: {
+          std::vector<Btp::NodeId> body_nodes;
+          if (!LowerBlock(item.loop_block, btp, &body_nodes)) return false;
+          nodes->push_back(btp->Loop(btp->Seq(std::move(body_nodes))));
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Derives foreign-key constraints among the program's statements.
+  void DeriveConstraints(Btp* btp) {
+    const Schema& schema = workload_.schema;
+    for (ForeignKeyId f = 0; f < schema.num_foreign_keys(); ++f) {
+      const ForeignKey& fk = schema.foreign_key(f);
+      const std::vector<AttrId>& parent_pk =
+          schema.relation(fk.range).primary_key_order();
+      for (StmtId child = 0; child < btp->num_statements(); ++child) {
+        if (btp->statement(child).rel() != fk.dom) continue;
+        // Operand tuple bound to the child's referencing columns.
+        std::vector<SqlOperand> child_operands;
+        bool child_bound = true;
+        for (AttrId attr : fk.dom_attrs) {
+          auto it = analyzed_[child].bindings.find(attr);
+          if (it == analyzed_[child].bindings.end()) {
+            child_bound = false;
+            break;
+          }
+          child_operands.push_back(it->second);
+        }
+        if (!child_bound) continue;
+        for (StmtId parent = 0; parent < btp->num_statements(); ++parent) {
+          if (parent == child) continue;
+          if (btp->statement(parent).rel() != fk.range) continue;
+          if (!IsKeyBased(btp->statement(parent).type())) continue;
+          bool matches = true;
+          for (size_t i = 0; i < parent_pk.size(); ++i) {
+            auto it = analyzed_[parent].bindings.find(parent_pk[i]);
+            if (it == analyzed_[parent].bindings.end() ||
+                !(it->second == child_operands[i])) {
+              matches = false;
+              break;
+            }
+          }
+          if (matches) btp->AddFkConstraint(schema, parent, f, child);
+        }
+      }
+    }
+  }
+
+  bool BuildProgram(const SqlProgram& program) {
+    analyzed_.clear();
+    Btp btp(program.name);
+    std::vector<Btp::NodeId> nodes;
+    if (!LowerBlock(program.body, &btp, &nodes)) return false;
+    btp.Finish(btp.Seq(std::move(nodes)));
+    DeriveConstraints(&btp);
+    workload_.programs.push_back(std::move(btp));
+    workload_.abbreviations.push_back(program.name);
+    return true;
+  }
+
+  const SqlWorkloadFile& file_;
+  Workload workload_;
+  std::string error_;
+  int statement_counter_ = 0;
+  std::vector<AnalyzedStatement> analyzed_;  // per current program, by StmtId
+};
+
+}  // namespace
+
+Result<Workload> AnalyzeWorkload(const SqlWorkloadFile& file) {
+  Analyzer analyzer(file);
+  return analyzer.Run();
+}
+
+Result<Workload> ParseWorkloadSql(const std::string& source) {
+  Result<SqlWorkloadFile> file = ParseSql(source);
+  if (!file.ok()) return Result<Workload>::Error(file.error());
+  return AnalyzeWorkload(file.value());
+}
+
+}  // namespace mvrc

@@ -1,0 +1,41 @@
+// SQL -> BTP translation (Appendix A) with automatic derivation of
+// statement-level foreign-key constraint annotations.
+//
+// Statement classification: a statement is key-based when its WHERE clause
+// is a conjunction containing, for every primary-key attribute of the
+// relation, an equality binding that attribute to a parameter or constant;
+// it is predicate-based otherwise (PReadSet = all columns referenced in the
+// WHERE clause). Set derivation follows Appendix A: select-set (plus SET
+// expression columns and RETURNING columns for updates) forms the ReadSet;
+// SET targets form the WriteSet; inserts and deletes write all attributes.
+//
+// Foreign-key constraints q_parent = f(q_child) are derived when the child
+// statement binds all referencing columns of f and a key-based parent
+// statement binds its primary key to the same parameter tuple. Bindings
+// come from WHERE equalities, from INTO/RETURNING output assignments (only
+// on key-based statements — a predicate statement's outputs are not
+// functional in its tuples) and from INSERT VALUES positions.
+//
+// Statements are labeled q1, q2, ... in file order across all programs,
+// matching the paper's numbering of Figures 10 and 17.
+
+#ifndef MVRC_SQL_ANALYZER_H_
+#define MVRC_SQL_ANALYZER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/result.h"
+#include "workloads/workload.h"
+
+namespace mvrc {
+
+/// Translates a parsed workload file into schema + BTPs.
+Result<Workload> AnalyzeWorkload(const SqlWorkloadFile& file);
+
+/// Parse + analyze in one step.
+Result<Workload> ParseWorkloadSql(const std::string& source);
+
+}  // namespace mvrc
+
+#endif  // MVRC_SQL_ANALYZER_H_

@@ -1,0 +1,109 @@
+// AST for the SQL fragment of Appendix A plus the schema DDL. Produced by
+// sql/parser.h, consumed by sql/analyzer.h.
+
+#ifndef MVRC_SQL_AST_H_
+#define MVRC_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace mvrc {
+
+/// An operand of an expression or comparison.
+struct SqlOperand {
+  enum class Kind { kColumn, kParam, kNumber };
+  Kind kind = Kind::kColumn;
+  std::string text;  // column/param name or number literal
+
+  friend bool operator==(const SqlOperand&, const SqlOperand&) = default;
+};
+
+/// A comparison `lhs op rhs` where both sides are arithmetic expressions
+/// (operand lists; the operators between them are irrelevant to the
+/// analysis and dropped).
+struct SqlComparison {
+  std::vector<SqlOperand> lhs;
+  std::string op;  // =, <, <=, >, >=, <>
+  std::vector<SqlOperand> rhs;
+};
+
+/// A conjunctive WHERE condition.
+struct SqlCondition {
+  std::vector<SqlComparison> conjuncts;
+};
+
+/// One SET column = expr assignment.
+struct SqlAssignment {
+  std::string column;
+  std::vector<SqlOperand> expr;
+};
+
+/// A SELECT / UPDATE / INSERT / DELETE statement.
+struct SqlStatement {
+  enum class Type { kSelect, kUpdate, kInsert, kDelete };
+  Type type = Type::kSelect;
+  int line = 0;
+  std::string relation;                 // first (or only) relation
+  std::vector<std::string> relations;   // all FROM relations (SELECT joins)
+
+  std::vector<std::string> select_columns;  // SELECT
+  std::vector<std::string> into_params;     // SELECT ... INTO
+
+  std::vector<SqlAssignment> assignments;      // UPDATE ... SET
+  std::vector<std::string> returning_columns;  // UPDATE ... RETURNING
+  std::vector<std::string> returning_into;     // ... INTO
+
+  std::vector<std::vector<SqlOperand>> values;  // INSERT ... VALUES
+
+  SqlCondition where;  // SELECT/UPDATE/DELETE
+};
+
+struct SqlBlockItem;
+
+/// A sequence of statements / IFs / LOOPs.
+struct SqlBlock {
+  std::vector<SqlBlockItem> items;
+};
+
+struct SqlBlockItem {
+  enum class Kind { kStatement, kIf, kLoop };
+  Kind kind = Kind::kStatement;
+  SqlStatement statement;  // kStatement
+  SqlBlock then_block;     // kIf
+  SqlBlock else_block;     // kIf (empty when no ELSE)
+  bool has_else = false;
+  SqlBlock loop_block;  // kLoop
+};
+
+/// PROGRAM name(params): body COMMIT;
+struct SqlProgram {
+  std::string name;
+  std::vector<std::string> params;
+  SqlBlock body;
+};
+
+/// TABLE name(attrs..., PRIMARY KEY(...));
+struct SqlTableDecl {
+  std::string name;
+  std::vector<std::string> attrs;
+  std::vector<std::string> primary_key;
+};
+
+/// FOREIGN KEY name: child(cols...) REFERENCES parent;
+struct SqlFkDecl {
+  std::string name;
+  std::string child;
+  std::vector<std::string> child_columns;
+  std::string parent;
+};
+
+/// A whole workload file.
+struct SqlWorkloadFile {
+  std::vector<SqlTableDecl> tables;
+  std::vector<SqlFkDecl> foreign_keys;
+  std::vector<SqlProgram> programs;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_SQL_AST_H_

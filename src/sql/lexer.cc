@@ -1,0 +1,98 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace mvrc {
+
+bool Token::IsKeyword(const char* keyword) const {
+  if (type != TokenType::kIdent) return false;
+  size_t i = 0;
+  for (; i < text.size() && keyword[i] != '\0'; ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return i == text.size() && keyword[i] == '\0';
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  auto error = [&line](const std::string& message) {
+    return Result<std::vector<Token>>::Error("lexer error at line " +
+                                             std::to_string(line) + ": " + message);
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: "--" to end of line.
+    if (c == '-' && i + 1 < source.size() && source[i + 1] == '-') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                                   source[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back({TokenType::kIdent, source.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      tokens.push_back({TokenType::kNumber, source.substr(start, i - start), line});
+      continue;
+    }
+    if (c == ':') {
+      // A parameter when followed by an identifier; the ':' symbol otherwise
+      // (used after PROGRAM headers and FK names).
+      if (i + 1 < source.size() &&
+          (std::isalpha(static_cast<unsigned char>(source[i + 1])) ||
+           source[i + 1] == '_')) {
+        size_t start = ++i;
+        while (i < source.size() &&
+               (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                source[i] == '_')) {
+          ++i;
+        }
+        tokens.push_back({TokenType::kParam, source.substr(start, i - start), line});
+      } else {
+        tokens.push_back({TokenType::kSymbol, ":", line});
+        ++i;
+      }
+      continue;
+    }
+    // Two-character comparison operators.
+    if ((c == '<' || c == '>') && i + 1 < source.size() &&
+        (source[i + 1] == '=' || (c == '<' && source[i + 1] == '>'))) {
+      tokens.push_back({TokenType::kSymbol, source.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    if (std::string("(),;=<>+-*?").find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({TokenType::kEof, "", line});
+  return tokens;
+}
+
+}  // namespace mvrc

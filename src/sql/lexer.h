@@ -1,0 +1,38 @@
+// Lexer for the SQL fragment of Appendix A (see sql/parser.h for the
+// grammar). Keywords are case-insensitive and classified by the parser;
+// the lexer produces identifiers, parameters (:name), integer literals and
+// punctuation. "--" comments run to end of line.
+
+#ifndef MVRC_SQL_LEXER_H_
+#define MVRC_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mvrc {
+
+enum class TokenType {
+  kIdent,   // relation/column names and keywords
+  kParam,   // :name
+  kNumber,  // integer literal
+  kSymbol,  // ( ) , ; : = < > <= >= <> + - * ?
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;  // identifier/param name (without ':'), number or symbol
+  int line = 0;
+
+  /// Case-insensitive keyword comparison for identifiers.
+  bool IsKeyword(const char* keyword) const;
+};
+
+/// Tokenizes `source`; the result always ends with a kEof token.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace mvrc
+
+#endif  // MVRC_SQL_LEXER_H_

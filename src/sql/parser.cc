@@ -1,0 +1,416 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "util/check.h"
+
+namespace mvrc {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlWorkloadFile> Parse() {
+    SqlWorkloadFile file;
+    while (!AtEnd()) {
+      if (PeekKeyword("TABLE")) {
+        if (!ParseTable(&file)) return Error();
+      } else if (PeekKeyword("FOREIGN")) {
+        if (!ParseForeignKey(&file)) return Error();
+      } else if (PeekKeyword("PROGRAM")) {
+        if (!ParseProgram(&file)) return Error();
+      } else {
+        Fail("expected TABLE, FOREIGN KEY or PROGRAM");
+        return Error();
+      }
+    }
+    return file;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEof; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const char* keyword) const { return Peek().IsKeyword(keyword); }
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = "parse error at line " + std::to_string(Peek().line) + ": " + message +
+               " (found '" + Peek().text + "')";
+    }
+  }
+
+  Result<SqlWorkloadFile> Error() const {
+    return Result<SqlWorkloadFile>::Error(error_.empty() ? "unknown parse error"
+                                                         : error_);
+  }
+
+  bool ExpectKeyword(const char* keyword) {
+    if (!PeekKeyword(keyword)) {
+      Fail(std::string("expected ") + keyword);
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  bool ExpectSymbol(const char* symbol) {
+    if (Peek().type != TokenType::kSymbol || Peek().text != symbol) {
+      Fail(std::string("expected '") + symbol + "'");
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  bool ExpectIdent(std::string* out) {
+    if (Peek().type != TokenType::kIdent) {
+      Fail("expected identifier");
+      return false;
+    }
+    *out = Advance().text;
+    return true;
+  }
+
+  bool ExpectParam(std::string* out) {
+    if (Peek().type != TokenType::kParam) {
+      Fail("expected :parameter");
+      return false;
+    }
+    *out = Advance().text;
+    return true;
+  }
+
+  bool ParseTable(SqlWorkloadFile* file) {
+    Advance();  // TABLE
+    SqlTableDecl table;
+    if (!ExpectIdent(&table.name)) return false;
+    if (!ExpectSymbol("(")) return false;
+    // Attributes until PRIMARY or ')'.
+    while (true) {
+      if (PeekKeyword("PRIMARY")) {
+        Advance();
+        if (!ExpectKeyword("KEY")) return false;
+        if (!ExpectSymbol("(")) return false;
+        std::string attr;
+        if (!ExpectIdent(&attr)) return false;
+        table.primary_key.push_back(attr);
+        while (Peek().type == TokenType::kSymbol && Peek().text == ",") {
+          Advance();
+          if (!ExpectIdent(&attr)) return false;
+          table.primary_key.push_back(attr);
+        }
+        if (!ExpectSymbol(")")) return false;
+        break;
+      }
+      std::string attr;
+      if (!ExpectIdent(&attr)) return false;
+      table.attrs.push_back(attr);
+      if (Peek().type == TokenType::kSymbol && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (!ExpectSymbol(")")) return false;
+    if (!ExpectSymbol(";")) return false;
+    file->tables.push_back(std::move(table));
+    return true;
+  }
+
+  bool ParseForeignKey(SqlWorkloadFile* file) {
+    Advance();  // FOREIGN
+    if (!ExpectKeyword("KEY")) return false;
+    SqlFkDecl fk;
+    if (!ExpectIdent(&fk.name)) return false;
+    if (!ExpectSymbol(":")) return false;
+    if (!ExpectIdent(&fk.child)) return false;
+    if (!ExpectSymbol("(")) return false;
+    std::string column;
+    if (!ExpectIdent(&column)) return false;
+    fk.child_columns.push_back(column);
+    while (Peek().type == TokenType::kSymbol && Peek().text == ",") {
+      Advance();
+      if (!ExpectIdent(&column)) return false;
+      fk.child_columns.push_back(column);
+    }
+    if (!ExpectSymbol(")")) return false;
+    if (!ExpectKeyword("REFERENCES")) return false;
+    if (!ExpectIdent(&fk.parent)) return false;
+    if (!ExpectSymbol(";")) return false;
+    file->foreign_keys.push_back(std::move(fk));
+    return true;
+  }
+
+  bool ParseProgram(SqlWorkloadFile* file) {
+    Advance();  // PROGRAM
+    SqlProgram program;
+    if (!ExpectIdent(&program.name)) return false;
+    if (!ExpectSymbol("(")) return false;
+    if (!(Peek().type == TokenType::kSymbol && Peek().text == ")")) {
+      std::string param;
+      if (!ExpectParam(&param)) return false;
+      program.params.push_back(param);
+      while (Peek().type == TokenType::kSymbol && Peek().text == ",") {
+        Advance();
+        if (!ExpectParam(&param)) return false;
+        program.params.push_back(param);
+      }
+    }
+    if (!ExpectSymbol(")")) return false;
+    if (!ExpectSymbol(":")) return false;
+    if (!ParseBlock(&program.body, /*stop=*/"COMMIT")) return false;
+    Advance();  // COMMIT
+    if (!ExpectSymbol(";")) return false;
+    file->programs.push_back(std::move(program));
+    return true;
+  }
+
+  // Parses statements until the `stop` keyword (COMMIT / ELSE / END).
+  bool ParseBlock(SqlBlock* block, const char* stop) {
+    while (true) {
+      if (PeekKeyword(stop) || PeekKeyword("ELSE") || PeekKeyword("END")) return true;
+      if (AtEnd()) {
+        Fail(std::string("unexpected end of input, expected ") + stop);
+        return false;
+      }
+      SqlBlockItem item;
+      if (PeekKeyword("IF")) {
+        if (!ParseIf(&item)) return false;
+      } else if (PeekKeyword("LOOP")) {
+        if (!ParseLoop(&item)) return false;
+      } else {
+        item.kind = SqlBlockItem::Kind::kStatement;
+        if (!ParseStatement(&item.statement)) return false;
+      }
+      block->items.push_back(std::move(item));
+    }
+  }
+
+  bool ParseIf(SqlBlockItem* item) {
+    item->kind = SqlBlockItem::Kind::kIf;
+    Advance();  // IF
+    // The condition: '?' or comparisons over locals; content is discarded.
+    if (Peek().type == TokenType::kSymbol && Peek().text == "?") {
+      Advance();
+    } else {
+      SqlCondition ignored;
+      if (!ParseCondition(&ignored)) return false;
+    }
+    if (!ExpectKeyword("THEN")) return false;
+    if (!ParseBlock(&item->then_block, "END")) return false;
+    if (PeekKeyword("ELSE")) {
+      Advance();
+      item->has_else = true;
+      if (!ParseBlock(&item->else_block, "END")) return false;
+    }
+    if (!ExpectKeyword("END")) return false;
+    if (!ExpectKeyword("IF")) return false;
+    if (!ExpectSymbol(";")) return false;
+    return true;
+  }
+
+  bool ParseLoop(SqlBlockItem* item) {
+    item->kind = SqlBlockItem::Kind::kLoop;
+    Advance();  // LOOP
+    if (!ParseBlock(&item->loop_block, "END")) return false;
+    if (!ExpectKeyword("END")) return false;
+    if (!ExpectKeyword("LOOP")) return false;
+    if (!ExpectSymbol(";")) return false;
+    return true;
+  }
+
+  // Appends the operands of one operand position to `out`; a parenthesized
+  // sub-expression contributes all of its operands (the analysis only needs
+  // the referenced columns/params, not the arithmetic structure).
+  bool ParseOperandInto(std::vector<SqlOperand>* out) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == "(") {
+      Advance();
+      if (!ParseExpr(out)) return false;
+      return ExpectSymbol(")");
+    }
+    SqlOperand operand;
+    if (Peek().type == TokenType::kIdent) {
+      operand.kind = SqlOperand::Kind::kColumn;
+    } else if (Peek().type == TokenType::kParam) {
+      operand.kind = SqlOperand::Kind::kParam;
+    } else if (Peek().type == TokenType::kNumber) {
+      operand.kind = SqlOperand::Kind::kNumber;
+    } else {
+      Fail("expected column, :parameter, number or (expression)");
+      return false;
+    }
+    operand.text = Advance().text;
+    out->push_back(std::move(operand));
+    return true;
+  }
+
+  bool ParseExpr(std::vector<SqlOperand>* out) {
+    if (!ParseOperandInto(out)) return false;
+    while (Peek().type == TokenType::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-" || Peek().text == "*")) {
+      Advance();
+      if (!ParseOperandInto(out)) return false;
+    }
+    return true;
+  }
+
+  bool ParseComparison(SqlComparison* out) {
+    if (!ParseExpr(&out->lhs)) return false;
+    if (Peek().type != TokenType::kSymbol ||
+        (Peek().text != "=" && Peek().text != "<" && Peek().text != "<=" &&
+         Peek().text != ">" && Peek().text != ">=" && Peek().text != "<>")) {
+      Fail("expected comparison operator");
+      return false;
+    }
+    out->op = Advance().text;
+    return ParseExpr(&out->rhs);
+  }
+
+  bool ParseCondition(SqlCondition* out) {
+    SqlComparison comparison;
+    if (!ParseComparison(&comparison)) return false;
+    out->conjuncts.push_back(std::move(comparison));
+    while (PeekKeyword("AND")) {
+      Advance();
+      SqlComparison next;
+      if (!ParseComparison(&next)) return false;
+      out->conjuncts.push_back(std::move(next));
+    }
+    return true;
+  }
+
+  bool ParseColumnList(std::vector<std::string>* out) {
+    std::string column;
+    if (!ExpectIdent(&column)) return false;
+    out->push_back(column);
+    while (Peek().type == TokenType::kSymbol && Peek().text == ",") {
+      Advance();
+      if (!ExpectIdent(&column)) return false;
+      out->push_back(column);
+    }
+    return true;
+  }
+
+  bool ParseParamList(std::vector<std::string>* out) {
+    std::string param;
+    if (!ExpectParam(&param)) return false;
+    out->push_back(param);
+    while (Peek().type == TokenType::kSymbol && Peek().text == ",") {
+      Advance();
+      if (!ExpectParam(&param)) return false;
+      out->push_back(param);
+    }
+    return true;
+  }
+
+  bool ParseStatement(SqlStatement* out) {
+    out->line = Peek().line;
+    if (PeekKeyword("SELECT")) {
+      Advance();
+      out->type = SqlStatement::Type::kSelect;
+      if (!ParseColumnList(&out->select_columns)) return false;
+      if (PeekKeyword("INTO")) {
+        Advance();
+        if (!ParseParamList(&out->into_params)) return false;
+        if (out->into_params.size() != out->select_columns.size()) {
+          Fail("INTO arity does not match the select list");
+          return false;
+        }
+      }
+      if (!ExpectKeyword("FROM")) return false;
+      if (!ExpectIdent(&out->relation)) return false;
+      out->relations.push_back(out->relation);
+      while (Peek().type == TokenType::kSymbol && Peek().text == ",") {
+        Advance();
+        std::string more;
+        if (!ExpectIdent(&more)) return false;
+        out->relations.push_back(more);  // join: SELECT ... FROM A, B
+      }
+      if (!ExpectKeyword("WHERE")) return false;
+      if (!ParseCondition(&out->where)) return false;
+      return ExpectSymbol(";");
+    }
+    if (PeekKeyword("UPDATE")) {
+      Advance();
+      out->type = SqlStatement::Type::kUpdate;
+      if (!ExpectIdent(&out->relation)) return false;
+      if (!ExpectKeyword("SET")) return false;
+      while (true) {
+        SqlAssignment assignment;
+        if (!ExpectIdent(&assignment.column)) return false;
+        if (!ExpectSymbol("=")) return false;
+        if (!ParseExpr(&assignment.expr)) return false;
+        out->assignments.push_back(std::move(assignment));
+        if (Peek().type == TokenType::kSymbol && Peek().text == ",") {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (!ExpectKeyword("WHERE")) return false;
+      if (!ParseCondition(&out->where)) return false;
+      if (PeekKeyword("RETURNING")) {
+        Advance();
+        if (!ParseColumnList(&out->returning_columns)) return false;
+        if (PeekKeyword("INTO")) {
+          Advance();
+          if (!ParseParamList(&out->returning_into)) return false;
+          if (out->returning_into.size() != out->returning_columns.size()) {
+            Fail("INTO arity does not match the RETURNING list");
+            return false;
+          }
+        }
+      }
+      return ExpectSymbol(";");
+    }
+    if (PeekKeyword("INSERT")) {
+      Advance();
+      out->type = SqlStatement::Type::kInsert;
+      if (!ExpectKeyword("INTO")) return false;
+      if (!ExpectIdent(&out->relation)) return false;
+      if (!ExpectKeyword("VALUES")) return false;
+      if (!ExpectSymbol("(")) return false;
+      while (true) {
+        std::vector<SqlOperand> expr;
+        if (!ParseExpr(&expr)) return false;
+        out->values.push_back(std::move(expr));
+        if (Peek().type == TokenType::kSymbol && Peek().text == ",") {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (!ExpectSymbol(")")) return false;
+      return ExpectSymbol(";");
+    }
+    if (PeekKeyword("DELETE")) {
+      Advance();
+      out->type = SqlStatement::Type::kDelete;
+      if (!ExpectKeyword("FROM")) return false;
+      if (!ExpectIdent(&out->relation)) return false;
+      if (!ExpectKeyword("WHERE")) return false;
+      if (!ParseCondition(&out->where)) return false;
+      return ExpectSymbol(";");
+    }
+    Fail("expected SELECT, UPDATE, INSERT or DELETE");
+    return false;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<SqlWorkloadFile> ParseSql(const std::string& source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return Result<SqlWorkloadFile>::Error(tokens.error());
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace mvrc

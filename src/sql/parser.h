@@ -1,0 +1,44 @@
+// Recursive-descent parser for the workload dialect modeled on the SQL
+// fragment of Appendix A:
+//
+//   workload  := (table | fkey | program)*
+//   table     := TABLE name '(' attr (',' attr)*
+//                  [',' PRIMARY KEY '(' attr (',' attr)* ')'] ')' ';'
+//   fkey      := FOREIGN KEY name ':' child '(' col (',' col)* ')'
+//                  REFERENCES parent ';'
+//   program   := PROGRAM name '(' [:p (',' :p)*] ')' ':' stmt* COMMIT ';'
+//   stmt      := select | update | insert | delete | if | loop
+//   select    := SELECT col (',' col)* [INTO :p (',' :p)*] FROM name
+//                  WHERE cond ';'
+//   update    := UPDATE name SET col '=' expr (',' col '=' expr)*
+//                  WHERE cond [RETURNING col (',' col)* [INTO :p ...]] ';'
+//   insert    := INSERT INTO name VALUES '(' expr (',' expr)* ')' ';'
+//   delete    := DELETE FROM name WHERE cond ';'
+//   if        := IF cond THEN stmt* [ELSE stmt*] END IF ';'
+//   loop      := LOOP stmt* END LOOP ';'
+//   cond      := cmp (AND cmp)* | '?'          ('?': opaque app condition)
+//   cmp       := expr (= | < | <= | > | >= | <>) expr
+//   expr      := operand ((+ | - | *) operand)*
+//   operand   := column | :param | number
+//
+// IF conditions may reference locals only; '?' denotes a condition the
+// analysis cannot see (e.g. "customer selected by name"). Either way the
+// condition itself contributes no database reads — branching is what the
+// BTP records.
+
+#ifndef MVRC_SQL_PARSER_H_
+#define MVRC_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace mvrc {
+
+/// Parses a workload file.
+Result<SqlWorkloadFile> ParseSql(const std::string& source);
+
+}  // namespace mvrc
+
+#endif  // MVRC_SQL_PARSER_H_

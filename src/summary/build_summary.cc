@@ -1,0 +1,36 @@
+#include "summary/build_summary.h"
+
+#include "btp/unfold.h"
+
+namespace mvrc {
+
+SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings) {
+  SummaryGraph graph(std::move(programs));
+  const int n = graph.num_programs();
+  for (int pi = 0; pi < n; ++pi) {
+    const Ltp& program_i = graph.program(pi);
+    for (int pj = 0; pj < n; ++pj) {
+      const Ltp& program_j = graph.program(pj);
+      for (int qi = 0; qi < program_i.size(); ++qi) {
+        for (int qj = 0; qj < program_j.size(); ++qj) {
+          if (program_i.stmt(qi).rel() != program_j.stmt(qj).rel()) continue;
+          if (AllowsNonCounterflow(program_i.stmt(qi), program_j.stmt(qj),
+                                   settings.granularity)) {
+            graph.AddEdge({pi, qi, /*counterflow=*/false, qj, pj});
+          }
+          if (AllowsCounterflow(program_i, qi, program_j, qj, settings)) {
+            graph.AddEdge({pi, qi, /*counterflow=*/true, qj, pj});
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+SummaryGraph BuildSummaryGraph(const std::vector<Btp>& programs,
+                               const AnalysisSettings& settings) {
+  return BuildSummaryGraph(UnfoldAtMost2(programs), settings);
+}
+
+}  // namespace mvrc

@@ -1,0 +1,28 @@
+// Algorithm 1 (paper §6.2): constructSuG — builds the summary graph for a
+// set of LTPs under the chosen analysis settings.
+
+#ifndef MVRC_SUMMARY_BUILD_SUMMARY_H_
+#define MVRC_SUMMARY_BUILD_SUMMARY_H_
+
+#include <vector>
+
+#include "btp/ltp.h"
+#include "btp/program.h"
+#include "summary/dep_tables.h"
+#include "summary/summary_graph.h"
+
+namespace mvrc {
+
+/// Algorithm 1: for every ordered pair of programs (including P_i = P_j) and
+/// every pair of statement occurrences over the same relation, adds a
+/// non-counterflow and/or counterflow edge according to
+/// ncDepTable/cDepTable + ncDepConds/cDepConds.
+SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings);
+
+/// Convenience wrapper: Unfold≤2 then Algorithm 1.
+SummaryGraph BuildSummaryGraph(const std::vector<Btp>& programs,
+                               const AnalysisSettings& settings);
+
+}  // namespace mvrc
+
+#endif  // MVRC_SUMMARY_BUILD_SUMMARY_H_

@@ -1,0 +1,153 @@
+#include "summary/dep_tables.h"
+
+#include "util/check.h"
+
+namespace mvrc {
+
+namespace {
+
+// Row/column order matches Table 1 of the paper:
+// ins, key sel, pred sel, key upd, pred upd, key del, pred del.
+constexpr int kIns = 0, kKeySel = 1, kPredSel = 2, kKeyUpd = 3, kPredUpd = 4,
+              kKeyDel = 5, kPredDel = 6;
+
+int TableIndex(StatementType type) {
+  switch (type) {
+    case StatementType::kInsert:
+      return kIns;
+    case StatementType::kKeySelect:
+      return kKeySel;
+    case StatementType::kPredSelect:
+      return kPredSel;
+    case StatementType::kKeyUpdate:
+      return kKeyUpd;
+    case StatementType::kPredUpdate:
+      return kPredUpd;
+    case StatementType::kKeyDelete:
+      return kKeyDel;
+    case StatementType::kPredDelete:
+      return kPredDel;
+  }
+  MVRC_CHECK_MSG(false, "unreachable statement type");
+  return -1;
+}
+
+constexpr TableEntry F = TableEntry::kFalse;
+constexpr TableEntry T = TableEntry::kTrue;
+constexpr TableEntry C = TableEntry::kCheck;
+
+// Table 1a.
+constexpr TableEntry kNcDepTable[7][7] = {
+    //            ins  key sel  pred sel  key upd  pred upd  key del  pred del
+    /* ins      */ {F, C, T, C, T, C, T},
+    /* key sel  */ {F, F, F, C, C, C, C},
+    /* pred sel */ {T, F, F, C, C, T, T},
+    /* key upd  */ {F, C, C, C, C, C, C},
+    /* pred upd */ {T, C, C, C, C, T, T},
+    /* key del  */ {F, F, T, F, T, F, T},
+    /* pred del */ {T, F, T, C, T, T, T},
+};
+
+// Table 1b.
+constexpr TableEntry kCDepTable[7][7] = {
+    //            ins  key sel  pred sel  key upd  pred upd  key del  pred del
+    /* ins      */ {F, F, F, F, F, F, F},
+    /* key sel  */ {F, F, F, C, C, C, C},
+    /* pred sel */ {T, F, F, C, C, T, T},
+    /* key upd  */ {F, F, F, F, F, F, F},
+    /* pred upd */ {T, F, F, C, C, T, T},
+    /* key del  */ {F, F, F, F, F, F, F},
+    /* pred del */ {T, F, F, C, C, T, T},
+};
+
+// Non-empty intersection at attribute granularity; joint definedness at
+// tuple granularity (two defined accesses to the same tuple conflict
+// regardless of the attributes involved).
+bool Conflicts(const std::optional<AttrSet>& a, const std::optional<AttrSet>& b,
+               Granularity granularity) {
+  if (!a.has_value() || !b.has_value()) return false;
+  if (granularity == Granularity::kTuple) return true;
+  return a->Intersects(*b);
+}
+
+}  // namespace
+
+TableEntry NcDepTable(StatementType qi, StatementType qj) {
+  return kNcDepTable[TableIndex(qi)][TableIndex(qj)];
+}
+
+TableEntry CDepTable(StatementType qi, StatementType qj) {
+  return kCDepTable[TableIndex(qi)][TableIndex(qj)];
+}
+
+bool NcDepConds(const Statement& qi, const Statement& qj, Granularity granularity) {
+  return Conflicts(qi.write_set(), qj.write_set(), granularity) ||
+         Conflicts(qi.write_set(), qj.read_set(), granularity) ||
+         Conflicts(qi.write_set(), qj.pread_set(), granularity) ||
+         Conflicts(qi.read_set(), qj.write_set(), granularity) ||
+         Conflicts(qi.pread_set(), qj.write_set(), granularity);
+}
+
+bool CDepConds(const Ltp& pi, int qi_pos, const Ltp& pj, int qj_pos,
+               const AnalysisSettings& settings) {
+  const Statement& qi = pi.stmt(qi_pos);
+  const Statement& qj = pj.stmt(qj_pos);
+  if (Conflicts(qi.pread_set(), qj.write_set(), settings.granularity)) {
+    return true;
+  }
+  if (Conflicts(qi.read_set(), qj.write_set(), settings.granularity)) {
+    if (settings.use_foreign_keys) {
+      // Foreign-key suppression: a pair of constraints q_k = f(q_i) in P_i
+      // and q_l = f(q_j) in P_j, with q_k and q_l key-writing statements
+      // preceding q_i and q_j, rules out the counterflow dependency.
+      for (const OccFkConstraint& ci : pi.constraints()) {
+        if (ci.child_pos != qi_pos) continue;
+        StatementType tk = pi.stmt(ci.parent_pos).type();
+        if (tk != StatementType::kKeyUpdate && tk != StatementType::kKeyDelete &&
+            tk != StatementType::kInsert) {
+          continue;
+        }
+        if (!(ci.parent_pos < qi_pos)) continue;
+        for (const OccFkConstraint& cj : pj.constraints()) {
+          if (cj.child_pos != qj_pos || cj.fk != ci.fk) continue;
+          StatementType tl = pj.stmt(cj.parent_pos).type();
+          if (tl != StatementType::kKeyUpdate && tl != StatementType::kKeyDelete &&
+              tl != StatementType::kInsert) {
+            continue;
+          }
+          if (!(cj.parent_pos < qj_pos)) continue;
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+bool AllowsNonCounterflow(const Statement& qi, const Statement& qj, Granularity granularity) {
+  switch (NcDepTable(qi.type(), qj.type())) {
+    case TableEntry::kTrue:
+      return true;
+    case TableEntry::kFalse:
+      return false;
+    case TableEntry::kCheck:
+      return NcDepConds(qi, qj, granularity);
+  }
+  return false;
+}
+
+bool AllowsCounterflow(const Ltp& pi, int qi_pos, const Ltp& pj, int qj_pos,
+                       const AnalysisSettings& settings) {
+  switch (CDepTable(pi.stmt(qi_pos).type(), pj.stmt(qj_pos).type())) {
+    case TableEntry::kTrue:
+      return true;
+    case TableEntry::kFalse:
+      return false;
+    case TableEntry::kCheck:
+      return CDepConds(pi, qi_pos, pj, qj_pos, settings);
+  }
+  return false;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,80 @@
+// Table 1 condition tables and the ncDepConds/cDepConds predicates of
+// Algorithm 1 (paper §6.2).
+//
+// For an ordered pair of statements (q_i, q_j) over the same relation, the
+// tables decide whether instantiations may admit a non-counterflow
+// (ncDepTable) or counterflow (cDepTable) dependency from an operation of
+// q_i to an operation of q_j: `true` (always), `false` (never) or `check`
+// (decided by the attribute-set conditions ncDepConds/cDepConds).
+//
+// The analysis granularity of the paper's §7.2 settings axis is supported:
+// at attribute granularity conflicting operations must access a common
+// attribute; at tuple granularity accessing the same tuple suffices, so the
+// non-empty-intersection tests degrade to definedness tests.
+
+#ifndef MVRC_SUMMARY_DEP_TABLES_H_
+#define MVRC_SUMMARY_DEP_TABLES_H_
+
+#include "btp/ltp.h"
+#include "btp/statement.h"
+
+namespace mvrc {
+
+/// Dependency granularity (§7.2: 'attr dep' vs 'tpl dep').
+enum class Granularity {
+  kAttribute,  // operations conflict only when they share an attribute
+  kTuple,      // operations over the same tuple always conflict
+};
+
+/// Analysis settings: granularity x foreign-key usage. The four combinations
+/// are exactly the four rows of Figures 6 and 7.
+struct AnalysisSettings {
+  Granularity granularity = Granularity::kAttribute;
+  bool use_foreign_keys = true;
+
+  static AnalysisSettings TupleDep() { return {Granularity::kTuple, false}; }
+  static AnalysisSettings AttrDep() { return {Granularity::kAttribute, false}; }
+  static AnalysisSettings TupleDepFk() { return {Granularity::kTuple, true}; }
+  static AnalysisSettings AttrDepFk() { return {Granularity::kAttribute, true}; }
+
+  const char* name() const {
+    if (granularity == Granularity::kTuple) {
+      return use_foreign_keys ? "tpl dep + FK" : "tpl dep";
+    }
+    return use_foreign_keys ? "attr dep + FK" : "attr dep";
+  }
+};
+
+/// Entry of Table 1: true / false / decided-by-conditions (⊥ in the paper).
+enum class TableEntry { kFalse, kTrue, kCheck };
+
+/// ncDepTable[type(q_i)][type(q_j)] (Table 1a).
+TableEntry NcDepTable(StatementType qi, StatementType qj);
+
+/// cDepTable[type(q_i)][type(q_j)] (Table 1b).
+TableEntry CDepTable(StatementType qi, StatementType qj);
+
+/// ncDepConds(q_i, q_j) of Algorithm 1, parameterized by granularity.
+bool NcDepConds(const Statement& qi, const Statement& qj, Granularity granularity);
+
+/// cDepConds(q_i, q_j) of Algorithm 1. `pi`/`qi_pos` and `pj`/`qj_pos`
+/// identify the statement occurrences inside their programs, needed for the
+/// foreign-key suppression test (a counterflow rw-antidependency between
+/// instantiations of q_i and q_j cannot arise when both programs earlier
+/// key-write the same foreign-key parent: the resulting parent writes would
+/// form a dirty write under any overlap).
+bool CDepConds(const Ltp& pi, int qi_pos, const Ltp& pj, int qj_pos,
+               const AnalysisSettings& settings);
+
+/// True when a non-counterflow edge (q_i -> q_j) must be added:
+/// table true, or table check and ncDepConds holds.
+bool AllowsNonCounterflow(const Statement& qi, const Statement& qj, Granularity granularity);
+
+/// True when a counterflow edge (q_i -> q_j) must be added:
+/// table true, or table check and cDepConds holds.
+bool AllowsCounterflow(const Ltp& pi, int qi_pos, const Ltp& pj, int qj_pos,
+                       const AnalysisSettings& settings);
+
+}  // namespace mvrc
+
+#endif  // MVRC_SUMMARY_DEP_TABLES_H_

@@ -1,0 +1,123 @@
+#include "summary/summary_graph.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "util/check.h"
+#include "util/dot_writer.h"
+
+namespace mvrc {
+
+SummaryGraph::SummaryGraph(std::vector<Ltp> programs)
+    : programs_(std::move(programs)),
+      out_edges_(programs_.size()),
+      in_edges_(programs_.size()) {}
+
+void SummaryGraph::AddEdge(SummaryEdge edge) {
+  MVRC_CHECK(edge.from_program >= 0 && edge.from_program < num_programs());
+  MVRC_CHECK(edge.to_program >= 0 && edge.to_program < num_programs());
+  MVRC_CHECK(edge.from_occ >= 0 && edge.from_occ < programs_[edge.from_program].size());
+  MVRC_CHECK(edge.to_occ >= 0 && edge.to_occ < programs_[edge.to_program].size());
+  int index = num_edges();
+  edges_.push_back(edge);
+  out_edges_[edge.from_program].push_back(index);
+  in_edges_[edge.to_program].push_back(index);
+}
+
+int SummaryGraph::num_counterflow_edges() const {
+  int count = 0;
+  for (const SummaryEdge& edge : edges_) {
+    if (edge.counterflow) ++count;
+  }
+  return count;
+}
+
+int SummaryGraph::num_distinct_statement_edges() const {
+  std::set<std::tuple<std::string, int, bool, int, std::string>> distinct;
+  for (const SummaryEdge& edge : edges_) {
+    distinct.insert({programs_[edge.from_program].source_program(),
+                     programs_[edge.from_program].occurrence(edge.from_occ).source_stmt,
+                     edge.counterflow,
+                     programs_[edge.to_program].occurrence(edge.to_occ).source_stmt,
+                     programs_[edge.to_program].source_program()});
+  }
+  return static_cast<int>(distinct.size());
+}
+
+Digraph SummaryGraph::ProgramGraph() const {
+  Digraph graph(num_programs());
+  for (const SummaryEdge& edge : edges_) {
+    graph.AddEdge(edge.from_program, edge.to_program);
+  }
+  return graph;
+}
+
+Digraph SummaryGraph::NonCounterflowProgramGraph() const {
+  Digraph graph(num_programs());
+  for (const SummaryEdge& edge : edges_) {
+    if (!edge.counterflow) graph.AddEdge(edge.from_program, edge.to_program);
+  }
+  return graph;
+}
+
+SummaryGraph SummaryGraph::InducedSubgraph(const std::vector<bool>& keep) const {
+  MVRC_CHECK(static_cast<int>(keep.size()) == num_programs());
+  std::vector<int> remap(num_programs(), -1);
+  std::vector<Ltp> kept;
+  for (int p = 0; p < num_programs(); ++p) {
+    if (keep[p]) {
+      remap[p] = static_cast<int>(kept.size());
+      kept.push_back(programs_[p]);
+    }
+  }
+  SummaryGraph sub(std::move(kept));
+  for (const SummaryEdge& edge : edges_) {
+    if (keep[edge.from_program] && keep[edge.to_program]) {
+      sub.AddEdge({remap[edge.from_program], edge.from_occ, edge.counterflow,
+                   edge.to_occ, remap[edge.to_program]});
+    }
+  }
+  return sub;
+}
+
+std::string SummaryGraph::DescribeEdge(const SummaryEdge& edge) const {
+  std::ostringstream os;
+  os << programs_[edge.from_program].name() << " --"
+     << programs_[edge.from_program].stmt(edge.from_occ).label() << "->"
+     << programs_[edge.to_program].stmt(edge.to_occ).label()
+     << (edge.counterflow ? " (cf)" : "") << "--> " << programs_[edge.to_program].name();
+  return os.str();
+}
+
+std::string SummaryGraph::ToDot(const std::string& name, bool merge_labels) const {
+  DotWriter dot(name);
+  for (const Ltp& program : programs_) {
+    dot.AddNode(program.name(), program.name(), "shape=box");
+  }
+  if (merge_labels) {
+    // Group parallel edges by (from, to, counterflow) into one labeled arrow.
+    std::map<std::tuple<int, int, bool>, std::string> grouped;
+    for (const SummaryEdge& edge : edges_) {
+      std::string& label = grouped[{edge.from_program, edge.to_program, edge.counterflow}];
+      if (!label.empty()) label += "\n";
+      label += programs_[edge.from_program].stmt(edge.from_occ).label() + "->" +
+               programs_[edge.to_program].stmt(edge.to_occ).label();
+    }
+    for (const auto& [key, label] : grouped) {
+      const auto& [from, to, counterflow] = key;
+      dot.AddEdge(programs_[from].name(), programs_[to].name(), label, counterflow);
+    }
+  } else {
+    for (const SummaryEdge& edge : edges_) {
+      dot.AddEdge(programs_[edge.from_program].name(), programs_[edge.to_program].name(),
+                  programs_[edge.from_program].stmt(edge.from_occ).label() + "->" +
+                      programs_[edge.to_program].stmt(edge.to_occ).label(),
+                  edge.counterflow);
+    }
+  }
+  return dot.ToDot();
+}
+
+}  // namespace mvrc

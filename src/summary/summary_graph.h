@@ -1,0 +1,86 @@
+// Summary graphs SuG(P) (paper §6.2): nodes are LTPs; edges are quintuples
+// (P_i, q_i, c, q_j, P_j) recording that instantiations of statement
+// occurrence q_i of program P_i and occurrence q_j of P_j may admit a
+// dependency of flow class c (counterflow / non-counterflow).
+
+#ifndef MVRC_SUMMARY_SUMMARY_GRAPH_H_
+#define MVRC_SUMMARY_SUMMARY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "btp/ltp.h"
+#include "graph/digraph.h"
+
+namespace mvrc {
+
+/// One edge (P_i, q_i, c, q_j, P_j). Programs and occurrences are indices
+/// into the owning SummaryGraph.
+struct SummaryEdge {
+  int from_program;
+  int from_occ;
+  bool counterflow;
+  int to_occ;
+  int to_program;
+
+  friend bool operator==(const SummaryEdge&, const SummaryEdge&) = default;
+};
+
+/// The summary graph for a set of LTPs. Owns the programs and the edge list.
+class SummaryGraph {
+ public:
+  explicit SummaryGraph(std::vector<Ltp> programs);
+
+  int num_programs() const { return static_cast<int>(programs_.size()); }
+  const Ltp& program(int index) const { return programs_.at(index); }
+  const std::vector<Ltp>& programs() const { return programs_; }
+
+  void AddEdge(SummaryEdge edge);
+
+  const std::vector<SummaryEdge>& edges() const { return edges_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  int num_counterflow_edges() const;
+  int num_non_counterflow_edges() const { return num_edges() - num_counterflow_edges(); }
+
+  /// Edges collapsed to distinct (source BTP, source statement, flow class,
+  /// target statement, target BTP) tuples — loop and branch unfolding make
+  /// the occurrence-level count larger (used in the Table 2 analysis, see
+  /// EXPERIMENTS.md).
+  int num_distinct_statement_edges() const;
+
+  /// Edge indices leaving / entering a program node.
+  const std::vector<int>& OutEdges(int program) const { return out_edges_.at(program); }
+  const std::vector<int>& InEdges(int program) const { return in_edges_.at(program); }
+
+  /// The program-level connectivity graph (all edges, flow class ignored).
+  Digraph ProgramGraph() const;
+
+  /// The program-level graph restricted to non-counterflow edges.
+  Digraph NonCounterflowProgramGraph() const;
+
+  /// The subgraph induced by the programs with keep[index] set. Exact:
+  /// Algorithm 1's edge conditions depend only on the two programs involved,
+  /// so the induced subgraph equals the graph built for the subset alone —
+  /// subset analysis can build the full graph once and restrict (used by
+  /// AnalyzeSubsets).
+  SummaryGraph InducedSubgraph(const std::vector<bool>& keep) const;
+
+  /// Human-readable edge description: "FindBids --q2->q5 (cf)--> PlaceBid1".
+  std::string DescribeEdge(const SummaryEdge& edge) const;
+
+  /// Renders the graph as Graphviz DOT; counterflow edges are dashed
+  /// (matching Figures 4, 11, 18, 19). With `merge_labels`, parallel edges
+  /// between two programs are collapsed into one arrow with a multi-line
+  /// label, as in the paper's figures.
+  std::string ToDot(const std::string& name, bool merge_labels = true) const;
+
+ private:
+  std::vector<Ltp> programs_;
+  std::vector<SummaryEdge> edges_;
+  std::vector<std::vector<int>> out_edges_;
+  std::vector<std::vector<int>> in_edges_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_SUMMARY_SUMMARY_GRAPH_H_

@@ -1,0 +1,17 @@
+#include "util/attr_set.h"
+
+namespace mvrc {
+
+std::vector<AttrId> AttrSet::ToVector() const {
+  std::vector<AttrId> out;
+  out.reserve(size());
+  uint64_t bits = bits_;
+  while (bits != 0) {
+    AttrId a = __builtin_ctzll(bits);
+    out.push_back(a);
+    bits &= bits - 1;
+  }
+  return out;
+}
+
+}  // namespace mvrc

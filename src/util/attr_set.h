@@ -1,0 +1,70 @@
+// AttrSet: a small set of attribute indices of one relation, stored as a
+// 64-bit mask. Relations in all supported workloads have at most 21
+// attributes (TPC-C Customer); the hard cap here is 64.
+
+#ifndef MVRC_UTIL_ATTR_SET_H_
+#define MVRC_UTIL_ATTR_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+/// Index of an attribute within its relation's attribute list.
+using AttrId = int;
+
+/// A set of attribute indices (of a single relation), with value semantics.
+class AttrSet {
+ public:
+  static constexpr int kMaxAttrs = 64;
+
+  constexpr AttrSet() = default;
+  constexpr explicit AttrSet(uint64_t bits) : bits_(bits) {}
+
+  AttrSet(std::initializer_list<AttrId> attrs) {
+    for (AttrId a : attrs) Insert(a);
+  }
+
+  /// The set {0, 1, ..., n-1}.
+  static AttrSet FirstN(int n) {
+    MVRC_CHECK(n >= 0 && n <= kMaxAttrs);
+    return n == kMaxAttrs ? AttrSet(~uint64_t{0}) : AttrSet((uint64_t{1} << n) - 1);
+  }
+
+  void Insert(AttrId a) {
+    MVRC_CHECK(a >= 0 && a < kMaxAttrs);
+    bits_ |= uint64_t{1} << a;
+  }
+
+  bool Contains(AttrId a) const {
+    MVRC_CHECK(a >= 0 && a < kMaxAttrs);
+    return (bits_ >> a) & 1;
+  }
+
+  bool empty() const { return bits_ == 0; }
+  int size() const { return __builtin_popcountll(bits_); }
+  uint64_t bits() const { return bits_; }
+
+  bool Intersects(AttrSet other) const { return (bits_ & other.bits_) != 0; }
+  bool IsSubsetOf(AttrSet other) const { return (bits_ & ~other.bits_) == 0; }
+
+  AttrSet Union(AttrSet other) const { return AttrSet(bits_ | other.bits_); }
+  AttrSet Intersection(AttrSet other) const { return AttrSet(bits_ & other.bits_); }
+
+  /// Attribute ids in ascending order.
+  std::vector<AttrId> ToVector() const;
+
+  friend bool operator==(AttrSet a, AttrSet b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(AttrSet a, AttrSet b) { return a.bits_ != b.bits_; }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_UTIL_ATTR_SET_H_

@@ -1,0 +1,39 @@
+// Lightweight invariant-checking macros.
+//
+// The library does not use C++ exceptions; violated invariants are programmer
+// errors and abort the process with a diagnostic (file, line and message).
+
+#ifndef MVRC_UTIL_CHECK_H_
+#define MVRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mvrc::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const char* message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message[0] != '\0' ? " — " : "", message);
+  std::abort();
+}
+
+}  // namespace mvrc::internal
+
+// Aborts with a diagnostic unless `expr` evaluates to true.
+#define MVRC_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::mvrc::internal::CheckFailed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                   \
+  } while (false)
+
+// Same as MVRC_CHECK but with an explanatory message (a C string literal).
+#define MVRC_CHECK_MSG(expr, message)                                      \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::mvrc::internal::CheckFailed(__FILE__, __LINE__, #expr, (message)); \
+    }                                                                      \
+  } while (false)
+
+#endif  // MVRC_UTIL_CHECK_H_

@@ -1,0 +1,54 @@
+#include "util/dot_writer.h"
+
+#include <sstream>
+
+namespace mvrc {
+
+DotWriter::DotWriter(std::string graph_name) : name_(std::move(graph_name)) {}
+
+std::string DotWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void DotWriter::AddNode(const std::string& id, const std::string& label,
+                        const std::string& attrs) {
+  std::ostringstream os;
+  os << "  \"" << Escape(id) << "\" [label=\"" << Escape(label) << "\"";
+  if (!attrs.empty()) os << ", " << attrs;
+  os << "];";
+  lines_.push_back(os.str());
+}
+
+void DotWriter::AddEdge(const std::string& from, const std::string& to,
+                        const std::string& label, bool dashed) {
+  std::ostringstream os;
+  os << "  \"" << Escape(from) << "\" -> \"" << Escape(to) << "\"";
+  bool have_attr = false;
+  if (!label.empty()) {
+    os << " [label=\"" << Escape(label) << "\"";
+    have_attr = true;
+  }
+  if (dashed) {
+    os << (have_attr ? ", " : " [") << "style=dashed";
+    have_attr = true;
+  }
+  if (have_attr) os << "]";
+  os << ";";
+  lines_.push_back(os.str());
+}
+
+std::string DotWriter::ToDot() const {
+  std::ostringstream os;
+  os << "digraph \"" << Escape(name_) << "\" {\n";
+  for (const std::string& line : lines_) os << line << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mvrc

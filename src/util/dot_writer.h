@@ -1,0 +1,38 @@
+// Minimal Graphviz DOT emitter, used to render summary graphs and
+// serialization graphs (Figures 4, 11, 18, 19 of the paper).
+
+#ifndef MVRC_UTIL_DOT_WRITER_H_
+#define MVRC_UTIL_DOT_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace mvrc {
+
+/// Accumulates nodes and edges and renders them as a DOT digraph.
+class DotWriter {
+ public:
+  explicit DotWriter(std::string graph_name);
+
+  /// Adds a node; `attrs` is a raw DOT attribute list such as "shape=box".
+  void AddNode(const std::string& id, const std::string& label,
+               const std::string& attrs = "");
+
+  /// Adds an edge; `dashed` renders the edge with style=dashed (used for
+  /// counterflow edges, matching the paper's figures).
+  void AddEdge(const std::string& from, const std::string& to,
+               const std::string& label = "", bool dashed = false);
+
+  /// Renders the accumulated graph as DOT text.
+  std::string ToDot() const;
+
+ private:
+  static std::string Escape(const std::string& s);
+
+  std::string name_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_UTIL_DOT_WRITER_H_

@@ -1,0 +1,74 @@
+// Result<T>: value-or-error return type used by fallible constructors and the
+// SQL frontend. The library does not use exceptions (see DESIGN.md §5).
+
+#ifndef MVRC_UTIL_RESULT_H_
+#define MVRC_UTIL_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+/// A value of type T or a human-readable error message.
+///
+/// Usage:
+///   Result<Foo> r = ParseFoo(text);
+///   if (!r.ok()) return Result<Bar>::Error(r.error());
+///   Foo& foo = r.value();
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value keeps call sites terse
+  // (`return some_foo;` inside a function returning Result<Foo>).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  static Result Error(std::string message) { return Result(ErrorTag{}, std::move(message)); }
+
+  bool ok() const { return value_.has_value(); }
+
+  const T& value() const& {
+    MVRC_CHECK_MSG(ok(), "Result::value() on error result");
+    return *value_;
+  }
+  T& value() & {
+    MVRC_CHECK_MSG(ok(), "Result::value() on error result");
+    return *value_;
+  }
+  T&& value() && {
+    MVRC_CHECK_MSG(ok(), "Result::value() on error result");
+    return *std::move(value_);
+  }
+
+  const std::string& error() const {
+    MVRC_CHECK_MSG(!ok(), "Result::error() on ok result");
+    return error_;
+  }
+
+ private:
+  struct ErrorTag {};
+  Result(ErrorTag, std::string message) : error_(std::move(message)) {}
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result specialization carrying no value: success or an error message.
+class Status {
+ public:
+  Status() = default;
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  explicit Status(std::string message) : error_(std::move(message)) {}
+  std::string error_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_UTIL_RESULT_H_

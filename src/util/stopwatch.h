@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the Figure 8 scalability harness.
+
+#ifndef MVRC_UTIL_STOPWATCH_H_
+#define MVRC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mvrc {
+
+/// Measures elapsed wall-clock time since construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_UTIL_STOPWATCH_H_

@@ -1,0 +1,72 @@
+#include "workloads/auction.h"
+
+#include <string>
+
+namespace mvrc {
+
+namespace {
+
+// Adds FindBids_i / PlaceBid_i over the given Bids relation. `suffix` is ""
+// for plain Auction and the item number for Auction(n).
+void AddAuctionPrograms(Workload& workload, RelationId buyer, RelationId bids,
+                        RelationId log, ForeignKeyId f_bids_buyer,
+                        ForeignKeyId f_log_buyer, const std::string& suffix) {
+  const Schema& schema = workload.schema;
+
+  Btp find_bids("FindBids" + suffix);
+  find_bids.AddStatement(
+      Statement::KeyUpdate("q1", schema, buyer, schema.MakeAttrSet(buyer, {"calls"}),
+                           schema.MakeAttrSet(buyer, {"calls"})));
+  find_bids.AddStatement(
+      Statement::PredSelect("q2", schema, bids, schema.MakeAttrSet(bids, {"bid"}),
+                            schema.MakeAttrSet(bids, {"bid"})));
+  workload.programs.push_back(std::move(find_bids));
+  workload.abbreviations.push_back("FB" + suffix);
+
+  Btp place_bid("PlaceBid" + suffix);
+  StmtId q3 = place_bid.AddStatement(
+      Statement::KeyUpdate("q3", schema, buyer, schema.MakeAttrSet(buyer, {"calls"}),
+                           schema.MakeAttrSet(buyer, {"calls"})));
+  StmtId q4 = place_bid.AddStatement(
+      Statement::KeySelect("q4", schema, bids, schema.MakeAttrSet(bids, {"bid"})));
+  StmtId q5 = place_bid.AddStatement(
+      Statement::KeyUpdate("q5", schema, bids, AttrSet{},
+                           schema.MakeAttrSet(bids, {"bid"})));
+  StmtId q6 = place_bid.AddStatement(Statement::Insert("q6", schema, log));
+  place_bid.Finish(place_bid.Seq({place_bid.Stmt(q3), place_bid.Stmt(q4),
+                                  place_bid.Optional(place_bid.Stmt(q5)),
+                                  place_bid.Stmt(q6)}));
+  place_bid.AddFkConstraint(schema, q3, f_bids_buyer, q4);
+  place_bid.AddFkConstraint(schema, q3, f_bids_buyer, q5);
+  place_bid.AddFkConstraint(schema, q3, f_log_buyer, q6);
+  workload.programs.push_back(std::move(place_bid));
+  workload.abbreviations.push_back("PB" + suffix);
+}
+
+Workload MakeAuctionImpl(int n, bool numbered) {
+  Workload workload;
+  workload.name = numbered ? "Auction(" + std::to_string(n) + ")" : "Auction";
+
+  RelationId buyer = workload.schema.AddRelation("Buyer", {"id", "calls"}, {"id"});
+  RelationId log =
+      workload.schema.AddRelation("Log", {"id", "buyerId", "bid"}, {"id"});
+  ForeignKeyId f2 = workload.schema.AddForeignKey("f2", log, {"buyerId"}, buyer);
+
+  for (int item = 1; item <= n; ++item) {
+    std::string suffix = numbered ? std::to_string(item) : "";
+    RelationId bids = workload.schema.AddRelation("Bids" + suffix, {"buyerId", "bid"},
+                                                  {"buyerId"});
+    ForeignKeyId f1 =
+        workload.schema.AddForeignKey("f1" + suffix, bids, {"buyerId"}, buyer);
+    AddAuctionPrograms(workload, buyer, bids, log, f1, f2, suffix);
+  }
+  return workload;
+}
+
+}  // namespace
+
+Workload MakeAuction() { return MakeAuctionImpl(1, /*numbered=*/false); }
+
+Workload MakeAuctionN(int n) { return MakeAuctionImpl(n, /*numbered=*/true); }
+
+}  // namespace mvrc

@@ -1,0 +1,28 @@
+// The Auction running example (paper §2, Figures 1-2) and its scalable
+// variant Auction(n) (§7.3).
+//
+// Schema: Buyer(id, calls), Bids(buyerId, bid), Log(id, buyerId, bid) with
+// foreign keys f1: Bids(buyerId) -> Buyer(id), f2: Log(buyerId) -> Buyer(id).
+// Programs: FindBids = q1; q2 and PlaceBid = q3; q4; (q5 | eps); q6 with
+// constraints q3 = f1(q4), q3 = f1(q5), q3 = f2(q6).
+//
+// Auction(n) stores the bids of each item i in its own relation Bids_i and
+// has per-item programs FindBids_i / PlaceBid_i; Buyer and Log are shared,
+// so every pair of programs still conflicts on Buyer(calls) (§7.3).
+
+#ifndef MVRC_WORKLOADS_AUCTION_H_
+#define MVRC_WORKLOADS_AUCTION_H_
+
+#include "workloads/workload.h"
+
+namespace mvrc {
+
+/// Auction as in §2 (identical to AuctionN(1) up to relation naming).
+Workload MakeAuction();
+
+/// Auction(n) for n >= 1 items.
+Workload MakeAuctionN(int n);
+
+}  // namespace mvrc
+
+#endif  // MVRC_WORKLOADS_AUCTION_H_

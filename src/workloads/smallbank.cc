@@ -1,0 +1,84 @@
+#include "workloads/smallbank.h"
+
+namespace mvrc {
+
+Workload MakeSmallBank() {
+  Workload workload;
+  workload.name = "SmallBank";
+  Schema& schema = workload.schema;
+
+  RelationId account = schema.AddRelation("Account", {"Name", "CustomerId"}, {"Name"});
+  RelationId savings =
+      schema.AddRelation("Savings", {"CustomerId", "Balance"}, {"CustomerId"});
+  RelationId checking =
+      schema.AddRelation("Checking", {"CustomerId", "Balance"}, {"CustomerId"});
+  ForeignKeyId f_savings =
+      schema.AddForeignKey("f_savings", account, {"CustomerId"}, savings);
+  ForeignKeyId f_checking =
+      schema.AddForeignKey("f_checking", account, {"CustomerId"}, checking);
+
+  const AttrSet customer_id = schema.MakeAttrSet(account, {"CustomerId"});
+  const AttrSet sav_balance = schema.MakeAttrSet(savings, {"Balance"});
+  const AttrSet chk_balance = schema.MakeAttrSet(checking, {"Balance"});
+
+  {
+    Btp p("Amalgamate");
+    StmtId q1 = p.AddStatement(Statement::KeySelect("q1", schema, account, customer_id));
+    StmtId q2 = p.AddStatement(Statement::KeySelect("q2", schema, account, customer_id));
+    StmtId q3 = p.AddStatement(
+        Statement::KeyUpdate("q3", schema, savings, sav_balance, sav_balance));
+    StmtId q4 = p.AddStatement(
+        Statement::KeyUpdate("q4", schema, checking, chk_balance, chk_balance));
+    StmtId q5 = p.AddStatement(
+        Statement::KeyUpdate("q5", schema, checking, chk_balance, chk_balance));
+    p.AddFkConstraint(schema, q3, f_savings, q1);
+    p.AddFkConstraint(schema, q4, f_checking, q1);
+    p.AddFkConstraint(schema, q5, f_checking, q2);
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("Am");
+  }
+  {
+    Btp p("Balance");
+    StmtId q6 = p.AddStatement(Statement::KeySelect("q6", schema, account, customer_id));
+    StmtId q7 = p.AddStatement(Statement::KeySelect("q7", schema, savings, sav_balance));
+    StmtId q8 = p.AddStatement(Statement::KeySelect("q8", schema, checking, chk_balance));
+    p.AddFkConstraint(schema, q7, f_savings, q6);
+    p.AddFkConstraint(schema, q8, f_checking, q6);
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("Bal");
+  }
+  {
+    Btp p("DepositChecking");
+    StmtId q9 = p.AddStatement(Statement::KeySelect("q9", schema, account, customer_id));
+    StmtId q10 = p.AddStatement(
+        Statement::KeyUpdate("q10", schema, checking, chk_balance, chk_balance));
+    p.AddFkConstraint(schema, q10, f_checking, q9);
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("DC");
+  }
+  {
+    Btp p("TransactSavings");
+    StmtId q11 = p.AddStatement(Statement::KeySelect("q11", schema, account, customer_id));
+    StmtId q12 = p.AddStatement(
+        Statement::KeyUpdate("q12", schema, savings, sav_balance, sav_balance));
+    p.AddFkConstraint(schema, q12, f_savings, q11);
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("TS");
+  }
+  {
+    Btp p("WriteCheck");
+    StmtId q13 = p.AddStatement(Statement::KeySelect("q13", schema, account, customer_id));
+    StmtId q14 = p.AddStatement(Statement::KeySelect("q14", schema, savings, sav_balance));
+    StmtId q15 = p.AddStatement(Statement::KeySelect("q15", schema, checking, chk_balance));
+    StmtId q16 = p.AddStatement(
+        Statement::KeyUpdate("q16", schema, checking, chk_balance, chk_balance));
+    p.AddFkConstraint(schema, q14, f_savings, q13);
+    p.AddFkConstraint(schema, q15, f_checking, q13);
+    p.AddFkConstraint(schema, q16, f_checking, q13);
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("WC");
+  }
+  return workload;
+}
+
+}  // namespace mvrc

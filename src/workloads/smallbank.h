@@ -1,0 +1,25 @@
+// The SmallBank benchmark (paper Appendix E.1, Figures 9-10).
+//
+// Schema: Account(Name, CustomerID), Savings(CustomerID, Balance),
+// Checking(CustomerID, Balance); Account(CustomerID) references both
+// Savings(CustomerID) and Checking(CustomerID).
+//
+// Five linear programs: Balance, Amalgamate, DepositChecking,
+// TransactSavings, WriteCheck — all key-based (no predicate reads), which is
+// why [46]'s complete characterization applies and the paper can validate
+// Algorithm 2's completeness on this benchmark (§7.2).
+
+#ifndef MVRC_WORKLOADS_SMALLBANK_H_
+#define MVRC_WORKLOADS_SMALLBANK_H_
+
+#include "workloads/workload.h"
+
+namespace mvrc {
+
+/// Programs in paper order: Amalgamate, Balance, DepositChecking,
+/// TransactSavings, WriteCheck (the order of Figure 10).
+Workload MakeSmallBank();
+
+}  // namespace mvrc
+
+#endif  // MVRC_WORKLOADS_SMALLBANK_H_

@@ -1,0 +1,262 @@
+#include "workloads/sql_texts.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+std::string AuctionNSql(int n) {
+  MVRC_CHECK(n >= 1);
+  std::ostringstream os;
+  os << "TABLE Buyer(id, calls, PRIMARY KEY(id));\n"
+        "TABLE Log(id, buyerId, bid, PRIMARY KEY(id));\n"
+        "FOREIGN KEY f2: Log(buyerId) REFERENCES Buyer;\n";
+  for (int i = 1; i <= n; ++i) {
+    os << "TABLE Bids" << i << "(buyerId, bid, PRIMARY KEY(buyerId));\n"
+       << "FOREIGN KEY f1_" << i << ": Bids" << i
+       << "(buyerId) REFERENCES Buyer;\n";
+  }
+  for (int i = 1; i <= n; ++i) {
+    os << "\nPROGRAM FindBids" << i
+       << "(:B, :T):\n"
+          "  UPDATE Buyer SET calls = calls + 1 WHERE id = :B;\n"
+          "  SELECT bid FROM Bids"
+       << i
+       << " WHERE bid >= :T;\n"
+          "COMMIT;\n"
+          "\nPROGRAM PlaceBid"
+       << i
+       << "(:B, :V):\n"
+          "  UPDATE Buyer SET calls = calls + 1 WHERE id = :B;\n"
+          "  SELECT bid INTO :C FROM Bids"
+       << i
+       << " WHERE buyerId = :B;\n"
+          "  IF :C < :V THEN\n"
+          "    UPDATE Bids"
+       << i
+       << " SET bid = :V WHERE buyerId = :B;\n"
+          "  END IF;\n"
+          "  INSERT INTO Log VALUES (:logId, :B, :V);\n"
+          "COMMIT;\n";
+  }
+  return os.str();
+}
+
+const char* AuctionSql() {
+  return R"sql(
+TABLE Buyer(id, calls, PRIMARY KEY(id));
+TABLE Log(id, buyerId, bid, PRIMARY KEY(id));
+TABLE Bids(buyerId, bid, PRIMARY KEY(buyerId));
+FOREIGN KEY f1: Bids(buyerId) REFERENCES Buyer;
+FOREIGN KEY f2: Log(buyerId) REFERENCES Buyer;
+
+PROGRAM FindBids(:B, :T):
+  UPDATE Buyer SET calls = calls + 1 WHERE id = :B;          -- q1
+  SELECT bid FROM Bids WHERE bid >= :T;                      -- q2
+COMMIT;
+
+PROGRAM PlaceBid(:B, :V):
+  UPDATE Buyer SET calls = calls + 1 WHERE id = :B;          -- q3
+  SELECT bid INTO :C FROM Bids WHERE buyerId = :B;           -- q4
+  IF :C < :V THEN
+    UPDATE Bids SET bid = :V WHERE buyerId = :B;             -- q5
+  END IF;
+  INSERT INTO Log VALUES (:logId, :B, :V);                   -- q6
+COMMIT;
+)sql";
+}
+
+const char* SmallBankSql() {
+  return R"sql(
+TABLE Account(Name, CustomerId, PRIMARY KEY(Name));
+TABLE Savings(CustomerId, Balance, PRIMARY KEY(CustomerId));
+TABLE Checking(CustomerId, Balance, PRIMARY KEY(CustomerId));
+FOREIGN KEY f_savings: Account(CustomerId) REFERENCES Savings;
+FOREIGN KEY f_checking: Account(CustomerId) REFERENCES Checking;
+
+PROGRAM Amalgamate(:N1, :N2):
+  SELECT CustomerId INTO :x1 FROM Account WHERE Name = :N1;               -- q1
+  SELECT CustomerId INTO :x2 FROM Account WHERE Name = :N2;               -- q2
+  UPDATE Savings SET Balance = 0 WHERE CustomerId = :x1
+    RETURNING Balance INTO :a;                                            -- q3
+  UPDATE Checking SET Balance = 0 WHERE CustomerId = :x1
+    RETURNING Balance INTO :b;                                            -- q4
+  UPDATE Checking SET Balance = Balance + :a + :b WHERE CustomerId = :x2; -- q5
+COMMIT;
+
+PROGRAM Balance(:N):
+  SELECT CustomerId INTO :x FROM Account WHERE Name = :N;                 -- q6
+  SELECT Balance INTO :a FROM Savings WHERE CustomerId = :x;              -- q7
+  SELECT Balance INTO :b FROM Checking WHERE CustomerId = :x;             -- q8
+COMMIT;
+
+PROGRAM DepositChecking(:N, :V):
+  SELECT CustomerId INTO :x FROM Account WHERE Name = :N;                 -- q9
+  UPDATE Checking SET Balance = Balance + :V WHERE CustomerId = :x;       -- q10
+COMMIT;
+
+PROGRAM TransactSavings(:N, :V):
+  SELECT CustomerId INTO :x FROM Account WHERE Name = :N;                 -- q11
+  UPDATE Savings SET Balance = Balance + :V WHERE CustomerId = :x;        -- q12
+COMMIT;
+
+PROGRAM WriteCheck(:N, :V):
+  SELECT CustomerId INTO :x FROM Account WHERE Name = :N;                 -- q13
+  SELECT Balance INTO :a FROM Savings WHERE CustomerId = :x;              -- q14
+  SELECT Balance INTO :b FROM Checking WHERE CustomerId = :x;             -- q15
+  UPDATE Checking SET Balance = Balance - :V WHERE CustomerId = :x;       -- q16
+COMMIT;
+)sql";
+}
+
+const char* TpccSql() {
+  return R"sql(
+TABLE Warehouse(w_id, w_name, w_street_1, w_street_2, w_city, w_state, w_zip,
+                w_tax, w_ytd, PRIMARY KEY(w_id));
+TABLE District(d_id, d_w_id, d_name, d_street_1, d_street_2, d_city, d_state,
+               d_zip, d_tax, d_ytd, d_next_o_id, PRIMARY KEY(d_id, d_w_id));
+TABLE Customer(c_id, c_d_id, c_w_id, c_first, c_middle, c_last, c_street_1,
+               c_street_2, c_city, c_state, c_zip, c_phone, c_since, c_credit,
+               c_credit_lim, c_discount, c_balance, c_ytd_payment,
+               c_payment_cnt, c_delivery_cnt, c_data,
+               PRIMARY KEY(c_id, c_d_id, c_w_id));
+TABLE History(h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, h_amount,
+              h_data);
+TABLE New_Order(no_o_id, no_d_id, no_w_id, PRIMARY KEY(no_o_id, no_d_id, no_w_id));
+TABLE Orders(o_id, o_d_id, o_w_id, o_c_id, o_entry_id, o_carrier_id, o_ol_cnt,
+             o_all_local, PRIMARY KEY(o_id, o_d_id, o_w_id));
+TABLE Order_Line(ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_supply_w_id,
+                 ol_delivery_d, ol_quantity, ol_amount, ol_dist_info,
+                 PRIMARY KEY(ol_o_id, ol_d_id, ol_w_id, ol_number));
+TABLE Item(i_id, i_im_id, i_name, i_price, i_data, PRIMARY KEY(i_id));
+TABLE Stock(s_i_id, s_w_id, s_quantity, s_dist_01, s_dist_02, s_dist_03,
+            s_dist_04, s_dist_05, s_dist_06, s_dist_07, s_dist_08, s_dist_09,
+            s_dist_10, s_ytd, s_order_cnt, s_remote_cnt, s_data,
+            PRIMARY KEY(s_i_id, s_w_id));
+FOREIGN KEY f1: District(d_w_id) REFERENCES Warehouse;
+FOREIGN KEY f2: Customer(c_d_id, c_w_id) REFERENCES District;
+FOREIGN KEY f3: History(h_c_id, h_c_d_id, h_c_w_id) REFERENCES Customer;
+FOREIGN KEY f4: History(h_d_id, h_w_id) REFERENCES District;
+FOREIGN KEY f5: New_Order(no_o_id, no_d_id, no_w_id) REFERENCES Orders;
+FOREIGN KEY f6: Orders(o_d_id, o_w_id) REFERENCES District;
+FOREIGN KEY f7: Orders(o_c_id, o_d_id, o_w_id) REFERENCES Customer;
+FOREIGN KEY f8: Order_Line(ol_o_id, ol_d_id, ol_w_id) REFERENCES Orders;
+FOREIGN KEY f9: Order_Line(ol_i_id) REFERENCES Item;
+FOREIGN KEY f10: Order_Line(ol_supply_w_id) REFERENCES Warehouse;
+FOREIGN KEY f11: Stock(s_i_id) REFERENCES Item;
+FOREIGN KEY f12: Stock(s_w_id) REFERENCES Warehouse;
+
+PROGRAM Delivery(:w_id, :o_carrier_id, :datetime):
+  LOOP
+    SELECT no_o_id INTO :no_o_id FROM New_Order
+      WHERE no_d_id = :d_id AND no_w_id = :w_id;                          -- q1
+    DELETE FROM New_Order
+      WHERE no_o_id = :no_o_id AND no_d_id = :d_id AND no_w_id = :w_id;   -- q2
+    SELECT o_c_id INTO :c_id FROM Orders
+      WHERE o_id = :no_o_id AND o_d_id = :d_id AND o_w_id = :w_id;        -- q3
+    UPDATE Orders SET o_carrier_id = :o_carrier_id
+      WHERE o_id = :no_o_id AND o_d_id = :d_id AND o_w_id = :w_id;        -- q4
+    UPDATE Order_Line SET ol_delivery_d = :datetime
+      WHERE ol_o_id = :no_o_id AND ol_d_id = :d_id AND ol_w_id = :w_id;   -- q5
+    SELECT ol_amount FROM Order_Line
+      WHERE ol_o_id = :no_o_id AND ol_d_id = :d_id AND ol_w_id = :w_id;   -- q6
+    UPDATE Customer SET c_balance = c_balance + :ol_total,
+                        c_delivery_cnt = c_delivery_cnt + 1
+      WHERE c_id = :c_id AND c_d_id = :d_id AND c_w_id = :w_id;           -- q7
+  END LOOP;
+COMMIT;
+
+PROGRAM NewOrder(:w_id, :d_id, :c_id, :datetime, :o_ol_cnt, :o_all_local):
+  SELECT c_credit, c_discount, c_last FROM Customer
+    WHERE c_w_id = :w_id AND c_d_id = :d_id AND c_id = :c_id;             -- q8
+  SELECT w_tax FROM Warehouse WHERE w_id = :w_id;                         -- q9
+  UPDATE District SET d_next_o_id = d_next_o_id + 1
+    WHERE d_id = :d_id AND d_w_id = :w_id
+    RETURNING d_next_o_id, d_tax INTO :o_id, :d_tax;                      -- q10
+  INSERT INTO Orders VALUES (:o_id, :d_id, :w_id, :c_id, :datetime,
+                             :o_carrier_id, :o_ol_cnt, :o_all_local);     -- q11
+  INSERT INTO New_Order VALUES (:o_id, :d_id, :w_id);                     -- q12
+  LOOP
+    SELECT i_price, i_name, i_data FROM Item WHERE i_id = :ol_i_id;       -- q13
+    UPDATE Stock SET s_quantity = :new_quantity, s_ytd = :new_ytd,
+                     s_order_cnt = :new_order_cnt,
+                     s_remote_cnt = :new_remote_cnt
+      WHERE s_i_id = :ol_i_id AND s_w_id = :ol_supply_w_id
+      RETURNING s_quantity, s_ytd, s_order_cnt, s_remote_cnt, s_data,
+                s_dist_01, s_dist_02, s_dist_03, s_dist_04, s_dist_05,
+                s_dist_06, s_dist_07, s_dist_08, s_dist_09, s_dist_10
+      INTO :s_quantity, :s_ytd, :s_order_cnt, :s_remote_cnt, :s_data,
+           :s_dist_01, :s_dist_02, :s_dist_03, :s_dist_04, :s_dist_05,
+           :s_dist_06, :s_dist_07, :s_dist_08, :s_dist_09, :s_dist_10;    -- q14
+    INSERT INTO Order_Line VALUES (:o_id, :d_id, :w_id, :ol_number,
+                                   :ol_i_id, :ol_supply_w_id,
+                                   :ol_delivery_d, :ol_quantity,
+                                   :ol_amount, :ol_dist_info);            -- q15
+  END LOOP;
+COMMIT;
+
+PROGRAM OrderStatus(:w_id, :d_id, :c_id, :c_last):
+  IF ? THEN
+    SELECT c_balance, c_first, c_middle, c_id
+      INTO :c_balance, :c_first, :c_middle, :c_id
+      FROM Customer
+      WHERE c_last = :c_last AND c_d_id = :d_id AND c_w_id = :w_id;       -- q16
+  ELSE
+    SELECT c_balance, c_first, c_middle, c_last FROM Customer
+      WHERE c_id = :c_id AND c_d_id = :d_id AND c_w_id = :w_id;           -- q17
+  END IF;
+  SELECT o_id, o_carrier_id, o_entry_id INTO :o_id, :o_carrier_id, :entdate
+    FROM Orders
+    WHERE o_w_id = :w_id AND o_d_id = :d_id AND o_c_id = :c_id;           -- q18
+  SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_delivery_d
+    FROM Order_Line
+    WHERE ol_o_id = :o_id AND ol_d_id = :d_id AND ol_w_id = :w_id;        -- q19
+COMMIT;
+
+PROGRAM Payment(:w_id, :d_id, :c_id, :c_last, :h_amount, :datetime,
+                :h_data, :c_new_data):
+  UPDATE Warehouse SET w_ytd = w_ytd + :h_amount WHERE w_id = :w_id
+    RETURNING w_street_1, w_street_2, w_city, w_state, w_zip, w_name
+    INTO :w_street_1, :w_street_2, :w_city, :w_state, :w_zip, :w_name;    -- q20
+  UPDATE District SET d_ytd = d_ytd + :h_amount
+    WHERE d_w_id = :w_id AND d_id = :d_id
+    RETURNING d_street_1, d_street_2, d_city, d_state, d_zip, d_name
+    INTO :d_street_1, :d_street_2, :d_city, :d_state, :d_zip, :d_name;    -- q21
+  IF ? THEN
+    SELECT c_id INTO :c_id FROM Customer
+      WHERE c_w_id = :w_id AND c_d_id = :d_id AND c_last = :c_last;       -- q22
+  END IF;
+  UPDATE Customer SET c_balance = c_balance - :h_amount,
+                      c_ytd_payment = c_ytd_payment + :h_amount,
+                      c_payment_cnt = :new_payment_cnt
+    WHERE c_w_id = :w_id AND c_d_id = :d_id AND c_id = :c_id
+    RETURNING c_first, c_middle, c_last, c_street_1, c_street_2, c_city,
+              c_state, c_zip, c_phone, c_credit, c_credit_lim, c_discount,
+              c_balance, c_since
+    INTO :c_first, :c_middle, :c_last, :c_street_1, :c_street_2, :c_city,
+         :c_state, :c_zip, :c_phone, :c_credit, :c_credit_lim, :c_discount,
+         :c_balance, :c_since;                                            -- q23
+  IF ? THEN
+    SELECT c_data INTO :c_data FROM Customer
+      WHERE c_w_id = :w_id AND c_d_id = :d_id AND c_id = :c_id;           -- q24
+    UPDATE Customer SET c_data = :c_new_data
+      WHERE c_w_id = :w_id AND c_d_id = :d_id AND c_id = :c_id;           -- q25
+  END IF;
+  INSERT INTO History VALUES (:c_id, :d_id, :w_id, :d_id, :w_id,
+                              :datetime, :h_amount, :h_data);             -- q26
+COMMIT;
+
+PROGRAM StockLevel(:w_id, :d_id, :threshold):
+  SELECT d_next_o_id INTO :o_id FROM District
+    WHERE d_w_id = :w_id AND d_id = :d_id;                                -- q27
+  SELECT ol_i_id FROM Order_Line
+    WHERE ol_w_id = :w_id AND ol_d_id = :d_id AND ol_o_id < :o_id
+      AND ol_o_id >= :o_id - 20;                                          -- q28
+  SELECT s_i_id FROM Stock
+    WHERE s_w_id = :w_id AND s_quantity < :threshold;                     -- q29
+COMMIT;
+)sql";
+}
+
+}  // namespace mvrc

@@ -1,0 +1,233 @@
+#include "workloads/tpcc.h"
+
+namespace mvrc {
+
+Workload MakeTpcc() {
+  Workload workload;
+  workload.name = "TPC-C";
+  Schema& schema = workload.schema;
+
+  RelationId warehouse = schema.AddRelation(
+      "Warehouse",
+      {"w_id", "w_name", "w_street_1", "w_street_2", "w_city", "w_state", "w_zip",
+       "w_tax", "w_ytd"},
+      {"w_id"});
+  RelationId district = schema.AddRelation(
+      "District",
+      {"d_id", "d_w_id", "d_name", "d_street_1", "d_street_2", "d_city", "d_state",
+       "d_zip", "d_tax", "d_ytd", "d_next_o_id"},
+      {"d_id", "d_w_id"});
+  RelationId customer = schema.AddRelation(
+      "Customer",
+      {"c_id", "c_d_id", "c_w_id", "c_first", "c_middle", "c_last", "c_street_1",
+       "c_street_2", "c_city", "c_state", "c_zip", "c_phone", "c_since", "c_credit",
+       "c_credit_lim", "c_discount", "c_balance", "c_ytd_payment", "c_payment_cnt",
+       "c_delivery_cnt", "c_data"},
+      {"c_id", "c_d_id", "c_w_id"});
+  RelationId history = schema.AddRelation(
+      "History",
+      {"h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id", "h_date", "h_amount",
+       "h_data"},
+      {});
+  RelationId new_order = schema.AddRelation(
+      "New_Order", {"no_o_id", "no_d_id", "no_w_id"}, {"no_o_id", "no_d_id", "no_w_id"});
+  RelationId orders = schema.AddRelation(
+      "Orders",
+      {"o_id", "o_d_id", "o_w_id", "o_c_id", "o_entry_id", "o_carrier_id", "o_ol_cnt",
+       "o_all_local"},
+      {"o_id", "o_d_id", "o_w_id"});
+  RelationId order_line = schema.AddRelation(
+      "Order_Line",
+      {"ol_o_id", "ol_d_id", "ol_w_id", "ol_number", "ol_i_id", "ol_supply_w_id",
+       "ol_delivery_d", "ol_quantity", "ol_amount", "ol_dist_info"},
+      {"ol_o_id", "ol_d_id", "ol_w_id", "ol_number"});
+  RelationId item = schema.AddRelation(
+      "Item", {"i_id", "i_im_id", "i_name", "i_price", "i_data"}, {"i_id"});
+  RelationId stock = schema.AddRelation(
+      "Stock",
+      {"s_i_id", "s_w_id", "s_quantity", "s_dist_01", "s_dist_02", "s_dist_03",
+       "s_dist_04", "s_dist_05", "s_dist_06", "s_dist_07", "s_dist_08", "s_dist_09",
+       "s_dist_10", "s_ytd", "s_order_cnt", "s_remote_cnt", "s_data"},
+      {"s_i_id", "s_w_id"});
+
+  ForeignKeyId f1 = schema.AddForeignKey("f1", district, {"d_w_id"}, warehouse);
+  ForeignKeyId f2 = schema.AddForeignKey("f2", customer, {"c_d_id", "c_w_id"}, district);
+  ForeignKeyId f3 =
+      schema.AddForeignKey("f3", history, {"h_c_id", "h_c_d_id", "h_c_w_id"}, customer);
+  ForeignKeyId f4 = schema.AddForeignKey("f4", history, {"h_d_id", "h_w_id"}, district);
+  ForeignKeyId f5 = schema.AddForeignKey(
+      "f5", new_order, {"no_o_id", "no_d_id", "no_w_id"}, orders);
+  ForeignKeyId f6 = schema.AddForeignKey("f6", orders, {"o_d_id", "o_w_id"}, district);
+  ForeignKeyId f7 =
+      schema.AddForeignKey("f7", orders, {"o_c_id", "o_d_id", "o_w_id"}, customer);
+  ForeignKeyId f8 = schema.AddForeignKey(
+      "f8", order_line, {"ol_o_id", "ol_d_id", "ol_w_id"}, orders);
+  ForeignKeyId f9 = schema.AddForeignKey("f9", order_line, {"ol_i_id"}, item);
+  ForeignKeyId f10 =
+      schema.AddForeignKey("f10", order_line, {"ol_supply_w_id"}, warehouse);
+  ForeignKeyId f11 = schema.AddForeignKey("f11", stock, {"s_i_id"}, item);
+  ForeignKeyId f12 = schema.AddForeignKey("f12", stock, {"s_w_id"}, warehouse);
+  (void)f10;
+  (void)f12;  // declared for completeness; no statement pair binds them (remote orders)
+
+  auto attrs = [&schema](RelationId rel, std::vector<std::string> names) {
+    return schema.MakeAttrSet(rel, names);
+  };
+
+  // NewOrder := q8; q9; q10; q11; q12; loop(q13; q14; q15)      (Figure 17)
+  {
+    Btp p("NewOrder");
+    StmtId q8 = p.AddStatement(Statement::KeySelect(
+        "q8", schema, customer, attrs(customer, {"c_credit", "c_discount", "c_last"})));
+    StmtId q9 = p.AddStatement(
+        Statement::KeySelect("q9", schema, warehouse, attrs(warehouse, {"w_tax"})));
+    StmtId q10 = p.AddStatement(Statement::KeyUpdate(
+        "q10", schema, district, attrs(district, {"d_next_o_id", "d_tax"}),
+        attrs(district, {"d_next_o_id"})));
+    StmtId q11 = p.AddStatement(Statement::Insert("q11", schema, orders));
+    StmtId q12 = p.AddStatement(Statement::Insert("q12", schema, new_order));
+    StmtId q13 = p.AddStatement(Statement::KeySelect(
+        "q13", schema, item, attrs(item, {"i_data", "i_name", "i_price"})));
+    StmtId q14 = p.AddStatement(Statement::KeyUpdate(
+        "q14", schema, stock,
+        attrs(stock, {"s_data", "s_dist_01", "s_dist_02", "s_dist_03", "s_dist_04",
+                      "s_dist_05", "s_dist_06", "s_dist_07", "s_dist_08", "s_dist_09",
+                      "s_dist_10", "s_order_cnt", "s_quantity", "s_remote_cnt",
+                      "s_ytd"}),
+        attrs(stock, {"s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"})));
+    StmtId q15 = p.AddStatement(Statement::Insert("q15", schema, order_line));
+    p.Finish(p.Seq({p.Stmt(q8), p.Stmt(q9), p.Stmt(q10), p.Stmt(q11), p.Stmt(q12),
+                    p.Loop(p.Seq({p.Stmt(q13), p.Stmt(q14), p.Stmt(q15)}))}));
+    p.AddFkConstraint(schema, q10, f2, q8);   // customer's district is the one updated
+    p.AddFkConstraint(schema, q9, f1, q10);   // district's warehouse
+    p.AddFkConstraint(schema, q10, f6, q11);  // order's district
+    p.AddFkConstraint(schema, q8, f7, q11);   // order's customer
+    p.AddFkConstraint(schema, q11, f5, q12);  // new-order row's order
+    p.AddFkConstraint(schema, q13, f11, q14);  // stock row's item
+    p.AddFkConstraint(schema, q11, f8, q15);   // order line's order
+    p.AddFkConstraint(schema, q13, f9, q15);   // order line's item
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("NO");
+  }
+
+  // Payment := q20; q21; (q22 | eps); q23; (q24; q25 | eps); q26
+  {
+    Btp p("Payment");
+    StmtId q20 = p.AddStatement(Statement::KeyUpdate(
+        "q20", schema, warehouse,
+        attrs(warehouse, {"w_city", "w_name", "w_state", "w_street_1", "w_street_2",
+                          "w_ytd", "w_zip"}),
+        attrs(warehouse, {"w_ytd"})));
+    StmtId q21 = p.AddStatement(Statement::KeyUpdate(
+        "q21", schema, district,
+        attrs(district, {"d_city", "d_name", "d_state", "d_street_1", "d_street_2",
+                         "d_ytd", "d_zip"}),
+        attrs(district, {"d_ytd"})));
+    StmtId q22 = p.AddStatement(Statement::PredSelect(
+        "q22", schema, customer, attrs(customer, {"c_d_id", "c_last", "c_w_id"}),
+        attrs(customer, {"c_id"})));
+    StmtId q23 = p.AddStatement(Statement::KeyUpdate(
+        "q23", schema, customer,
+        attrs(customer,
+              {"c_balance", "c_city", "c_credit", "c_credit_lim", "c_discount",
+               "c_first", "c_last", "c_middle", "c_phone", "c_since", "c_state",
+               "c_street_1", "c_street_2", "c_ytd_payment", "c_zip"}),
+        attrs(customer, {"c_balance", "c_payment_cnt", "c_ytd_payment"})));
+    StmtId q24 = p.AddStatement(
+        Statement::KeySelect("q24", schema, customer, attrs(customer, {"c_data"})));
+    StmtId q25 = p.AddStatement(Statement::KeyUpdate(
+        "q25", schema, customer, AttrSet{}, attrs(customer, {"c_data"})));
+    StmtId q26 = p.AddStatement(Statement::Insert("q26", schema, history));
+    p.Finish(p.Seq({p.Stmt(q20), p.Stmt(q21), p.Optional(p.Stmt(q22)), p.Stmt(q23),
+                    p.Optional(p.Seq({p.Stmt(q24), p.Stmt(q25)})), p.Stmt(q26)}));
+    p.AddFkConstraint(schema, q20, f1, q21);  // district's warehouse
+    // Home-district assumption: the customer accessed by q22-q25 belongs to
+    // the district updated by q21 (see header comment and EXPERIMENTS.md).
+    p.AddFkConstraint(schema, q21, f2, q22);
+    p.AddFkConstraint(schema, q21, f2, q23);
+    p.AddFkConstraint(schema, q21, f2, q24);
+    p.AddFkConstraint(schema, q21, f2, q25);
+    p.AddFkConstraint(schema, q23, f3, q26);  // history row's customer
+    p.AddFkConstraint(schema, q21, f4, q26);  // history row's district
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("Pay");
+  }
+
+  // OrderStatus := (q16 | q17); q18; q19
+  {
+    Btp p("OrderStatus");
+    StmtId q16 = p.AddStatement(Statement::PredSelect(
+        "q16", schema, customer, attrs(customer, {"c_d_id", "c_last", "c_w_id"}),
+        attrs(customer, {"c_balance", "c_first", "c_id", "c_middle"})));
+    StmtId q17 = p.AddStatement(Statement::KeySelect(
+        "q17", schema, customer,
+        attrs(customer, {"c_balance", "c_first", "c_last", "c_middle"})));
+    StmtId q18 = p.AddStatement(Statement::PredSelect(
+        "q18", schema, orders, attrs(orders, {"o_c_id", "o_d_id", "o_w_id"}),
+        attrs(orders, {"o_carrier_id", "o_entry_id", "o_id"})));
+    StmtId q19 = p.AddStatement(Statement::PredSelect(
+        "q19", schema, order_line, attrs(order_line, {"ol_d_id", "ol_o_id", "ol_w_id"}),
+        attrs(order_line, {"ol_amount", "ol_delivery_d", "ol_i_id", "ol_quantity",
+                           "ol_supply_w_id"})));
+    p.Finish(p.Seq({p.Choice(p.Stmt(q16), p.Stmt(q17)), p.Stmt(q18), p.Stmt(q19)}));
+    // q17 = f7(q18): the orders read belong to the customer read by key. The
+    // constraint binds only in unfoldings containing q17.
+    p.AddFkConstraint(schema, q17, f7, q18);
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("OS");
+  }
+
+  // Delivery := loop(q1; q2; q3; q4; q5; q6; q7)
+  {
+    Btp p("Delivery");
+    StmtId q1 = p.AddStatement(Statement::PredSelect(
+        "q1", schema, new_order, attrs(new_order, {"no_d_id", "no_w_id"}),
+        attrs(new_order, {"no_o_id"})));
+    StmtId q2 = p.AddStatement(Statement::KeyDelete("q2", schema, new_order));
+    StmtId q3 = p.AddStatement(
+        Statement::KeySelect("q3", schema, orders, attrs(orders, {"o_c_id"})));
+    StmtId q4 = p.AddStatement(Statement::KeyUpdate(
+        "q4", schema, orders, AttrSet{}, attrs(orders, {"o_carrier_id"})));
+    StmtId q5 = p.AddStatement(Statement::PredUpdate(
+        "q5", schema, order_line, attrs(order_line, {"ol_d_id", "ol_o_id", "ol_w_id"}),
+        AttrSet{}, attrs(order_line, {"ol_delivery_d"})));
+    StmtId q6 = p.AddStatement(Statement::PredSelect(
+        "q6", schema, order_line, attrs(order_line, {"ol_d_id", "ol_o_id", "ol_w_id"}),
+        attrs(order_line, {"ol_amount"})));
+    StmtId q7 = p.AddStatement(Statement::KeyUpdate(
+        "q7", schema, customer, attrs(customer, {"c_balance", "c_delivery_cnt"}),
+        attrs(customer, {"c_balance", "c_delivery_cnt"})));
+    p.Finish(p.Loop(p.Seq({p.Stmt(q1), p.Stmt(q2), p.Stmt(q3), p.Stmt(q4), p.Stmt(q5),
+                           p.Stmt(q6), p.Stmt(q7)})));
+    p.AddFkConstraint(schema, q3, f5, q2);  // the deleted new-order row's order
+    p.AddFkConstraint(schema, q4, f5, q2);
+    p.AddFkConstraint(schema, q3, f8, q5);  // order lines of the handled order
+    p.AddFkConstraint(schema, q4, f8, q5);
+    p.AddFkConstraint(schema, q3, f8, q6);
+    p.AddFkConstraint(schema, q4, f8, q6);
+    p.AddFkConstraint(schema, q7, f7, q3);  // the order's customer
+    p.AddFkConstraint(schema, q7, f7, q4);
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("Del");
+  }
+
+  // StockLevel := q27; q28; q29
+  {
+    Btp p("StockLevel");
+    StmtId q27 = p.AddStatement(Statement::KeySelect(
+        "q27", schema, district, attrs(district, {"d_next_o_id"})));
+    p.AddStatement(Statement::PredSelect(
+        "q28", schema, order_line, attrs(order_line, {"ol_d_id", "ol_o_id", "ol_w_id"}),
+        attrs(order_line, {"ol_i_id"})));
+    p.AddStatement(Statement::PredSelect(
+        "q29", schema, stock, attrs(stock, {"s_quantity", "s_w_id"}),
+        attrs(stock, {"s_i_id"})));
+    (void)q27;
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("SL");
+  }
+
+  return workload;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,25 @@
+// A workload bundles a schema with a set of BTPs plus display metadata
+// (abbreviations used in the paper's Figures 6 and 7).
+
+#ifndef MVRC_WORKLOADS_WORKLOAD_H_
+#define MVRC_WORKLOADS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "btp/program.h"
+#include "schema/schema.h"
+
+namespace mvrc {
+
+/// A benchmark workload: schema + transaction programs.
+struct Workload {
+  std::string name;
+  Schema schema;
+  std::vector<Btp> programs;
+  std::vector<std::string> abbreviations;  // per program, e.g. "NO" for NewOrder
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,71 @@
+#include "util/attr_set.h"
+
+#include <gtest/gtest.h>
+
+namespace mvrc {
+namespace {
+
+TEST(AttrSetTest, DefaultIsEmpty) {
+  AttrSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0);
+}
+
+TEST(AttrSetTest, InsertAndContains) {
+  AttrSet set;
+  set.Insert(0);
+  set.Insert(5);
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_EQ(set.size(), 2);
+}
+
+TEST(AttrSetTest, InitializerList) {
+  AttrSet set{1, 3, 5};
+  EXPECT_EQ(set.size(), 3);
+  EXPECT_TRUE(set.Contains(3));
+}
+
+TEST(AttrSetTest, FirstN) {
+  AttrSet set = AttrSet::FirstN(3);
+  EXPECT_EQ(set.size(), 3);
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_TRUE(AttrSet::FirstN(0).empty());
+  EXPECT_EQ(AttrSet::FirstN(64).size(), 64);
+}
+
+TEST(AttrSetTest, Intersects) {
+  AttrSet a{1, 2};
+  AttrSet b{2, 3};
+  AttrSet c{4};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(AttrSet{}.Intersects(a));
+}
+
+TEST(AttrSetTest, SubsetUnionIntersection) {
+  AttrSet a{1, 2};
+  AttrSet b{1, 2, 3};
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_EQ(a.Union(b), b);
+  EXPECT_EQ(a.Intersection(b), a);
+  EXPECT_EQ(a.Intersection(AttrSet{3}), AttrSet{});
+}
+
+TEST(AttrSetTest, ToVectorSorted) {
+  AttrSet set{9, 1, 4};
+  EXPECT_EQ(set.ToVector(), (std::vector<AttrId>{1, 4, 9}));
+}
+
+TEST(AttrSetTest, EqualityDistinguishesEmptyFromNonEmpty) {
+  EXPECT_EQ(AttrSet{}, AttrSet{});
+  EXPECT_NE(AttrSet{}, AttrSet{0});
+}
+
+}  // namespace
+}  // namespace mvrc

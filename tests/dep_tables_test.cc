@@ -1,0 +1,200 @@
+#include "summary/dep_tables.h"
+
+#include <gtest/gtest.h>
+
+namespace mvrc {
+namespace {
+
+using ST = StatementType;
+
+TEST(DepTablesTest, NcDepTableMatchesTable1a) {
+  // Spot-check every row against Table 1a of the paper.
+  // ins row: false, check, true, check, true, check, true.
+  EXPECT_EQ(NcDepTable(ST::kInsert, ST::kInsert), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kInsert, ST::kKeySelect), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kInsert, ST::kPredSelect), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kInsert, ST::kKeyUpdate), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kInsert, ST::kPredUpdate), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kInsert, ST::kKeyDelete), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kInsert, ST::kPredDelete), TableEntry::kTrue);
+  // key sel row.
+  EXPECT_EQ(NcDepTable(ST::kKeySelect, ST::kInsert), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kKeySelect, ST::kKeySelect), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kKeySelect, ST::kPredSelect), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kKeySelect, ST::kKeyUpdate), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kKeySelect, ST::kPredUpdate), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kKeySelect, ST::kKeyDelete), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kKeySelect, ST::kPredDelete), TableEntry::kCheck);
+  // pred sel row.
+  EXPECT_EQ(NcDepTable(ST::kPredSelect, ST::kInsert), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kPredSelect, ST::kKeySelect), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kPredSelect, ST::kPredSelect), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kPredSelect, ST::kKeyUpdate), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kPredSelect, ST::kPredUpdate), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kPredSelect, ST::kKeyDelete), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kPredSelect, ST::kPredDelete), TableEntry::kTrue);
+  // key upd row.
+  EXPECT_EQ(NcDepTable(ST::kKeyUpdate, ST::kInsert), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kKeyUpdate, ST::kKeySelect), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kKeyUpdate, ST::kPredSelect), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kKeyUpdate, ST::kKeyUpdate), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kKeyUpdate, ST::kPredUpdate), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kKeyUpdate, ST::kKeyDelete), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kKeyUpdate, ST::kPredDelete), TableEntry::kCheck);
+  // pred upd row.
+  EXPECT_EQ(NcDepTable(ST::kPredUpdate, ST::kInsert), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kPredUpdate, ST::kKeySelect), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kPredUpdate, ST::kPredSelect), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kPredUpdate, ST::kKeyUpdate), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kPredUpdate, ST::kPredUpdate), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kPredUpdate, ST::kKeyDelete), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kPredUpdate, ST::kPredDelete), TableEntry::kTrue);
+  // key del row.
+  EXPECT_EQ(NcDepTable(ST::kKeyDelete, ST::kInsert), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kKeyDelete, ST::kKeySelect), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kKeyDelete, ST::kPredSelect), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kKeyDelete, ST::kKeyUpdate), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kKeyDelete, ST::kPredUpdate), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kKeyDelete, ST::kKeyDelete), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kKeyDelete, ST::kPredDelete), TableEntry::kTrue);
+  // pred del row.
+  EXPECT_EQ(NcDepTable(ST::kPredDelete, ST::kInsert), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kPredDelete, ST::kKeySelect), TableEntry::kFalse);
+  EXPECT_EQ(NcDepTable(ST::kPredDelete, ST::kPredSelect), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kPredDelete, ST::kKeyUpdate), TableEntry::kCheck);
+  EXPECT_EQ(NcDepTable(ST::kPredDelete, ST::kPredUpdate), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kPredDelete, ST::kKeyDelete), TableEntry::kTrue);
+  EXPECT_EQ(NcDepTable(ST::kPredDelete, ST::kPredDelete), TableEntry::kTrue);
+}
+
+TEST(DepTablesTest, CDepTableMatchesTable1b) {
+  // Rows ins, key upd, key del are all false: writers in chunks cannot be
+  // the source of a counterflow rw-antidependency.
+  for (ST target : {ST::kInsert, ST::kKeySelect, ST::kPredSelect, ST::kKeyUpdate,
+                    ST::kPredUpdate, ST::kKeyDelete, ST::kPredDelete}) {
+    EXPECT_EQ(CDepTable(ST::kInsert, target), TableEntry::kFalse);
+    EXPECT_EQ(CDepTable(ST::kKeyUpdate, target), TableEntry::kFalse);
+    EXPECT_EQ(CDepTable(ST::kKeyDelete, target), TableEntry::kFalse);
+  }
+  // key sel row: false, false, false, check, check, check, check.
+  EXPECT_EQ(CDepTable(ST::kKeySelect, ST::kInsert), TableEntry::kFalse);
+  EXPECT_EQ(CDepTable(ST::kKeySelect, ST::kKeySelect), TableEntry::kFalse);
+  EXPECT_EQ(CDepTable(ST::kKeySelect, ST::kPredSelect), TableEntry::kFalse);
+  EXPECT_EQ(CDepTable(ST::kKeySelect, ST::kKeyUpdate), TableEntry::kCheck);
+  EXPECT_EQ(CDepTable(ST::kKeySelect, ST::kPredUpdate), TableEntry::kCheck);
+  EXPECT_EQ(CDepTable(ST::kKeySelect, ST::kKeyDelete), TableEntry::kCheck);
+  EXPECT_EQ(CDepTable(ST::kKeySelect, ST::kPredDelete), TableEntry::kCheck);
+  // pred sel / pred upd / pred del rows: true, false, false, check, check,
+  // true, true.
+  for (ST source : {ST::kPredSelect, ST::kPredUpdate, ST::kPredDelete}) {
+    EXPECT_EQ(CDepTable(source, ST::kInsert), TableEntry::kTrue);
+    EXPECT_EQ(CDepTable(source, ST::kKeySelect), TableEntry::kFalse);
+    EXPECT_EQ(CDepTable(source, ST::kPredSelect), TableEntry::kFalse);
+    EXPECT_EQ(CDepTable(source, ST::kKeyUpdate), TableEntry::kCheck);
+    EXPECT_EQ(CDepTable(source, ST::kPredUpdate), TableEntry::kCheck);
+    EXPECT_EQ(CDepTable(source, ST::kKeyDelete), TableEntry::kTrue);
+    EXPECT_EQ(CDepTable(source, ST::kPredDelete), TableEntry::kTrue);
+  }
+}
+
+class DepCondsTest : public ::testing::Test {
+ protected:
+  DepCondsTest() {
+    rel_ = schema_.AddRelation("R", {"a", "b", "c"}, {"a"});
+  }
+  Schema schema_;
+  RelationId rel_ = -1;
+};
+
+TEST_F(DepCondsTest, NcDepCondsAttributeGranularity) {
+  Statement writer_b = Statement::KeyUpdate("w", schema_, rel_, AttrSet{}, AttrSet{1});
+  Statement reader_b = Statement::KeySelect("r", schema_, rel_, AttrSet{1});
+  Statement reader_c = Statement::KeySelect("r2", schema_, rel_, AttrSet{2});
+  EXPECT_TRUE(NcDepConds(writer_b, reader_b, Granularity::kAttribute));
+  EXPECT_TRUE(NcDepConds(reader_b, writer_b, Granularity::kAttribute));
+  EXPECT_FALSE(NcDepConds(reader_c, writer_b, Granularity::kAttribute));
+  EXPECT_FALSE(NcDepConds(reader_b, reader_b, Granularity::kAttribute));
+}
+
+TEST_F(DepCondsTest, NcDepCondsTupleGranularityIgnoresAttributes) {
+  Statement writer_b = Statement::KeyUpdate("w", schema_, rel_, AttrSet{}, AttrSet{1});
+  Statement reader_c = Statement::KeySelect("r2", schema_, rel_, AttrSet{2});
+  // No common attribute, but both access the same tuple: tuple granularity
+  // reports a potential dependency.
+  EXPECT_TRUE(NcDepConds(reader_c, writer_b, Granularity::kTuple));
+  EXPECT_TRUE(NcDepConds(writer_b, reader_c, Granularity::kTuple));
+  // Two selects still never conflict.
+  EXPECT_FALSE(NcDepConds(reader_c, reader_c, Granularity::kTuple));
+}
+
+TEST_F(DepCondsTest, NcDepCondsPReadCounts) {
+  Statement pred = Statement::PredSelect("p", schema_, rel_, AttrSet{1}, AttrSet{});
+  Statement writer_b = Statement::KeyUpdate("w", schema_, rel_, AttrSet{}, AttrSet{1});
+  EXPECT_TRUE(NcDepConds(pred, writer_b, Granularity::kAttribute));
+  EXPECT_TRUE(NcDepConds(writer_b, pred, Granularity::kAttribute));
+}
+
+TEST_F(DepCondsTest, CDepCondsForeignKeySuppression) {
+  // Two copies of a program "parent key-upd then child read/write": the
+  // foreign-key constraint suppresses the counterflow dependency between the
+  // child statements (Auction q4 -> q5 pattern).
+  Schema schema;
+  RelationId parent = schema.AddRelation("P", {"p", "v"}, {"p"});
+  RelationId child = schema.AddRelation("C", {"c", "v"}, {"c"});
+  ForeignKeyId f = schema.AddForeignKey("f", child, {"c"}, parent);
+
+  auto make_ltp = [&](const std::string& name) {
+    std::vector<Occurrence> occs;
+    occs.push_back({Statement::KeyUpdate("qp", schema, parent, AttrSet{1}, AttrSet{1}),
+                    0,
+                    {}});
+    occs.push_back({Statement::KeySelect("qr", schema, child, AttrSet{1}), 1, {}});
+    occs.push_back(
+        {Statement::KeyUpdate("qw", schema, child, AttrSet{}, AttrSet{1}), 2, {}});
+    std::vector<OccFkConstraint> constraints{{0, f, 1}, {0, f, 2}};
+    return Ltp(name, name, std::move(occs), std::move(constraints));
+  };
+  Ltp p1 = make_ltp("P1");
+  Ltp p2 = make_ltp("P2");
+
+  // qr (pos 1) -> qw (pos 2): suppressed with FKs, admitted without.
+  EXPECT_FALSE(CDepConds(p1, 1, p2, 2, AnalysisSettings::AttrDepFk()));
+  EXPECT_TRUE(CDepConds(p1, 1, p2, 2, AnalysisSettings::AttrDep()));
+}
+
+TEST_F(DepCondsTest, CDepCondsPredicateReadBypassesForeignKeys) {
+  // PReadSet ∩ WriteSet ≠ ∅ short-circuits to true before the FK check
+  // (Algorithm 1's cDepConds tests the predicate-read case first).
+  Schema schema;
+  RelationId parent = schema.AddRelation("P", {"p", "v"}, {"p"});
+  RelationId child = schema.AddRelation("C", {"c", "v"}, {"c"});
+  ForeignKeyId f = schema.AddForeignKey("f", child, {"c"}, parent);
+
+  std::vector<Occurrence> occs1;
+  occs1.push_back({Statement::KeyUpdate("qp", schema, parent, AttrSet{1}, AttrSet{1}),
+                   0,
+                   {}});
+  occs1.push_back(
+      {Statement::PredSelect("qr", schema, child, AttrSet{1}, AttrSet{1}), 1, {}});
+  Ltp pi("Pi", "Pi", std::move(occs1), {{0, f, 1}});
+
+  std::vector<Occurrence> occs2;
+  occs2.push_back({Statement::KeyUpdate("qp", schema, parent, AttrSet{1}, AttrSet{1}),
+                   0,
+                   {}});
+  occs2.push_back(
+      {Statement::KeyUpdate("qw", schema, child, AttrSet{}, AttrSet{1}), 1, {}});
+  Ltp pj("Pj", "Pj", std::move(occs2), {{0, f, 1}});
+
+  EXPECT_TRUE(CDepConds(pi, 1, pj, 1, AnalysisSettings::AttrDepFk()));
+}
+
+TEST(AnalysisSettingsTest, Names) {
+  EXPECT_STREQ(AnalysisSettings::TupleDep().name(), "tpl dep");
+  EXPECT_STREQ(AnalysisSettings::AttrDep().name(), "attr dep");
+  EXPECT_STREQ(AnalysisSettings::TupleDepFk().name(), "tpl dep + FK");
+  EXPECT_STREQ(AnalysisSettings::AttrDepFk().name(), "attr dep + FK");
+}
+
+}  // namespace
+}  // namespace mvrc

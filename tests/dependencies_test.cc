@@ -1,0 +1,248 @@
+#include "mvcc/dependencies.h"
+
+#include <gtest/gtest.h>
+
+#include "mvcc/serialization_graph.h"
+
+namespace mvrc {
+namespace {
+
+class DependenciesTest : public ::testing::Test {
+ protected:
+  DependenciesTest() {
+    rel_ = schema_.AddRelation("A", {"k", "v", "w"}, {"k"});
+  }
+
+  bool HasDep(const std::vector<Dependency>& deps, int from_txn, int to_txn,
+              DepType type, bool counterflow) {
+    for (const Dependency& dep : deps) {
+      if (dep.from.txn == from_txn && dep.to.txn == to_txn && dep.type == type &&
+          dep.counterflow == counterflow) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Schema schema_;
+  RelationId rel_ = -1;
+};
+
+TEST_F(DependenciesTest, WrDependencyAfterCommit) {
+  // T0 writes and commits; T1 reads: wr-dependency, not counterflow.
+  Transaction t0(0);
+  t0.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kRead, rel_, 0, AttrSet{1});
+  t1.FinishWithCommit();
+  Result<Schedule> s = Schedule::Serial({t0, t1});
+  ASSERT_TRUE(s.ok());
+  std::vector<Dependency> deps = ComputeDependencies(s.value());
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_TRUE(HasDep(deps, 0, 1, DepType::kWR, false));
+}
+
+TEST_F(DependenciesTest, RwAntidependencyCanBeCounterflow) {
+  // T0 reads before T1's write, but T1 commits first: counterflow rw.
+  Transaction t0(0);
+  t0.Add(OpKind::kRead, rel_, 0, AttrSet{1});
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t1.FinishWithCommit();
+  std::vector<OpRef> order{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Result<Schedule> s = Schedule::ReadLastCommitted({t0, t1}, order);
+  ASSERT_TRUE(s.ok()) << s.error();
+  std::vector<Dependency> deps = ComputeDependencies(s.value());
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_TRUE(HasDep(deps, 0, 1, DepType::kRW, true));
+}
+
+TEST_F(DependenciesTest, WwDependencyFollowsCommitOrder) {
+  Transaction t0(0);
+  t0.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t1.FinishWithCommit();
+  Result<Schedule> s = Schedule::Serial({t0, t1});
+  ASSERT_TRUE(s.ok());
+  std::vector<Dependency> deps = ComputeDependencies(s.value());
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_TRUE(HasDep(deps, 0, 1, DepType::kWW, false));
+}
+
+TEST_F(DependenciesTest, DisjointAttributesNoDependency) {
+  // Writer touches attr 1, reader attr 2: no dependency at attribute
+  // granularity, but one at tuple granularity.
+  Transaction t0(0);
+  t0.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kRead, rel_, 0, AttrSet{2});
+  t1.FinishWithCommit();
+  Result<Schedule> s = Schedule::Serial({t0, t1});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(ComputeDependencies(s.value(), Granularity::kAttribute).empty());
+  EXPECT_EQ(ComputeDependencies(s.value(), Granularity::kTuple).size(), 1u);
+}
+
+TEST_F(DependenciesTest, PredicateWrDependencyFromInsert) {
+  // T0 inserts, commits; T1's predicate read observes the insert: pred-wr.
+  Transaction t0(0);
+  t0.Add(OpKind::kInsert, rel_, 0, AttrSet::FirstN(3));
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kPredRead, rel_, -1, AttrSet{1});
+  t1.FinishWithCommit();
+  Result<Schedule> s = Schedule::Serial({t0, t1});
+  ASSERT_TRUE(s.ok());
+  std::vector<Dependency> deps = ComputeDependencies(s.value());
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_TRUE(HasDep(deps, 0, 1, DepType::kPredWR, false));
+}
+
+TEST_F(DependenciesTest, PredicateRwToLaterInsertIsPhantom) {
+  // T0's predicate read runs before T1 inserts a matching tuple: a phantom,
+  // modeled as a predicate rw-antidependency (counterflow if T1 commits
+  // first). Attribute overlap is NOT required for inserts.
+  Transaction t0(0);
+  t0.Add(OpKind::kPredRead, rel_, -1, AttrSet{2});  // predicate on attr w only
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kInsert, rel_, 0, AttrSet::FirstN(3));
+  t1.FinishWithCommit();
+  std::vector<OpRef> order{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Result<Schedule> s = Schedule::ReadLastCommitted({t0, t1}, order);
+  ASSERT_TRUE(s.ok()) << s.error();
+  std::vector<Dependency> deps = ComputeDependencies(s.value());
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_TRUE(HasDep(deps, 0, 1, DepType::kPredRW, true));
+}
+
+TEST_F(DependenciesTest, PredicateRwToPlainWriteNeedsAttrOverlap) {
+  Transaction t0(0);
+  t0.Add(OpKind::kPredRead, rel_, -1, AttrSet{2});
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kWrite, rel_, 0, AttrSet{1});  // writes v, predicate on w
+  t1.FinishWithCommit();
+  std::vector<OpRef> order{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Result<Schedule> s = Schedule::ReadLastCommitted({t0, t1}, order);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(ComputeDependencies(s.value()).empty());
+}
+
+TEST_F(DependenciesTest, PredicateWrFromCommittedDelete) {
+  // T0 deletes a tuple and commits; T1's predicate read observes the dead
+  // version: a predicate wr-dependency from the delete (no attribute
+  // overlap required for D-operations).
+  Transaction t0(0);
+  t0.Add(OpKind::kDelete, rel_, 0, AttrSet::FirstN(3));
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kPredRead, rel_, -1, AttrSet{2});
+  t1.FinishWithCommit();
+  Result<Schedule> s = Schedule::Serial({t0, t1});
+  ASSERT_TRUE(s.ok()) << s.error();
+  // Vset maps the tuple to the dead version created by the delete.
+  Version vset = s.value().VsetVersion({1, 0}, rel_, 0);
+  EXPECT_EQ(vset.txn, 0);
+  std::vector<Dependency> deps = ComputeDependencies(s.value());
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_TRUE(HasDep(deps, 0, 1, DepType::kPredWR, false));
+}
+
+TEST_F(DependenciesTest, PredicateRwToLaterDelete) {
+  // T0's predicate read precedes T1's delete of a matching tuple (a
+  // vanishing phantom): predicate rw-antidependency, counterflow when T1
+  // commits first.
+  Transaction t0(0);
+  t0.Add(OpKind::kPredRead, rel_, -1, AttrSet{2});
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kDelete, rel_, 0, AttrSet::FirstN(3));
+  t1.FinishWithCommit();
+  std::vector<OpRef> order{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Result<Schedule> s = Schedule::ReadLastCommitted({t0, t1}, order);
+  ASSERT_TRUE(s.ok()) << s.error();
+  std::vector<Dependency> deps = ComputeDependencies(s.value());
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_TRUE(HasDep(deps, 0, 1, DepType::kPredRW, true));
+}
+
+TEST_F(DependenciesTest, WwIntoDeleteAndOutOfInsert) {
+  // Version-chain boundary dependencies: W -> D is a ww-dependency (the
+  // dead version is last); I -> W likewise (the insert is first).
+  Transaction t0(0);
+  t0.Add(OpKind::kInsert, rel_, 0, AttrSet::FirstN(3));
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t1.FinishWithCommit();
+  Transaction t2(2);
+  t2.Add(OpKind::kDelete, rel_, 0, AttrSet::FirstN(3));
+  t2.FinishWithCommit();
+  Result<Schedule> s = Schedule::Serial({t0, t1, t2});
+  ASSERT_TRUE(s.ok()) << s.error();
+  std::vector<Dependency> deps = ComputeDependencies(s.value());
+  EXPECT_TRUE(HasDep(deps, 0, 1, DepType::kWW, false));  // I -> W
+  EXPECT_TRUE(HasDep(deps, 1, 2, DepType::kWW, false));  // W -> D
+  EXPECT_TRUE(HasDep(deps, 0, 2, DepType::kWW, false));  // I -> D
+}
+
+TEST_F(DependenciesTest, Lemma41OnlyRwCanBeCounterflow) {
+  // Build a batch of small mvrc schedules and check Lemma 4.1: every
+  // counterflow dependency is an rw- or predicate rw-antidependency.
+  Transaction t0(0);
+  t0.Add(OpKind::kRead, rel_, 0, AttrSet{1});
+  int w = t0.Add(OpKind::kWrite, rel_, 1, AttrSet{1});
+  t0.AddChunk(w, w);
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kPredRead, rel_, -1, AttrSet{1});
+  t1.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t1.FinishWithCommit();
+
+  // Try all interleavings of the two transactions' operations.
+  std::vector<OpRef> ops;
+  for (int pos = 0; pos < t0.size(); ++pos) ops.push_back({0, pos});
+  for (int pos = 0; pos < t1.size(); ++pos) ops.push_back({1, pos});
+  std::sort(ops.begin(), ops.end(), [](OpRef a, OpRef b) {
+    return std::tie(a.txn, a.pos) < std::tie(b.txn, b.pos);
+  });
+  int schedules = 0;
+  do {
+    Result<Schedule> s = Schedule::ReadLastCommitted({t0, t1}, ops);
+    if (!s.ok() || !s.value().IsMvrcAllowed()) continue;
+    ++schedules;
+    for (const Dependency& dep : ComputeDependencies(s.value())) {
+      if (dep.counterflow) {
+        EXPECT_TRUE(dep.type == DepType::kRW || dep.type == DepType::kPredRW)
+            << DescribeDependency(s.value(), schema_, dep);
+      }
+    }
+  } while (std::next_permutation(ops.begin(), ops.end(), [](OpRef a, OpRef b) {
+    return std::tie(a.txn, a.pos) < std::tie(b.txn, b.pos);
+  }));
+  EXPECT_GT(schedules, 0);
+}
+
+TEST_F(DependenciesTest, DescribeDependency) {
+  Transaction t0(0);
+  t0.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kRead, rel_, 0, AttrSet{1});
+  t1.FinishWithCommit();
+  Result<Schedule> s = Schedule::Serial({t0, t1});
+  ASSERT_TRUE(s.ok());
+  std::vector<Dependency> deps = ComputeDependencies(s.value());
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(DescribeDependency(s.value(), schema_, deps[0]),
+            "W0[A#0] -wr-> R1[A#0]");
+}
+
+}  // namespace
+}  // namespace mvrc

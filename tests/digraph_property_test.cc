@@ -1,0 +1,143 @@
+// Randomized digraph tests: reachability, cycle detection and SCCs checked
+// against brute-force reference implementations on random graphs.
+
+#include <functional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+
+namespace mvrc {
+namespace {
+
+struct RandomGraph {
+  Digraph graph;
+  std::vector<std::vector<bool>> adj;
+};
+
+RandomGraph MakeRandom(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  int n = 2 + static_cast<int>(rng() % 9);  // 2..10 nodes
+  RandomGraph out{Digraph(n), std::vector<std::vector<bool>>(n, std::vector<bool>(n))};
+  double density = 0.05 + (rng() % 30) / 100.0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if ((rng() % 1000) < density * 1000) {
+        out.graph.AddEdge(u, v);
+        out.adj[u][v] = true;
+      }
+    }
+  }
+  return out;
+}
+
+// Floyd–Warshall reference closure (reflexive).
+std::vector<std::vector<bool>> ReferenceClosure(const std::vector<std::vector<bool>>& adj) {
+  int n = static_cast<int>(adj.size());
+  std::vector<std::vector<bool>> reach = adj;
+  for (int v = 0; v < n; ++v) reach[v][v] = true;
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (reach[i][k] && reach[k][j]) reach[i][j] = true;
+      }
+    }
+  }
+  return reach;
+}
+
+class DigraphPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigraphPropertyTest, ReachabilityMatchesFloydWarshall) {
+  RandomGraph random = MakeRandom(GetParam() * 2654435761u + 3);
+  Digraph::Reachability reach = random.graph.ComputeReachability();
+  std::vector<std::vector<bool>> reference = ReferenceClosure(random.adj);
+  for (int u = 0; u < random.graph.num_nodes(); ++u) {
+    for (int v = 0; v < random.graph.num_nodes(); ++v) {
+      EXPECT_EQ(reach.At(u, v), reference[u][v]) << u << "->" << v;
+    }
+  }
+}
+
+TEST_P(DigraphPropertyTest, HasCycleMatchesClosureDiagonalThroughEdges) {
+  RandomGraph random = MakeRandom(GetParam() * 40503 + 11);
+  // A cycle exists iff some edge (u, v) has v ~> u.
+  std::vector<std::vector<bool>> reference = ReferenceClosure(random.adj);
+  bool expect_cycle = false;
+  for (int u = 0; u < random.graph.num_nodes(); ++u) {
+    for (int v = 0; v < random.graph.num_nodes(); ++v) {
+      if (random.adj[u][v] && reference[v][u]) expect_cycle = true;
+    }
+  }
+  EXPECT_EQ(random.graph.HasCycle(), expect_cycle);
+}
+
+TEST_P(DigraphPropertyTest, SccMatchesMutualReachability) {
+  RandomGraph random = MakeRandom(GetParam() * 69069 + 7);
+  std::vector<int> component = random.graph.StronglyConnectedComponents();
+  std::vector<std::vector<bool>> reference = ReferenceClosure(random.adj);
+  for (int u = 0; u < random.graph.num_nodes(); ++u) {
+    for (int v = 0; v < random.graph.num_nodes(); ++v) {
+      bool mutual = reference[u][v] && reference[v][u];
+      EXPECT_EQ(component[u] == component[v], mutual) << u << " vs " << v;
+    }
+  }
+}
+
+TEST_P(DigraphPropertyTest, ShortestPathIsValidAndMinimal) {
+  RandomGraph random = MakeRandom(GetParam() * 997 + 23);
+  const int n = random.graph.num_nodes();
+  // Reference BFS distances.
+  for (int s = 0; s < n; ++s) {
+    std::vector<int> dist(n, -1);
+    std::vector<int> queue{s};
+    dist[s] = 0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      int u = queue[head];
+      for (int v = 0; v < n; ++v) {
+        if (random.adj[u][v] && dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    for (int t = 0; t < n; ++t) {
+      std::vector<int> path = random.graph.ShortestPath(s, t);
+      if (dist[t] < 0) {
+        EXPECT_TRUE(path.empty()) << s << "->" << t;
+        continue;
+      }
+      ASSERT_FALSE(path.empty()) << s << "->" << t;
+      EXPECT_EQ(static_cast<int>(path.size()) - 1, dist[t]);
+      EXPECT_EQ(path.front(), s);
+      EXPECT_EQ(path.back(), t);
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(random.adj[path[i]][path[i + 1]]);
+      }
+    }
+  }
+}
+
+TEST_P(DigraphPropertyTest, SimpleCyclesAreSimpleAndClosed) {
+  RandomGraph random = MakeRandom(GetParam() * 613 + 1);
+  random.graph.EnumerateSimpleCycles(
+      [&](const std::vector<int>& cycle) {
+        EXPECT_GE(cycle.size(), 2u);
+        EXPECT_EQ(cycle.front(), cycle.back());
+        std::vector<bool> seen(random.graph.num_nodes(), false);
+        for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+          EXPECT_TRUE(random.adj[cycle[i]][cycle[i + 1]]);
+          EXPECT_FALSE(seen[cycle[i]]) << "node repeated";
+          seen[cycle[i]] = true;
+        }
+        return true;
+      },
+      /*max_cycles=*/5000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DigraphPropertyTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace mvrc

@@ -1,0 +1,126 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mvrc {
+namespace {
+
+TEST(DigraphTest, ReachabilityIsReflexive) {
+  Digraph g(3);
+  Digraph::Reachability reach = g.ComputeReachability();
+  for (int v = 0; v < 3; ++v) EXPECT_TRUE(reach.At(v, v));
+  EXPECT_FALSE(reach.At(0, 1));
+}
+
+TEST(DigraphTest, ReachabilityIsTransitive) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Digraph::Reachability reach = g.ComputeReachability();
+  EXPECT_TRUE(reach.At(0, 2));
+  EXPECT_FALSE(reach.At(2, 0));
+  EXPECT_FALSE(reach.At(0, 3));
+}
+
+TEST(DigraphTest, ParallelEdgesCollapsed) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.OutNeighbors(0).size(), 1u);
+}
+
+TEST(DigraphTest, ShortestPath) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 2);
+  g.AddEdge(2, 4);
+  std::vector<int> path = g.ShortestPath(0, 4);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 4);
+  EXPECT_EQ(g.ShortestPath(4, 0), std::vector<int>{});
+  EXPECT_EQ(g.ShortestPath(2, 2), std::vector<int>{2});
+}
+
+TEST(DigraphTest, HasCycleDetectsSelfLoop) {
+  Digraph g(2);
+  EXPECT_FALSE(g.HasCycle());
+  g.AddEdge(1, 1);
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(DigraphTest, HasCycleDetectsLongCycle) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_FALSE(g.HasCycle());
+  g.AddEdge(3, 1);
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(DigraphTest, StronglyConnectedComponents) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  std::vector<int> comp = g.StronglyConnectedComponents();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[2], comp[3]);
+  EXPECT_NE(comp[3], comp[4]);
+}
+
+TEST(DigraphTest, EnumerateSimpleCyclesFindsAll) {
+  // Two 2-cycles sharing node 0, plus a self-loop at 2.
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 2);
+  std::set<std::vector<int>> cycles;
+  int count = g.EnumerateSimpleCycles([&](const std::vector<int>& c) {
+    cycles.insert(c);
+    return true;
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(cycles.count({0, 1, 0}) == 1);
+  EXPECT_TRUE(cycles.count({0, 2, 0}) == 1);
+  EXPECT_TRUE(cycles.count({2, 2}) == 1);
+}
+
+TEST(DigraphTest, EnumerateSimpleCyclesRespectsCap) {
+  Digraph g(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) g.AddEdge(i, j);
+    }
+  }
+  int count = g.EnumerateSimpleCycles([](const std::vector<int>&) { return true; },
+                                      /*max_cycles=*/5);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(DigraphTest, EnumerateSimpleCyclesEarlyStop) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 0);
+  int calls = 0;
+  g.EnumerateSimpleCycles([&](const std::vector<int>&) {
+    ++calls;
+    return false;  // stop immediately
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace mvrc

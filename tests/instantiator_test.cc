@@ -1,0 +1,157 @@
+#include "instantiate/instantiator.h"
+
+#include <gtest/gtest.h>
+
+#include "btp/unfold.h"
+#include "workloads/auction.h"
+#include "workloads/smallbank.h"
+
+namespace mvrc {
+namespace {
+
+class InstantiatorAuctionTest : public ::testing::Test {
+ protected:
+  InstantiatorAuctionTest() : workload_(MakeAuction()) {
+    ltps_ = UnfoldAtMost2(workload_.programs);
+  }
+  Workload workload_;
+  std::vector<Ltp> ltps_;  // FindBids, PlaceBid1, PlaceBid2
+};
+
+TEST_F(InstantiatorAuctionTest, PlaceBid1MatchesFigure3) {
+  // Figure 3's T2: R[t1]W[t1] R[u1] W[u1] I[l2] C — the q5 chunk loses its
+  // read because q4 already read u1.
+  const Ltp& place_bid1 = ltps_[1];
+  std::vector<StatementBinding> bindings(4);
+  bindings[0].tuple = 0;  // q3: Buyer t
+  bindings[1].tuple = 0;  // q4: Bids u (= f1 of Buyer 0)
+  bindings[2].tuple = 0;  // q5: Bids u
+  bindings[3].tuple = 0;  // q6: Log l
+  std::optional<Transaction> txn = InstantiateLtp(place_bid1, bindings, 2);
+  ASSERT_TRUE(txn.has_value());
+  EXPECT_EQ(txn->ToString(workload_.schema),
+            "R2[Buyer#0]W2[Buyer#0]R2[Bids#0]W2[Bids#0]I2[Log#0]C2");
+  // Chunks: the q3 R/W pair. q5's W stands alone after read-merging.
+  ASSERT_EQ(txn->chunks().size(), 1u);
+  EXPECT_EQ(txn->chunks()[0], std::make_pair(0, 1));
+  EXPECT_TRUE(txn->Validate().ok());
+}
+
+TEST_F(InstantiatorAuctionTest, PlaceBid2SkipsOptionalUpdate) {
+  const Ltp& place_bid2 = ltps_[2];
+  std::vector<StatementBinding> bindings(3);
+  bindings[0].tuple = 0;
+  bindings[1].tuple = 0;
+  bindings[2].tuple = 0;  // q3 = f2(q6) forces the Log tuple to the buyer's
+  std::optional<Transaction> txn = InstantiateLtp(place_bid2, bindings, 1);
+  ASSERT_TRUE(txn.has_value());
+  EXPECT_EQ(txn->ToString(workload_.schema),
+            "R1[Buyer#0]W1[Buyer#0]R1[Bids#0]I1[Log#0]C1");
+}
+
+TEST_F(InstantiatorAuctionTest, FindBidsPredicateRead) {
+  const Ltp& find_bids = ltps_[0];
+  std::vector<StatementBinding> bindings(2);
+  bindings[0].tuple = 1;              // q1: Buyer
+  bindings[1].pred_tuples = {0, 1};   // q2: reads both Bids tuples
+  std::optional<Transaction> txn = InstantiateLtp(find_bids, bindings, 3);
+  ASSERT_TRUE(txn.has_value());
+  EXPECT_EQ(txn->ToString(workload_.schema),
+            "R3[Buyer#1]W3[Buyer#1]PR3[Bids]R3[Bids#0]R3[Bids#1]C3");
+  // Chunks: q1's R/W and q2's PR+reads.
+  ASSERT_EQ(txn->chunks().size(), 2u);
+  EXPECT_EQ(txn->chunks()[1], std::make_pair(2, 4));
+}
+
+TEST_F(InstantiatorAuctionTest, ForeignKeyConstraintRejectsMismatch) {
+  // q4 over Bids#1 requires q3 over Buyer#1 (identity interpretation).
+  const Ltp& place_bid1 = ltps_[1];
+  std::vector<StatementBinding> bindings(4);
+  bindings[0].tuple = 0;  // Buyer 0
+  bindings[1].tuple = 1;  // Bids 1: violates q3 = f1(q4)
+  bindings[2].tuple = 1;
+  bindings[3].tuple = 0;
+  EXPECT_FALSE(InstantiateLtp(place_bid1, bindings, 0).has_value());
+}
+
+TEST_F(InstantiatorAuctionTest, PredicateChildConstraint) {
+  // In a pred-child constraint, every selected tuple must map to the parent.
+  Schema schema;
+  RelationId parent = schema.AddRelation("P", {"p"}, {"p"});
+  RelationId child = schema.AddRelation("C", {"c", "v"}, {"c"});
+  ForeignKeyId f = schema.AddForeignKey("f", child, {"c"}, parent);
+  std::vector<Occurrence> occs;
+  occs.push_back({Statement::KeyUpdate("qa", schema, parent, AttrSet{0}, AttrSet{0}),
+                  0,
+                  {}});
+  occs.push_back(
+      {Statement::PredSelect("qb", schema, child, AttrSet{1}, AttrSet{1}), 1, {}});
+  Ltp ltp("L", "L", std::move(occs), {{0, f, 1}});
+
+  std::vector<StatementBinding> ok(2);
+  ok[0].tuple = 1;
+  ok[1].pred_tuples = {1};
+  EXPECT_TRUE(InstantiateLtp(ltp, ok, 0).has_value());
+
+  std::vector<StatementBinding> bad(2);
+  bad[0].tuple = 1;
+  bad[1].pred_tuples = {0, 1};
+  EXPECT_FALSE(InstantiateLtp(ltp, bad, 0).has_value());
+}
+
+TEST_F(InstantiatorAuctionTest, EnumerateBindingsRespectsConstraints) {
+  // PlaceBid1 with domain 2: q3/q4/q5 forced equal by f1; q6 forced equal by
+  // f2 (Log's buyer = Buyer): 2 choices x ... all tied to the buyer index ->
+  // exactly 2 bindings.
+  std::vector<std::vector<StatementBinding>> bindings =
+      EnumerateBindings(ltps_[1], /*domain_size=*/2, /*enumerate_pred_subsets=*/false);
+  EXPECT_EQ(bindings.size(), 2u);
+  for (const auto& b : bindings) {
+    EXPECT_EQ(b[0].tuple, b[1].tuple);
+    EXPECT_EQ(b[0].tuple, b[2].tuple);
+    EXPECT_EQ(b[0].tuple, b[3].tuple);
+  }
+}
+
+TEST_F(InstantiatorAuctionTest, EnumerateBindingsPredSubsets) {
+  // FindBids: q1 free (2 choices) x q2 subsets of {0,1} (4) = 8.
+  std::vector<std::vector<StatementBinding>> with_subsets =
+      EnumerateBindings(ltps_[0], 2, /*enumerate_pred_subsets=*/true);
+  EXPECT_EQ(with_subsets.size(), 8u);
+  std::vector<std::vector<StatementBinding>> full_only =
+      EnumerateBindings(ltps_[0], 2, /*enumerate_pred_subsets=*/false);
+  EXPECT_EQ(full_only.size(), 2u);
+}
+
+TEST(InstantiatorSmallBankTest, DuplicateWriteRejected) {
+  // Amalgamate with both customers equal writes Checking#x twice: the
+  // one-write-per-tuple convention makes the binding inadmissible.
+  Workload workload = MakeSmallBank();
+  std::vector<Ltp> ltps = UnfoldAtMost2(workload.programs);
+  const Ltp& amalgamate = ltps[0];
+  ASSERT_EQ(amalgamate.name(), "Amalgamate");
+  std::vector<StatementBinding> bindings(5);
+  for (auto& b : bindings) b.tuple = 0;  // same customer everywhere
+  EXPECT_FALSE(InstantiateLtp(amalgamate, bindings, 0).has_value());
+
+  // Distinct customers are fine.
+  std::vector<StatementBinding> distinct(5);
+  distinct[0].tuple = 0;  // q1: Account x1
+  distinct[1].tuple = 1;  // q2: Account x2
+  distinct[2].tuple = 0;  // q3: Savings x1
+  distinct[3].tuple = 0;  // q4: Checking x1
+  distinct[4].tuple = 1;  // q5: Checking x2
+  EXPECT_TRUE(InstantiateLtp(amalgamate, distinct, 0).has_value());
+}
+
+TEST(InstantiatorSmallBankTest, EnumerateBindingsCountsFreeVariables) {
+  Workload workload = MakeSmallBank();
+  std::vector<Ltp> ltps = UnfoldAtMost2(workload.programs);
+  // Balance has one free customer variable (q7, q8 tied to q6): 2 bindings.
+  EXPECT_EQ(EnumerateBindings(ltps[1], 2, false).size(), 2u);
+  // Amalgamate has two free variables (x1, x2): 4 bindings.
+  EXPECT_EQ(EnumerateBindings(ltps[0], 2, false).size(), 4u);
+}
+
+}  // namespace
+}  // namespace mvrc

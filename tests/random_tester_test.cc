@@ -1,0 +1,152 @@
+// End-to-end validation: the static verdicts of Algorithm 2 predict the
+// behavior of real executions on the MVCC engine. Robust workloads never
+// produce a non-serializable execution; non-robust ones do (with a fixed
+// seed, deterministically).
+
+#include "engine/random_tester.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/auction.h"
+#include "workloads/smallbank.h"
+
+namespace mvrc {
+namespace {
+
+Database SmallBankDb() {
+  Database db(MakeSmallBank().schema);
+  SeedSmallBank(&db, /*customers=*/2, /*initial_balance=*/100);
+  return db;
+}
+
+Database AuctionDb() {
+  Database db(MakeAuction().schema);
+  SeedAuction(&db, /*buyers=*/2, /*initial_bid=*/10);
+  return db;
+}
+
+TEST(RandomTesterSmallBank, RobustSubsetAmDcTsAlwaysSerializable) {
+  RandomTestOptions options;
+  options.rounds = 300;
+  RandomTestReport report = RunRandomRounds(
+      &SmallBankDb,
+      [] {
+        return std::vector<ConcreteProgram>{
+            SmallBankAmalgamate(0, 1),
+            SmallBankDepositChecking(0, 10),
+            SmallBankTransactSavings(1, -5),
+        };
+      },
+      options);
+  EXPECT_EQ(report.rounds_run, 300);
+  EXPECT_EQ(report.non_serializable_rounds, 0) << *report.first_anomaly;
+}
+
+TEST(RandomTesterSmallBank, RobustSubsetBalDcAlwaysSerializable) {
+  RandomTestOptions options;
+  options.rounds = 300;
+  RandomTestReport report = RunRandomRounds(
+      &SmallBankDb,
+      [] {
+        return std::vector<ConcreteProgram>{
+            SmallBankBalance(0),
+            SmallBankDepositChecking(0, 10),
+            SmallBankDepositChecking(0, 20),
+            SmallBankBalance(0),
+        };
+      },
+      options);
+  EXPECT_EQ(report.non_serializable_rounds, 0) << *report.first_anomaly;
+}
+
+TEST(RandomTesterSmallBank, NonRobustWriteCheckExhibitsLostUpdate) {
+  RandomTestOptions options;
+  options.rounds = 300;
+  RandomTestReport report = RunRandomRounds(
+      &SmallBankDb,
+      [] {
+        return std::vector<ConcreteProgram>{
+            SmallBankWriteCheck(0, 30),
+            SmallBankWriteCheck(0, 40),
+        };
+      },
+      options);
+  EXPECT_GT(report.non_serializable_rounds, 0);
+  ASSERT_TRUE(report.first_anomaly.has_value());
+  EXPECT_NE(report.first_anomaly->find("non-serializable"), std::string::npos);
+}
+
+TEST(RandomTesterSmallBank, NonRobustBalDcTsExhibitsAnomaly) {
+  // The four-transaction pattern: two Balances observing TransactSavings
+  // and DepositChecking in opposite orders.
+  RandomTestOptions options;
+  options.rounds = 1500;
+  RandomTestReport report = RunRandomRounds(
+      &SmallBankDb,
+      [] {
+        return std::vector<ConcreteProgram>{
+            SmallBankBalance(0),
+            SmallBankBalance(0),
+            SmallBankTransactSavings(0, 7),
+            SmallBankDepositChecking(0, 9),
+        };
+      },
+      options);
+  EXPECT_GT(report.non_serializable_rounds, 0);
+}
+
+TEST(RandomTesterSmallBank, NonRobustAmalgamateBalanceExhibitsAnomaly) {
+  RandomTestOptions options;
+  options.rounds = 500;
+  RandomTestReport report = RunRandomRounds(
+      &SmallBankDb,
+      [] {
+        return std::vector<ConcreteProgram>{
+            SmallBankAmalgamate(0, 1),
+            SmallBankBalance(0),
+        };
+      },
+      options);
+  EXPECT_GT(report.non_serializable_rounds, 0);
+}
+
+TEST(RandomTesterAuction, FullAuctionAlwaysSerializable) {
+  // {FindBids, PlaceBid} is robust (Figure 6): no execution mix may be
+  // non-serializable, including predicate reads racing with bid updates.
+  RandomTestOptions options;
+  options.rounds = 400;
+  RandomTestReport report = RunRandomRounds(
+      &AuctionDb,
+      [] {
+        return std::vector<ConcreteProgram>{
+            AuctionFindBids(0, 15),
+            AuctionPlaceBid(1, 20),
+            AuctionPlaceBid(1, 25),
+            AuctionFindBids(1, 5),
+        };
+      },
+      options);
+  EXPECT_EQ(report.rounds_run, 400);
+  EXPECT_EQ(report.non_serializable_rounds, 0) << *report.first_anomaly;
+}
+
+TEST(RandomTesterAuction, AbortsAreCountedAndRetried) {
+  RandomTestOptions options;
+  options.rounds = 200;
+  RandomTestReport report = RunRandomRounds(
+      &AuctionDb,
+      [] {
+        // Three PlaceBids on the same buyer contend for the Buyer row.
+        return std::vector<ConcreteProgram>{
+            AuctionPlaceBid(0, 20),
+            AuctionPlaceBid(0, 30),
+            AuctionPlaceBid(0, 40),
+        };
+      },
+      options);
+  EXPECT_EQ(report.non_serializable_rounds, 0);
+  EXPECT_GT(report.total_aborts, 0);  // lock conflicts on Buyer#0 occur
+}
+
+}  // namespace
+}  // namespace mvrc

@@ -1,0 +1,55 @@
+#include "robust/report.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/auction.h"
+#include "workloads/smallbank.h"
+
+namespace mvrc {
+namespace {
+
+TEST(ReportTest, AuctionReportShape) {
+  WorkloadReport report = BuildReport(MakeAuction(), /*analyze_subsets=*/true);
+  EXPECT_EQ(report.workload_name, "Auction");
+  EXPECT_EQ(report.num_programs, 2);
+  EXPECT_EQ(report.num_unfolded, 3);
+  // 4 settings x 2 methods.
+  ASSERT_EQ(report.verdicts.size(), 8u);
+  // attr dep + FK / type-II must be robust; its type-I counterpart not.
+  bool found_type2 = false, found_type1 = false;
+  for (const VerdictEntry& entry : report.verdicts) {
+    if (std::string(entry.settings.name()) != "attr dep + FK") continue;
+    if (entry.method == Method::kTypeII) {
+      EXPECT_TRUE(entry.robust);
+      EXPECT_TRUE(entry.witness.empty());
+      found_type2 = true;
+    } else {
+      EXPECT_FALSE(entry.robust);
+      EXPECT_FALSE(entry.witness.empty());
+      found_type1 = true;
+    }
+    EXPECT_EQ(entry.num_edges, 17);
+    EXPECT_EQ(entry.num_counterflow_edges, 1);
+  }
+  EXPECT_TRUE(found_type2);
+  EXPECT_TRUE(found_type1);
+  ASSERT_TRUE(report.maximal_robust_subsets.has_value());
+  EXPECT_EQ(*report.maximal_robust_subsets, std::vector<std::string>{"{FB, PB}"});
+}
+
+TEST(ReportTest, TextRenderingContainsEverything) {
+  WorkloadReport report = BuildReport(MakeSmallBank(), /*analyze_subsets=*/true);
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("SmallBank"), std::string::npos);
+  EXPECT_NE(text.find("attr dep + FK"), std::string::npos);
+  EXPECT_NE(text.find("{Am, DC, TS}"), std::string::npos);
+  EXPECT_NE(text.find("type-II"), std::string::npos);
+}
+
+TEST(ReportTest, SubsetsSkippedWhenDisabled) {
+  WorkloadReport report = BuildReport(MakeSmallBank(), /*analyze_subsets=*/false);
+  EXPECT_FALSE(report.maximal_robust_subsets.has_value());
+}
+
+}  // namespace
+}  // namespace mvrc

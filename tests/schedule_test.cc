@@ -1,0 +1,208 @@
+#include "mvcc/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace mvrc {
+namespace {
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  ScheduleTest() {
+    rel_ = schema_.AddRelation("A", {"k", "v"}, {"k"});
+  }
+
+  // T reads tuple 0 then commits.
+  Transaction Reader(int id, int tuple = 0) {
+    Transaction txn(id);
+    txn.Add(OpKind::kRead, rel_, tuple, AttrSet{1});
+    txn.FinishWithCommit();
+    return txn;
+  }
+
+  // T updates tuple 0 (atomic R;W chunk) then commits.
+  Transaction Updater(int id, int tuple = 0) {
+    Transaction txn(id);
+    int r = txn.Add(OpKind::kRead, rel_, tuple, AttrSet{1});
+    int w = txn.Add(OpKind::kWrite, rel_, tuple, AttrSet{1});
+    txn.AddChunk(r, w);
+    txn.FinishWithCommit();
+    return txn;
+  }
+
+  Schema schema_;
+  RelationId rel_ = -1;
+};
+
+TEST_F(ScheduleTest, SerialScheduleIsValid) {
+  Result<Schedule> result = Schedule::Serial({Updater(0), Reader(1)});
+  ASSERT_TRUE(result.ok()) << result.error();
+  const Schedule& schedule = result.value();
+  EXPECT_TRUE(schedule.IsMvrcAllowed());
+  // The reader observes the updater's version.
+  Version version = schedule.ReadVersion({1, 0});
+  EXPECT_EQ(version.txn, 0);
+}
+
+TEST_F(ScheduleTest, ReadBeforeCommitObservesInit) {
+  // R1[t] before T0's commit: reads the initial version.
+  Transaction t0 = Updater(0);
+  Transaction t1 = Reader(1);
+  std::vector<OpRef> order{{0, 0}, {0, 1}, {1, 0}, {0, 2}, {1, 1}};
+  Result<Schedule> result = Schedule::ReadLastCommitted({t0, t1}, order);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result.value().ReadVersion({1, 0}).IsInit());
+}
+
+TEST_F(ScheduleTest, ReadLastCommittedPicksLatestCommit) {
+  // Two updaters commit, then a read: observes the second committer.
+  Transaction t0 = Updater(0);
+  Transaction t1 = Updater(1);
+  Transaction t2 = Reader(2);
+  std::vector<OpRef> order{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}};
+  Result<Schedule> result = Schedule::ReadLastCommitted({t0, t1, t2}, order);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().ReadVersion({2, 0}).txn, 1);
+}
+
+TEST_F(ScheduleTest, RejectsProgramOrderViolation) {
+  Transaction t0 = Updater(0);
+  std::vector<OpRef> order{{0, 1}, {0, 0}, {0, 2}};
+  EXPECT_FALSE(Schedule::ReadLastCommitted({t0}, order).ok());
+}
+
+TEST_F(ScheduleTest, RejectsChunkInterleaving) {
+  Transaction t0 = Updater(0);
+  Transaction t1 = Reader(1);
+  // T1's read lands between T0's chunked R and W.
+  std::vector<OpRef> order{{0, 0}, {1, 0}, {0, 1}, {0, 2}, {1, 1}};
+  Result<Schedule> result = Schedule::ReadLastCommitted({t0, t1}, order);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ScheduleTest, RejectsIncompleteOrder) {
+  Transaction t0 = Updater(0);
+  EXPECT_FALSE(Schedule::ReadLastCommitted({t0}, {{0, 0}, {0, 1}}).ok());
+  EXPECT_FALSE(
+      Schedule::ReadLastCommitted({t0}, {{0, 0}, {0, 0}, {0, 1}, {0, 2}}).ok());
+}
+
+TEST_F(ScheduleTest, DetectsDirtyWrite) {
+  // T0 writes, T1 writes the same tuple before T0 commits: dirty write; the
+  // schedule is structurally valid but not allowed under mvrc.
+  Transaction t0(0);
+  t0.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t1.FinishWithCommit();
+  std::vector<OpRef> order{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  Result<Schedule> result = Schedule::ReadLastCommitted({t0, t1}, order);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result.value().ExhibitsDirtyWrite());
+  EXPECT_FALSE(result.value().IsMvrcAllowed());
+}
+
+TEST_F(ScheduleTest, NoDirtyWriteWhenSequential) {
+  Result<Schedule> result = Schedule::Serial({Updater(0), Updater(1)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ExhibitsDirtyWrite());
+}
+
+TEST_F(ScheduleTest, InsertMakesTupleVisible) {
+  Transaction t0(0);
+  t0.Add(OpKind::kInsert, rel_, 5, AttrSet::FirstN(2));
+  t0.FinishWithCommit();
+  Transaction t1 = Reader(1, 5);
+  // Read after the insert's commit: fine.
+  Result<Schedule> ok = Schedule::Serial({t0, t1});
+  ASSERT_TRUE(ok.ok()) << ok.error();
+  EXPECT_EQ(ok.value().ReadVersion({1, 0}).txn, 0);
+  // Read before the insert's commit: observes the unborn version -> invalid.
+  std::vector<OpRef> order{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  EXPECT_FALSE(Schedule::ReadLastCommitted({t0, t1}, order).ok());
+}
+
+TEST_F(ScheduleTest, ReadAfterDeleteIsInvalid) {
+  Transaction t0(0);
+  t0.Add(OpKind::kDelete, rel_, 0, AttrSet::FirstN(2));
+  t0.FinishWithCommit();
+  Transaction t1 = Reader(1, 0);
+  EXPECT_FALSE(Schedule::Serial({t0, t1}).ok());
+  // Reading before the delete commits is fine (observes init).
+  std::vector<OpRef> order{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Result<Schedule> result = Schedule::ReadLastCommitted({t0, t1}, order);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result.value().ReadVersion({1, 0}).IsInit());
+}
+
+TEST_F(ScheduleTest, RejectsWriteAfterCommittedDelete) {
+  Transaction t0(0);
+  t0.Add(OpKind::kDelete, rel_, 0, AttrSet::FirstN(2));
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kWrite, rel_, 0, AttrSet{1});
+  t1.FinishWithCommit();
+  // Delete commits first: the dead version must be last -> invalid.
+  EXPECT_FALSE(Schedule::Serial({t0, t1}).ok());
+}
+
+TEST_F(ScheduleTest, RejectsDoubleInsert) {
+  Transaction t0(0);
+  t0.Add(OpKind::kInsert, rel_, 0, AttrSet::FirstN(2));
+  t0.FinishWithCommit();
+  Transaction t1(1);
+  t1.Add(OpKind::kInsert, rel_, 0, AttrSet::FirstN(2));
+  t1.FinishWithCommit();
+  EXPECT_FALSE(Schedule::Serial({t0, t1}).ok());
+}
+
+TEST_F(ScheduleTest, VsetTracksPredicateReadPosition) {
+  // PR before T0 commits observes init; PR after observes T0's version.
+  Transaction t0 = Updater(0);
+  Transaction t1(1);
+  t1.Add(OpKind::kPredRead, rel_, -1, AttrSet{1});
+  t1.FinishWithCommit();
+  std::vector<OpRef> order{{1, 0}, {0, 0}, {0, 1}, {0, 2}, {1, 1}};
+  Result<Schedule> result = Schedule::ReadLastCommitted({t0, t1}, order);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result.value().VsetVersion({1, 0}, rel_, 0).IsInit());
+
+  Result<Schedule> serial = Schedule::Serial({t0, t1});
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial.value().VsetVersion({1, 0}, rel_, 0).txn, 0);
+}
+
+TEST_F(ScheduleTest, VersionBeforeFollowsCommitOrder) {
+  Result<Schedule> result = Schedule::Serial({Updater(0), Updater(1)});
+  ASSERT_TRUE(result.ok());
+  const Schedule& schedule = result.value();
+  Version v0 = schedule.WriteVersion({0, 1});
+  Version v1 = schedule.WriteVersion({1, 1});
+  EXPECT_TRUE(schedule.VersionBefore(Version::Init(), v0));
+  EXPECT_TRUE(schedule.VersionBefore(v0, v1));
+  EXPECT_FALSE(schedule.VersionBefore(v1, v0));
+  EXPECT_FALSE(schedule.VersionBefore(v0, v0));
+}
+
+TEST_F(ScheduleTest, TransactionValidateRejectsDoubleRead) {
+  Transaction txn(0);
+  txn.Add(OpKind::kRead, rel_, 0, AttrSet{1});
+  txn.Add(OpKind::kRead, rel_, 0, AttrSet{1});
+  txn.FinishWithCommit();
+  EXPECT_FALSE(txn.Validate().ok());
+}
+
+TEST_F(ScheduleTest, ToStringRendersPaperNotation) {
+  Result<Schedule> result = Schedule::Serial({Updater(0)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().ToString(schema_), "R0[A#0] W0[A#0] C0");
+}
+
+TEST_F(ScheduleTest, TuplesOfCollectsMentionedTuples) {
+  Result<Schedule> result = Schedule::Serial({Updater(0, 2), Reader(1, 7)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().TuplesOf(rel_), (std::vector<int>{2, 7}));
+}
+
+}  // namespace
+}  // namespace mvrc

@@ -1,0 +1,77 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace mvrc {
+namespace {
+
+Schema MakeTestSchema() {
+  Schema schema;
+  RelationId buyer = schema.AddRelation("Buyer", {"id", "calls"}, {"id"});
+  RelationId bids = schema.AddRelation("Bids", {"buyerId", "bid"}, {"buyerId"});
+  schema.AddForeignKey("f1", bids, {"buyerId"}, buyer);
+  return schema;
+}
+
+TEST(SchemaTest, AddAndFindRelation) {
+  Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.num_relations(), 2);
+  EXPECT_EQ(schema.FindRelation("Buyer"), 0);
+  EXPECT_EQ(schema.FindRelation("Bids"), 1);
+  EXPECT_EQ(schema.FindRelation("Nope"), -1);
+}
+
+TEST(SchemaTest, RelationAttributes) {
+  Schema schema = MakeTestSchema();
+  const Relation& buyer = schema.relation(0);
+  EXPECT_EQ(buyer.num_attrs(), 2);
+  EXPECT_EQ(buyer.attr_name(0), "id");
+  EXPECT_EQ(buyer.FindAttr("calls"), 1);
+  EXPECT_EQ(buyer.FindAttr("nope"), -1);
+  EXPECT_EQ(buyer.AllAttrs(), AttrSet::FirstN(2));
+}
+
+TEST(SchemaTest, PrimaryKey) {
+  Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.relation(0).primary_key(), AttrSet{0});
+}
+
+TEST(SchemaTest, CompositePrimaryKey) {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", {"a", "b", "c"}, {"a", "b"});
+  EXPECT_EQ(schema.relation(r).primary_key(), (AttrSet{0, 1}));
+}
+
+TEST(SchemaTest, ForeignKey) {
+  Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.num_foreign_keys(), 1);
+  const ForeignKey& fk = schema.foreign_key(0);
+  EXPECT_EQ(fk.name, "f1");
+  EXPECT_EQ(fk.dom, schema.FindRelation("Bids"));
+  EXPECT_EQ(fk.range, schema.FindRelation("Buyer"));
+  ASSERT_EQ(fk.dom_attrs.size(), 1u);
+  EXPECT_EQ(fk.dom_attrs[0], 0);
+  EXPECT_EQ(schema.FindForeignKey("f1"), 0);
+  EXPECT_EQ(schema.FindForeignKey("f9"), -1);
+}
+
+TEST(SchemaTest, MakeAttrSet) {
+  Schema schema = MakeTestSchema();
+  AttrSet set = schema.MakeAttrSet(0, {"calls"});
+  EXPECT_EQ(set, AttrSet{1});
+}
+
+TEST(SchemaTest, AttrSetToString) {
+  Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.AttrSetToString(0, AttrSet{0, 1}), "{id, calls}");
+  EXPECT_EQ(schema.AttrSetToString(0, AttrSet{}), "{}");
+}
+
+TEST(SchemaTest, EmptyPrimaryKeyAllowed) {
+  Schema schema;
+  RelationId r = schema.AddRelation("History", {"a", "b"}, {});
+  EXPECT_TRUE(schema.relation(r).primary_key().empty());
+}
+
+}  // namespace
+}  // namespace mvrc

@@ -1,0 +1,240 @@
+#include "sql/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "btp/unfold.h"
+
+namespace mvrc {
+namespace {
+
+Workload MustAnalyze(const std::string& source) {
+  Result<Workload> result = ParseWorkloadSql(source);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.ok() ? std::move(result).value() : Workload{};
+}
+
+constexpr char kSchema[] =
+    "TABLE T(k, a, b, PRIMARY KEY(k));\n"
+    "TABLE U(k1, k2, v, PRIMARY KEY(k1, k2));\n";
+
+TEST(SqlAnalyzerTest, KeySelectClassification) {
+  Workload w = MustAnalyze(std::string(kSchema) +
+                           "PROGRAM P(:k):\nSELECT a FROM T WHERE k = :k;\nCOMMIT;");
+  const Statement& q = w.programs[0].statement(0);
+  EXPECT_EQ(q.type(), StatementType::kKeySelect);
+  EXPECT_EQ(*q.read_set(), w.schema.MakeAttrSet(0, {"a"}));
+  EXPECT_FALSE(q.pread_set().has_value());
+}
+
+TEST(SqlAnalyzerTest, PredicateWhenKeyNotFullyBound) {
+  // Composite key with only one column bound: predicate-based.
+  Workload w = MustAnalyze(std::string(kSchema) +
+                           "PROGRAM P(:k):\nSELECT v FROM U WHERE k1 = :k;\nCOMMIT;");
+  const Statement& q = w.programs[0].statement(0);
+  EXPECT_EQ(q.type(), StatementType::kPredSelect);
+  EXPECT_EQ(*q.pread_set(), w.schema.MakeAttrSet(1, {"k1"}));
+}
+
+TEST(SqlAnalyzerTest, PredicateWhenNonEqualityOnKey) {
+  Workload w = MustAnalyze(std::string(kSchema) +
+                           "PROGRAM P(:k):\nSELECT a FROM T WHERE k >= :k;\nCOMMIT;");
+  EXPECT_EQ(w.programs[0].statement(0).type(), StatementType::kPredSelect);
+}
+
+TEST(SqlAnalyzerTest, UpdateSetsFromExpressionsAndReturning) {
+  Workload w = MustAnalyze(
+      std::string(kSchema) +
+      "PROGRAM P(:k, :v):\n"
+      "UPDATE T SET a = a + :v, b = 7 WHERE k = :k RETURNING b INTO :b;\nCOMMIT;");
+  const Statement& q = w.programs[0].statement(0);
+  EXPECT_EQ(q.type(), StatementType::kKeyUpdate);
+  EXPECT_EQ(*q.write_set(), w.schema.MakeAttrSet(0, {"a", "b"}));
+  // ReadSet: a (expression) plus b (RETURNING); the constant 7 reads nothing.
+  EXPECT_EQ(*q.read_set(), w.schema.MakeAttrSet(0, {"a", "b"}));
+}
+
+TEST(SqlAnalyzerTest, ParameterOnlyUpdateReadsNothing) {
+  Workload w = MustAnalyze(std::string(kSchema) +
+                           "PROGRAM P(:k, :v):\nUPDATE T SET a = :v WHERE k = :k;\nCOMMIT;");
+  EXPECT_TRUE(w.programs[0].statement(0).read_set()->empty());
+}
+
+TEST(SqlAnalyzerTest, InsertAndDeleteWriteAllAttributes) {
+  Workload w = MustAnalyze(std::string(kSchema) +
+                           "PROGRAM P(:k):\n"
+                           "INSERT INTO T VALUES (:k, 1, 2);\n"
+                           "DELETE FROM T WHERE k = :k;\nCOMMIT;");
+  EXPECT_EQ(w.programs[0].statement(0).type(), StatementType::kInsert);
+  EXPECT_EQ(*w.programs[0].statement(0).write_set(), AttrSet::FirstN(3));
+  EXPECT_EQ(w.programs[0].statement(1).type(), StatementType::kKeyDelete);
+}
+
+TEST(SqlAnalyzerTest, PredicateDelete) {
+  Workload w = MustAnalyze(std::string(kSchema) +
+                           "PROGRAM P(:v):\nDELETE FROM T WHERE a < :v;\nCOMMIT;");
+  const Statement& q = w.programs[0].statement(0);
+  EXPECT_EQ(q.type(), StatementType::kPredDelete);
+  EXPECT_EQ(*q.pread_set(), w.schema.MakeAttrSet(0, {"a"}));
+}
+
+TEST(SqlAnalyzerTest, ControlFlowLowering) {
+  Workload w = MustAnalyze(std::string(kSchema) +
+                           "PROGRAM P(:k):\n"
+                           "IF ? THEN\n  SELECT a FROM T WHERE k = :k;\nEND IF;\n"
+                           "LOOP\n  SELECT b FROM T WHERE k = :k;\nEND LOOP;\n"
+                           "COMMIT;");
+  EXPECT_FALSE(w.programs[0].IsLinear());
+  // Unfold: optional (2) x loop (0,1,2 -> 3) = 6 linear programs.
+  EXPECT_EQ(UnfoldAtMost2(w.programs[0]).size(), 6u);
+}
+
+TEST(SqlAnalyzerTest, ForeignKeyFromWhereBindings) {
+  std::string source =
+      "TABLE P(p, v, PRIMARY KEY(p));\n"
+      "TABLE C(c, p, PRIMARY KEY(c));\n"
+      "FOREIGN KEY f: C(p) REFERENCES P;\n"
+      "PROGRAM Prog(:p, :c):\n"
+      "UPDATE P SET v = v + 1 WHERE p = :p;\n"
+      "SELECT c FROM C WHERE c = :c AND p = :p;\nCOMMIT;";
+  Workload w = MustAnalyze(source);
+  ASSERT_EQ(w.programs[0].fk_constraints().size(), 1u);
+  const FkConstraint& constraint = w.programs[0].fk_constraints()[0];
+  EXPECT_EQ(constraint.parent, 0);  // the P update
+  EXPECT_EQ(constraint.child, 1);   // the C select
+}
+
+TEST(SqlAnalyzerTest, ForeignKeyFromIntoBinding) {
+  // The parent key comes out of a SELECT INTO; the child references it.
+  std::string source =
+      "TABLE P(p, v, PRIMARY KEY(p));\n"
+      "TABLE C(c, v, PRIMARY KEY(c));\n"
+      "FOREIGN KEY f: P(v) REFERENCES C;\n"
+      "PROGRAM Prog(:p):\n"
+      "SELECT v INTO :x FROM P WHERE p = :p;\n"
+      "UPDATE C SET v = 0 WHERE c = :x;\nCOMMIT;";
+  Workload w = MustAnalyze(source);
+  ASSERT_EQ(w.programs[0].fk_constraints().size(), 1u);
+  EXPECT_EQ(w.programs[0].fk_constraints()[0].parent, 1);
+  EXPECT_EQ(w.programs[0].fk_constraints()[0].child, 0);
+}
+
+TEST(SqlAnalyzerTest, NoForeignKeyFromPredicateOutputs) {
+  // A predicate select's INTO binding is not functional: no constraint.
+  std::string source =
+      "TABLE P(p, v, PRIMARY KEY(p));\n"
+      "TABLE C(c, v, PRIMARY KEY(c));\n"
+      "FOREIGN KEY f: P(v) REFERENCES C;\n"
+      "PROGRAM Prog(:t):\n"
+      "SELECT v INTO :x FROM P WHERE v >= :t;\n"
+      "UPDATE C SET v = 0 WHERE c = :x;\nCOMMIT;";
+  Workload w = MustAnalyze(source);
+  EXPECT_TRUE(w.programs[0].fk_constraints().empty());
+}
+
+TEST(SqlAnalyzerTest, NoForeignKeyOnParameterMismatch) {
+  std::string source =
+      "TABLE P(p, v, PRIMARY KEY(p));\n"
+      "TABLE C(c, p, PRIMARY KEY(c));\n"
+      "FOREIGN KEY f: C(p) REFERENCES P;\n"
+      "PROGRAM Prog(:p, :q, :c):\n"
+      "UPDATE P SET v = v + 1 WHERE p = :q;\n"
+      "SELECT c FROM C WHERE c = :c AND p = :p;\nCOMMIT;";
+  Workload w = MustAnalyze(source);
+  EXPECT_TRUE(w.programs[0].fk_constraints().empty());
+}
+
+TEST(SqlAnalyzerTest, GlobalStatementNumbering) {
+  Workload w = MustAnalyze(std::string(kSchema) +
+                           "PROGRAM A(:k):\nSELECT a FROM T WHERE k = :k;\nCOMMIT;\n"
+                           "PROGRAM B(:k):\nSELECT b FROM T WHERE k = :k;\nCOMMIT;");
+  EXPECT_EQ(w.programs[0].statement(0).label(), "q1");
+  EXPECT_EQ(w.programs[1].statement(0).label(), "q2");
+}
+
+TEST(SqlAnalyzerTest, JoinDesugarsToPerRelationSelections) {
+  // SELECT over two relations becomes one selection per relation; WHERE
+  // columns and select columns are attributed to their owners.
+  std::string source =
+      "TABLE Orders(o_id, o_total, PRIMARY KEY(o_id));\n"
+      "TABLE Lines(l_id, l_o_id, l_qty, PRIMARY KEY(l_id));\n"
+      "PROGRAM Q(:o):\n"
+      "SELECT o_total, l_qty FROM Orders, Lines\n"
+      "  WHERE o_id = :o AND l_o_id = :o AND l_qty > 10;\nCOMMIT;";
+  Result<Workload> result = ParseWorkloadSql(source);
+  ASSERT_TRUE(result.ok()) << result.error();
+  const Workload& w = result.value();
+  ASSERT_EQ(w.programs[0].num_statements(), 2);
+  const Statement& orders_part = w.programs[0].statement(0);
+  const Statement& lines_part = w.programs[0].statement(1);
+  // Orders: PK fully bound -> key-based; reads o_total.
+  EXPECT_EQ(orders_part.type(), StatementType::kKeySelect);
+  EXPECT_EQ(*orders_part.read_set(), w.schema.MakeAttrSet(0, {"o_total"}));
+  // Lines: PK (l_id) not bound -> predicate; PReadSet = {l_o_id, l_qty}.
+  EXPECT_EQ(lines_part.type(), StatementType::kPredSelect);
+  EXPECT_EQ(*lines_part.pread_set(), w.schema.MakeAttrSet(1, {"l_o_id", "l_qty"}));
+  EXPECT_EQ(*lines_part.read_set(), w.schema.MakeAttrSet(1, {"l_qty"}));
+}
+
+TEST(SqlAnalyzerTest, JoinOutputBindingsEnableForeignKeys) {
+  // The key-based component of a join can anchor a foreign-key constraint
+  // through its INTO output.
+  std::string source =
+      "TABLE Orders(o_id, o_total, PRIMARY KEY(o_id));\n"
+      "TABLE Lines(l_id, l_o_id, l_qty, PRIMARY KEY(l_id));\n"
+      "FOREIGN KEY f: Lines(l_o_id) REFERENCES Orders;\n"
+      "PROGRAM Q(:o, :l):\n"
+      "SELECT o_total FROM Orders WHERE o_id = :o;\n"
+      "SELECT l_qty FROM Lines WHERE l_id = :l AND l_o_id = :o;\nCOMMIT;";
+  Result<Workload> result = ParseWorkloadSql(source);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().programs[0].fk_constraints().size(), 1u);
+}
+
+TEST(SqlAnalyzerTest, JoinRejectsAmbiguousColumn) {
+  std::string source =
+      "TABLE A(id, v, PRIMARY KEY(id));\n"
+      "TABLE B(id, w, PRIMARY KEY(id));\n"
+      "PROGRAM Q(:x):\n"
+      "SELECT v, w FROM A, B WHERE id = :x;\nCOMMIT;";
+  Result<Workload> result = ParseWorkloadSql(source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("ambiguous"), std::string::npos);
+}
+
+TEST(SqlAnalyzerTest, JoinStatementsShareTheGlobalNumbering) {
+  std::string source =
+      "TABLE A(a_id, a_v, PRIMARY KEY(a_id));\n"
+      "TABLE B(b_id, b_v, PRIMARY KEY(b_id));\n"
+      "PROGRAM Q(:x):\n"
+      "SELECT a_v, b_v FROM A, B WHERE a_v = :x AND b_v = :x;\n"
+      "SELECT a_v FROM A WHERE a_id = :x;\nCOMMIT;";
+  Result<Workload> result = ParseWorkloadSql(source);
+  ASSERT_TRUE(result.ok()) << result.error();
+  const Btp& program = result.value().programs[0];
+  ASSERT_EQ(program.num_statements(), 3);
+  EXPECT_EQ(program.statement(0).label(), "q1");
+  EXPECT_EQ(program.statement(1).label(), "q2");
+  EXPECT_EQ(program.statement(2).label(), "q3");
+}
+
+TEST(SqlAnalyzerTest, ErrorOnUnknownRelation) {
+  Result<Workload> result = ParseWorkloadSql(
+      "PROGRAM P(:k):\nSELECT a FROM Nope WHERE k = :k;\nCOMMIT;");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("Nope"), std::string::npos);
+}
+
+TEST(SqlAnalyzerTest, ErrorOnUnknownColumn) {
+  EXPECT_FALSE(ParseWorkloadSql(std::string(kSchema) +
+                                "PROGRAM P(:k):\nSELECT z FROM T WHERE k = :k;\nCOMMIT;")
+                   .ok());
+}
+
+TEST(SqlAnalyzerTest, ErrorOnInsertArity) {
+  EXPECT_FALSE(ParseWorkloadSql(std::string(kSchema) +
+                                "PROGRAM P(:k):\nINSERT INTO T VALUES (:k, 1);\nCOMMIT;")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mvrc

@@ -1,0 +1,87 @@
+// Fuzz-style robustness tests for the SQL frontend: mutated and random
+// inputs must produce clean parse errors, never crashes or accepted
+// garbage. TEST_P sweeps over seeds.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sql/analyzer.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "workloads/sql_texts.h"
+
+namespace mvrc {
+namespace {
+
+class SqlFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqlFuzzTest, RandomBytesNeverCrashTheLexer) {
+  std::mt19937_64 rng(GetParam() * 1299709 + 17);
+  std::string input;
+  int length = static_cast<int>(rng() % 200);
+  for (int i = 0; i < length; ++i) {
+    input.push_back(static_cast<char>(32 + rng() % 95));  // printable ASCII
+  }
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  if (tokens.ok()) {
+    EXPECT_EQ(tokens.value().back().type, TokenType::kEof);
+  } else {
+    EXPECT_FALSE(tokens.error().empty());
+  }
+}
+
+TEST_P(SqlFuzzTest, RandomTokenSoupNeverCrashesTheParser) {
+  std::mt19937_64 rng(GetParam() * 104243 + 5);
+  static const char* kPieces[] = {
+      "SELECT", "FROM",   "WHERE", "UPDATE", "SET",    "INSERT", "INTO",
+      "DELETE", "VALUES", "IF",    "THEN",   "ELSE",   "END",    "LOOP",
+      "COMMIT", "TABLE",  "KEY",   "PRIMARY", "FOREIGN", "REFERENCES",
+      "PROGRAM", "AND",   "a",     "b",      "T",      ":x",     ":y",
+      "0",      "42",     "(",     ")",      ",",      ";",      ":",
+      "=",      "<",      ">=",    "+",      "-",      "?",
+  };
+  std::string input;
+  int length = static_cast<int>(rng() % 60);
+  for (int i = 0; i < length; ++i) {
+    input += kPieces[rng() % (sizeof(kPieces) / sizeof(kPieces[0]))];
+    input += " ";
+  }
+  Result<SqlWorkloadFile> parsed = ParseSql(input);
+  if (!parsed.ok()) {
+    EXPECT_FALSE(parsed.error().empty());
+  }
+}
+
+TEST_P(SqlFuzzTest, TruncatedRealWorkloadsFailGracefully) {
+  // Cut a valid workload file at a random point: the parser/analyzer must
+  // either accept a prefix that happens to be well-formed or report an
+  // error with a message; it must never crash.
+  const std::string sources[] = {AuctionSql(), SmallBankSql(), TpccSql()};
+  std::mt19937_64 rng(GetParam() * 7 + 3);
+  const std::string& source = sources[GetParam() % 3];
+  std::string truncated = source.substr(0, rng() % source.size());
+  Result<Workload> result = ParseWorkloadSql(truncated);
+  if (!result.ok()) {
+    EXPECT_FALSE(result.error().empty());
+  }
+}
+
+TEST_P(SqlFuzzTest, SingleTokenDeletionFailsGracefully) {
+  // Remove one random word from the Auction workload.
+  std::string source = AuctionSql();
+  std::mt19937_64 rng(GetParam() * 31337 + 1);
+  size_t start = rng() % source.size();
+  size_t end = std::min(source.size(), start + 1 + rng() % 8);
+  source.erase(start, end - start);
+  Result<Workload> result = ParseWorkloadSql(source);
+  if (!result.ok()) {
+    EXPECT_FALSE(result.error().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlFuzzTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace mvrc

@@ -1,0 +1,86 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace mvrc {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& source) {
+  Result<std::vector<Token>> result = Tokenize(source);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.ok() ? result.value() : std::vector<Token>{};
+}
+
+TEST(SqlLexerTest, EmptyInputYieldsEof) {
+  std::vector<Token> tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(SqlLexerTest, IdentifiersAndKeywords) {
+  std::vector<Token> tokens = MustTokenize("SELECT balance FROM Savings");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));  // case-insensitive
+  EXPECT_FALSE(tokens[0].IsKeyword("SELEC"));
+  EXPECT_FALSE(tokens[0].IsKeyword("SELECTX"));
+  EXPECT_EQ(tokens[1].text, "balance");
+}
+
+TEST(SqlLexerTest, Parameters) {
+  std::vector<Token> tokens = MustTokenize(":B, :x1");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kParam);
+  EXPECT_EQ(tokens[0].text, "B");
+  EXPECT_EQ(tokens[2].type, TokenType::kParam);
+  EXPECT_EQ(tokens[2].text, "x1");
+}
+
+TEST(SqlLexerTest, BareColonIsSymbol) {
+  std::vector<Token> tokens = MustTokenize("PROGRAM P() :");
+  EXPECT_EQ(tokens[4].type, TokenType::kSymbol);
+  EXPECT_EQ(tokens[4].text, ":");
+}
+
+TEST(SqlLexerTest, Numbers) {
+  std::vector<Token> tokens = MustTokenize("20 007");
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[0].text, "20");
+  EXPECT_EQ(tokens[1].text, "007");
+}
+
+TEST(SqlLexerTest, ComparisonOperators) {
+  std::vector<Token> tokens = MustTokenize("< <= > >= <> =");
+  std::vector<std::string> expected{"<", "<=", ">", ">=", "<>", "="};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kSymbol);
+    EXPECT_EQ(tokens[i].text, expected[i]);
+  }
+}
+
+TEST(SqlLexerTest, CommentsRunToEndOfLine) {
+  std::vector<Token> tokens = MustTokenize("a -- everything here vanishes ;\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(SqlLexerTest, LineNumbersTracked) {
+  std::vector<Token> tokens = MustTokenize("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(SqlLexerTest, MinusIsNotComment) {
+  std::vector<Token> tokens = MustTokenize("a - b");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].text, "-");
+}
+
+TEST(SqlLexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+}  // namespace
+}  // namespace mvrc

@@ -1,0 +1,169 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace mvrc {
+namespace {
+
+SqlWorkloadFile MustParse(const std::string& source) {
+  Result<SqlWorkloadFile> result = ParseSql(source);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.ok() ? std::move(result).value() : SqlWorkloadFile{};
+}
+
+TEST(SqlParserTest, TableDeclaration) {
+  SqlWorkloadFile file = MustParse("TABLE T(a, b, c, PRIMARY KEY(a, b));");
+  ASSERT_EQ(file.tables.size(), 1u);
+  EXPECT_EQ(file.tables[0].name, "T");
+  EXPECT_EQ(file.tables[0].attrs, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(file.tables[0].primary_key, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SqlParserTest, TableWithoutPrimaryKey) {
+  SqlWorkloadFile file = MustParse("TABLE H(x, y);");
+  ASSERT_EQ(file.tables.size(), 1u);
+  EXPECT_TRUE(file.tables[0].primary_key.empty());
+}
+
+TEST(SqlParserTest, ForeignKeyDeclaration) {
+  SqlWorkloadFile file = MustParse(
+      "TABLE P(p, PRIMARY KEY(p)); TABLE C(c, p, PRIMARY KEY(c));"
+      "FOREIGN KEY f: C(p) REFERENCES P;");
+  ASSERT_EQ(file.foreign_keys.size(), 1u);
+  EXPECT_EQ(file.foreign_keys[0].name, "f");
+  EXPECT_EQ(file.foreign_keys[0].child, "C");
+  EXPECT_EQ(file.foreign_keys[0].child_columns, std::vector<std::string>{"p"});
+  EXPECT_EQ(file.foreign_keys[0].parent, "P");
+}
+
+TEST(SqlParserTest, SelectStatement) {
+  SqlWorkloadFile file = MustParse(
+      "PROGRAM P(:k):\n"
+      "SELECT a, b INTO :x, :y FROM T WHERE k = :k AND a >= 10;\n"
+      "COMMIT;");
+  ASSERT_EQ(file.programs.size(), 1u);
+  const SqlProgram& program = file.programs[0];
+  EXPECT_EQ(program.name, "P");
+  EXPECT_EQ(program.params, std::vector<std::string>{"k"});
+  ASSERT_EQ(program.body.items.size(), 1u);
+  const SqlStatement& stmt = program.body.items[0].statement;
+  EXPECT_EQ(stmt.type, SqlStatement::Type::kSelect);
+  EXPECT_EQ(stmt.relation, "T");
+  EXPECT_EQ(stmt.select_columns, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(stmt.into_params, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(stmt.where.conjuncts.size(), 2u);
+  EXPECT_EQ(stmt.where.conjuncts[0].op, "=");
+  EXPECT_EQ(stmt.where.conjuncts[1].op, ">=");
+}
+
+TEST(SqlParserTest, UpdateWithReturning) {
+  SqlWorkloadFile file = MustParse(
+      "PROGRAM P():\n"
+      "UPDATE T SET a = a + :v, b = 0 WHERE k = :k RETURNING c INTO :c;\n"
+      "COMMIT;");
+  const SqlStatement& stmt = file.programs[0].body.items[0].statement;
+  EXPECT_EQ(stmt.type, SqlStatement::Type::kUpdate);
+  ASSERT_EQ(stmt.assignments.size(), 2u);
+  EXPECT_EQ(stmt.assignments[0].column, "a");
+  ASSERT_EQ(stmt.assignments[0].expr.size(), 2u);
+  EXPECT_EQ(stmt.assignments[0].expr[1].kind, SqlOperand::Kind::kParam);
+  EXPECT_EQ(stmt.returning_columns, std::vector<std::string>{"c"});
+  EXPECT_EQ(stmt.returning_into, std::vector<std::string>{"c"});
+}
+
+TEST(SqlParserTest, InsertStatement) {
+  SqlWorkloadFile file = MustParse(
+      "PROGRAM P():\nINSERT INTO T VALUES (:a, 5, :c);\nCOMMIT;");
+  const SqlStatement& stmt = file.programs[0].body.items[0].statement;
+  EXPECT_EQ(stmt.type, SqlStatement::Type::kInsert);
+  ASSERT_EQ(stmt.values.size(), 3u);
+  EXPECT_EQ(stmt.values[1][0].kind, SqlOperand::Kind::kNumber);
+}
+
+TEST(SqlParserTest, DeleteStatement) {
+  SqlWorkloadFile file = MustParse(
+      "PROGRAM P():\nDELETE FROM T WHERE k = :k;\nCOMMIT;");
+  EXPECT_EQ(file.programs[0].body.items[0].statement.type,
+            SqlStatement::Type::kDelete);
+}
+
+TEST(SqlParserTest, IfWithoutElse) {
+  SqlWorkloadFile file = MustParse(
+      "PROGRAM P():\n"
+      "IF :a < :b THEN\n  DELETE FROM T WHERE k = :k;\nEND IF;\n"
+      "COMMIT;");
+  const SqlBlockItem& item = file.programs[0].body.items[0];
+  EXPECT_EQ(item.kind, SqlBlockItem::Kind::kIf);
+  EXPECT_FALSE(item.has_else);
+  EXPECT_EQ(item.then_block.items.size(), 1u);
+}
+
+TEST(SqlParserTest, IfWithElseAndOpaqueCondition) {
+  SqlWorkloadFile file = MustParse(
+      "PROGRAM P():\n"
+      "IF ? THEN\n  DELETE FROM T WHERE k = :k;\n"
+      "ELSE\n  DELETE FROM U WHERE k = :k;\nEND IF;\n"
+      "COMMIT;");
+  const SqlBlockItem& item = file.programs[0].body.items[0];
+  EXPECT_TRUE(item.has_else);
+  EXPECT_EQ(item.else_block.items[0].statement.relation, "U");
+}
+
+TEST(SqlParserTest, LoopAndNesting) {
+  SqlWorkloadFile file = MustParse(
+      "PROGRAM P():\n"
+      "LOOP\n"
+      "  DELETE FROM T WHERE k = :k;\n"
+      "  IF ? THEN\n    DELETE FROM U WHERE k = :k;\n  END IF;\n"
+      "END LOOP;\n"
+      "COMMIT;");
+  const SqlBlockItem& loop = file.programs[0].body.items[0];
+  EXPECT_EQ(loop.kind, SqlBlockItem::Kind::kLoop);
+  ASSERT_EQ(loop.loop_block.items.size(), 2u);
+  EXPECT_EQ(loop.loop_block.items[1].kind, SqlBlockItem::Kind::kIf);
+}
+
+TEST(SqlParserTest, ParenthesizedExpressions) {
+  SqlWorkloadFile file = MustParse(
+      "PROGRAM P():\n"
+      "UPDATE T SET a = (b + :v) * 2 WHERE k = :k;\n"
+      "COMMIT;");
+  const SqlStatement& stmt = file.programs[0].body.items[0].statement;
+  ASSERT_EQ(stmt.assignments.size(), 1u);
+  // Operands flattened: b, :v, 2.
+  ASSERT_EQ(stmt.assignments[0].expr.size(), 3u);
+  EXPECT_EQ(stmt.assignments[0].expr[0].kind, SqlOperand::Kind::kColumn);
+  EXPECT_EQ(stmt.assignments[0].expr[1].kind, SqlOperand::Kind::kParam);
+  EXPECT_EQ(stmt.assignments[0].expr[2].kind, SqlOperand::Kind::kNumber);
+}
+
+TEST(SqlParserTest, ParenthesizedIfCondition) {
+  SqlWorkloadFile file = MustParse(
+      "PROGRAM P():\n"
+      "IF (:a + :b) < :v THEN\n  DELETE FROM T WHERE k = :k;\nEND IF;\n"
+      "COMMIT;");
+  EXPECT_EQ(file.programs[0].body.items[0].kind, SqlBlockItem::Kind::kIf);
+}
+
+TEST(SqlParserTest, RejectsUnbalancedParens) {
+  EXPECT_FALSE(
+      ParseSql("PROGRAM P():\nUPDATE T SET a = (b + :v WHERE k = :k;\nCOMMIT;").ok());
+}
+
+TEST(SqlParserTest, ErrorsCarryLineNumbers) {
+  Result<SqlWorkloadFile> result = ParseSql("PROGRAM P():\nSELECT FROM T;\nCOMMIT;");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("line 2"), std::string::npos);
+}
+
+TEST(SqlParserTest, RejectsMismatchedInto) {
+  EXPECT_FALSE(
+      ParseSql("PROGRAM P():\nSELECT a, b INTO :x FROM T WHERE k = :k;\nCOMMIT;").ok());
+}
+
+TEST(SqlParserTest, RejectsMissingCommit) {
+  EXPECT_FALSE(ParseSql("PROGRAM P():\nDELETE FROM T WHERE k = :k;").ok());
+}
+
+}  // namespace
+}  // namespace mvrc

@@ -1,0 +1,108 @@
+#include "btp/statement.h"
+
+#include <gtest/gtest.h>
+
+namespace mvrc {
+namespace {
+
+class StatementTest : public ::testing::Test {
+ protected:
+  StatementTest() {
+    rel_ = schema_.AddRelation("Bids", {"buyerId", "bid"}, {"buyerId"});
+  }
+  Schema schema_;
+  RelationId rel_ = -1;
+};
+
+TEST_F(StatementTest, InsertHasFullWriteSetAndUndefinedReads) {
+  Statement q = Statement::Insert("q6", schema_, rel_);
+  EXPECT_EQ(q.type(), StatementType::kInsert);
+  ASSERT_TRUE(q.write_set().has_value());
+  EXPECT_EQ(*q.write_set(), schema_.relation(rel_).AllAttrs());
+  EXPECT_FALSE(q.read_set().has_value());
+  EXPECT_FALSE(q.pread_set().has_value());
+}
+
+TEST_F(StatementTest, KeySelectSetsOnlyReadSet) {
+  Statement q = Statement::KeySelect("q4", schema_, rel_, AttrSet{1});
+  EXPECT_EQ(q.type(), StatementType::kKeySelect);
+  EXPECT_EQ(*q.read_set(), AttrSet{1});
+  EXPECT_FALSE(q.write_set().has_value());
+  EXPECT_FALSE(q.pread_set().has_value());
+}
+
+TEST_F(StatementTest, KeySelectAllowsEmptyReadSet) {
+  Statement q = Statement::KeySelect("q", schema_, rel_, AttrSet{});
+  ASSERT_TRUE(q.read_set().has_value());
+  EXPECT_TRUE(q.read_set()->empty());
+}
+
+TEST_F(StatementTest, PredSelectSetsPReadSet) {
+  Statement q = Statement::PredSelect("q2", schema_, rel_, AttrSet{1}, AttrSet{1});
+  EXPECT_EQ(q.type(), StatementType::kPredSelect);
+  EXPECT_EQ(*q.pread_set(), AttrSet{1});
+  EXPECT_EQ(*q.read_set(), AttrSet{1});
+  EXPECT_FALSE(q.write_set().has_value());
+}
+
+TEST_F(StatementTest, KeyUpdateKeepsReadAndWriteSets) {
+  Statement q = Statement::KeyUpdate("q5", schema_, rel_, AttrSet{}, AttrSet{1});
+  EXPECT_EQ(q.type(), StatementType::kKeyUpdate);
+  EXPECT_TRUE(q.read_set()->empty());
+  EXPECT_EQ(*q.write_set(), AttrSet{1});
+  EXPECT_FALSE(q.pread_set().has_value());
+}
+
+TEST_F(StatementTest, DeletesWriteAllAttributes) {
+  Statement key_del = Statement::KeyDelete("qd", schema_, rel_);
+  EXPECT_EQ(*key_del.write_set(), schema_.relation(rel_).AllAttrs());
+  EXPECT_FALSE(key_del.read_set().has_value());
+
+  Statement pred_del = Statement::PredDelete("qpd", schema_, rel_, AttrSet{0});
+  EXPECT_EQ(*pred_del.write_set(), schema_.relation(rel_).AllAttrs());
+  EXPECT_EQ(*pred_del.pread_set(), AttrSet{0});
+  EXPECT_FALSE(pred_del.read_set().has_value());
+}
+
+TEST_F(StatementTest, TypePredicates) {
+  EXPECT_TRUE(IsKeyBased(StatementType::kInsert));
+  EXPECT_TRUE(IsKeyBased(StatementType::kKeySelect));
+  EXPECT_TRUE(IsKeyBased(StatementType::kKeyUpdate));
+  EXPECT_TRUE(IsKeyBased(StatementType::kKeyDelete));
+  EXPECT_FALSE(IsKeyBased(StatementType::kPredSelect));
+
+  EXPECT_TRUE(IsPredicateBased(StatementType::kPredSelect));
+  EXPECT_TRUE(IsPredicateBased(StatementType::kPredUpdate));
+  EXPECT_TRUE(IsPredicateBased(StatementType::kPredDelete));
+  EXPECT_FALSE(IsPredicateBased(StatementType::kKeyUpdate));
+
+  EXPECT_TRUE(WritesTuples(StatementType::kInsert));
+  EXPECT_TRUE(WritesTuples(StatementType::kPredDelete));
+  EXPECT_FALSE(WritesTuples(StatementType::kKeySelect));
+  EXPECT_FALSE(WritesTuples(StatementType::kPredSelect));
+}
+
+TEST_F(StatementTest, ToStringMatchesPaperNotation) {
+  EXPECT_STREQ(ToString(StatementType::kInsert), "ins");
+  EXPECT_STREQ(ToString(StatementType::kKeySelect), "key sel");
+  EXPECT_STREQ(ToString(StatementType::kPredSelect), "pred sel");
+  EXPECT_STREQ(ToString(StatementType::kKeyUpdate), "key upd");
+  EXPECT_STREQ(ToString(StatementType::kPredUpdate), "pred upd");
+  EXPECT_STREQ(ToString(StatementType::kKeyDelete), "key del");
+  EXPECT_STREQ(ToString(StatementType::kPredDelete), "pred del");
+}
+
+TEST_F(StatementTest, DebugString) {
+  Statement q = Statement::PredSelect("q2", schema_, rel_, AttrSet{1}, AttrSet{1});
+  EXPECT_EQ(q.ToDebugString(schema_), "q2: pred sel Bids PRead={bid} Read={bid}");
+}
+
+TEST_F(StatementTest, OrEmptyAccessors) {
+  Statement q = Statement::Insert("q", schema_, rel_);
+  EXPECT_TRUE(q.read_or_empty().empty());
+  EXPECT_TRUE(q.pread_or_empty().empty());
+  EXPECT_EQ(q.write_or_empty(), schema_.relation(rel_).AllAttrs());
+}
+
+}  // namespace
+}  // namespace mvrc

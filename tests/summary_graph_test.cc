@@ -1,0 +1,190 @@
+#include "summary/summary_graph.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "summary/build_summary.h"
+#include "workloads/auction.h"
+#include "workloads/tpcc.h"
+
+namespace mvrc {
+namespace {
+
+// Finds an edge by program names and statement labels; returns whether it
+// exists with the given flow class.
+bool HasEdge(const SummaryGraph& graph, const std::string& from_program,
+             const std::string& from_label, bool counterflow,
+             const std::string& to_label, const std::string& to_program) {
+  for (const SummaryEdge& edge : graph.edges()) {
+    if (graph.program(edge.from_program).name() != from_program) continue;
+    if (graph.program(edge.to_program).name() != to_program) continue;
+    if (graph.program(edge.from_program).stmt(edge.from_occ).label() != from_label) {
+      continue;
+    }
+    if (graph.program(edge.to_program).stmt(edge.to_occ).label() != to_label) continue;
+    if (edge.counterflow != counterflow) continue;
+    return true;
+  }
+  return false;
+}
+
+class AuctionSummaryTest : public ::testing::Test {
+ protected:
+  AuctionSummaryTest()
+      : workload_(MakeAuction()),
+        graph_(BuildSummaryGraph(workload_.programs, AnalysisSettings::AttrDepFk())) {}
+
+  Workload workload_;
+  SummaryGraph graph_;
+};
+
+TEST_F(AuctionSummaryTest, MatchesTable2Counts) {
+  // Table 2: Auction has 3 unfolded programs and 17 edges, 1 counterflow.
+  EXPECT_EQ(graph_.num_programs(), 3);
+  EXPECT_EQ(graph_.num_edges(), 17);
+  EXPECT_EQ(graph_.num_counterflow_edges(), 1);
+}
+
+TEST_F(AuctionSummaryTest, CounterflowEdgeIsFindBidsToPlaceBid1) {
+  // The single counterflow edge is the predicate rw-antidependency from
+  // FindBids' predicate read q2 to PlaceBid1's bid update q5 (Figure 4).
+  EXPECT_TRUE(HasEdge(graph_, "FindBids", "q2", true, "q5", "PlaceBid1"));
+}
+
+TEST_F(AuctionSummaryTest, BuyerUpdatesConflictBetweenAllPrograms) {
+  // Every pair of programs has a non-counterflow edge on Buyer(calls).
+  EXPECT_TRUE(HasEdge(graph_, "FindBids", "q1", false, "q1", "FindBids"));
+  EXPECT_TRUE(HasEdge(graph_, "FindBids", "q1", false, "q3", "PlaceBid1"));
+  EXPECT_TRUE(HasEdge(graph_, "FindBids", "q1", false, "q3", "PlaceBid2"));
+  EXPECT_TRUE(HasEdge(graph_, "PlaceBid1", "q3", false, "q1", "FindBids"));
+  EXPECT_TRUE(HasEdge(graph_, "PlaceBid1", "q3", false, "q3", "PlaceBid2"));
+  EXPECT_TRUE(HasEdge(graph_, "PlaceBid2", "q3", false, "q3", "PlaceBid2"));
+}
+
+TEST_F(AuctionSummaryTest, ForeignKeySuppressesKeySelectCounterflow) {
+  // q4 -> q5 counterflow is ruled out by the f1 constraints (both PlaceBid
+  // instantiations update the same Buyer first).
+  EXPECT_FALSE(HasEdge(graph_, "PlaceBid1", "q4", true, "q5", "PlaceBid1"));
+  EXPECT_FALSE(HasEdge(graph_, "PlaceBid2", "q4", true, "q5", "PlaceBid1"));
+  // But the non-counterflow rw edge exists.
+  EXPECT_TRUE(HasEdge(graph_, "PlaceBid1", "q4", false, "q5", "PlaceBid1"));
+}
+
+TEST_F(AuctionSummaryTest, WithoutForeignKeysCounterflowAppears) {
+  SummaryGraph no_fk =
+      BuildSummaryGraph(workload_.programs, AnalysisSettings::AttrDep());
+  EXPECT_TRUE(HasEdge(no_fk, "PlaceBid1", "q4", true, "q5", "PlaceBid1"));
+  EXPECT_EQ(no_fk.num_counterflow_edges(), 3);  // q2->q5 plus q4->q5 from both PBs
+}
+
+TEST_F(AuctionSummaryTest, NoEdgesOnLogInserts) {
+  // ins -> ins admits no dependency (Table 1a).
+  for (const SummaryEdge& edge : graph_.edges()) {
+    const Statement& from = graph_.program(edge.from_program).stmt(edge.from_occ);
+    const Statement& to = graph_.program(edge.to_program).stmt(edge.to_occ);
+    EXPECT_FALSE(from.type() == StatementType::kInsert &&
+                 to.type() == StatementType::kInsert);
+  }
+}
+
+TEST_F(AuctionSummaryTest, ProgramGraphConnectivity) {
+  Digraph program_graph = graph_.ProgramGraph();
+  EXPECT_EQ(program_graph.num_nodes(), 3);
+  Digraph::Reachability reach = program_graph.ComputeReachability();
+  // All programs mutually reachable through the Buyer edges.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_TRUE(reach.At(i, j));
+  }
+}
+
+TEST_F(AuctionSummaryTest, NonCounterflowProgramGraphDropsCfEdges) {
+  Digraph nc = graph_.NonCounterflowProgramGraph();
+  // 17 - 1 edges remain; the FindBids->PlaceBid1 arc still exists because a
+  // parallel nc edge (q1->q3) connects the same programs.
+  EXPECT_TRUE(nc.HasEdge(0, 1));
+}
+
+TEST_F(AuctionSummaryTest, DescribeEdge) {
+  const SummaryEdge* cf_edge = nullptr;
+  for (const SummaryEdge& edge : graph_.edges()) {
+    if (edge.counterflow) cf_edge = &edge;
+  }
+  ASSERT_NE(cf_edge, nullptr);
+  EXPECT_EQ(graph_.DescribeEdge(*cf_edge), "FindBids --q2->q5 (cf)--> PlaceBid1");
+}
+
+TEST_F(AuctionSummaryTest, DotOutputMentionsAllPrograms) {
+  std::string dot = graph_.ToDot("auction");
+  EXPECT_NE(dot.find("FindBids"), std::string::npos);
+  EXPECT_NE(dot.find("PlaceBid1"), std::string::npos);
+  EXPECT_NE(dot.find("PlaceBid2"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // counterflow edge
+}
+
+TEST_F(AuctionSummaryTest, DistinctStatementEdgesCollapseBranchVariants) {
+  // PlaceBid1 and PlaceBid2 stem from the same source program, so their
+  // parallel edges collapse at statement level: Buyer 9 -> 4 pairs, Bids
+  // 8 -> 6 pairs (q4->q5 from both variants merge): 10 total.
+  EXPECT_EQ(graph_.num_distinct_statement_edges(), 10);
+}
+
+TEST(SummaryGraphTest, LoopsInflateOccurrenceEdges) {
+  // One program loop(q1) with q1 a key update: the 2-iteration unfolding has
+  // two occurrences, giving 2x2 occurrence edges between the unfolding and
+  // itself plus cross-variant pairs, but only one distinct statement pair
+  // per program pair.
+  Schema schema;
+  RelationId rel = schema.AddRelation("R", {"k", "v"}, {"k"});
+  Btp program("Lp");
+  StmtId q = program.AddStatement(
+      Statement::KeyUpdate("q1", schema, rel, AttrSet{1}, AttrSet{1}));
+  program.Finish(program.Loop(program.Stmt(q)));
+  SummaryGraph graph =
+      BuildSummaryGraph(std::vector<Btp>{program}, AnalysisSettings::AttrDepFk());
+  EXPECT_GT(graph.num_edges(), graph.num_distinct_statement_edges());
+  // All edges collapse to the single (Lp, q1, nc, q1, Lp) tuple.
+  EXPECT_EQ(graph.num_distinct_statement_edges(), 1);
+}
+
+TEST(SummaryGraphTest, InducedSubgraphEqualsDirectConstruction) {
+  // Restricting the full graph to a subset of programs yields exactly the
+  // graph Algorithm 1 builds for the subset alone (the basis of the
+  // build-once subset analysis).
+  Workload workload = MakeTpcc();
+  for (AnalysisSettings settings :
+       {AnalysisSettings::AttrDep(), AnalysisSettings::AttrDepFk()}) {
+    SummaryGraph full = BuildSummaryGraph(workload.programs, settings);
+    // Subset {Payment, OrderStatus, StockLevel} = BTP indices 1, 2, 4.
+    std::vector<Btp> subset{workload.programs[1], workload.programs[2],
+                            workload.programs[4]};
+    SummaryGraph direct = BuildSummaryGraph(subset, settings);
+    std::vector<bool> keep(full.num_programs(), false);
+    for (int p = 0; p < full.num_programs(); ++p) {
+      const std::string& source = full.program(p).source_program();
+      keep[p] = source == "Payment" || source == "OrderStatus" ||
+                source == "StockLevel";
+    }
+    SummaryGraph induced = full.InducedSubgraph(keep);
+    ASSERT_EQ(induced.num_programs(), direct.num_programs());
+    std::multiset<std::string> direct_edges, induced_edges;
+    for (const SummaryEdge& edge : direct.edges()) {
+      direct_edges.insert(direct.DescribeEdge(edge));
+    }
+    for (const SummaryEdge& edge : induced.edges()) {
+      induced_edges.insert(induced.DescribeEdge(edge));
+    }
+    EXPECT_EQ(direct_edges, induced_edges) << settings.name();
+  }
+}
+
+TEST(SummaryGraphTest, EdgeCountsEmptyGraph) {
+  SummaryGraph graph({});
+  EXPECT_EQ(graph.num_programs(), 0);
+  EXPECT_EQ(graph.num_edges(), 0);
+  EXPECT_EQ(graph.num_counterflow_edges(), 0);
+}
+
+}  // namespace
+}  // namespace mvrc

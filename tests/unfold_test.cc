@@ -1,0 +1,210 @@
+#include "btp/unfold.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workloads/auction.h"
+#include "workloads/tpcc.h"
+
+namespace mvrc {
+namespace {
+
+// Sequence of statement labels of an LTP, e.g. "q3;q4;q6".
+std::string Labels(const Ltp& ltp) {
+  std::string out;
+  for (int i = 0; i < ltp.size(); ++i) {
+    if (i > 0) out += ";";
+    out += ltp.stmt(i).label();
+  }
+  return out;
+}
+
+class UnfoldFixture : public ::testing::Test {
+ protected:
+  UnfoldFixture() {
+    rel_ = schema_.AddRelation("R", {"a", "b"}, {"a"});
+  }
+
+  Statement Sel(const std::string& label) {
+    return Statement::KeySelect(label, schema_, rel_, AttrSet{1});
+  }
+
+  Schema schema_;
+  RelationId rel_ = -1;
+};
+
+TEST_F(UnfoldFixture, LinearProgramYieldsSingleLtpWithOriginalName) {
+  Btp p("Lin");
+  p.AddStatement(Sel("q1"));
+  p.AddStatement(Sel("q2"));
+  std::vector<Ltp> ltps = UnfoldAtMost2(p);
+  ASSERT_EQ(ltps.size(), 1u);
+  EXPECT_EQ(ltps[0].name(), "Lin");
+  EXPECT_EQ(Labels(ltps[0]), "q1;q2");
+  EXPECT_TRUE(p.IsLinear());
+}
+
+TEST_F(UnfoldFixture, OptionalUnfoldsBothWays) {
+  Btp p("Opt");
+  StmtId q1 = p.AddStatement(Sel("q1"));
+  StmtId q2 = p.AddStatement(Sel("q2"));
+  StmtId q3 = p.AddStatement(Sel("q3"));
+  p.Finish(p.Seq({p.Stmt(q1), p.Optional(p.Stmt(q2)), p.Stmt(q3)}));
+  EXPECT_FALSE(p.IsLinear());
+  std::vector<Ltp> ltps = UnfoldAtMost2(p);
+  ASSERT_EQ(ltps.size(), 2u);
+  EXPECT_EQ(Labels(ltps[0]), "q1;q2;q3");  // inner branch first
+  EXPECT_EQ(Labels(ltps[1]), "q1;q3");
+  EXPECT_EQ(ltps[0].name(), "Opt1");
+  EXPECT_EQ(ltps[1].name(), "Opt2");
+}
+
+TEST_F(UnfoldFixture, ChoiceUnfoldsBothBranches) {
+  Btp p("Ch");
+  StmtId q1 = p.AddStatement(Sel("q1"));
+  StmtId q2 = p.AddStatement(Sel("q2"));
+  p.Finish(p.Choice(p.Stmt(q1), p.Stmt(q2)));
+  std::vector<Ltp> ltps = UnfoldAtMost2(p);
+  ASSERT_EQ(ltps.size(), 2u);
+  EXPECT_EQ(Labels(ltps[0]), "q1");
+  EXPECT_EQ(Labels(ltps[1]), "q2");
+}
+
+TEST_F(UnfoldFixture, LoopUnfoldsZeroOneTwo) {
+  Btp p("Lp");
+  StmtId q1 = p.AddStatement(Sel("q1"));
+  p.Finish(p.Loop(p.Stmt(q1)));
+  std::vector<Ltp> ltps = UnfoldAtMost2(p);
+  ASSERT_EQ(ltps.size(), 3u);
+  EXPECT_EQ(Labels(ltps[0]), "");
+  EXPECT_EQ(Labels(ltps[1]), "q1");
+  EXPECT_EQ(Labels(ltps[2]), "q1;q1");
+}
+
+TEST_F(UnfoldFixture, LoopWithInnerBranchTakesCrossProduct) {
+  // loop(q1 | q2): 0 reps: 1; 1 rep: 2; 2 reps: 4 -> 7 unfoldings total.
+  Btp p("LpCh");
+  StmtId q1 = p.AddStatement(Sel("q1"));
+  StmtId q2 = p.AddStatement(Sel("q2"));
+  p.Finish(p.Loop(p.Choice(p.Stmt(q1), p.Stmt(q2))));
+  std::vector<Ltp> ltps = UnfoldAtMost2(p);
+  ASSERT_EQ(ltps.size(), 7u);
+  std::set<std::string> seqs;
+  for (const Ltp& ltp : ltps) seqs.insert(Labels(ltp));
+  EXPECT_EQ(seqs, (std::set<std::string>{"", "q1", "q2", "q1;q1", "q1;q2", "q2;q1",
+                                         "q2;q2"}));
+}
+
+TEST_F(UnfoldFixture, NestedLoopCounts) {
+  // loop(loop(q1)) -> outer 0 reps: 1; outer 1 rep: inner has 3 unfoldings;
+  // outer 2 reps: 3x3 = 9. Total 13.
+  Btp p("Nest");
+  StmtId q1 = p.AddStatement(Sel("q1"));
+  p.Finish(p.Loop(p.Loop(p.Stmt(q1))));
+  EXPECT_EQ(UnfoldAtMost2(p).size(), 13u);
+}
+
+TEST_F(UnfoldFixture, ConstraintsBindWithinLoopIteration) {
+  // loop(qa; qb) with constraint qa = f(qb): in the 2-repetition unfolding
+  // each iteration's qb must bind to its own iteration's qa.
+  Schema schema;
+  RelationId parent = schema.AddRelation("P", {"p"}, {"p"});
+  RelationId child = schema.AddRelation("C", {"c", "p"}, {"c"});
+  ForeignKeyId f = schema.AddForeignKey("f", child, {"p"}, parent);
+
+  Btp p("LpFk");
+  StmtId qa = p.AddStatement(Statement::KeyUpdate("qa", schema, parent, AttrSet{0},
+                                                  AttrSet{0}));
+  StmtId qb = p.AddStatement(Statement::KeySelect("qb", schema, child, AttrSet{0}));
+  p.Finish(p.Loop(p.Seq({p.Stmt(qa), p.Stmt(qb)})));
+  p.AddFkConstraint(schema, qa, f, qb);
+
+  std::vector<Ltp> ltps = UnfoldAtMost2(p);
+  ASSERT_EQ(ltps.size(), 3u);
+  // Two-repetition unfolding: positions qa(0) qb(1) qa(2) qb(3).
+  const Ltp& two = ltps[2];
+  ASSERT_EQ(two.size(), 4);
+  EXPECT_TRUE(two.HasConstraint(0, f, 1));
+  EXPECT_TRUE(two.HasConstraint(2, f, 3));
+  EXPECT_FALSE(two.HasConstraint(0, f, 3));
+  EXPECT_FALSE(two.HasConstraint(2, f, 1));
+  EXPECT_EQ(two.constraints().size(), 2u);
+}
+
+TEST_F(UnfoldFixture, ConstraintBindsLoopChildToOuterParent) {
+  // qa outside the loop, qb inside: both iterations bind to the outer qa.
+  Schema schema;
+  RelationId parent = schema.AddRelation("P", {"p"}, {"p"});
+  RelationId child = schema.AddRelation("C", {"c", "p"}, {"c"});
+  ForeignKeyId f = schema.AddForeignKey("f", child, {"p"}, parent);
+
+  Btp p("OuterFk");
+  StmtId qa = p.AddStatement(Statement::Insert("qa", schema, parent));
+  StmtId qb = p.AddStatement(Statement::KeySelect("qb", schema, child, AttrSet{0}));
+  p.Finish(p.Seq({p.Stmt(qa), p.Loop(p.Stmt(qb))}));
+  p.AddFkConstraint(schema, qa, f, qb);
+
+  std::vector<Ltp> ltps = UnfoldAtMost2(p);
+  ASSERT_EQ(ltps.size(), 3u);
+  const Ltp& two = ltps[2];  // qa(0) qb(1) qb(2)
+  ASSERT_EQ(two.size(), 3);
+  EXPECT_TRUE(two.HasConstraint(0, f, 1));
+  EXPECT_TRUE(two.HasConstraint(0, f, 2));
+}
+
+TEST_F(UnfoldFixture, ConstraintDroppedWhenParentAbsent) {
+  // Parent statement inside an optional branch: the unfolding without it has
+  // no binding for the constraint.
+  Schema schema;
+  RelationId parent = schema.AddRelation("P", {"p"}, {"p"});
+  RelationId child = schema.AddRelation("C", {"c", "p"}, {"c"});
+  ForeignKeyId f = schema.AddForeignKey("f", child, {"p"}, parent);
+
+  Btp p("OptFk");
+  StmtId qa = p.AddStatement(Statement::KeyUpdate("qa", schema, parent, AttrSet{},
+                                                  AttrSet{0}));
+  StmtId qb = p.AddStatement(Statement::KeySelect("qb", schema, child, AttrSet{0}));
+  p.Finish(p.Seq({p.Optional(p.Stmt(qa)), p.Stmt(qb)}));
+  p.AddFkConstraint(schema, qa, f, qb);
+
+  std::vector<Ltp> ltps = UnfoldAtMost2(p);
+  ASSERT_EQ(ltps.size(), 2u);
+  EXPECT_EQ(ltps[0].constraints().size(), 1u);  // with qa
+  EXPECT_TRUE(ltps[1].constraints().empty());   // without qa
+}
+
+TEST(UnfoldWorkloads, PlaceBidMatchesPaperRunningExample) {
+  Workload auction = MakeAuction();
+  std::vector<Ltp> ltps = UnfoldAtMost2(auction.programs);
+  ASSERT_EQ(ltps.size(), 3u);
+  EXPECT_EQ(ltps[0].name(), "FindBids");
+  EXPECT_EQ(Labels(ltps[0]), "q1;q2");
+  EXPECT_EQ(ltps[1].name(), "PlaceBid1");
+  EXPECT_EQ(Labels(ltps[1]), "q3;q4;q5;q6");
+  EXPECT_EQ(ltps[2].name(), "PlaceBid2");
+  EXPECT_EQ(Labels(ltps[2]), "q3;q4;q6");
+}
+
+TEST(UnfoldWorkloads, TpccUnfoldsToThirteenLtps) {
+  // Paper §6.1: "for TPC-C the number of transaction programs increases from
+  // 5 to 13".
+  Workload tpcc = MakeTpcc();
+  EXPECT_EQ(UnfoldAtMost2(tpcc.programs).size(), 13u);
+}
+
+TEST(UnfoldWorkloads, SourceProgramNamesPreserved) {
+  Workload tpcc = MakeTpcc();
+  for (const Ltp& ltp : UnfoldAtMost2(tpcc.programs)) {
+    bool found = false;
+    for (const Btp& program : tpcc.programs) {
+      if (program.name() == ltp.source_program()) found = true;
+    }
+    EXPECT_TRUE(found) << ltp.name();
+  }
+}
+
+}  // namespace
+}  // namespace mvrc

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "util/dot_writer.h"
+#include "util/result.h"
+#include "util/stopwatch.h"
+
+namespace mvrc {
+namespace {
+
+TEST(DotWriterTest, RendersNodesAndEdges) {
+  DotWriter dot("g");
+  dot.AddNode("a", "Node A", "shape=box");
+  dot.AddNode("b", "Node B");
+  dot.AddEdge("a", "b", "lbl");
+  dot.AddEdge("b", "a", "", /*dashed=*/true);
+  dot.AddEdge("a", "a");
+  std::string text = dot.ToDot();
+  EXPECT_NE(text.find("digraph \"g\""), std::string::npos);
+  EXPECT_NE(text.find("\"a\" [label=\"Node A\", shape=box];"), std::string::npos);
+  EXPECT_NE(text.find("\"a\" -> \"b\" [label=\"lbl\"];"), std::string::npos);
+  EXPECT_NE(text.find("\"b\" -> \"a\" [style=dashed];"), std::string::npos);
+  EXPECT_NE(text.find("\"a\" -> \"a\";"), std::string::npos);
+}
+
+TEST(DotWriterTest, EscapesQuotesAndBackslashes) {
+  DotWriter dot("g\"x");
+  dot.AddNode("n\"1", "l\\2");
+  std::string text = dot.ToDot();
+  EXPECT_NE(text.find("digraph \"g\\\"x\""), std::string::npos);
+  EXPECT_NE(text.find("\"n\\\"1\""), std::string::npos);
+  EXPECT_NE(text.find("label=\"l\\\\2\""), std::string::npos);
+}
+
+TEST(ResultTest, ValueRoundTrip) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ResultTest, ErrorCarriesMessage) {
+  Result<int> result = Result<int>::Error("boom");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), "boom");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, AccessorsAbortOnMisuse) {
+  EXPECT_DEATH(
+      {
+        Result<int> result = Result<int>::Error("x");
+        (void)result.value();
+      },
+      "value\\(\\) on error");
+  EXPECT_DEATH(
+      {
+        Result<int> result = 1;
+        (void)result.error();
+      },
+      "error\\(\\) on ok");
+}
+
+TEST(StatusTest, DefaultOkAndError) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.error().empty());
+  Status error = Status::Error("bad");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.error(), "bad");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeElapsed) {
+  Stopwatch watch;
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  EXPECT_GE(watch.ElapsedMillis(), 0.0);
+  watch.Restart();
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(CheckDeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH({ MVRC_CHECK_MSG(false, "custom message"); }, "custom message");
+  EXPECT_DEATH({ MVRC_CHECK(1 == 2); }, "1 == 2");
+}
+
+}  // namespace
+}  // namespace mvrc
