@@ -1,9 +1,11 @@
 #include "robust/report.h"
 
+#include <memory>
 #include <sstream>
 
 #include "btp/unfold.h"
 #include "summary/build_summary.h"
+#include "util/thread_pool.h"
 
 namespace mvrc {
 
@@ -32,16 +34,26 @@ std::string WorkloadReport::ToText() const {
   return os.str();
 }
 
-WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets) {
+WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets,
+                           int num_threads) {
   WorkloadReport report;
   report.workload_name = workload.name.empty() ? "(unnamed)" : workload.name;
   report.num_programs = static_cast<int>(workload.programs.size());
   report.num_unfolded = static_cast<int>(UnfoldAtMost2(workload.programs).size());
 
+  // One pool shared by all four graph builds (nullptr selects the serial
+  // path throughout).
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads != 1) {
+    pool = std::make_unique<ThreadPool>(ThreadPool::ResolveThreadCount(num_threads));
+  }
   for (AnalysisSettings settings :
-       {AnalysisSettings::TupleDep(), AnalysisSettings::AttrDep(),
-        AnalysisSettings::TupleDepFk(), AnalysisSettings::AttrDepFk()}) {
-    SummaryGraph graph = BuildSummaryGraph(workload.programs, settings);
+       {AnalysisSettings::TupleDep().WithThreads(num_threads),
+        AnalysisSettings::AttrDep().WithThreads(num_threads),
+        AnalysisSettings::TupleDepFk().WithThreads(num_threads),
+        AnalysisSettings::AttrDepFk().WithThreads(num_threads)}) {
+    SummaryGraph graph =
+        BuildSummaryGraph(UnfoldAtMost2(workload.programs), settings, pool.get());
     for (Method method : {Method::kTypeII, Method::kTypeI}) {
       VerdictEntry entry;
       entry.settings = settings;
@@ -62,9 +74,10 @@ WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets) {
   }
 
   if (analyze_subsets && report.num_programs >= 1 && report.num_programs <= 20) {
-    SubsetReport subsets = AnalyzeSubsets(workload.programs,
-                                          AnalysisSettings::AttrDepFk(),
-                                          Method::kTypeII);
+    SubsetReport subsets =
+        AnalyzeSubsets(workload.programs,
+                       AnalysisSettings::AttrDepFk().WithThreads(num_threads),
+                       Method::kTypeII);
     std::vector<std::string> names = workload.abbreviations;
     if (names.size() != workload.programs.size()) {
       names.clear();

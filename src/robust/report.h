@@ -41,8 +41,11 @@ struct WorkloadReport {
 
 /// Analyzes `workload` under all four settings with both methods; when
 /// `analyze_subsets` is set (and the workload has at most 20 programs) also
-/// computes the maximal robust subsets under attr dep + FK.
-WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets);
+/// computes the maximal robust subsets under attr dep + FK. `num_threads`
+/// parallelizes graph construction and the subset sweep (1 = serial, < 1 =
+/// hardware concurrency); it never changes the report's contents.
+WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets,
+                           int num_threads = 1);
 
 }  // namespace mvrc
 

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <iterator>
 #include <sstream>
+#include <utility>
 
 #include "btp/unfold.h"
 #include "summary/build_summary.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace mvrc {
 
@@ -41,11 +43,122 @@ std::vector<std::string> SubsetReport::DescribeMaximal(
   return out;
 }
 
+namespace {
+
+// The induced-subgraph selector for `mask`: keep the unfolded LTPs of every
+// BTP whose bit is set.
+std::vector<bool> KeepFor(uint32_t mask, int n, const std::vector<std::pair<int, int>>& ltp_range,
+                          int num_ltps) {
+  std::vector<bool> keep(num_ltps, false);
+  for (int i = 0; i < n; ++i) {
+    if ((mask >> i) & 1) {
+      for (int p = ltp_range[i].first; p < ltp_range[i].second; ++p) keep[p] = true;
+    }
+  }
+  return keep;
+}
+
+// Maximal = robust with no robust strict superset. Sweep the robust masks in
+// decreasing popcount order: any robust strict superset of `mask` has a
+// strictly larger popcount and is contained in some maximal mask accepted
+// earlier (Proposition 5.2's downward closure makes the maximal masks cover
+// all robust masks), so comparing against the accepted maximal masks alone
+// suffices — O(robust x maximal) instead of the old O(robust^2) all-pairs
+// scan.
+void ComputeMaximalMasks(SubsetReport& report) {
+  std::vector<uint32_t> by_popcount = report.robust_masks;
+  std::sort(by_popcount.begin(), by_popcount.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa > pb : a < b;
+  });
+  for (uint32_t mask : by_popcount) {
+    bool dominated = false;
+    for (uint32_t maximal : report.maximal_masks) {
+      if ((maximal & mask) == mask) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) report.maximal_masks.push_back(mask);
+  }
+  std::sort(report.maximal_masks.begin(), report.maximal_masks.end());
+}
+
+// The original serial sweep: masks in decreasing popcount order, Proposition
+// 5.2 pruning applied as soon as a mask is found robust.
+void SweepSerial(const SummaryGraph& full_graph, Method method, int n,
+                 const std::vector<std::pair<int, int>>& ltp_range, SubsetReport& report) {
+  const uint32_t full = (uint32_t{1} << n) - 1;
+  std::vector<char> known_robust(full + 1, 0);
+  std::vector<uint32_t> order;
+  order.reserve(full);
+  for (uint32_t mask = 1; mask <= full; ++mask) order.push_back(mask);
+  std::sort(order.begin(), order.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa > pb : a < b;
+  });
+
+  for (uint32_t mask : order) {
+    if (!known_robust[mask]) {
+      std::vector<bool> keep = KeepFor(mask, n, ltp_range, full_graph.num_programs());
+      if (!IsRobust(full_graph.InducedSubgraph(keep), method)) continue;
+      // Mark this subset and all of its subsets robust (Proposition 5.2).
+      for (uint32_t sub = mask; sub != 0; sub = (sub - 1) & mask) known_robust[sub] = 1;
+    }
+    report.robust_masks.push_back(mask);
+  }
+}
+
+// Level-synchronous parallel sweep. Masks within one popcount level are
+// never subsets of one another, so Proposition 5.2 pruning only ever flows
+// from a level to strictly lower levels: the level's unknown masks are
+// independent and fan out across the pool, and the shared known_robust
+// bitmap is merged serially at the level barrier. This visits exactly the
+// masks the serial sweep runs the detector on, so the resulting report is
+// identical.
+void SweepParallel(const SummaryGraph& full_graph, Method method, int n,
+                   const std::vector<std::pair<int, int>>& ltp_range, ThreadPool& pool,
+                   SubsetReport& report) {
+  const uint32_t full = (uint32_t{1} << n) - 1;
+  std::vector<char> known_robust(full + 1, 0);
+  std::vector<std::vector<uint32_t>> levels(n + 1);
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    levels[__builtin_popcount(mask)].push_back(mask);
+  }
+
+  for (int level = n; level >= 1; --level) {
+    std::vector<uint32_t> todo;
+    for (uint32_t mask : levels[level]) {
+      if (known_robust[mask]) {
+        report.robust_masks.push_back(mask);
+      } else {
+        todo.push_back(mask);
+      }
+    }
+    std::vector<char> robust(todo.size(), 0);
+    pool.ParallelFor(static_cast<int64_t>(todo.size()), [&](int64_t t) {
+      std::vector<bool> keep = KeepFor(todo[t], n, ltp_range, full_graph.num_programs());
+      robust[t] = IsRobust(full_graph.InducedSubgraph(keep), method) ? 1 : 0;
+    });
+    // Level barrier: merge verdicts into the shared bitmap before the next
+    // (lower-popcount) level consults it.
+    for (size_t t = 0; t < todo.size(); ++t) {
+      if (!robust[t]) continue;
+      for (uint32_t sub = todo[t]; sub != 0; sub = (sub - 1) & todo[t]) known_robust[sub] = 1;
+      report.robust_masks.push_back(todo[t]);
+    }
+  }
+}
+
+}  // namespace
+
 SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSettings& settings,
                             Method method) {
   const int n = static_cast<int>(programs.size());
-  MVRC_CHECK_MSG(n >= 1 && n <= 20, "subset analysis supports 1..20 programs");
-  const uint32_t full = (uint32_t{1} << n) - 1;
+  MVRC_CHECK_MSG(n >= 1 && n <= 20,
+                 "subset analysis supports 1..20 programs: subsets are encoded as 32-bit "
+                 "masks and 2^20 is the largest sweep that stays tractable");
+  const int num_threads = ThreadPool::ResolveThreadCount(settings.num_threads);
 
   // Build the summary graph once for the full program set; every subset's
   // graph is an induced subgraph (Algorithm 1's conditions are local to the
@@ -59,49 +172,20 @@ SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSett
     all_ltps.insert(all_ltps.end(), std::make_move_iterator(unfolded.begin()),
                     std::make_move_iterator(unfolded.end()));
   }
-  SummaryGraph full_graph = BuildSummaryGraph(std::move(all_ltps), settings);
-
-  // Evaluate subsets in decreasing popcount order so Proposition 5.2 can
-  // mark subsets of robust sets without re-running the detector.
-  std::vector<char> known_robust(full + 1, 0);
-  std::vector<uint32_t> order;
-  order.reserve(full);
-  for (uint32_t mask = 1; mask <= full; ++mask) order.push_back(mask);
-  std::sort(order.begin(), order.end(), [](uint32_t a, uint32_t b) {
-    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
-    return pa != pb ? pa > pb : a < b;
-  });
 
   SubsetReport report;
   report.num_programs = n;
-  for (uint32_t mask : order) {
-    if (!known_robust[mask]) {
-      std::vector<bool> keep(full_graph.num_programs(), false);
-      for (int i = 0; i < n; ++i) {
-        if ((mask >> i) & 1) {
-          for (int p = ltp_range[i].first; p < ltp_range[i].second; ++p) keep[p] = true;
-        }
-      }
-      if (!IsRobust(full_graph.InducedSubgraph(keep), method)) continue;
-      // Mark this subset and all of its subsets robust (Proposition 5.2).
-      for (uint32_t sub = mask; sub != 0; sub = (sub - 1) & mask) known_robust[sub] = 1;
-    }
-    report.robust_masks.push_back(mask);
-  }
-
-  // Maximal = robust and no robust strict superset.
-  for (uint32_t mask : report.robust_masks) {
-    bool maximal = true;
-    for (uint32_t other : report.robust_masks) {
-      if (other != mask && (other & mask) == mask) {
-        maximal = false;
-        break;
-      }
-    }
-    if (maximal) report.maximal_masks.push_back(mask);
+  report.num_threads = num_threads;
+  if (num_threads <= 1) {
+    SummaryGraph full_graph = BuildSummaryGraph(std::move(all_ltps), settings, nullptr);
+    SweepSerial(full_graph, method, n, ltp_range, report);
+  } else {
+    ThreadPool pool(num_threads);
+    SummaryGraph full_graph = BuildSummaryGraph(std::move(all_ltps), settings, &pool);
+    SweepParallel(full_graph, method, n, ltp_range, pool, report);
   }
   std::sort(report.robust_masks.begin(), report.robust_masks.end());
-  std::sort(report.maximal_masks.begin(), report.maximal_masks.end());
+  ComputeMaximalMasks(report);
   return report;
 }
 

@@ -18,6 +18,7 @@ namespace mvrc {
 /// Result of testing all non-empty subsets of a program set.
 struct SubsetReport {
   int num_programs = 0;
+  int num_threads = 1;                  // worker threads the sweep ran with
   std::vector<uint32_t> robust_masks;   // every robust subset, as a bitmask
   std::vector<uint32_t> maximal_masks;  // robust subsets maximal under inclusion
 
@@ -32,6 +33,12 @@ struct SubsetReport {
 /// Tests all 2^n - 1 non-empty subsets (n ≤ 20 enforced). Exploits
 /// Proposition 5.2 (robustness is closed under subsets): subsets of a known
 /// robust set are marked robust without re-running the detector.
+///
+/// With settings.num_threads != 1 the sweep runs level-synchronously in
+/// decreasing popcount order, fanning each level's unknown masks across a
+/// thread pool (masks within a level are independent; pruning is merged at
+/// the level barrier). The report is identical to the serial sweep's, which
+/// settings.num_threads == 1 (the default) selects unchanged.
 SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSettings& settings,
                             Method method);
 

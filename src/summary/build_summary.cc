@@ -1,31 +1,73 @@
 #include "summary/build_summary.h"
 
+#include <utility>
+
 #include "btp/unfold.h"
+#include "util/thread_pool.h"
 
 namespace mvrc {
 
-SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings) {
-  SummaryGraph graph(std::move(programs));
+namespace {
+
+// Edges whose source is program `pi`, in the serial loop's inner order
+// (pj, then qi, then qj, non-counterflow before counterflow per statement
+// pair). Appending these row buffers in pi order reproduces the serial edge
+// list bit for bit, which keeps the parallel build observably identical.
+std::vector<SummaryEdge> EdgesFromProgram(const SummaryGraph& graph, int pi,
+                                          const AnalysisSettings& settings) {
+  std::vector<SummaryEdge> edges;
   const int n = graph.num_programs();
-  for (int pi = 0; pi < n; ++pi) {
-    const Ltp& program_i = graph.program(pi);
-    for (int pj = 0; pj < n; ++pj) {
-      const Ltp& program_j = graph.program(pj);
-      for (int qi = 0; qi < program_i.size(); ++qi) {
-        for (int qj = 0; qj < program_j.size(); ++qj) {
-          if (program_i.stmt(qi).rel() != program_j.stmt(qj).rel()) continue;
-          if (AllowsNonCounterflow(program_i.stmt(qi), program_j.stmt(qj),
-                                   settings.granularity)) {
-            graph.AddEdge({pi, qi, /*counterflow=*/false, qj, pj});
-          }
-          if (AllowsCounterflow(program_i, qi, program_j, qj, settings)) {
-            graph.AddEdge({pi, qi, /*counterflow=*/true, qj, pj});
-          }
+  const Ltp& program_i = graph.program(pi);
+  for (int pj = 0; pj < n; ++pj) {
+    const Ltp& program_j = graph.program(pj);
+    for (int qi = 0; qi < program_i.size(); ++qi) {
+      for (int qj = 0; qj < program_j.size(); ++qj) {
+        if (program_i.stmt(qi).rel() != program_j.stmt(qj).rel()) continue;
+        if (AllowsNonCounterflow(program_i.stmt(qi), program_j.stmt(qj),
+                                 settings.granularity)) {
+          edges.push_back({pi, qi, /*counterflow=*/false, qj, pj});
+        }
+        if (AllowsCounterflow(program_i, qi, program_j, qj, settings)) {
+          edges.push_back({pi, qi, /*counterflow=*/true, qj, pj});
         }
       }
     }
   }
+  return edges;
+}
+
+}  // namespace
+
+SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings,
+                               ThreadPool* pool) {
+  SummaryGraph graph(std::move(programs));
+  const int n = graph.num_programs();
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (int pi = 0; pi < n; ++pi) {
+      for (const SummaryEdge& edge : EdgesFromProgram(graph, pi, settings)) {
+        graph.AddEdge(edge);
+      }
+    }
+    return graph;
+  }
+  // Rows (source programs) are independent: compute each row's edges on the
+  // pool, then splice serially in row order.
+  std::vector<std::vector<SummaryEdge>> rows(n);
+  pool->ParallelFor(n, [&graph, &rows, &settings](int64_t pi) {
+    rows[pi] = EdgesFromProgram(graph, static_cast<int>(pi), settings);
+  });
+  for (int pi = 0; pi < n; ++pi) {
+    for (const SummaryEdge& edge : rows[pi]) graph.AddEdge(edge);
+  }
   return graph;
+}
+
+SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings) {
+  if (settings.num_threads != 1) {
+    ThreadPool pool(ThreadPool::ResolveThreadCount(settings.num_threads));
+    return BuildSummaryGraph(std::move(programs), settings, &pool);
+  }
+  return BuildSummaryGraph(std::move(programs), settings, nullptr);
 }
 
 SummaryGraph BuildSummaryGraph(const std::vector<Btp>& programs,

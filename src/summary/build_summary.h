@@ -13,11 +13,20 @@
 
 namespace mvrc {
 
+class ThreadPool;
+
 /// Algorithm 1: for every ordered pair of programs (including P_i = P_j) and
 /// every pair of statement occurrences over the same relation, adds a
 /// non-counterflow and/or counterflow edge according to
-/// ncDepTable/cDepTable + ncDepConds/cDepConds.
+/// ncDepTable/cDepTable + ncDepConds/cDepConds. When settings.num_threads
+/// != 1, edge generation fans out across source programs; the resulting
+/// edge list is identical to the serial build.
 SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings);
+
+/// Same, reusing a caller-owned pool (nullptr or a 1-thread pool selects the
+/// serial path). Lets AnalyzeSubsets share one pool across the whole run.
+SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings,
+                               ThreadPool* pool);
 
 /// Convenience wrapper: Unfold≤2 then Algorithm 1.
 SummaryGraph BuildSummaryGraph(const std::vector<Btp>& programs,

@@ -27,15 +27,25 @@ enum class Granularity {
 };
 
 /// Analysis settings: granularity x foreign-key usage. The four combinations
-/// are exactly the four rows of Figures 6 and 7.
+/// are exactly the four rows of Figures 6 and 7. `num_threads` does not
+/// affect verdicts — it selects how many worker threads the summary-graph
+/// builder and the subset-robustness engine fan work across (1 = the serial
+/// code path, < 1 = use the hardware concurrency).
 struct AnalysisSettings {
   Granularity granularity = Granularity::kAttribute;
   bool use_foreign_keys = true;
+  int num_threads = 1;
 
   static AnalysisSettings TupleDep() { return {Granularity::kTuple, false}; }
   static AnalysisSettings AttrDep() { return {Granularity::kAttribute, false}; }
   static AnalysisSettings TupleDepFk() { return {Granularity::kTuple, true}; }
   static AnalysisSettings AttrDepFk() { return {Granularity::kAttribute, true}; }
+
+  AnalysisSettings WithThreads(int threads) const {
+    AnalysisSettings copy = *this;
+    copy.num_threads = threads;
+    return copy;
+  }
 
   const char* name() const {
     if (granularity == Granularity::kTuple) {

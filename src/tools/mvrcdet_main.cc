@@ -9,11 +9,14 @@
 //   --dot          print the summary graph (attr dep + FK) as Graphviz DOT
 //   --certify      on rejection, search for a concrete counterexample
 //   --programs     print the derived BTP statement tables
+//   --threads=N    worker threads for graph construction and the subset
+//                  sweep (default 1 = serial; 0 = hardware concurrency)
 //
 // Exit status: 0 when robust under attr dep + FK / type-II, 1 when not,
 // 2 on usage or parse errors.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -31,7 +34,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mvrcdet [--subsets] [--dot] [--certify] [--programs]\n"
+               "usage: mvrcdet [--subsets] [--dot] [--certify] [--programs] [--threads=N]\n"
                "               (<workload.sql> | --builtin=<smallbank|tpcc|auction>)\n");
   return 2;
 }
@@ -41,6 +44,7 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace mvrc;
   bool subsets = false, dot = false, certify = false, print_programs = false;
+  int num_threads = 1;
   std::string file, builtin;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -52,6 +56,12 @@ int main(int argc, char** argv) {
       certify = true;
     } else if (arg == "--programs") {
       print_programs = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const char* value = arg.c_str() + std::strlen("--threads=");
+      char* end = nullptr;
+      long parsed = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || parsed < 0 || parsed > 1024) return Usage();
+      num_threads = static_cast<int>(parsed);
     } else if (arg.rfind("--builtin=", 0) == 0) {
       builtin = arg.substr(std::strlen("--builtin="));
     } else if (!arg.empty() && arg[0] == '-') {
@@ -97,10 +107,11 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  WorkloadReport report = BuildReport(workload, subsets);
+  WorkloadReport report = BuildReport(workload, subsets, num_threads);
   std::printf("%s", report.ToText().c_str());
 
-  bool robust = IsRobustAgainstMvrc(workload.programs, AnalysisSettings::AttrDepFk(),
+  bool robust = IsRobustAgainstMvrc(workload.programs,
+                                    AnalysisSettings::AttrDepFk().WithThreads(num_threads),
                                     Method::kTypeII);
   if (!robust && certify) {
     SearchOptions options;

@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  MVRC_CHECK_MSG(task != nullptr, "ThreadPool::Submit requires a callable task");
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    MVRC_CHECK_MSG(!stopping_, "ThreadPool::Submit after shutdown began");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t count, const std::function<void(int64_t)>& fn) {
+  if (count <= 0) return;
+  // Dynamic scheduling: workers pull the next unclaimed index. One pool task
+  // per worker, each looping until the index space is exhausted.
+  auto next = std::make_shared<std::atomic<int64_t>>(0);
+  const int tasks = static_cast<int>(std::min<int64_t>(num_threads(), count));
+  for (int t = 0; t < tasks; ++t) {
+    Submit([next, count, &fn] {
+      for (int64_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested >= 1) return requested;
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace mvrc

@@ -1,0 +1,65 @@
+// A minimal fixed-size thread pool (no work stealing: one shared FIFO
+// queue). Used by the parallel subset-robustness engine and the parallel
+// summary-graph builder; both fan independent items over the pool and
+// join at a barrier, so a shared queue is contention-light and keeps the
+// scheduling easy to reason about.
+
+#ifndef MVRC_UTIL_THREAD_POOL_H_
+#define MVRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mvrc {
+
+/// Fixed set of worker threads draining one shared task queue. Tasks must
+/// not throw (the library is exception-free; a throwing task aborts).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; pending tasks are still executed before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void Wait();
+
+  /// Runs fn(0) .. fn(count - 1) across the pool and blocks until all calls
+  /// returned. Items are handed out dynamically (one at a time), so
+  /// heterogeneous item costs balance; callers must make items independent
+  /// (our callers write to disjoint output slots).
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+  /// Maps a requested thread count to an effective one: values >= 1 pass
+  /// through, values < 1 mean "use the hardware concurrency".
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int in_flight_ = 0;  // tasks popped but not yet finished
+  bool stopping_ = false;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_UTIL_THREAD_POOL_H_
