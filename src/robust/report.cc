@@ -34,6 +34,33 @@ std::string WorkloadReport::ToText() const {
   return os.str();
 }
 
+Json WorkloadReport::ToJson() const {
+  Json json = Json::Object();
+  json.Set("workload", Json::Str(workload_name));
+  json.Set("num_programs", Json::Int(num_programs));
+  json.Set("num_unfolded", Json::Int(num_unfolded));
+  Json verdict_array = Json::Array();
+  for (const VerdictEntry& entry : verdicts) {
+    Json verdict = Json::Object();
+    verdict.Set("settings", Json::Str(entry.settings.name()));
+    verdict.Set("method", Json::Str(entry.method == Method::kTypeII ? "type-II" : "type-I"));
+    verdict.Set("robust", Json::Bool(entry.robust));
+    verdict.Set("num_edges", Json::Int(entry.num_edges));
+    verdict.Set("num_counterflow_edges", Json::Int(entry.num_counterflow_edges));
+    if (!entry.witness.empty()) verdict.Set("witness", Json::Str(entry.witness));
+    verdict_array.Append(std::move(verdict));
+  }
+  json.Set("verdicts", std::move(verdict_array));
+  if (maximal_robust_subsets.has_value()) {
+    Json subsets = Json::Array();
+    for (const std::string& subset : *maximal_robust_subsets) {
+      subsets.Append(Json::Str(subset));
+    }
+    json.Set("maximal_robust_subsets", std::move(subsets));
+  }
+  return json;
+}
+
 WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets,
                            int num_threads) {
   WorkloadReport report;
@@ -73,11 +100,14 @@ WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets,
     }
   }
 
-  if (analyze_subsets && report.num_programs >= 1 && report.num_programs <= 20) {
+  if (analyze_subsets && report.num_programs >= 1 &&
+      report.num_programs <= kMaxSubsetPrograms) {
+    // Reuse the report's pool for the sweep instead of constructing another.
     SubsetReport subsets =
-        AnalyzeSubsets(workload.programs,
-                       AnalysisSettings::AttrDepFk().WithThreads(num_threads),
-                       Method::kTypeII);
+        TryAnalyzeSubsets(workload.programs,
+                          AnalysisSettings::AttrDepFk().WithThreads(num_threads),
+                          Method::kTypeII, pool.get())
+            .value();
     std::vector<std::string> names = workload.abbreviations;
     if (names.size() != workload.programs.size()) {
       names.clear();

@@ -13,6 +13,7 @@
 
 #include "robust/detector.h"
 #include "robust/subsets.h"
+#include "util/json.h"
 #include "workloads/workload.h"
 
 namespace mvrc {
@@ -37,6 +38,13 @@ struct WorkloadReport {
   std::optional<std::vector<std::string>> maximal_robust_subsets;
 
   std::string ToText() const;
+
+  /// Machine-readable rendering for `mvrcdet --json` and service clients:
+  /// {"workload", "num_programs", "num_unfolded", "verdicts": [{"settings",
+  /// "method", "robust", "num_edges", "num_counterflow_edges", "witness"}],
+  /// "maximal_robust_subsets"?}. Witness members are present only when the
+  /// verdict is not robust; the subsets member only when subset analysis ran.
+  Json ToJson() const;
 };
 
 /// Analyzes `workload` under all four settings with both methods; when

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -21,6 +22,8 @@ bool SubsetReport::IsRobustSubset(uint32_t mask) const {
 
 std::string SubsetReport::DescribeMask(uint32_t mask,
                                        const std::vector<std::string>& names) const {
+  MVRC_CHECK_MSG(num_programs <= kMaxSubsetPrograms,
+                 "SubsetReport masks encode at most kMaxSubsetPrograms programs");
   std::ostringstream os;
   os << "{";
   bool first = true;
@@ -84,10 +87,22 @@ void ComputeMaximalMasks(SubsetReport& report) {
   std::sort(report.maximal_masks.begin(), report.maximal_masks.end());
 }
 
+// Memoization shortcut: the cached verdict for `mask`, when hooks are wired.
+std::optional<bool> Lookup(const SubsetSweepHooks* hooks, uint32_t mask) {
+  if (hooks == nullptr || !hooks->lookup) return std::nullopt;
+  return hooks->lookup(mask);
+}
+
+void Store(const SubsetSweepHooks* hooks, uint32_t mask, bool robust) {
+  if (hooks != nullptr && hooks->store) hooks->store(mask, robust);
+}
+
 // The original serial sweep: masks in decreasing popcount order, Proposition
-// 5.2 pruning applied as soon as a mask is found robust.
+// 5.2 pruning applied as soon as a mask is found robust. robust_masks is
+// sorted by the caller, so push order does not matter.
 void SweepSerial(const SummaryGraph& full_graph, Method method, int n,
-                 const std::vector<std::pair<int, int>>& ltp_range, SubsetReport& report) {
+                 const std::vector<std::pair<int, int>>& ltp_range,
+                 const SubsetSweepHooks* hooks, SubsetReport& report) {
   const uint32_t full = (uint32_t{1} << n) - 1;
   std::vector<char> known_robust(full + 1, 0);
   std::vector<uint32_t> order;
@@ -100,8 +115,13 @@ void SweepSerial(const SummaryGraph& full_graph, Method method, int n,
 
   for (uint32_t mask : order) {
     if (!known_robust[mask]) {
-      std::vector<bool> keep = KeepFor(mask, n, ltp_range, full_graph.num_programs());
-      if (!IsRobust(full_graph.InducedSubgraph(keep), method)) continue;
+      std::optional<bool> verdict = Lookup(hooks, mask);
+      if (!verdict.has_value()) {
+        std::vector<bool> keep = KeepFor(mask, n, ltp_range, full_graph.num_programs());
+        verdict = IsRobust(full_graph.InducedSubgraph(keep), method);
+        Store(hooks, mask, *verdict);
+      }
+      if (!*verdict) continue;
       // Mark this subset and all of its subsets robust (Proposition 5.2).
       for (uint32_t sub = mask; sub != 0; sub = (sub - 1) & mask) known_robust[sub] = 1;
     }
@@ -115,10 +135,11 @@ void SweepSerial(const SummaryGraph& full_graph, Method method, int n,
 // independent and fan out across the pool, and the shared known_robust
 // bitmap is merged serially at the level barrier. This visits exactly the
 // masks the serial sweep runs the detector on, so the resulting report is
-// identical.
+// identical. Hooks are consulted and fed only in the serial sections
+// between fan-outs.
 void SweepParallel(const SummaryGraph& full_graph, Method method, int n,
                    const std::vector<std::pair<int, int>>& ltp_range, ThreadPool& pool,
-                   SubsetReport& report) {
+                   const SubsetSweepHooks* hooks, SubsetReport& report) {
   const uint32_t full = (uint32_t{1} << n) - 1;
   std::vector<char> known_robust(full + 1, 0);
   std::vector<std::vector<uint32_t>> levels(n + 1);
@@ -131,9 +152,17 @@ void SweepParallel(const SummaryGraph& full_graph, Method method, int n,
     for (uint32_t mask : levels[level]) {
       if (known_robust[mask]) {
         report.robust_masks.push_back(mask);
-      } else {
-        todo.push_back(mask);
+        continue;
       }
+      std::optional<bool> cached = Lookup(hooks, mask);
+      if (cached.has_value()) {
+        if (*cached) {
+          for (uint32_t sub = mask; sub != 0; sub = (sub - 1) & mask) known_robust[sub] = 1;
+          report.robust_masks.push_back(mask);
+        }
+        continue;
+      }
+      todo.push_back(mask);
     }
     std::vector<char> robust(todo.size(), 0);
     pool.ParallelFor(static_cast<int64_t>(todo.size()), [&](int64_t t) {
@@ -143,6 +172,7 @@ void SweepParallel(const SummaryGraph& full_graph, Method method, int n,
     // Level barrier: merge verdicts into the shared bitmap before the next
     // (lower-popcount) level consults it.
     for (size_t t = 0; t < todo.size(); ++t) {
+      Store(hooks, todo[t], robust[t] != 0);
       if (!robust[t]) continue;
       for (uint32_t sub = todo[t]; sub != 0; sub = (sub - 1) & todo[t]) known_robust[sub] = 1;
       report.robust_masks.push_back(todo[t]);
@@ -150,15 +180,49 @@ void SweepParallel(const SummaryGraph& full_graph, Method method, int n,
   }
 }
 
+// The shared 1..kMaxSubsetPrograms bounds check; nullopt when `n` is fine.
+std::optional<Result<SubsetReport>> CheckProgramCount(int n) {
+  if (n >= 1 && n <= kMaxSubsetPrograms) return std::nullopt;
+  return Result<SubsetReport>::Error(
+      "subset analysis supports 1.." + std::to_string(kMaxSubsetPrograms) +
+      " programs (got " + std::to_string(n) + "): subsets are encoded as 32-bit masks and 2^" +
+      std::to_string(kMaxSubsetPrograms) + " is the largest sweep that stays tractable");
+}
+
+Result<SubsetReport> SweepGraph(const SummaryGraph& full_graph,
+                                const std::vector<std::pair<int, int>>& ltp_range,
+                                Method method, ThreadPool* pool,
+                                const SubsetSweepHooks* hooks) {
+  const int n = static_cast<int>(ltp_range.size());
+  if (std::optional<Result<SubsetReport>> error = CheckProgramCount(n)) return *error;
+  SubsetReport report;
+  report.num_programs = n;
+  if (pool != nullptr && pool->num_threads() > 1) {
+    report.num_threads = pool->num_threads();
+    SweepParallel(full_graph, method, n, ltp_range, *pool, hooks, report);
+  } else {
+    report.num_threads = 1;
+    SweepSerial(full_graph, method, n, ltp_range, hooks, report);
+  }
+  std::sort(report.robust_masks.begin(), report.robust_masks.end());
+  ComputeMaximalMasks(report);
+  return report;
+}
+
 }  // namespace
 
-SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSettings& settings,
-                            Method method) {
+Result<SubsetReport> AnalyzeSubsetsOnGraph(const SummaryGraph& full_graph,
+                                           const std::vector<std::pair<int, int>>& ltp_range,
+                                           Method method, ThreadPool* pool,
+                                           const SubsetSweepHooks* hooks) {
+  return SweepGraph(full_graph, ltp_range, method, pool, hooks);
+}
+
+Result<SubsetReport> TryAnalyzeSubsets(const std::vector<Btp>& programs,
+                                       const AnalysisSettings& settings, Method method,
+                                       ThreadPool* pool, const SubsetSweepHooks* hooks) {
   const int n = static_cast<int>(programs.size());
-  MVRC_CHECK_MSG(n >= 1 && n <= 20,
-                 "subset analysis supports 1..20 programs: subsets are encoded as 32-bit "
-                 "masks and 2^20 is the largest sweep that stays tractable");
-  const int num_threads = ThreadPool::ResolveThreadCount(settings.num_threads);
+  if (std::optional<Result<SubsetReport>> error = CheckProgramCount(n)) return *error;
 
   // Build the summary graph once for the full program set; every subset's
   // graph is an induced subgraph (Algorithm 1's conditions are local to the
@@ -173,20 +237,27 @@ SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSett
                     std::make_move_iterator(unfolded.end()));
   }
 
-  SubsetReport report;
-  report.num_programs = n;
-  report.num_threads = num_threads;
-  if (num_threads <= 1) {
-    SummaryGraph full_graph = BuildSummaryGraph(std::move(all_ltps), settings, nullptr);
-    SweepSerial(full_graph, method, n, ltp_range, report);
-  } else {
-    ThreadPool pool(num_threads);
-    SummaryGraph full_graph = BuildSummaryGraph(std::move(all_ltps), settings, &pool);
-    SweepParallel(full_graph, method, n, ltp_range, pool, report);
+  // A caller-provided pool wins; otherwise fall back to the old behavior of
+  // constructing one per call when settings.num_threads != 1.
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && settings.num_threads != 1) {
+    owned_pool = std::make_unique<ThreadPool>(ThreadPool::ResolveThreadCount(settings.num_threads));
+    pool = owned_pool.get();
   }
-  std::sort(report.robust_masks.begin(), report.robust_masks.end());
-  ComputeMaximalMasks(report);
-  return report;
+  SummaryGraph full_graph =
+      BuildSummaryGraph(std::move(all_ltps), settings,
+                        pool != nullptr && pool->num_threads() > 1 ? pool : nullptr);
+  return SweepGraph(full_graph, ltp_range, method, pool, hooks);
+}
+
+SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSettings& settings,
+                            Method method) {
+  Result<SubsetReport> report = TryAnalyzeSubsets(programs, settings, method);
+  MVRC_CHECK_MSG(report.ok(),
+                 "subset analysis supports 1..20 programs: subsets are encoded as 32-bit "
+                 "masks and 2^20 is the largest sweep that stays tractable — use "
+                 "TryAnalyzeSubsets for a non-aborting error path");
+  return std::move(report).value();
 }
 
 }  // namespace mvrc

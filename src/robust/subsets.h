@@ -6,14 +6,29 @@
 #define MVRC_ROBUST_SUBSETS_H_
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "btp/program.h"
 #include "robust/detector.h"
 #include "summary/dep_tables.h"
+#include "util/result.h"
 
 namespace mvrc {
+
+class ThreadPool;
+
+/// Hard bound on the number of programs subset analysis accepts. Subsets are
+/// encoded as bits of a `uint32_t` mask (program i <-> bit i), and the sweep
+/// materializes per-mask state for all 2^n - 1 non-empty masks, so the bound
+/// is both a representation limit and a tractability cutoff: 2^20 subsets is
+/// the largest sweep that stays interactive. Every mask-accepting API in
+/// this header (SubsetReport::DescribeMask included) assumes its
+/// `num_programs` is within this bound.
+inline constexpr int kMaxSubsetPrograms = 20;
 
 /// Result of testing all non-empty subsets of a program set.
 struct SubsetReport {
@@ -30,9 +45,25 @@ struct SubsetReport {
   std::vector<std::string> DescribeMaximal(const std::vector<std::string>& names) const;
 };
 
-/// Tests all 2^n - 1 non-empty subsets (n ≤ 20 enforced). Exploits
-/// Proposition 5.2 (robustness is closed under subsets): subsets of a known
-/// robust set are marked robust without re-running the detector.
+/// Optional memoization hooks for the sweep, used by the incremental
+/// analysis service (src/service/) to reuse verdicts across workload
+/// mutations. `lookup(mask)` is consulted before the detector runs on a mask
+/// the Proposition 5.2 pruning left undecided; a returned value is taken as
+/// the verdict and the detector is skipped. `store(mask, robust)` is called
+/// exactly once for every mask the detector actually evaluated. Hooks never
+/// change the report (assuming `lookup` returns correct verdicts): they only
+/// shortcut detector invocations. Both callbacks are invoked from the
+/// calling thread only, never from pool workers.
+struct SubsetSweepHooks {
+  std::function<std::optional<bool>(uint32_t)> lookup;
+  std::function<void(uint32_t, bool)> store;
+};
+
+/// Tests all 2^n - 1 non-empty subsets (1 <= n <= kMaxSubsetPrograms
+/// enforced — the CHECKing wrapper below aborts, TryAnalyzeSubsets returns
+/// an error). Exploits Proposition 5.2 (robustness is closed under subsets):
+/// subsets of a known robust set are marked robust without re-running the
+/// detector.
 ///
 /// With settings.num_threads != 1 the sweep runs level-synchronously in
 /// decreasing popcount order, fanning each level's unknown masks across a
@@ -41,6 +72,32 @@ struct SubsetReport {
 /// settings.num_threads == 1 (the default) selects unchanged.
 SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSettings& settings,
                             Method method);
+
+/// Same analysis with an error path instead of a CHECK for oversized
+/// workloads (n outside [1, kMaxSubsetPrograms]) — the analysis service must
+/// reject bad requests without aborting the process. When `pool` is non-null
+/// it is reused for graph construction and the sweep instead of constructing
+/// a pool per call (the service shares one pool across all requests), and
+/// its thread count overrides settings.num_threads; a null `pool` falls back
+/// to the old behavior (settings.num_threads decides, and a pool is created
+/// per call when it is != 1).
+Result<SubsetReport> TryAnalyzeSubsets(const std::vector<Btp>& programs,
+                                       const AnalysisSettings& settings, Method method,
+                                       ThreadPool* pool = nullptr,
+                                       const SubsetSweepHooks* hooks = nullptr);
+
+/// The sweep alone, on a caller-provided summary graph over the full program
+/// set. `ltp_range[i]` is the [begin, end) range of `full_graph` node
+/// indices holding program i's unfolded LTPs; subset graphs are induced
+/// subgraphs (Algorithm 1's edge conditions are local to the two programs of
+/// an edge). This is the entry point for the incremental analysis service,
+/// whose sessions maintain `full_graph` across mutations instead of
+/// rebuilding it per request. The report is identical to what
+/// AnalyzeSubsets computes for the same program set.
+Result<SubsetReport> AnalyzeSubsetsOnGraph(const SummaryGraph& full_graph,
+                                           const std::vector<std::pair<int, int>>& ltp_range,
+                                           Method method, ThreadPool* pool = nullptr,
+                                           const SubsetSweepHooks* hooks = nullptr);
 
 }  // namespace mvrc
 

@@ -1,0 +1,24 @@
+#include "robust/verdict_cache.h"
+
+namespace mvrc {
+
+std::optional<bool> VerdictCache::Lookup(const std::string& fingerprint) {
+  auto it = verdicts_.find(fingerprint);
+  if (it == verdicts_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void VerdictCache::Store(const std::string& fingerprint, bool robust) {
+  if (verdicts_.size() >= kMaxEntries && !verdicts_.count(fingerprint)) {
+    verdicts_.clear();
+  }
+  verdicts_[fingerprint] = robust;
+}
+
+void VerdictCache::Clear() { verdicts_.clear(); }
+
+}  // namespace mvrc

@@ -1,0 +1,58 @@
+// Memoization of robustness verdicts, keyed by a program-set fingerprint.
+//
+// The incremental analysis service (src/service/) fingerprints a set of
+// programs as the analysis method and settings plus each member's
+// (name, revision) pair, where a program's revision only advances when a
+// mutation actually changed one of its incident summary-graph edges
+// (Algorithm 1's edge conditions are local to the two programs of an edge,
+// so a subset's graph — and hence its verdict — is unchanged while all
+// members keep their revisions). A cached verdict therefore stays valid
+// across arbitrary workload mutations that leave the fingerprint unchanged:
+// after adding a program to an n-program workload, all 2^n - 1 previously
+// swept subsets hit the cache and only the masks containing the new program
+// reach the detector.
+//
+// Not internally synchronized: callers serialize access (the service
+// consults the cache only under its per-session lock, and the subset sweep
+// invokes its hooks from the calling thread only — see SubsetSweepHooks).
+
+#ifndef MVRC_ROBUST_VERDICT_CACHE_H_
+#define MVRC_ROBUST_VERDICT_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace mvrc {
+
+/// Fingerprint -> robustness verdict map with hit/miss accounting.
+class VerdictCache {
+ public:
+  /// Entry count at which Store() discards the whole cache before inserting.
+  /// Fingerprints of dropped programs and stale revisions accumulate over a
+  /// long-lived session; a full reset at the cap bounds memory while keeping
+  /// the common (small-session) case unthrottled.
+  static constexpr size_t kMaxEntries = size_t{1} << 21;
+
+  /// The cached verdict for `fingerprint`, or nullopt on a miss.
+  std::optional<bool> Lookup(const std::string& fingerprint);
+
+  /// Records a verdict (overwrites on a repeated fingerprint).
+  void Store(const std::string& fingerprint, bool robust);
+
+  void Clear();
+
+  size_t size() const { return verdicts_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, bool> verdicts_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_ROBUST_VERDICT_CACHE_H_

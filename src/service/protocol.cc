@@ -1,0 +1,309 @@
+#include "service/protocol.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "robust/detector.h"
+#include "search/counterexample.h"
+#include "workloads/auction.h"
+#include "workloads/smallbank.h"
+#include "workloads/tpcc.h"
+
+namespace mvrc {
+
+namespace {
+
+Json ErrorResponse(const std::string& message) {
+  Json response = Json::Object();
+  response.Set("ok", Json::Bool(false));
+  response.Set("error", Json::Str(message));
+  return response;
+}
+
+Json OkResponse() {
+  Json response = Json::Object();
+  response.Set("ok", Json::Bool(true));
+  return response;
+}
+
+std::optional<AnalysisSettings> ParseSettings(const std::string& text) {
+  if (text.empty() || text == "attr+fk") return AnalysisSettings::AttrDepFk();
+  if (text == "attr") return AnalysisSettings::AttrDep();
+  if (text == "tpl+fk") return AnalysisSettings::TupleDepFk();
+  if (text == "tpl") return AnalysisSettings::TupleDep();
+  return std::nullopt;
+}
+
+std::optional<Method> ParseMethod(const std::string& text) {
+  if (text.empty() || text == "type2") return Method::kTypeII;
+  if (text == "type1") return Method::kTypeI;
+  return std::nullopt;
+}
+
+std::optional<Workload> MakeBuiltin(const std::string& name) {
+  if (name == "smallbank") return MakeSmallBank();
+  if (name == "tpcc") return MakeTpcc();
+  if (name == "auction") return MakeAuction();
+  return std::nullopt;
+}
+
+Json NamesArray(const std::vector<std::string>& names) {
+  Json array = Json::Array();
+  for (const std::string& name : names) array.Append(Json::Str(name));
+  return array;
+}
+
+// Resolves the target session for commands that require one to exist.
+std::shared_ptr<WorkloadSession> RequireSession(SessionManager& manager, const Json& request,
+                                                Json* error) {
+  const std::string name = request.GetString("session");
+  if (name.empty()) {
+    *error = ErrorResponse("missing \"session\"");
+    return nullptr;
+  }
+  std::shared_ptr<WorkloadSession> session = manager.Find(name);
+  if (session == nullptr) {
+    *error = ErrorResponse("unknown session " + name + " (load_sql creates sessions)");
+  }
+  return session;
+}
+
+Json HandleLoad(SessionManager& manager, const Json& request) {
+  const std::string session_name = request.GetString("session");
+  if (session_name.empty()) return ErrorResponse("missing \"session\"");
+  std::optional<AnalysisSettings> settings = ParseSettings(request.GetString("settings"));
+  if (!settings.has_value()) {
+    return ErrorResponse("unknown settings (expected attr+fk, attr, tpl+fk or tpl)");
+  }
+
+  // Validate arguments before touching the registry, and drop a session we
+  // created if its very first load fails — otherwise a typo would leak an
+  // empty session pinned to possibly unintended settings.
+  std::optional<Workload> builtin_workload;
+  const std::string builtin = request.GetString("builtin");
+  const Json* sql = request.Find("sql");
+  if (!builtin.empty()) {
+    builtin_workload = MakeBuiltin(builtin);
+    if (!builtin_workload.has_value()) {
+      return ErrorResponse("unknown builtin " + builtin +
+                           " (expected smallbank, tpcc or auction)");
+    }
+  } else if (sql == nullptr || !sql->is_string()) {
+    return ErrorResponse("missing \"sql\" (or \"builtin\")");
+  }
+
+  bool created = false;
+  std::shared_ptr<WorkloadSession> session =
+      manager.GetOrCreate(session_name, *settings, &created);
+  // Only the creating request rolls back, and only while the session is
+  // still empty. (Two clients racing to create the same session with
+  // different content is an application-level conflict either way.)
+  auto fail = [&](const std::string& message) {
+    if (created && session->num_programs() == 0) manager.Drop(session_name);
+    return ErrorResponse(message);
+  };
+
+  std::vector<std::string> added;
+  if (builtin_workload.has_value()) {
+    Status status = session->LoadWorkload(*builtin_workload);
+    if (!status.ok()) return fail(status.error());
+    for (const Btp& program : builtin_workload->programs) added.push_back(program.name());
+  } else {
+    Result<std::vector<std::string>> names = session->LoadSql(sql->string_value());
+    if (!names.ok()) return fail(names.error());
+    added = names.value();
+  }
+
+  Json response = OkResponse();
+  response.Set("session", Json::Str(session_name));
+  response.Set("programs", NamesArray(added));
+  response.Set("num_programs", Json::Int(session->num_programs()));
+  return response;
+}
+
+Json HandleRemove(SessionManager& manager, const Json& request) {
+  Json error;
+  std::shared_ptr<WorkloadSession> session = RequireSession(manager, request, &error);
+  if (session == nullptr) return error;
+  const std::string name = request.GetString("name");
+  if (name.empty()) return ErrorResponse("missing \"name\"");
+  Status status = session->RemoveProgram(name);
+  if (!status.ok()) return ErrorResponse(status.error());
+  Json response = OkResponse();
+  response.Set("session", Json::Str(session->name()));
+  response.Set("removed", Json::Str(name));
+  response.Set("num_programs", Json::Int(session->num_programs()));
+  return response;
+}
+
+Json HandleReplace(SessionManager& manager, const Json& request) {
+  Json error;
+  std::shared_ptr<WorkloadSession> session = RequireSession(manager, request, &error);
+  if (session == nullptr) return error;
+  const Json* sql = request.Find("sql");
+  if (sql == nullptr || !sql->is_string()) return ErrorResponse("missing \"sql\"");
+  Status status = session->ReplaceProgramSql(sql->string_value());
+  if (!status.ok()) return ErrorResponse(status.error());
+  Json response = OkResponse();
+  response.Set("session", Json::Str(session->name()));
+  response.Set("num_programs", Json::Int(session->num_programs()));
+  return response;
+}
+
+Json HandleCheck(SessionManager& manager, const Json& request) {
+  Json error;
+  std::shared_ptr<WorkloadSession> session = RequireSession(manager, request, &error);
+  if (session == nullptr) return error;
+  std::optional<Method> method = ParseMethod(request.GetString("method"));
+  if (!method.has_value()) return ErrorResponse("unknown method (expected type1 or type2)");
+  CheckResult result = session->Check(*method);
+  Json response = OkResponse();
+  response.Set("session", Json::Str(session->name()));
+  response.Set("robust", Json::Bool(result.robust));
+  response.Set("cached", Json::Bool(result.from_cache));
+  response.Set("num_programs", Json::Int(result.num_programs));
+  response.Set("num_unfolded", Json::Int(result.num_unfolded));
+  response.Set("num_edges", Json::Int(result.num_edges));
+  response.Set("num_counterflow_edges", Json::Int(result.num_counterflow_edges));
+  if (!result.witness.empty()) response.Set("witness", Json::Str(result.witness));
+  return response;
+}
+
+Json HandleSubsets(SessionManager& manager, const Json& request) {
+  Json error;
+  std::shared_ptr<WorkloadSession> session = RequireSession(manager, request, &error);
+  if (session == nullptr) return error;
+  std::optional<Method> method = ParseMethod(request.GetString("method"));
+  if (!method.has_value()) return ErrorResponse("unknown method (expected type1 or type2)");
+  std::vector<std::string> names;  // snapshotted atomically with the sweep
+  Result<SubsetReport> report = session->Subsets(*method, &names);
+  if (!report.ok()) return ErrorResponse(report.error());
+  Json maximal = Json::Array();
+  for (uint32_t mask : report.value().maximal_masks) {
+    Json members = Json::Array();
+    for (int i = 0; i < report.value().num_programs; ++i) {
+      if ((mask >> i) & 1) members.Append(Json::Str(names.at(i)));
+    }
+    maximal.Append(std::move(members));
+  }
+  Json response = OkResponse();
+  response.Set("session", Json::Str(session->name()));
+  response.Set("num_programs", Json::Int(report.value().num_programs));
+  response.Set("num_robust_subsets",
+               Json::Int(static_cast<int64_t>(report.value().robust_masks.size())));
+  response.Set("maximal", std::move(maximal));
+  return response;
+}
+
+Json HandleCounterexample(SessionManager& manager, const Json& request) {
+  Json error;
+  std::shared_ptr<WorkloadSession> session = RequireSession(manager, request, &error);
+  if (session == nullptr) return error;
+  // The search is exponential in every bound; reject anything outside the
+  // ranges the daemon can serve interactively (also keeps the int64 -> int
+  // narrowing below in range).
+  const int64_t domain_size = request.GetInt("domain_size", 2);
+  const int64_t max_txns = request.GetInt("max_txns", 3);
+  const int64_t max_schedules = request.GetInt("max_schedules", 2'000'000);
+  SearchOptions options;
+  if (domain_size < 1 || domain_size > 4 || max_txns < options.min_txns || max_txns > 6 ||
+      max_schedules < 1 || max_schedules > 1'000'000'000'000) {
+    return ErrorResponse("invalid search bounds (domain_size 1..4, max_txns 2..6, "
+                         "max_schedules 1..1e12)");
+  }
+  options.domain_size = static_cast<int>(domain_size);
+  options.max_txns = static_cast<int>(max_txns);
+  options.max_schedules = max_schedules;
+  SearchStats stats;
+  std::optional<Counterexample> counterexample = session->SearchCounterexample(options, &stats);
+  Json response = OkResponse();
+  response.Set("session", Json::Str(session->name()));
+  response.Set("found", Json::Bool(counterexample.has_value()));
+  if (counterexample.has_value()) {
+    response.Set("description", Json::Str(counterexample->Describe(session->schema())));
+  }
+  response.Set("schedules_checked", Json::Int(stats.schedules_checked));
+  response.Set("bindings_checked", Json::Int(stats.bindings_checked));
+  response.Set("budget_exhausted", Json::Bool(stats.budget_exhausted));
+  return response;
+}
+
+Json HandleStats(SessionManager& manager, const Json& request) {
+  const std::string session_name = request.GetString("session");
+  if (session_name.empty()) {
+    Json response = OkResponse();
+    response.Set("sessions", NamesArray(manager.SessionNames()));
+    response.Set("num_threads", Json::Int(manager.num_threads()));
+    return response;
+  }
+  Json error;
+  std::shared_ptr<WorkloadSession> session = RequireSession(manager, request, &error);
+  if (session == nullptr) return error;
+  SessionStats stats = session->stats();
+  Json response = OkResponse();
+  response.Set("session", Json::Str(session->name()));
+  response.Set("settings", Json::Str(session->settings().name()));
+  response.Set("programs", NamesArray(session->ProgramNames()));
+  response.Set("programs_added", Json::Int(stats.programs_added));
+  response.Set("programs_removed", Json::Int(stats.programs_removed));
+  response.Set("programs_replaced", Json::Int(stats.programs_replaced));
+  response.Set("cells_computed", Json::Int(stats.cells_computed));
+  response.Set("stmt_pairs_evaluated", Json::Int(stats.stmt_pairs_evaluated));
+  response.Set("graph_materializations", Json::Int(stats.graph_materializations));
+  response.Set("detector_runs", Json::Int(stats.detector_runs));
+  response.Set("subset_sweeps", Json::Int(stats.subset_sweeps));
+  response.Set("verdict_cache_hits", Json::Int(stats.verdict_cache_hits));
+  response.Set("verdict_cache_misses", Json::Int(stats.verdict_cache_misses));
+  response.Set("verdict_cache_size", Json::Int(stats.verdict_cache_size));
+  return response;
+}
+
+Json HandleDrop(SessionManager& manager, const Json& request) {
+  const std::string session_name = request.GetString("session");
+  if (session_name.empty()) return ErrorResponse("missing \"session\"");
+  Json response = OkResponse();
+  response.Set("session", Json::Str(session_name));
+  response.Set("dropped", Json::Bool(manager.Drop(session_name)));
+  return response;
+}
+
+}  // namespace
+
+Json HandleRequest(SessionManager& manager, const Json& request) {
+  if (!request.is_object()) return ErrorResponse("request must be a JSON object");
+  const Json* cmd = request.Find("cmd");
+  if (cmd == nullptr || !cmd->is_string()) return ErrorResponse("missing \"cmd\"");
+  const std::string& name = cmd->string_value();
+  Json response;
+  if (name == "load_sql" || name == "add_program") {
+    response = HandleLoad(manager, request);
+  } else if (name == "remove_program") {
+    response = HandleRemove(manager, request);
+  } else if (name == "replace_program") {
+    response = HandleReplace(manager, request);
+  } else if (name == "check") {
+    response = HandleCheck(manager, request);
+  } else if (name == "subsets") {
+    response = HandleSubsets(manager, request);
+  } else if (name == "counterexample") {
+    response = HandleCounterexample(manager, request);
+  } else if (name == "stats") {
+    response = HandleStats(manager, request);
+  } else if (name == "drop_session") {
+    response = HandleDrop(manager, request);
+  } else {
+    response = ErrorResponse("unknown cmd " + name);
+  }
+  // Echo the command first for log readability.
+  response.SetFront("cmd", Json::Str(name));
+  return response;
+}
+
+std::string HandleRequestLine(SessionManager& manager, const std::string& line) {
+  Result<Json> request = Json::Parse(line);
+  if (!request.ok()) return ErrorResponse(request.error()).Dump();
+  return HandleRequest(manager, request.value()).Dump();
+}
+
+}  // namespace mvrc

@@ -1,0 +1,55 @@
+// The analysis service's request/response protocol: newline-delimited JSON
+// objects, one request per line, one response line per request (the `mvrcd`
+// daemon is a thin stdin/stdout loop over HandleRequestLine).
+//
+// Requests are objects with a "cmd" member and command-specific arguments;
+// responses always carry "ok" (and "error" with a message when false).
+// Commands:
+//
+//   {"cmd":"load_sql","session":S, "sql":TEXT | "builtin":"smallbank|tpcc|auction"
+//    [,"settings":"attr+fk|attr|tpl+fk|tpl"]}
+//       Creates the session on first use (settings apply only then; default
+//       attr+fk — the paper's most precise analysis) and parses TABLE /
+//       FOREIGN KEY / PROGRAM declarations into it. -> {"programs":[names],
+//       "num_programs":N}
+//   {"cmd":"add_program","session":S,"sql":TEXT}
+//       Alias of load_sql for incremental additions: the SQL may reference
+//       the session's existing schema. -> {"programs":[names added],...}
+//   {"cmd":"remove_program","session":S,"name":P}
+//   {"cmd":"replace_program","session":S,"sql":TEXT}   (exactly one PROGRAM)
+//   {"cmd":"check","session":S[,"method":"type1|type2"]}
+//       -> {"robust":B,"cached":B,"num_edges":..,"witness"?:..}
+//   {"cmd":"subsets","session":S[,"method":...]}
+//       -> {"num_robust_subsets":N,"maximal":[[names]...]}
+//   {"cmd":"counterexample","session":S[,"domain_size":D,"max_txns":T,
+//    "max_schedules":M]}
+//       -> {"found":B,"description"?:..,"schedules_checked":..}
+//   {"cmd":"stats","session":S}        -> per-session counters
+//   {"cmd":"stats"}                    -> {"sessions":[names],"num_threads":N}
+//   {"cmd":"drop_session","session":S} -> {"dropped":B}
+//
+// Mutations answer from the incrementally maintained session state; see
+// workload_session.h for what each mutation recomputes.
+
+#ifndef MVRC_SERVICE_PROTOCOL_H_
+#define MVRC_SERVICE_PROTOCOL_H_
+
+#include <string>
+
+#include "service/session_manager.h"
+#include "util/json.h"
+
+namespace mvrc {
+
+/// Executes one parsed request. Never aborts on bad input: every failure
+/// (including unknown commands and missing arguments) is an
+/// {"ok":false,"error":...} response.
+Json HandleRequest(SessionManager& manager, const Json& request);
+
+/// Parses one NDJSON request line, dispatches it, and renders the response
+/// as a single line (no trailing newline).
+std::string HandleRequestLine(SessionManager& manager, const std::string& line);
+
+}  // namespace mvrc
+
+#endif  // MVRC_SERVICE_PROTOCOL_H_

@@ -1,0 +1,60 @@
+#include "service/session_manager.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace mvrc {
+
+SessionManager::SessionManager(int num_threads) {
+  if (num_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(ThreadPool::ResolveThreadCount(num_threads));
+  }
+}
+
+const SessionManager::Shard& SessionManager::ShardFor(const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+SessionManager::Shard& SessionManager::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+std::shared_ptr<WorkloadSession> SessionManager::GetOrCreate(
+    const std::string& name, const AnalysisSettings& settings, bool* created) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sessions.find(name);
+  if (it != shard.sessions.end()) {
+    if (created != nullptr) *created = false;
+    return it->second;
+  }
+  auto session = std::make_shared<WorkloadSession>(name, settings, pool_.get());
+  shard.sessions.emplace(name, session);
+  if (created != nullptr) *created = true;
+  return session;
+}
+
+std::shared_ptr<WorkloadSession> SessionManager::Find(const std::string& name) const {
+  const Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sessions.find(name);
+  return it != shard.sessions.end() ? it->second : nullptr;
+}
+
+bool SessionManager::Drop(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.sessions.erase(name) > 0;
+}
+
+std::vector<std::string> SessionManager::SessionNames() const {
+  std::vector<std::string> names;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, session] : shard.sessions) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace mvrc

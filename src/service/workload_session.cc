@@ -1,0 +1,429 @@
+#include "service/workload_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "btp/unfold.h"
+#include "sql/analyzer.h"
+#include "summary/build_summary.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace mvrc {
+
+namespace {
+
+// Everything the cycle detectors read besides the edge list: the number of
+// LTPs (subset masks keep whole programs), each LTP's occurrence count
+// (edges reference occurrence positions, and Algorithm 2 compares them for
+// the q'_i <_{P_i} q_i clause), and each occurrence's statement type
+// (Algorithm 2's adjacent-pair condition tests type(q_{i-1})). Replacing a
+// program may preserve its revision — and with it the cached verdicts —
+// only when this view is unchanged on top of the incident cells.
+bool SameDetectorView(const std::vector<Ltp>& a, const std::vector<Ltp>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (int q = 0; q < a[i].size(); ++q) {
+      if (a[i].stmt(q).type() != b[i].stmt(q).type()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+WorkloadSession::WorkloadSession(std::string name, AnalysisSettings settings, ThreadPool* pool)
+    : name_(std::move(name)), settings_(settings), pool_(pool) {}
+
+int WorkloadSession::FindEntryLocked(const std::string& name) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].program.name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+WorkloadSession::Cell WorkloadSession::ComputeCellLocked(const Entry& from,
+                                                         const Entry& to) const {
+  Cell cell;
+  cell.rows.resize(from.ltps.size());
+  for (size_t a = 0; a < from.ltps.size(); ++a) {
+    for (size_t b = 0; b < to.ltps.size(); ++b) {
+      std::vector<SummaryEdge> edges =
+          SummaryEdgesBetween(from.ltps[a], static_cast<int>(a), to.ltps[b],
+                              static_cast<int>(b), settings_);
+      cell.rows[a].insert(cell.rows[a].end(), edges.begin(), edges.end());
+    }
+  }
+  return cell;
+}
+
+std::vector<WorkloadSession::Cell> WorkloadSession::ComputeCellsLocked(
+    const std::vector<std::pair<int, int>>& pairs, const EntryAt& entry_at) {
+  std::vector<Cell> computed(pairs.size());
+  auto compute = [&](int64_t t) {
+    computed[t] = ComputeCellLocked(entry_at(pairs[t].first), entry_at(pairs[t].second));
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1 && pairs.size() > 1) {
+    pool_->ParallelFor(static_cast<int64_t>(pairs.size()), compute);
+  } else {
+    for (size_t t = 0; t < pairs.size(); ++t) compute(static_cast<int64_t>(t));
+  }
+  stats_.cells_computed += static_cast<int64_t>(pairs.size());
+  for (const auto& [i, j] : pairs) {
+    for (const Ltp& a : entry_at(i).ltps) {
+      for (const Ltp& b : entry_at(j).ltps) {
+        stats_.stmt_pairs_evaluated += static_cast<int64_t>(a.size()) * b.size();
+      }
+    }
+  }
+  return computed;
+}
+
+void WorkloadSession::AppendEntryLocked(const Btp& program) {
+  entries_.push_back(Entry{program, UnfoldAtMost2(program), next_revision_++});
+  const int k = static_cast<int>(entries_.size()) - 1;
+
+  // Grow the grid and compute the new program's column and row: the only
+  // cells Algorithm 1's pairwise-local conditions allow to change.
+  for (auto& row : cells_) row.emplace_back();
+  cells_.emplace_back(std::vector<Cell>(k + 1));
+
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(2 * k + 1);
+  for (int i = 0; i < k; ++i) pairs.push_back({i, k});
+  for (int j = 0; j <= k; ++j) pairs.push_back({k, j});
+
+  std::vector<Cell> computed =
+      ComputeCellsLocked(pairs, [this](int index) -> const Entry& { return entries_[index]; });
+  for (size_t t = 0; t < pairs.size(); ++t) {
+    cells_[pairs[t].first][pairs[t].second] = std::move(computed[t]);
+  }
+  label_counter_ += program.num_statements();
+  graph_.reset();
+}
+
+Result<std::vector<std::string>> WorkloadSession::LoadSql(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Result<Workload> parsed = ParseWorkloadSqlInto(source, schema_, label_counter_);
+  if (!parsed.ok()) return Result<std::vector<std::string>>::Error(parsed.error());
+  const Workload& workload = parsed.value();
+  for (size_t i = 0; i < workload.programs.size(); ++i) {
+    const std::string& name = workload.programs[i].name();
+    if (FindEntryLocked(name) >= 0) {
+      return Result<std::vector<std::string>>::Error(
+          "program " + name + " already exists in session " + name_ +
+          " (use replace_program to change it)");
+    }
+    for (size_t j = i + 1; j < workload.programs.size(); ++j) {
+      if (workload.programs[j].name() == name) {
+        return Result<std::vector<std::string>>::Error("duplicate program " + name +
+                                                       " in input");
+      }
+    }
+  }
+  schema_ = workload.schema;
+  std::vector<std::string> names;
+  for (const Btp& program : workload.programs) {
+    AppendEntryLocked(program);
+    names.push_back(program.name());
+    ++stats_.programs_added;
+  }
+  return names;
+}
+
+Status WorkloadSession::LoadWorkload(const Workload& workload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!entries_.empty() || schema_.num_relations() > 0) {
+    return Status::Error("load requires an empty session (session " + name_ +
+                         " already holds a schema or programs)");
+  }
+  for (size_t i = 0; i < workload.programs.size(); ++i) {
+    for (size_t j = i + 1; j < workload.programs.size(); ++j) {
+      if (workload.programs[i].name() == workload.programs[j].name()) {
+        return Status::Error("duplicate program " + workload.programs[i].name() +
+                             " in workload");
+      }
+    }
+  }
+  schema_ = workload.schema;
+  for (const Btp& program : workload.programs) {
+    AppendEntryLocked(program);
+    ++stats_.programs_added;
+  }
+  return Status();
+}
+
+Status WorkloadSession::AddProgram(const Btp& program) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (FindEntryLocked(program.name()) >= 0) {
+    return Status::Error("program " + program.name() + " already exists in session " +
+                         name_);
+  }
+  AppendEntryLocked(program);
+  ++stats_.programs_added;
+  return Status();
+}
+
+Status WorkloadSession::RemoveProgram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int r = FindEntryLocked(name);
+  if (r < 0) return Status::Error("no program named " + name + " in session " + name_);
+  entries_.erase(entries_.begin() + r);
+  cells_.erase(cells_.begin() + r);
+  for (auto& row : cells_) row.erase(row.begin() + r);
+  // Remaining cells are untouched: Algorithm 1's edge conditions are local
+  // to the two programs of an edge, so removing a program only removes its
+  // incident edges.
+  ++stats_.programs_removed;
+  graph_.reset();
+  return Status();
+}
+
+Status WorkloadSession::ReplaceProgram(const Btp& program) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ReplaceProgramLocked(program);
+}
+
+Status WorkloadSession::ReplaceProgramLocked(const Btp& program) {
+  const int r = FindEntryLocked(program.name());
+  if (r < 0) {
+    return Status::Error("no program named " + program.name() + " in session " + name_ +
+                         " (use add_program to add it)");
+  }
+  const int n = static_cast<int>(entries_.size());
+
+  Entry candidate{program, UnfoldAtMost2(program), entries_[r].revision};
+
+  // Recompute the replaced program's row and column of cells against the
+  // candidate.
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(2 * n - 1);
+  for (int j = 0; j < n; ++j) pairs.push_back({r, j});
+  for (int i = 0; i < n; ++i) {
+    if (i != r) pairs.push_back({i, r});
+  }
+  std::vector<Cell> computed = ComputeCellsLocked(
+      pairs, [this, r, &candidate](int index) -> const Entry& {
+        return index == r ? candidate : entries_[index];
+      });
+
+  // The revision — and with it every cached verdict involving this program —
+  // survives when no incident edge changed and the detectors' view of the
+  // program (occurrence counts and statement types, see SameDetectorView)
+  // is intact.
+  bool incident_edges_changed = !SameDetectorView(candidate.ltps, entries_[r].ltps);
+  if (!incident_edges_changed) {
+    for (size_t t = 0; t < pairs.size(); ++t) {
+      if (!(computed[t] == cells_[pairs[t].first][pairs[t].second])) {
+        incident_edges_changed = true;
+        break;
+      }
+    }
+  }
+  if (incident_edges_changed) candidate.revision = next_revision_++;
+
+  entries_[r] = std::move(candidate);
+  for (size_t t = 0; t < pairs.size(); ++t) {
+    cells_[pairs[t].first][pairs[t].second] = std::move(computed[t]);
+  }
+  label_counter_ += program.num_statements();
+  ++stats_.programs_replaced;
+  graph_.reset();
+  return Status();
+}
+
+Status WorkloadSession::ReplaceProgramSql(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Result<Workload> parsed = ParseWorkloadSqlInto(source, schema_, label_counter_);
+  if (!parsed.ok()) return Status::Error(parsed.error());
+  const Workload& workload = parsed.value();
+  if (workload.programs.size() != 1) {
+    return Status::Error("replace_program expects exactly one PROGRAM, got " +
+                         std::to_string(workload.programs.size()));
+  }
+  // Validate the target exists before committing the (possibly extended)
+  // schema — a failed replace must leave the session untouched.
+  if (FindEntryLocked(workload.programs[0].name()) < 0) {
+    return Status::Error("no program named " + workload.programs[0].name() +
+                         " in session " + name_ + " (use add_program to add it)");
+  }
+  schema_ = workload.schema;
+  return ReplaceProgramLocked(workload.programs[0]);
+}
+
+int WorkloadSession::num_programs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(entries_.size());
+}
+
+std::vector<std::string> WorkloadSession::ProgramNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.program.name());
+  return names;
+}
+
+std::vector<Btp> WorkloadSession::Programs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Btp> programs;
+  programs.reserve(entries_.size());
+  for (const Entry& entry : entries_) programs.push_back(entry.program);
+  return programs;
+}
+
+Schema WorkloadSession::schema() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return schema_;
+}
+
+std::vector<std::pair<int, int>> WorkloadSession::LtpRangesLocked() const {
+  std::vector<std::pair<int, int>> ranges;
+  ranges.reserve(entries_.size());
+  int offset = 0;
+  for (const Entry& entry : entries_) {
+    ranges.push_back({offset, offset + static_cast<int>(entry.ltps.size())});
+    offset += static_cast<int>(entry.ltps.size());
+  }
+  return ranges;
+}
+
+SummaryGraph WorkloadSession::MaterializeLocked() {
+  std::vector<std::pair<int, int>> ranges = LtpRangesLocked();
+  std::vector<Ltp> all_ltps;
+  for (const Entry& entry : entries_) {
+    all_ltps.insert(all_ltps.end(), entry.ltps.begin(), entry.ltps.end());
+  }
+  SummaryGraph graph(std::move(all_ltps));
+  // Emit cells in the serial builder's order — source LTP major, then target
+  // LTP — so the edge list is bit-identical to a from-scratch build.
+  const int n = static_cast<int>(entries_.size());
+  for (int i = 0; i < n; ++i) {
+    for (size_t a = 0; a < entries_[i].ltps.size(); ++a) {
+      for (int j = 0; j < n; ++j) {
+        for (const SummaryEdge& edge : cells_[i][j].rows[a]) {
+          graph.AddEdge({ranges[i].first + edge.from_program, edge.from_occ,
+                         edge.counterflow, edge.to_occ, ranges[j].first + edge.to_program});
+        }
+      }
+    }
+  }
+  ++stats_.graph_materializations;
+  return graph;
+}
+
+const SummaryGraph& WorkloadSession::CachedGraphLocked() {
+  if (!graph_.has_value()) graph_ = MaterializeLocked();
+  return *graph_;
+}
+
+SummaryGraph WorkloadSession::Graph() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CachedGraphLocked();
+}
+
+std::string WorkloadSession::FingerprintLocked(uint32_t mask, Method method) const {
+  std::string fingerprint = std::to_string(static_cast<int>(method));
+  fingerprint.push_back('|');
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i < 32 && ((mask >> i) & 1) == 0) continue;
+    fingerprint += entries_[i].program.name();
+    fingerprint.push_back('#');
+    fingerprint += std::to_string(entries_[i].revision);
+    fingerprint.push_back(';');
+  }
+  return fingerprint;
+}
+
+void WorkloadSession::SyncCacheStatsLocked() {
+  stats_.verdict_cache_hits = verdict_cache_.hits();
+  stats_.verdict_cache_misses = verdict_cache_.misses();
+  stats_.verdict_cache_size = static_cast<int64_t>(verdict_cache_.size());
+}
+
+CheckResult WorkloadSession::Check(Method method) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SummaryGraph& graph = CachedGraphLocked();
+
+  CheckResult result;
+  result.num_programs = static_cast<int>(entries_.size());
+  result.num_unfolded = graph.num_programs();
+  result.num_edges = graph.num_edges();
+  result.num_counterflow_edges = graph.num_counterflow_edges();
+
+  // The full set is the all-ones mask; sessions beyond 32 programs fall
+  // outside the mask encoding, so FingerprintLocked includes every entry
+  // unconditionally past bit 31 (see the i < 32 guard) and the fingerprint
+  // stays exact.
+  const uint32_t full_mask =
+      entries_.size() >= 32 ? ~uint32_t{0} : (uint32_t{1} << entries_.size()) - 1;
+  const std::string fingerprint = FingerprintLocked(full_mask, method);
+  std::optional<bool> cached = verdict_cache_.Lookup(fingerprint);
+  if (cached.has_value()) {
+    result.robust = *cached;
+    result.from_cache = true;
+    SyncCacheStatsLocked();
+    return result;
+  }
+
+  ++stats_.detector_runs;
+  if (method == Method::kTypeI) {
+    std::optional<TypeIWitness> witness = FindTypeICycle(graph);
+    result.robust = !witness.has_value();
+    if (witness.has_value()) result.witness = witness->Describe(graph);
+  } else {
+    std::optional<TypeIIWitness> witness = method == Method::kTypeIINaive
+                                               ? FindTypeIICycleNaive(graph)
+                                               : FindTypeIICycle(graph);
+    result.robust = !witness.has_value();
+    if (witness.has_value()) result.witness = witness->Describe(graph);
+  }
+  verdict_cache_.Store(fingerprint, result.robust);
+  SyncCacheStatsLocked();
+  return result;
+}
+
+Result<SubsetReport> WorkloadSession::Subsets(Method method, std::vector<std::string>* names) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SummaryGraph& graph = CachedGraphLocked();
+  if (names != nullptr) {
+    names->clear();
+    for (const Entry& entry : entries_) names->push_back(entry.program.name());
+  }
+
+  SubsetSweepHooks hooks;
+  hooks.lookup = [this, method](uint32_t mask) {
+    return verdict_cache_.Lookup(FingerprintLocked(mask, method));
+  };
+  hooks.store = [this, method](uint32_t mask, bool robust) {
+    ++stats_.detector_runs;
+    verdict_cache_.Store(FingerprintLocked(mask, method), robust);
+  };
+  Result<SubsetReport> report =
+      AnalyzeSubsetsOnGraph(graph, LtpRangesLocked(), method, pool_, &hooks);
+  if (report.ok()) ++stats_.subset_sweeps;
+  SyncCacheStatsLocked();
+  return report;
+}
+
+std::optional<Counterexample> WorkloadSession::SearchCounterexample(
+    const SearchOptions& options, SearchStats* stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Ltp> all_ltps;
+  for (const Entry& entry : entries_) {
+    all_ltps.insert(all_ltps.end(), entry.ltps.begin(), entry.ltps.end());
+  }
+  return FindCounterexample(all_ltps, options, stats);
+}
+
+SessionStats WorkloadSession::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionStats copy = stats_;
+  copy.verdict_cache_hits = verdict_cache_.hits();
+  copy.verdict_cache_misses = verdict_cache_.misses();
+  copy.verdict_cache_size = static_cast<int64_t>(verdict_cache_.size());
+  return copy;
+}
+
+}  // namespace mvrc

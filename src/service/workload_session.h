@@ -1,0 +1,217 @@
+// A named, mutable workload whose summary graph is maintained incrementally
+// across program mutations — the core of the analysis service.
+//
+// Incremental maintenance exploits the locality of Algorithm 1: whether an
+// edge (P_i, q_i, c, q_j, P_j) exists depends only on the two programs
+// involved (the same fact that lets AnalyzeSubsets restrict one full graph
+// to induced subgraphs). The session therefore stores the graph as a grid of
+// *cells*, one per ordered pair of member programs, each holding the summary
+// edges between the two programs' unfolded LTPs. AddProgram computes only
+// the new program's row and column of cells (2k + 1 cells against k existing
+// programs); RemoveProgram deletes a row and column and computes nothing;
+// ReplaceProgram recomputes the program's row and column and compares them
+// against the old cells. Materializing the full SummaryGraph concatenates
+// the cells in the serial builder's iteration order, so the result is
+// bit-identical to a from-scratch BuildSummaryGraph over the same programs
+// (asserted by tests/service_test.cc after every mutation).
+//
+// Robustness verdicts — of the full set and of every subset the sweep
+// evaluates — are memoized in a VerdictCache keyed by a program-set
+// fingerprint: the analysis method plus each member's (name, revision).
+// A revision only advances when a mutation actually changed one of the
+// program's incident cells (ReplaceProgram with equivalent edges keeps the
+// revision), so cached verdicts survive every mutation that provably cannot
+// change them and incremental re-checks skip straight to the masks touching
+// the changed program.
+//
+// Thread safety: public methods lock an internal mutex, so a session may be
+// shared across server threads. The optional ThreadPool (borrowed, not
+// owned — typically the SessionManager's) parallelizes cell recomputation
+// and the subset sweep; pass nullptr for fully serial operation.
+
+#ifndef MVRC_SERVICE_WORKLOAD_SESSION_H_
+#define MVRC_SERVICE_WORKLOAD_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btp/ltp.h"
+#include "btp/program.h"
+#include "robust/detector.h"
+#include "robust/subsets.h"
+#include "robust/verdict_cache.h"
+#include "schema/schema.h"
+#include "search/counterexample.h"
+#include "summary/summary_graph.h"
+#include "util/result.h"
+#include "workloads/workload.h"
+
+namespace mvrc {
+
+class ThreadPool;
+
+/// Counters describing a session's lifetime work; `stats` protocol requests
+/// render these. stmt_pairs_evaluated is the dep-table work measure the
+/// incremental-vs-from-scratch benchmark compares: one unit per (occurrence,
+/// occurrence) pair fed through Algorithm 1's condition tables.
+struct SessionStats {
+  int64_t programs_added = 0;
+  int64_t programs_removed = 0;
+  int64_t programs_replaced = 0;
+  int64_t cells_computed = 0;        // LTP-pair cells recomputed
+  int64_t stmt_pairs_evaluated = 0;  // statement pairs fed to the dep tables
+  int64_t graph_materializations = 0;
+  int64_t detector_runs = 0;   // cycle tests actually executed
+  int64_t subset_sweeps = 0;
+  int64_t verdict_cache_hits = 0;
+  int64_t verdict_cache_misses = 0;
+  int64_t verdict_cache_size = 0;
+};
+
+/// Outcome of a (possibly cached) full-set robustness check.
+struct CheckResult {
+  bool robust = false;
+  bool from_cache = false;  // verdict served from the VerdictCache
+  int num_programs = 0;
+  int num_unfolded = 0;
+  int num_edges = 0;
+  int num_counterflow_edges = 0;
+  // Witness of the violated condition; empty when robust, and empty on a
+  // cached non-robust verdict (the cache stores verdicts, not witnesses).
+  std::string witness;
+};
+
+/// A session: schema + named programs + incrementally maintained summary
+/// cells + verdict cache.
+class WorkloadSession {
+ public:
+  /// `pool` (may be null) is borrowed and must outlive the session.
+  WorkloadSession(std::string name, AnalysisSettings settings, ThreadPool* pool = nullptr);
+
+  WorkloadSession(const WorkloadSession&) = delete;
+  WorkloadSession& operator=(const WorkloadSession&) = delete;
+
+  const std::string& name() const { return name_; }
+  const AnalysisSettings& settings() const { return settings_; }
+
+  // --- Mutations. All validate first and leave the session unchanged on
+  // error.
+
+  /// Parses SQL (TABLE / FOREIGN KEY / PROGRAM declarations) into the
+  /// session: the schema is extended, programs are added. Program names must
+  /// not collide with existing members. Returns the names added, in file
+  /// order.
+  Result<std::vector<std::string>> LoadSql(const std::string& source);
+
+  /// Adopts a prebuilt workload: requires an empty session (the schema is
+  /// taken over wholesale); adds every program.
+  Status LoadWorkload(const Workload& workload);
+
+  /// Adds one program built against the session's schema. The name must be
+  /// unused.
+  Status AddProgram(const Btp& program);
+
+  /// Removes the program named `name`.
+  Status RemoveProgram(const std::string& name);
+
+  /// Replaces the program sharing `program`'s name. When the replacement
+  /// admits exactly the same incident summary edges (and unfolds to the same
+  /// number of LTPs), the program's revision — and with it every cached
+  /// verdict involving it — is preserved.
+  Status ReplaceProgram(const Btp& program);
+
+  /// Parses SQL declaring exactly one program and replaces its namesake.
+  Status ReplaceProgramSql(const std::string& source);
+
+  // --- Queries.
+
+  int num_programs() const;
+  std::vector<std::string> ProgramNames() const;
+  /// Copies of the member programs in session order — what a from-scratch
+  /// analysis of this session's workload would run on.
+  std::vector<Btp> Programs() const;
+  Schema schema() const;
+
+  /// The current summary graph, materialized from the cells. Bit-identical
+  /// to BuildSummaryGraph(UnfoldAtMost2(Programs()), settings()).
+  SummaryGraph Graph();
+
+  /// Full-set robustness under the session settings, served from the verdict
+  /// cache when the fingerprint is known.
+  CheckResult Check(Method method = Method::kTypeII);
+
+  /// Subset sweep over the current programs, memoized per subset: masks
+  /// whose member fingerprints are cached skip the detector. The report is
+  /// identical to AnalyzeSubsets(Programs(), settings(), method). When
+  /// `names` is non-null it receives the member program names in mask-bit
+  /// order, snapshotted atomically with the sweep — a caller reading names
+  /// separately could race a concurrent mutation and mislabel masks.
+  Result<SubsetReport> Subsets(Method method = Method::kTypeII,
+                               std::vector<std::string>* names = nullptr);
+
+  /// Bounded counterexample search over the current programs' LTPs.
+  std::optional<Counterexample> SearchCounterexample(const SearchOptions& options,
+                                                     SearchStats* stats);
+
+  SessionStats stats() const;
+
+ private:
+  // One member program with its unfolding and cache revision.
+  struct Entry {
+    Btp program;
+    std::vector<Ltp> ltps;
+    int64_t revision = 0;
+  };
+  // Summary edges from entry i's LTPs to entry j's LTPs. rows[a] holds the
+  // edges whose source is LTP a of program i, in the serial builder's inner
+  // order — (target LTP b, q_i, q_j, non-counterflow before counterflow) —
+  // with from_program = a and to_program = b as pair-local LTP indices.
+  struct Cell {
+    std::vector<std::vector<SummaryEdge>> rows;
+
+    friend bool operator==(const Cell&, const Cell&) = default;
+  };
+
+  // Resolves a pair index to the entry it denotes — lets ReplaceProgram
+  // compute cells against a candidate entry not yet installed.
+  using EntryAt = std::function<const Entry&(int)>;
+
+  int FindEntryLocked(const std::string& name) const;
+  Cell ComputeCellLocked(const Entry& from, const Entry& to) const;
+  // Computes the cells for `pairs` (fanning across the pool when present)
+  // and accounts the dep-table work in stats_.
+  std::vector<Cell> ComputeCellsLocked(const std::vector<std::pair<int, int>>& pairs,
+                                       const EntryAt& entry_at);
+  // Appends `program` (already validated) as a new entry with fresh cells.
+  void AppendEntryLocked(const Btp& program);
+  Status ReplaceProgramLocked(const Btp& program);
+  SummaryGraph MaterializeLocked();
+  const SummaryGraph& CachedGraphLocked();
+  std::string FingerprintLocked(uint32_t mask, Method method) const;
+  std::vector<std::pair<int, int>> LtpRangesLocked() const;
+  void SyncCacheStatsLocked();
+
+  const std::string name_;
+  const AnalysisSettings settings_;
+  ThreadPool* const pool_;  // borrowed; may be null
+
+  mutable std::mutex mutex_;
+  Schema schema_;
+  std::vector<Entry> entries_;
+  // cells_[i][j], square over entries_.
+  std::vector<std::vector<Cell>> cells_;
+  std::optional<SummaryGraph> graph_;  // memoized materialization
+  VerdictCache verdict_cache_;
+  SessionStats stats_;
+  int64_t next_revision_ = 1;
+  int label_counter_ = 0;  // statement labels handed out to SQL-added programs
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_SERVICE_WORKLOAD_SESSION_H_

@@ -24,6 +24,13 @@ class Analyzer {
  public:
   explicit Analyzer(const SqlWorkloadFile& file) : file_(file) {}
 
+  // Incremental variant: start from an existing schema (declarations in the
+  // file extend it) and continue statement labels after `label_start`.
+  Analyzer(const SqlWorkloadFile& file, const Schema& schema, int label_start)
+      : file_(file), statement_counter_(label_start) {
+    workload_.schema = schema;
+  }
+
   Result<Workload> Run() {
     if (!BuildSchema()) return Result<Workload>::Error(error_);
     for (const SqlProgram& program : file_.programs) {
@@ -453,6 +460,19 @@ Result<Workload> ParseWorkloadSql(const std::string& source) {
   Result<SqlWorkloadFile> file = ParseSql(source);
   if (!file.ok()) return Result<Workload>::Error(file.error());
   return AnalyzeWorkload(file.value());
+}
+
+Result<Workload> AnalyzeWorkloadInto(const SqlWorkloadFile& file, const Schema& schema,
+                                     int label_start) {
+  Analyzer analyzer(file, schema, label_start);
+  return analyzer.Run();
+}
+
+Result<Workload> ParseWorkloadSqlInto(const std::string& source, const Schema& schema,
+                                      int label_start) {
+  Result<SqlWorkloadFile> file = ParseSql(source);
+  if (!file.ok()) return Result<Workload>::Error(file.error());
+  return AnalyzeWorkloadInto(file.value(), schema, label_start);
 }
 
 }  // namespace mvrc

@@ -36,6 +36,22 @@ Result<Workload> AnalyzeWorkload(const SqlWorkloadFile& file);
 /// Parse + analyze in one step.
 Result<Workload> ParseWorkloadSql(const std::string& source);
 
+/// Incremental frontend for the analysis service: analyzes `file` against a
+/// copy of an existing `schema` instead of an empty one. TABLE / FOREIGN KEY
+/// declarations in the file append to the copy (existing relation and key
+/// ids are preserved, so BTPs built against `schema` earlier stay valid);
+/// redeclaring an existing relation or key name is an error. Statement
+/// labels continue at q<label_start + 1>, keeping the session-wide global
+/// numbering that ParseWorkloadSql establishes per file. The returned
+/// workload holds the extended schema and only the programs declared in
+/// `file`.
+Result<Workload> AnalyzeWorkloadInto(const SqlWorkloadFile& file, const Schema& schema,
+                                     int label_start);
+
+/// Parse + AnalyzeWorkloadInto in one step.
+Result<Workload> ParseWorkloadSqlInto(const std::string& source, const Schema& schema,
+                                      int label_start);
+
 }  // namespace mvrc
 
 #endif  // MVRC_SQL_ANALYZER_H_

@@ -17,26 +17,32 @@ std::vector<SummaryEdge> EdgesFromProgram(const SummaryGraph& graph, int pi,
                                           const AnalysisSettings& settings) {
   std::vector<SummaryEdge> edges;
   const int n = graph.num_programs();
-  const Ltp& program_i = graph.program(pi);
   for (int pj = 0; pj < n; ++pj) {
-    const Ltp& program_j = graph.program(pj);
-    for (int qi = 0; qi < program_i.size(); ++qi) {
-      for (int qj = 0; qj < program_j.size(); ++qj) {
-        if (program_i.stmt(qi).rel() != program_j.stmt(qj).rel()) continue;
-        if (AllowsNonCounterflow(program_i.stmt(qi), program_j.stmt(qj),
-                                 settings.granularity)) {
-          edges.push_back({pi, qi, /*counterflow=*/false, qj, pj});
-        }
-        if (AllowsCounterflow(program_i, qi, program_j, qj, settings)) {
-          edges.push_back({pi, qi, /*counterflow=*/true, qj, pj});
-        }
-      }
-    }
+    std::vector<SummaryEdge> cell =
+        SummaryEdgesBetween(graph.program(pi), pi, graph.program(pj), pj, settings);
+    edges.insert(edges.end(), cell.begin(), cell.end());
   }
   return edges;
 }
 
 }  // namespace
+
+std::vector<SummaryEdge> SummaryEdgesBetween(const Ltp& from, int from_index, const Ltp& to,
+                                             int to_index, const AnalysisSettings& settings) {
+  std::vector<SummaryEdge> edges;
+  for (int qi = 0; qi < from.size(); ++qi) {
+    for (int qj = 0; qj < to.size(); ++qj) {
+      if (from.stmt(qi).rel() != to.stmt(qj).rel()) continue;
+      if (AllowsNonCounterflow(from.stmt(qi), to.stmt(qj), settings.granularity)) {
+        edges.push_back({from_index, qi, /*counterflow=*/false, qj, to_index});
+      }
+      if (AllowsCounterflow(from, qi, to, qj, settings)) {
+        edges.push_back({from_index, qi, /*counterflow=*/true, qj, to_index});
+      }
+    }
+  }
+  return edges;
+}
 
 SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings,
                                ThreadPool* pool) {

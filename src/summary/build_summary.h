@@ -15,6 +15,17 @@ namespace mvrc {
 
 class ThreadPool;
 
+/// The dep-table work unit of Algorithm 1: the edges admitted between one
+/// ordered pair of LTPs (non-counterflow before counterflow per statement
+/// pair, statement pairs in (q_i, q_j) order). `from_index`/`to_index` are
+/// echoed into the edges' from_program/to_program fields, so callers choose
+/// the index space: BuildSummaryGraph passes global node indices, while the
+/// incremental sessions of src/service/ store cells with indices local to a
+/// program pair and re-map them on materialization. Pass the same Ltp (and
+/// index) twice for the diagonal self-pair.
+std::vector<SummaryEdge> SummaryEdgesBetween(const Ltp& from, int from_index, const Ltp& to,
+                                             int to_index, const AnalysisSettings& settings);
+
 /// Algorithm 1: for every ordered pair of programs (including P_i = P_j) and
 /// every pair of statement occurrences over the same relation, adds a
 /// non-counterflow and/or counterflow edge according to

@@ -1,0 +1,65 @@
+// mvrcd: the incremental analysis daemon. Reads newline-delimited JSON
+// requests on stdin, writes one JSON response line per request on stdout —
+// suitable for driving from an editor plugin, a CI bot, or a socket wrapper
+// (socat/inetd). See src/service/protocol.h for the command reference.
+//
+// Usage:
+//   mvrcd [--threads=N]
+//
+// Options:
+//   --threads=N   worker threads for graph maintenance and subset sweeps
+//                 (default 1 = serial; 0 = hardware concurrency)
+//
+// Blank input lines are ignored. The process exits 0 at end of input.
+//
+// Example session (printf emits one request per line; requests elided):
+//   $ printf '%s\n' '{"cmd":"load_sql",...}' '{"cmd":"check",...}' | mvrcd
+//   {"cmd":"load_sql","ok":true,"session":"s","programs":[...],"num_programs":5}
+//   {"cmd":"check","ok":true,"session":"s","robust":true,...}
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/session_manager.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, "usage: mvrcd [--threads=N]   (NDJSON requests on stdin)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const char* value = arg.c_str() + std::strlen("--threads=");
+      char* end = nullptr;
+      long parsed = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || parsed < 0 || parsed > 1024) return Usage();
+      num_threads = static_cast<int>(parsed);
+    } else {
+      return Usage();
+    }
+  }
+
+  mvrc::SessionManager manager(num_threads);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    // Tolerate CRLF input (telnet-style clients).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::string response = mvrc::HandleRequestLine(manager, line);
+    std::fwrite(response.data(), 1, response.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -11,6 +11,9 @@
 //   --programs     print the derived BTP statement tables
 //   --threads=N    worker threads for graph construction and the subset
 //                  sweep (default 1 = serial; 0 = hardware concurrency)
+//   --json         print the report as a single JSON object instead of text
+//                  (see WorkloadReport::ToJson; --dot/--certify/--programs
+//                  keep their text output and are best not combined)
 //
 // Exit status: 0 when robust under attr dep + FK / type-II, 1 when not,
 // 2 on usage or parse errors.
@@ -35,7 +38,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: mvrcdet [--subsets] [--dot] [--certify] [--programs] [--threads=N]\n"
-               "               (<workload.sql> | --builtin=<smallbank|tpcc|auction>)\n");
+               "               [--json] (<workload.sql> | --builtin=<smallbank|tpcc|auction>)\n");
   return 2;
 }
 
@@ -43,7 +46,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   using namespace mvrc;
-  bool subsets = false, dot = false, certify = false, print_programs = false;
+  bool subsets = false, dot = false, certify = false, print_programs = false, json = false;
   int num_threads = 1;
   std::string file, builtin;
   for (int i = 1; i < argc; ++i) {
@@ -56,6 +59,8 @@ int main(int argc, char** argv) {
       certify = true;
     } else if (arg == "--programs") {
       print_programs = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       const char* value = arg.c_str() + std::strlen("--threads=");
       char* end = nullptr;
@@ -108,7 +113,11 @@ int main(int argc, char** argv) {
   }
 
   WorkloadReport report = BuildReport(workload, subsets, num_threads);
-  std::printf("%s", report.ToText().c_str());
+  if (json) {
+    std::printf("%s\n", report.ToJson().Dump().c_str());
+  } else {
+    std::printf("%s", report.ToText().c_str());
+  }
 
   bool robust = IsRobustAgainstMvrc(workload.programs,
                                     AnalysisSettings::AttrDepFk().WithThreads(num_threads),

@@ -1,0 +1,491 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+Json Json::Bool(bool value) {
+  Json json;
+  json.kind_ = Kind::kBool;
+  json.bool_ = value;
+  return json;
+}
+
+Json Json::Number(double value) {
+  Json json;
+  json.kind_ = Kind::kNumber;
+  json.number_ = value;
+  return json;
+}
+
+Json Json::Str(std::string value) {
+  Json json;
+  json.kind_ = Kind::kString;
+  json.string_ = std::move(value);
+  return json;
+}
+
+Json Json::Array() {
+  Json json;
+  json.kind_ = Kind::kArray;
+  return json;
+}
+
+Json Json::Object() {
+  Json json;
+  json.kind_ = Kind::kObject;
+  return json;
+}
+
+bool Json::bool_value() const {
+  MVRC_CHECK_MSG(is_bool(), "Json::bool_value on non-bool");
+  return bool_;
+}
+
+double Json::number_value() const {
+  MVRC_CHECK_MSG(is_number(), "Json::number_value on non-number");
+  return number_;
+}
+
+int64_t Json::int_value() const {
+  double value = number_value();
+  // Clamp instead of casting out-of-range doubles (undefined behavior), so
+  // arbitrary protocol input cannot abort the daemon.
+  if (std::isnan(value)) return 0;
+  if (value >= 9223372036854775808.0) return std::numeric_limits<int64_t>::max();
+  if (value <= -9223372036854775808.0) return std::numeric_limits<int64_t>::min();
+  return static_cast<int64_t>(value);
+}
+
+const std::string& Json::string_value() const {
+  MVRC_CHECK_MSG(is_string(), "Json::string_value on non-string");
+  return string_;
+}
+
+int Json::size() const {
+  if (is_array()) return static_cast<int>(array_.size());
+  if (is_object()) return static_cast<int>(object_.size());
+  return 0;
+}
+
+const Json& Json::at(int index) const {
+  MVRC_CHECK_MSG(is_array(), "Json::at on non-array");
+  return array_.at(index);
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [member_key, value] : object_) {
+    if (member_key == key) return &value;
+  }
+  return nullptr;
+}
+
+const std::string& Json::key_at(int index) const {
+  MVRC_CHECK_MSG(is_object(), "Json::key_at on non-object");
+  return object_.at(index).first;
+}
+
+const Json& Json::value_at(int index) const {
+  MVRC_CHECK_MSG(is_object(), "Json::value_at on non-object");
+  return object_.at(index).second;
+}
+
+Json& Json::Append(Json value) {
+  MVRC_CHECK_MSG(is_array(), "Json::Append on non-array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  MVRC_CHECK_MSG(is_object(), "Json::Set on non-object");
+  for (auto& [member_key, member_value] : object_) {
+    if (member_key == key) {
+      member_value = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::SetFront(std::string key, Json value) {
+  MVRC_CHECK_MSG(is_object(), "Json::SetFront on non-object");
+  for (auto& [member_key, member_value] : object_) {
+    if (member_key == key) {
+      member_value = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace(object_.begin(), std::move(key), std::move(value));
+  return *this;
+}
+
+std::string Json::GetString(const std::string& key, const std::string& fallback) const {
+  const Json* member = Find(key);
+  return member != nullptr && member->is_string() ? member->string_value() : fallback;
+}
+
+int64_t Json::GetInt(const std::string& key, int64_t fallback) const {
+  const Json* member = Find(key);
+  return member != nullptr && member->is_number() ? member->int_value() : fallback;
+}
+
+bool Json::GetBool(const std::string& key, bool fallback) const {
+  const Json* member = Find(key);
+  return member != nullptr && member->is_bool() ? member->bool_value() : fallback;
+}
+
+void JsonEscape(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          *out += buffer;
+        } else {
+          out->push_back(static_cast<char>(c));  // UTF-8 passes through
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+void DumpNumber(double value, std::string* out) {
+  // Integral values within the exactly-representable range print without a
+  // fraction so protocol counters round-trip as integers.
+  if (std::isfinite(value) && value == std::floor(value) && std::abs(value) < 9.0e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%lld", static_cast<long long>(value));
+    *out += buffer;
+    return;
+  }
+  if (!std::isfinite(value)) {  // JSON has no NaN/Inf; emit null like most writers
+    *out += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  *out += buffer;
+}
+
+void DumpTo(const Json& json, std::string* out) {
+  switch (json.kind()) {
+    case Json::Kind::kNull: *out += "null"; break;
+    case Json::Kind::kBool: *out += json.bool_value() ? "true" : "false"; break;
+    case Json::Kind::kNumber: DumpNumber(json.number_value(), out); break;
+    case Json::Kind::kString: JsonEscape(json.string_value(), out); break;
+    case Json::Kind::kArray: {
+      out->push_back('[');
+      for (int i = 0; i < json.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        DumpTo(json.at(i), out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Json::Kind::kObject: {
+      out->push_back('{');
+      for (int i = 0; i < json.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        JsonEscape(json.key_at(i), out);
+        out->push_back(':');
+        DumpTo(json.value_at(i), out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+// Recursive-descent parser over the raw bytes. Positions in error messages
+// are zero-based byte offsets.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Run() {
+    Json value;
+    if (!ParseValue(&value, 0)) return Result<Json>::Error(error_);
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Result<Json>::Error(Message("trailing characters after JSON value"));
+    }
+    return value;
+  }
+
+ private:
+  std::string Message(const std::string& what) const {
+    return "json parse error at offset " + std::to_string(pos_) + ": " + what;
+  }
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) error_ = Message(what);
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, Json value, Json* out) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return Fail("invalid literal");
+    }
+    *out = std::move(value);
+    return true;
+  }
+
+  bool ParseValue(Json* out, int depth) {
+    if (depth > Json::kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n': return Literal("null", Json::Null(), out);
+      case 't': return Literal("true", Json::Bool(true), out);
+      case 'f': return Literal("false", Json::Bool(false), out);
+      case '"': return ParseString(out);
+      case '[': return ParseArray(out, depth);
+      case '{': return ParseObject(out, depth);
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseArray(Json* out, int depth) {
+    ++pos_;  // '['
+    Json array = Json::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = std::move(array);
+      return true;
+    }
+    for (;;) {
+      Json element;
+      if (!ParseValue(&element, depth + 1)) return false;
+      array.Append(std::move(element));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      char c = text_[pos_++];
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        return Fail("expected ',' or ']' in array");
+      }
+    }
+    *out = std::move(array);
+    return true;
+  }
+
+  bool ParseObject(Json* out, int depth) {
+    ++pos_;  // '{'
+    Json object = Json::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = std::move(object);
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected string key in object");
+      }
+      Json key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':' in object");
+      ++pos_;
+      Json value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      object.Set(key.string_value(), std::move(value));  // duplicate keys: last wins
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      char c = text_[pos_++];
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        return Fail("expected ',' or '}' in object");
+      }
+    }
+    *out = std::move(object);
+    return true;
+  }
+
+  void AppendUtf8(uint32_t code_point, std::string* out) {
+    if (code_point < 0x80) {
+      out->push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  bool ParseString(Json* out) {
+    ++pos_;  // '"'
+    std::string value;
+    for (;;) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') break;
+      if (c < 0x20) {
+        --pos_;
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        value.push_back(static_cast<char>(c));
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      char escape = text_[pos_++];
+      switch (escape) {
+        case '"': value.push_back('"'); break;
+        case '\\': value.push_back('\\'); break;
+        case '/': value.push_back('/'); break;
+        case 'b': value.push_back('\b'); break;
+        case 'f': value.push_back('\f'); break;
+        case 'n': value.push_back('\n'); break;
+        case 'r': value.push_back('\r'); break;
+        case 't': value.push_back('\t'); break;
+        case 'u': {
+          uint32_t code_point;
+          if (!ParseHex4(&code_point)) return false;
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              return Fail("lone high surrogate");
+            }
+            pos_ += 2;
+            uint32_t low;
+            if (!ParseHex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) return Fail("invalid low surrogate");
+            code_point = 0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            return Fail("lone low surrogate");
+          }
+          AppendUtf8(code_point, &value);
+          break;
+        }
+        default: return Fail("invalid escape character");
+      }
+    }
+    *out = Json::Str(std::move(value));
+    return true;
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // Integer part: one digit, or a nonzero digit followed by more (no
+    // leading zeros per RFC 8259).
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      pos_ = start;
+      return Fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      return Fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("expected digits after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("expected digits in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    *out = Json::Number(std::strtod(text_.c_str() + start, nullptr));
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(*this, &out);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) { return Parser(text).Run(); }
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Json::Kind::kNull: return true;
+    case Json::Kind::kBool: return a.bool_ == b.bool_;
+    case Json::Kind::kNumber: return a.number_ == b.number_;
+    case Json::Kind::kString: return a.string_ == b.string_;
+    case Json::Kind::kArray: return a.array_ == b.array_;
+    case Json::Kind::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,110 @@
+// A zero-dependency JSON value with an RFC 8259 reader and a compact writer.
+// Backs the analysis service's newline-delimited request/response protocol
+// (src/service/protocol.h) and `mvrcdet --json` report output.
+//
+// Design notes:
+//  * Objects preserve insertion order (Set on an existing key overwrites in
+//    place), so Dump() output is deterministic — responses diff cleanly and
+//    the protocol tests can compare rendered strings.
+//  * Numbers are stored as double. Values that are mathematically integral
+//    and within the 2^53 exactly-representable range print without a
+//    fractional part; protocol counters therefore round-trip as integers.
+//  * Parse rejects trailing garbage, leading zeros, lone surrogates and
+//    nesting deeper than kMaxDepth, and reports a byte offset with every
+//    error. No exceptions (Result<Json> carries the message).
+
+#ifndef MVRC_UTIL_JSON_H_
+#define MVRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mvrc {
+
+/// A JSON document node.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Nesting depth accepted by Parse (arrays/objects); deeper input errors.
+  static constexpr int kMaxDepth = 128;
+
+  Json() = default;  // null
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool value);
+  static Json Number(double value);
+  static Json Int(int64_t value) { return Number(static_cast<double>(value)); }
+  static Json Str(std::string value);
+  static Json Array();
+  static Json Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one is a programmer error (CHECK).
+  bool bool_value() const;
+  double number_value() const;
+  /// The number truncated toward zero; values outside the int64 range clamp
+  /// to the nearest bound (NaN yields 0) rather than invoking UB.
+  int64_t int_value() const;
+  const std::string& string_value() const;
+
+  /// Array size / object member count (0 for other kinds).
+  int size() const;
+
+  /// Array element (CHECKs kind and bounds).
+  const Json& at(int index) const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  const Json* Find(const std::string& key) const;
+  /// Object member key/value by position (CHECKs kind and bounds).
+  const std::string& key_at(int index) const;
+  const Json& value_at(int index) const;
+
+  /// Appends to an array (CHECKs kind).
+  Json& Append(Json value);
+  /// Sets an object member, overwriting in place when the key exists.
+  Json& Set(std::string key, Json value);
+  /// Like Set, but a new key is inserted at the front — prepends protocol
+  /// echo fields without rebuilding the object.
+  Json& SetFront(std::string key, Json value);
+
+  /// Convenience lookups for protocol handling: the member's value when
+  /// present and of the right kind, `fallback` otherwise.
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Compact rendering (no insignificant whitespace), deterministic.
+  std::string Dump() const;
+
+  /// Parses exactly one JSON document; trailing non-whitespace is an error.
+  static Result<Json> Parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;  // insertion-ordered
+};
+
+/// Appends `text` to `out` as a quoted JSON string (RFC 8259 escaping).
+void JsonEscape(const std::string& text, std::string* out);
+
+}  // namespace mvrc
+
+#endif  // MVRC_UTIL_JSON_H_

@@ -1,0 +1,352 @@
+// The incremental analysis service must be observably identical to
+// from-scratch analysis: after every add/remove/replace, a session's
+// materialized summary graph, its robustness verdicts, and its subset
+// reports equal what BuildSummaryGraph / IsRobust / AnalyzeSubsets compute
+// on the same program set from nothing. Also covers the verdict cache's
+// cross-mutation reuse, the SessionManager registry, and the oversized-
+// workload error path of TryAnalyzeSubsets.
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "btp/unfold.h"
+#include "robust/subsets.h"
+#include "service/session_manager.h"
+#include "service/workload_session.h"
+#include "sql/analyzer.h"
+#include "summary/build_summary.h"
+#include "workloads/auction.h"
+#include "workloads/smallbank.h"
+#include "workloads/sql_texts.h"
+#include "workloads/tpcc.h"
+
+namespace mvrc {
+namespace {
+
+Workload SchemaOnly(const Workload& workload) {
+  Workload empty;
+  empty.name = workload.name;
+  empty.schema = workload.schema;
+  return empty;
+}
+
+// Asserts the session's incremental state is bit-identical to a from-scratch
+// analysis of the same program set.
+void ExpectMatchesScratch(WorkloadSession& session, const std::string& context) {
+  SCOPED_TRACE(context);
+  const std::vector<Btp> programs = session.Programs();
+  const AnalysisSettings settings = session.settings();
+
+  SummaryGraph scratch = BuildSummaryGraph(UnfoldAtMost2(programs), settings);
+  SummaryGraph incremental = session.Graph();
+  ASSERT_EQ(incremental.num_programs(), scratch.num_programs());
+  for (int i = 0; i < scratch.num_programs(); ++i) {
+    EXPECT_EQ(incremental.program(i).name(), scratch.program(i).name()) << "LTP " << i;
+    EXPECT_EQ(incremental.program(i).size(), scratch.program(i).size()) << "LTP " << i;
+  }
+  EXPECT_EQ(incremental.edges(), scratch.edges());
+
+  for (Method method : {Method::kTypeI, Method::kTypeII}) {
+    EXPECT_EQ(session.Check(method).robust, IsRobust(scratch, method));
+  }
+
+  if (!programs.empty() && static_cast<int>(programs.size()) <= kMaxSubsetPrograms) {
+    for (Method method : {Method::kTypeI, Method::kTypeII}) {
+      SubsetReport reference = AnalyzeSubsets(programs, settings, method);
+      Result<SubsetReport> report = session.Subsets(method);
+      ASSERT_TRUE(report.ok()) << report.error();
+      EXPECT_EQ(report.value().num_programs, reference.num_programs);
+      EXPECT_EQ(report.value().robust_masks, reference.robust_masks);
+      EXPECT_EQ(report.value().maximal_masks, reference.maximal_masks);
+    }
+  }
+}
+
+TEST(WorkloadSessionTest, IncrementalAddMatchesScratchOnEveryWorkload) {
+  for (const Workload& workload : {MakeSmallBank(), MakeTpcc(), MakeAuction()}) {
+    WorkloadSession session(workload.name, AnalysisSettings::AttrDepFk());
+    ASSERT_TRUE(session.LoadWorkload(SchemaOnly(workload)).ok());
+    for (const Btp& program : workload.programs) {
+      ASSERT_TRUE(session.AddProgram(program).ok());
+      ExpectMatchesScratch(session, workload.name + " after add " + program.name());
+    }
+  }
+}
+
+TEST(WorkloadSessionTest, RemoveMatchesScratch) {
+  Workload workload = MakeTpcc();
+  WorkloadSession session(workload.name, AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session.LoadWorkload(workload).ok());
+  ExpectMatchesScratch(session, "full TPC-C");
+
+  // Remove from the middle, then from the front, down to one program.
+  std::vector<std::string> order = {"Payment", "Delivery", "StockLevel", "NewOrder"};
+  for (const std::string& name : order) {
+    ASSERT_TRUE(session.RemoveProgram(name).ok());
+    ExpectMatchesScratch(session, "TPC-C after remove " + name);
+  }
+  EXPECT_EQ(session.num_programs(), 1);
+
+  // Removing to empty and re-adding still matches.
+  ASSERT_TRUE(session.RemoveProgram(session.ProgramNames()[0]).ok());
+  EXPECT_EQ(session.num_programs(), 0);
+  ASSERT_TRUE(session.AddProgram(workload.programs[0]).ok());
+  ExpectMatchesScratch(session, "TPC-C re-added " + workload.programs[0].name());
+}
+
+TEST(WorkloadSessionTest, RemoveThenAddBackMatchesScratch) {
+  Workload workload = MakeAuction();
+  WorkloadSession session(workload.name, AnalysisSettings::TupleDep());
+  ASSERT_TRUE(session.LoadWorkload(workload).ok());
+  for (const Btp& program : workload.programs) {
+    ASSERT_TRUE(session.RemoveProgram(program.name()).ok());
+    ExpectMatchesScratch(session, "auction without " + program.name());
+    ASSERT_TRUE(session.AddProgram(program).ok());
+    ExpectMatchesScratch(session, "auction restored " + program.name());
+  }
+}
+
+TEST(WorkloadSessionTest, ReplaceMatchesScratchAndDetectsRealChanges) {
+  WorkloadSession session("auction", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session.LoadSql(AuctionSql()).ok());
+  EXPECT_FALSE(session.Check().from_cache);  // first check computes the verdict
+  EXPECT_TRUE(session.Check().from_cache);   // the second is served from cache
+  ExpectMatchesScratch(session, "auction via SQL");
+
+  // Replacing FindBids with a key-based read changes its incident edges:
+  // the verdict cache entries involving it must be invalidated.
+  ASSERT_TRUE(session
+                  .ReplaceProgramSql("PROGRAM FindBids(:B, :T):\n"
+                                     "  UPDATE Buyer SET calls = calls + 1 WHERE id = :B;\n"
+                                     "  SELECT bid FROM Bids WHERE buyerId = :B;\n"
+                                     "COMMIT;\n")
+                  .ok());
+  EXPECT_FALSE(session.Check().from_cache);
+  ExpectMatchesScratch(session, "auction with key-based FindBids");
+}
+
+TEST(WorkloadSessionTest, ReplaceChangingStatementTypesInvalidatesCache) {
+  // A lone SELECT admits no summary edges whichever way it reads, so the
+  // incident cells compare equal across this replace — but Algorithm 2
+  // reads statement types (adjacent-pair condition), so flipping the
+  // predicate select to a key select must still advance the revision.
+  WorkloadSession session("t", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session
+                  .LoadSql("TABLE U(c, d, PRIMARY KEY(c));\n"
+                           "PROGRAM Q(:y):\n  SELECT d FROM U WHERE d >= :y;\nCOMMIT;\n")
+                  .ok());
+  EXPECT_FALSE(session.Check().from_cache);
+  EXPECT_TRUE(session.Check().from_cache);
+  ASSERT_TRUE(
+      session.ReplaceProgramSql("PROGRAM Q(:y):\n  SELECT d FROM U WHERE c = :y;\nCOMMIT;\n")
+          .ok());
+  EXPECT_FALSE(session.Check().from_cache);
+  ExpectMatchesScratch(session, "Q flipped from pred to key select");
+}
+
+TEST(WorkloadSessionTest, ReplaceWithEquivalentProgramKeepsCachedVerdicts) {
+  Workload workload = MakeTpcc();
+  WorkloadSession session(workload.name, AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session.LoadWorkload(workload).ok());
+  ASSERT_TRUE(session.Subsets(Method::kTypeII).ok());
+  const SessionStats before = session.stats();
+
+  // Replacing a program with itself admits identical incident edges, so the
+  // revision — and every cached verdict — survives: the re-sweep runs zero
+  // detector invocations.
+  ASSERT_TRUE(session.ReplaceProgram(workload.programs[2]).ok());
+  EXPECT_TRUE(session.Check().from_cache);
+  ASSERT_TRUE(session.Subsets(Method::kTypeII).ok());
+  EXPECT_EQ(session.stats().detector_runs, before.detector_runs);
+  ExpectMatchesScratch(session, "TPC-C after no-op replace");
+}
+
+TEST(WorkloadSessionTest, AddInvalidatesOnlyMasksContainingTheNewProgram) {
+  Workload workload = MakeAuctionN(4);  // 8 programs
+  WorkloadSession session(workload.name, AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session.LoadWorkload(SchemaOnly(workload)).ok());
+  for (size_t i = 0; i + 1 < workload.programs.size(); ++i) {
+    ASSERT_TRUE(session.AddProgram(workload.programs[i]).ok());
+  }
+  ASSERT_TRUE(session.Subsets(Method::kTypeII).ok());
+  const SessionStats before = session.stats();
+
+  ASSERT_TRUE(session.AddProgram(workload.programs.back()).ok());
+  ASSERT_TRUE(session.Subsets(Method::kTypeII).ok());
+  const SessionStats after = session.stats();
+
+  // 7 programs were already swept; only the 2^7 masks containing the new
+  // program may need the detector.
+  EXPECT_LE(after.detector_runs - before.detector_runs, int64_t{1} << 7);
+  // And the incremental graph maintenance did strictly less dep-table work
+  // than the (2 * 7 + 1 cells vs 8^2 cells) from-scratch build would.
+  EXPECT_LT(after.cells_computed - before.cells_computed, int64_t{8 * 8});
+  ExpectMatchesScratch(session, "auction(4) fully built");
+}
+
+TEST(WorkloadSessionTest, SqlSessionMatchesSingleFileParse) {
+  WorkloadSession session("smallbank", AnalysisSettings::AttrDepFk());
+  Result<std::vector<std::string>> names = session.LoadSql(SmallBankSql());
+  ASSERT_TRUE(names.ok()) << names.error();
+  EXPECT_EQ(names.value().size(), 5u);
+
+  Result<Workload> scratch = ParseWorkloadSql(SmallBankSql());
+  ASSERT_TRUE(scratch.ok());
+  SummaryGraph reference =
+      BuildSummaryGraph(scratch.value().programs, AnalysisSettings::AttrDepFk());
+  EXPECT_EQ(session.Graph().edges(), reference.edges());
+
+  // Add a new program incrementally against the already-loaded schema; the
+  // statement labels continue after the file's (q1..q15 for SmallBank).
+  ASSERT_TRUE(session
+                  .LoadSql("PROGRAM AuditSavings(:C):\n"
+                           "  SELECT Balance FROM Savings WHERE CustomerId = :C;\n"
+                           "COMMIT;\n")
+                  .ok());
+  ExpectMatchesScratch(session, "smallbank + AuditSavings");
+  EXPECT_EQ(session.num_programs(), 6);
+}
+
+TEST(WorkloadSessionTest, MutationErrorsLeaveSessionUntouched) {
+  Workload workload = MakeSmallBank();
+  WorkloadSession session("sb", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session.LoadWorkload(workload).ok());
+  const SummaryGraph before = session.Graph();
+
+  EXPECT_FALSE(session.AddProgram(workload.programs[0]).ok());          // duplicate
+  EXPECT_FALSE(session.RemoveProgram("NoSuchProgram").ok());            // unknown
+  EXPECT_FALSE(session.LoadWorkload(workload).ok());                    // not empty
+  EXPECT_FALSE(session.LoadSql("PROGRAM Balance(:N): COMMIT;").ok());   // name clash
+  EXPECT_FALSE(session.ReplaceProgramSql("TABLE X(a, PRIMARY KEY(a));").ok());
+  Btp unknown("NoSuchProgram");
+  EXPECT_FALSE(session.ReplaceProgram(unknown).ok());
+
+  // A failed replace must not commit its schema extension either: the same
+  // TABLE can still be declared by a later (successful) load.
+  EXPECT_FALSE(session
+                   .ReplaceProgramSql("TABLE Audit(id, PRIMARY KEY(id));\n"
+                                      "PROGRAM NoSuchProgram(:x):\n"
+                                      "  SELECT id FROM Audit WHERE id = :x;\nCOMMIT;\n")
+                   .ok());
+  EXPECT_TRUE(session
+                  .LoadSql("TABLE Audit(id, PRIMARY KEY(id));\n"
+                           "PROGRAM AuditRead(:x):\n"
+                           "  SELECT id FROM Audit WHERE id = :x;\nCOMMIT;\n")
+                  .ok());
+  ASSERT_TRUE(session.RemoveProgram("AuditRead").ok());
+
+  EXPECT_EQ(session.Graph().edges(), before.edges());
+  EXPECT_EQ(session.num_programs(), 5);
+}
+
+TEST(WorkloadSessionTest, ParallelSessionMatchesSerial) {
+  ThreadPool pool(4);
+  Workload workload = MakeAuctionN(3);
+  WorkloadSession parallel("p", AnalysisSettings::AttrDepFk(), &pool);
+  WorkloadSession serial("s", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(parallel.LoadWorkload(workload).ok());
+  ASSERT_TRUE(serial.LoadWorkload(workload).ok());
+  EXPECT_EQ(parallel.Graph().edges(), serial.Graph().edges());
+  Result<SubsetReport> parallel_report = parallel.Subsets(Method::kTypeII);
+  Result<SubsetReport> serial_report = serial.Subsets(Method::kTypeII);
+  ASSERT_TRUE(parallel_report.ok());
+  ASSERT_TRUE(serial_report.ok());
+  EXPECT_EQ(parallel_report.value().robust_masks, serial_report.value().robust_masks);
+  EXPECT_EQ(parallel_report.value().maximal_masks, serial_report.value().maximal_masks);
+  ExpectMatchesScratch(parallel, "pooled auction(3) session");
+}
+
+// Generates n trivial single-select programs over one relation.
+std::string ManyProgramsSql(int n) {
+  std::ostringstream os;
+  os << "TABLE T(a, b, PRIMARY KEY(a));\n";
+  for (int i = 1; i <= n; ++i) {
+    os << "PROGRAM P" << i << "(:x):\n  SELECT b FROM T WHERE a = :x;\nCOMMIT;\n";
+  }
+  return os.str();
+}
+
+TEST(WorkloadSessionTest, OversizedSubsetSweepIsARequestErrorNotAnAbort) {
+  WorkloadSession session("big", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session.LoadSql(ManyProgramsSql(kMaxSubsetPrograms + 1)).ok());
+  Result<SubsetReport> report = session.Subsets(Method::kTypeII);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().find("21"), std::string::npos);
+
+  // The non-subset paths keep working beyond the subset bound.
+  EXPECT_TRUE(session.Check().robust);
+
+  // And the library-level error path agrees.
+  Result<SubsetReport> direct =
+      TryAnalyzeSubsets(session.Programs(), session.settings(), Method::kTypeII);
+  EXPECT_FALSE(direct.ok());
+}
+
+TEST(TryAnalyzeSubsetsTest, SharedPoolMatchesOwnedPool) {
+  Workload workload = MakeSmallBank();
+  SubsetReport owned =
+      AnalyzeSubsets(workload.programs, AnalysisSettings::AttrDepFk().WithThreads(4),
+                     Method::kTypeII);
+  ThreadPool pool(4);
+  Result<SubsetReport> shared = TryAnalyzeSubsets(
+      workload.programs, AnalysisSettings::AttrDepFk(), Method::kTypeII, &pool);
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(shared.value().num_threads, 4);
+  EXPECT_EQ(shared.value().robust_masks, owned.robust_masks);
+  EXPECT_EQ(shared.value().maximal_masks, owned.maximal_masks);
+}
+
+TEST(SessionManagerTest, GetOrCreateFindDrop) {
+  SessionManager manager(1);
+  EXPECT_EQ(manager.num_threads(), 1);
+  EXPECT_EQ(manager.pool(), nullptr);
+
+  auto a = manager.GetOrCreate("a", AnalysisSettings::AttrDepFk());
+  auto a_again = manager.GetOrCreate("a", AnalysisSettings::TupleDep());
+  EXPECT_EQ(a.get(), a_again.get());
+  // Creation settings stick; later GetOrCreate settings are ignored.
+  EXPECT_EQ(std::string(a_again->settings().name()), "attr dep + FK");
+
+  EXPECT_EQ(manager.Find("missing"), nullptr);
+  manager.GetOrCreate("b", AnalysisSettings::AttrDepFk());
+  EXPECT_EQ(manager.SessionNames(), (std::vector<std::string>{"a", "b"}));
+
+  EXPECT_TRUE(manager.Drop("a"));
+  EXPECT_FALSE(manager.Drop("a"));
+  EXPECT_EQ(manager.SessionNames(), (std::vector<std::string>{"b"}));
+}
+
+TEST(SessionManagerTest, SharedPoolAcrossSessionsAndThreads) {
+  SessionManager manager(4);
+  EXPECT_EQ(manager.num_threads(), 4);
+  ASSERT_NE(manager.pool(), nullptr);
+
+  // Concurrent GetOrCreate on the same name resolves to one session.
+  std::vector<std::shared_ptr<WorkloadSession>> seen(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&manager, &seen, t] {
+      seen[t] = manager.GetOrCreate("shared", AnalysisSettings::AttrDepFk());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::set<WorkloadSession*> distinct;
+  for (const auto& session : seen) distinct.insert(session.get());
+  EXPECT_EQ(distinct.size(), 1u);
+
+  // Sessions created by the manager analyze on the shared pool and still
+  // match from-scratch results.
+  auto session = manager.GetOrCreate("sb", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session->LoadWorkload(MakeSmallBank()).ok());
+  ExpectMatchesScratch(*session, "manager-owned smallbank session");
+}
+
+}  // namespace
+}  // namespace mvrc
