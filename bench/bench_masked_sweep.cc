@@ -1,0 +1,342 @@
+// Benchmark + correctness gate for the zero-copy masked subset sweep.
+//
+// For each workload (Auction(n) with 2n programs, and TPC-C) this runs
+//   1. the masked sweep (AnalyzeSubsetsOnGraph -> MaskedDetector), and
+//   2. an oracle sweep replicating the pre-masked-detector path: the same
+//      Proposition 5.2 pruning, but each undecided mask pays
+//      SummaryGraph::InducedSubgraph + IsRobust from scratch,
+// asserts the two reports are bit-identical (exit 1 otherwise — CI runs
+// this as the masked-vs-oracle gate), verifies the detector's
+// allocation-free contract with a global operator-new counter (exit 1 when
+// an IsRobust call allocates), and emits a machine-readable JSON record
+// (BENCH_masked_sweep.json by default) so masks/sec is tracked across PRs.
+//
+// Flags:
+//   --pairs=N             Auction(N) size, 2N programs (default 8 -> 16)
+//   --threads=T           also time the masked sweep with a T-worker pool
+//   --json-out=PATH       where to write the JSON record (default
+//                         BENCH_masked_sweep.json; "-" disables the file)
+//   --require-speedup=X   exit 1 unless masked is >= X times faster than
+//                         the oracle on every workload (default 0: report
+//                         only)
+//   --skip-tpcc           bench the auction sweep only
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/resource.h>
+
+#include "btp/unfold.h"
+#include "robust/masked_detector.h"
+#include "robust/subsets.h"
+#include "summary/build_summary.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+#include "workloads/auction.h"
+#include "workloads/tpcc.h"
+
+// --- Global allocation counter. Counts every operator new in the process;
+// the per-phase deltas below isolate the sweep and the per-mask hot path.
+
+namespace {
+std::atomic<int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) /
+                                       static_cast<std::size_t>(align) *
+                                       static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace mvrc {
+namespace {
+
+struct Options {
+  int pairs = 8;
+  int threads = 1;
+  std::string json_out = "BENCH_masked_sweep.json";
+  double require_speedup = 0.0;
+  bool skip_tpcc = false;
+};
+
+struct PreparedWorkload {
+  std::string name;
+  std::string settings_name;
+  int num_programs = 0;
+  SummaryGraph graph;
+  std::vector<std::pair<int, int>> ltp_range;
+};
+
+PreparedWorkload Prepare(const Workload& workload, const AnalysisSettings& settings) {
+  std::vector<Ltp> all_ltps;
+  std::vector<std::pair<int, int>> ltp_range;
+  for (const Btp& program : workload.programs) {
+    std::vector<Ltp> unfolded = UnfoldAtMost2(program);
+    ltp_range.push_back({static_cast<int>(all_ltps.size()),
+                         static_cast<int>(all_ltps.size() + unfolded.size())});
+    for (Ltp& ltp : unfolded) all_ltps.push_back(std::move(ltp));
+  }
+  return {workload.name, settings.name(), static_cast<int>(workload.programs.size()),
+          BuildSummaryGraph(std::move(all_ltps), settings), std::move(ltp_range)};
+}
+
+// The pre-masked-detector sweep: identical mask order and Proposition 5.2
+// pruning, with the per-mask InducedSubgraph + IsRobust cost this benchmark
+// exists to measure against. (It skips the maximal-mask postprocessing the
+// real entry point performs, which flatters the oracle slightly — the
+// reported speedups are lower bounds.)
+std::vector<uint32_t> OracleSweep(const PreparedWorkload& w, Method method) {
+  const int n = w.num_programs;
+  const uint32_t full = (uint32_t{1} << n) - 1;
+  std::vector<char> known_robust(full + 1, 0);
+  std::vector<uint32_t> order;
+  order.reserve(full);
+  for (uint32_t mask = 1; mask <= full; ++mask) order.push_back(mask);
+  std::sort(order.begin(), order.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa > pb : a < b;
+  });
+
+  std::vector<uint32_t> robust;
+  for (uint32_t mask : order) {
+    if (!known_robust[mask]) {
+      std::vector<bool> keep(w.graph.num_programs(), false);
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) {
+          for (int p = w.ltp_range[i].first; p < w.ltp_range[i].second; ++p) keep[p] = true;
+        }
+      }
+      if (!IsRobust(w.graph.InducedSubgraph(keep), method)) continue;
+      for (uint32_t sub = mask; sub != 0; sub = (sub - 1) & mask) known_robust[sub] = 1;
+    }
+    robust.push_back(mask);
+  }
+  std::sort(robust.begin(), robust.end());
+  return robust;
+}
+
+int64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // ru_maxrss is KiB on Linux
+}
+
+// Accumulated per-workload totals; the speedup gate applies to these (a
+// single setting can make the whole sweep trivial — attr dep + FK proves the
+// full Auction robust in one detector call — so per-setting ratios are
+// noise, while the Figure 6 experiment always pays all four settings).
+struct WorkloadTotals {
+  double masked_seconds = 0;
+  double oracle_seconds = 0;
+};
+
+// Returns false on any correctness failure (report mismatch / allocation in
+// the hot path); appends one JSON record per (workload, settings).
+bool BenchSetting(const PreparedWorkload& w, const Options& options, Json& records,
+                  WorkloadTotals& totals) {
+  const uint32_t num_masks = (uint32_t{1} << w.num_programs) - 1;
+  std::printf("%s / %s: %d programs, %d LTPs, %d edges, %u masks\n", w.name.c_str(),
+              w.settings_name.c_str(), w.num_programs, w.graph.num_programs(),
+              w.graph.num_edges(), num_masks);
+
+  // Masked sweep, single-threaded (the per-mask cost headline).
+  const int64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
+  Stopwatch masked_timer;
+  Result<SubsetReport> masked = AnalyzeSubsetsOnGraph(w.graph, w.ltp_range, Method::kTypeII);
+  const double masked_seconds = masked_timer.ElapsedSeconds();
+  const int64_t masked_allocs = g_allocations.load(std::memory_order_relaxed) - allocs_before;
+  if (!masked.ok()) {
+    std::printf("FAIL: masked sweep errored: %s\n", masked.error().c_str());
+    return false;
+  }
+
+  // Optional threaded masked sweep.
+  double threaded_seconds = 0;
+  if (options.threads > 1) {
+    ThreadPool pool(options.threads);
+    Stopwatch threaded_timer;
+    Result<SubsetReport> threaded =
+        AnalyzeSubsetsOnGraph(w.graph, w.ltp_range, Method::kTypeII, &pool);
+    threaded_seconds = threaded_timer.ElapsedSeconds();
+    if (!threaded.ok() || threaded.value().robust_masks != masked.value().robust_masks) {
+      std::printf("FAIL: threaded masked sweep differs from serial\n");
+      return false;
+    }
+  }
+
+  // Oracle sweep + report gate.
+  Stopwatch oracle_timer;
+  std::vector<uint32_t> oracle = OracleSweep(w, Method::kTypeII);
+  const double oracle_seconds = oracle_timer.ElapsedSeconds();
+  if (masked.value().robust_masks != oracle) {
+    std::printf("FAIL: masked sweep report differs from the InducedSubgraph oracle "
+                "(%zu vs %zu robust masks)\n",
+                masked.value().robust_masks.size(), oracle.size());
+    return false;
+  }
+
+  // Allocation-free contract: after one warm-up call, IsRobust must not
+  // allocate, whatever the mask or method.
+  MaskedDetector detector(w.graph, w.ltp_range);
+  DetectorScratch scratch = detector.MakeScratch();
+  detector.IsRobust(num_masks, Method::kTypeII, scratch);
+  const int64_t hot_before = g_allocations.load(std::memory_order_relaxed);
+  for (uint32_t mask = 1; mask <= num_masks; mask += (num_masks / 257) + 1) {
+    detector.IsRobust(mask, Method::kTypeII, scratch);
+    detector.IsRobust(mask, Method::kTypeI, scratch);
+  }
+  const int64_t hot_allocs = g_allocations.load(std::memory_order_relaxed) - hot_before;
+  if (hot_allocs != 0) {
+    std::printf("FAIL: MaskedDetector::IsRobust allocated %lld times\n",
+                static_cast<long long>(hot_allocs));
+    return false;
+  }
+
+  totals.masked_seconds += masked_seconds;
+  totals.oracle_seconds += oracle_seconds;
+  const double speedup = masked_seconds > 0 ? oracle_seconds / masked_seconds : 0;
+  std::printf(
+      "  masked:  %.4fs  (%.0f masks/sec, %.2f allocs/mask for the whole sweep)\n"
+      "  oracle:  %.4fs  (%.0f masks/sec)\n"
+      "  speedup: %.1fx\n",
+      masked_seconds, num_masks / masked_seconds,
+      static_cast<double>(masked_allocs) / num_masks, oracle_seconds,
+      num_masks / oracle_seconds, speedup);
+  if (options.threads > 1) {
+    std::printf("  threaded (%d workers): %.4fs\n", options.threads, threaded_seconds);
+  }
+
+  Json record = Json::Object();
+  record.Set("workload", Json::Str(w.name));
+  record.Set("settings", Json::Str(w.settings_name));
+  record.Set("num_programs", Json::Int(w.num_programs));
+  record.Set("num_ltps", Json::Int(w.graph.num_programs()));
+  record.Set("num_edges", Json::Int(w.graph.num_edges()));
+  record.Set("num_masks", Json::Int(num_masks));
+  record.Set("masked_seconds", Json::Number(masked_seconds));
+  record.Set("masked_masks_per_sec", Json::Number(num_masks / masked_seconds));
+  record.Set("masked_allocs_per_mask",
+             Json::Number(static_cast<double>(masked_allocs) / num_masks));
+  record.Set("hot_path_allocs", Json::Int(hot_allocs));
+  record.Set("oracle_seconds", Json::Number(oracle_seconds));
+  record.Set("oracle_masks_per_sec", Json::Number(num_masks / oracle_seconds));
+  record.Set("speedup", Json::Number(speedup));
+  if (options.threads > 1) {
+    record.Set("threads", Json::Int(options.threads));
+    record.Set("threaded_seconds", Json::Number(threaded_seconds));
+    record.Set("threaded_masks_per_sec", Json::Number(num_masks / threaded_seconds));
+  }
+  records.Append(std::move(record));
+  return true;
+}
+
+const AnalysisSettings kAllSettings[] = {
+    AnalysisSettings::TupleDep(), AnalysisSettings::AttrDep(),
+    AnalysisSettings::TupleDepFk(), AnalysisSettings::AttrDepFk()};
+
+// All four Figure 6 settings over one workload; gates the aggregate speedup.
+bool BenchWorkload(const Workload& workload, const Options& options, Json& records) {
+  WorkloadTotals totals;
+  for (const AnalysisSettings& settings : kAllSettings) {
+    if (!BenchSetting(Prepare(workload, settings), options, records, totals)) return false;
+  }
+  const double speedup =
+      totals.masked_seconds > 0 ? totals.oracle_seconds / totals.masked_seconds : 0;
+  std::printf("%s all settings: masked %.4fs, oracle %.4fs, speedup %.1fx\n\n",
+              workload.name.c_str(), totals.masked_seconds, totals.oracle_seconds, speedup);
+  if (options.require_speedup > 0 && speedup < options.require_speedup) {
+    std::printf("FAIL: %s aggregate speedup %.1fx below required %.1fx\n",
+                workload.name.c_str(), speedup, options.require_speedup);
+    return false;
+  }
+  return true;
+}
+
+int Run(const Options& options) {
+  Json doc = Json::Object();
+  doc.Set("bench", Json::Str("masked_sweep"));
+  Json records = Json::Array();
+
+  bool ok = BenchWorkload(MakeAuctionN(options.pairs), options, records);
+  if (ok && !options.skip_tpcc) {
+    ok = BenchWorkload(MakeTpcc(), options, records);
+  }
+
+  doc.Set("workloads", std::move(records));
+  doc.Set("peak_rss_bytes", Json::Int(PeakRssBytes()));
+  doc.Set("ok", Json::Bool(ok));
+  const std::string rendered = doc.Dump();
+  std::printf("%s\n", rendered.c_str());
+  if (options.json_out != "-") {
+    if (std::FILE* f = std::fopen(options.json_out.c_str(), "w")) {
+      std::fputs(rendered.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::printf("FAIL: cannot write %s\n", options.json_out.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mvrc
+
+int main(int argc, char** argv) {
+  mvrc::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--pairs=", 0) == 0) {
+      options.pairs = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      options.json_out = arg.substr(11);
+    } else if (arg.rfind("--require-speedup=", 0) == 0) {
+      options.require_speedup = std::atof(arg.c_str() + 18);
+    } else if (arg == "--skip-tpcc") {
+      options.skip_tpcc = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--pairs=N] [--threads=T] [--json-out=PATH|-] "
+                   "[--require-speedup=X] [--skip-tpcc]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (options.pairs < 1 || options.pairs > 10) {
+    std::fprintf(stderr, "--pairs must be in [1, 10] (2..20 programs)\n");
+    return 2;
+  }
+  return mvrc::Run(options);
+}

@@ -21,6 +21,29 @@ bool Digraph::HasEdge(int from, int to) const {
   return std::find(out.begin(), out.end(), to) != out.end();
 }
 
+Digraph::Builder::Builder(int num_nodes)
+    : num_nodes_(num_nodes),
+      adj_(num_nodes),
+      seen_((static_cast<size_t>(num_nodes) * num_nodes + 63) / 64, 0) {
+  MVRC_CHECK(num_nodes >= 0);
+}
+
+void Digraph::Builder::Add(int from, int to) {
+  MVRC_CHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  const size_t bit = static_cast<size_t>(from) * num_nodes_ + to;
+  uint64_t& word = seen_[bit / 64];
+  const uint64_t flag = uint64_t{1} << (bit % 64);
+  if (word & flag) return;
+  word |= flag;
+  adj_[from].push_back(to);
+}
+
+Digraph Digraph::Builder::Build() && {
+  Digraph graph(num_nodes_);
+  graph.adj_ = std::move(adj_);
+  return graph;
+}
+
 bool Digraph::Reachability::At(int from, int to) const {
   MVRC_CHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
   const uint64_t word = bits_[static_cast<size_t>(from) * words_per_row_ + to / 64];

@@ -22,10 +22,32 @@ class Digraph {
 
   int num_nodes() const { return num_nodes_; }
 
-  /// Adds edge from -> to (idempotent).
+  /// Adds edge from -> to (idempotent). Deduplication scans the source's
+  /// adjacency list, so building a graph edge-by-edge is O(E·deg); bulk
+  /// construction should go through Builder instead.
   void AddEdge(int from, int to);
 
   bool HasEdge(int from, int to) const;
+
+  /// Bulk construction with O(1) deduplication per edge: duplicates are
+  /// dropped against a seen-bitmap instead of AddEdge's O(degree) adjacency
+  /// scan. First-insertion order is preserved, so the built graph's
+  /// adjacency lists — and with them BFS tie-breaking in ShortestPath — are
+  /// identical to adding the same edges through AddEdge one by one.
+  class Builder {
+   public:
+    explicit Builder(int num_nodes);
+
+    void Add(int from, int to);
+
+    /// Finalizes and returns the graph, consuming the builder.
+    Digraph Build() &&;
+
+   private:
+    int num_nodes_;
+    std::vector<std::vector<int>> adj_;
+    std::vector<uint64_t> seen_;  // num_nodes^2 bitmap, row-major
+  };
 
   const std::vector<int>& OutNeighbors(int node) const { return adj_[node]; }
 
@@ -34,6 +56,14 @@ class Digraph {
   class Reachability {
    public:
     bool At(int from, int to) const;
+
+    /// Word-packed row access: row(u) holds num_nodes bits (bit v = At(u, v))
+    /// in words_per_row() uint64 words. Lets callers (the type-II detector)
+    /// combine closure rows directly instead of copying the matrix.
+    int words_per_row() const { return words_per_row_; }
+    const uint64_t* row(int from) const {
+      return bits_.data() + static_cast<size_t>(from) * words_per_row_;
+    }
 
    private:
     friend class Digraph;

@@ -1,7 +1,9 @@
 #include "robust/detector.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "util/bits.h"
 #include "util/check.h"
 
 namespace mvrc {
@@ -24,17 +26,6 @@ bool IsReadLikeSourceType(StatementType type) {
   }
 }
 
-// The statement-level disjunct of Algorithm 2's innermost test, for
-// adjacent edges e3 = (P3,q3,c,q4,P4) and e4 = (P4,q4',cf,q5,P5).
-bool AdjacentPairCondition(const SummaryGraph& graph, const SummaryEdge& e3,
-                           const SummaryEdge& e4) {
-  MVRC_CHECK(e3.to_program == e4.from_program);
-  if (e3.counterflow) return true;                   // adjacent-counterflow pair
-  if (e4.from_occ < e3.to_occ) return true;          // q4' <_{P4} q4
-  const Statement& q3 = graph.program(e3.from_program).stmt(e3.from_occ);
-  return IsReadLikeSourceType(q3.type());            // b_{i-1} is an R/PR-operation
-}
-
 // Boolean n x n matrix with 64-bit packed rows.
 class BoolMatrix {
  public:
@@ -50,40 +41,21 @@ class BoolMatrix {
     return words_.data() + static_cast<size_t>(r) * WordsPerRow();
   }
 
-  /// Boolean matrix product this · other.
-  BoolMatrix Multiply(const BoolMatrix& other) const {
-    BoolMatrix out(n_);
-    const int wpr = WordsPerRow();
-    for (int i = 0; i < n_; ++i) {
-      const uint64_t* a_row = row(i);
-      uint64_t* out_row = out.row(i);
-      for (int j = 0; j < n_; ++j) {
-        if ((a_row[j / 64] >> (j % 64)) & 1) {
-          const uint64_t* b_row = other.row(j);
-          for (int w = 0; w < wpr; ++w) out_row[w] |= b_row[w];
-        }
-      }
-    }
-    return out;
-  }
-
  private:
   int n_;
   std::vector<uint64_t> words_;
 };
 
-BoolMatrix ReachabilityMatrix(const Digraph& graph) {
-  Digraph::Reachability reach = graph.ComputeReachability();
-  BoolMatrix m(graph.num_nodes());
-  for (int u = 0; u < graph.num_nodes(); ++u) {
-    for (int v = 0; v < graph.num_nodes(); ++v) {
-      if (reach.At(u, v)) m.Set(u, v);
-    }
-  }
-  return m;
-}
-
 }  // namespace
+
+bool AdjacentPairCondition(const SummaryGraph& graph, const SummaryEdge& e3,
+                           const SummaryEdge& e4) {
+  MVRC_CHECK(e3.to_program == e4.from_program);
+  if (e3.counterflow) return true;                   // adjacent-counterflow pair
+  if (e4.from_occ < e3.to_occ) return true;          // q4' <_{P4} q4
+  const Statement& q3 = graph.program(e3.from_program).stmt(e3.from_occ);
+  return IsReadLikeSourceType(q3.type());            // b_{i-1} is an R/PR-operation
+}
 
 std::string TypeIWitness::Describe(const SummaryGraph& graph) const {
   std::ostringstream os;
@@ -125,7 +97,7 @@ std::optional<TypeIIWitness> FindTypeIICycle(const SummaryGraph& graph) {
   const int n = graph.num_programs();
   if (n == 0) return std::nullopt;
   Digraph program_graph = graph.ProgramGraph();
-  BoolMatrix reach = ReachabilityMatrix(program_graph);
+  Digraph::Reachability reach = program_graph.ComputeReachability();
 
   // nc_adj[P1][P2] = 1 iff a non-counterflow edge P1 -> P2 exists.
   BoolMatrix nc_adj(n);
@@ -140,12 +112,27 @@ std::optional<TypeIIWitness> FindTypeIICycle(const SummaryGraph& graph) {
 
   // closes[P3][P5] = 1 iff some non-counterflow edge (P1 -> P2) satisfies
   // P2 ~> P3 and P5 ~> P1; i.e. the pair (e3, e4) can be closed into a
-  // cycle through e1. closes = (reach · nc_adj · reach) transposed:
-  //   closes[x][y] = OR_{P1,P2} reach[y][P1] & nc_adj[P1][P2] & reach[P2][x].
-  BoolMatrix through = reach.Multiply(nc_adj).Multiply(reach);  // through[y][x]
+  // cycle through e1, stored transposed as
+  //   through[y][x] = OR_{P1,P2} reach[y][P1] & nc_adj[P1][P2] & reach[P2][x]
+  // and assembled straight from the closure's packed rows (one reachability
+  // computation feeds both this product and the scan's path checks).
+  const int wpr = reach.words_per_row();
+  BoolMatrix through(n);
+  std::vector<uint64_t> nc_targets(wpr);
+  for (int y = 0; y < n; ++y) {
+    std::fill(nc_targets.begin(), nc_targets.end(), 0);
+    ForEachBit(reach.row(y), wpr, [&](int p1) {
+      const uint64_t* nc_row = nc_adj.row(p1);
+      for (int w = 0; w < wpr; ++w) nc_targets[w] |= nc_row[w];
+    });
+    uint64_t* through_row = through.row(y);
+    ForEachBit(nc_targets.data(), wpr, [&](int p2) {
+      const uint64_t* reach_row = reach.row(p2);
+      for (int w = 0; w < wpr; ++w) through_row[w] |= reach_row[w];
+    });
+  }
 
   // Scan adjacent pairs (e3 into P4, counterflow e4 out of P4).
-  Digraph::Reachability plain_reach = program_graph.ComputeReachability();
   for (int p4 = 0; p4 < n; ++p4) {
     for (int e4_index : graph.OutEdges(p4)) {
       const SummaryEdge& e4 = graph.edges()[e4_index];
@@ -157,8 +144,8 @@ std::optional<TypeIIWitness> FindTypeIICycle(const SummaryGraph& graph) {
         // Reconstruct a witnessing e1.
         for (const SummaryEdge& e1 : graph.edges()) {
           if (e1.counterflow) continue;
-          if (plain_reach.At(e1.to_program, e3.from_program) &&
-              plain_reach.At(e4.to_program, e1.from_program)) {
+          if (reach.At(e1.to_program, e3.from_program) &&
+              reach.At(e4.to_program, e1.from_program)) {
             TypeIIWitness witness;
             witness.e1 = e1;
             witness.e3 = e3;

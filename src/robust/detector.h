@@ -63,6 +63,14 @@ enum class Method {
   kTypeIINaive,  // Algorithm 2, literal implementation
 };
 
+/// Algorithm 2's innermost disjunct for an adjacent edge pair e3 =
+/// (P3,q3,c,q4,P4) and e4 = (P4,q4',cf,q5,P5): true when c is counterflow,
+/// or q4' <_{P4} q4, or type(q3) ∈ {key sel, pred sel, pred upd, pred del}.
+/// Shared by FindTypeIICycle and the MaskedDetector precomputation
+/// (robust/masked_detector.h).
+bool AdjacentPairCondition(const SummaryGraph& graph, const SummaryEdge& e3,
+                           const SummaryEdge& e4);
+
 /// Returns a type-I cycle witness, or nullopt when none exists.
 std::optional<TypeIWitness> FindTypeICycle(const SummaryGraph& graph);
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "btp/unfold.h"
+#include "robust/masked_detector.h"
 #include "summary/build_summary.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -14,10 +15,7 @@
 namespace mvrc {
 
 bool SubsetReport::IsRobustSubset(uint32_t mask) const {
-  for (uint32_t robust : robust_masks) {
-    if (robust == mask) return true;
-  }
-  return false;
+  return std::binary_search(robust_masks.begin(), robust_masks.end(), mask);
 }
 
 std::string SubsetReport::DescribeMask(uint32_t mask,
@@ -47,19 +45,6 @@ std::vector<std::string> SubsetReport::DescribeMaximal(
 }
 
 namespace {
-
-// The induced-subgraph selector for `mask`: keep the unfolded LTPs of every
-// BTP whose bit is set.
-std::vector<bool> KeepFor(uint32_t mask, int n, const std::vector<std::pair<int, int>>& ltp_range,
-                          int num_ltps) {
-  std::vector<bool> keep(num_ltps, false);
-  for (int i = 0; i < n; ++i) {
-    if ((mask >> i) & 1) {
-      for (int p = ltp_range[i].first; p < ltp_range[i].second; ++p) keep[p] = true;
-    }
-  }
-  return keep;
-}
 
 // Maximal = robust with no robust strict superset. Sweep the robust masks in
 // decreasing popcount order: any robust strict superset of `mask` has a
@@ -97,11 +82,12 @@ void Store(const SubsetSweepHooks* hooks, uint32_t mask, bool robust) {
   if (hooks != nullptr && hooks->store) hooks->store(mask, robust);
 }
 
-// The original serial sweep: masks in decreasing popcount order, Proposition
-// 5.2 pruning applied as soon as a mask is found robust. robust_masks is
-// sorted by the caller, so push order does not matter.
-void SweepSerial(const SummaryGraph& full_graph, Method method, int n,
-                 const std::vector<std::pair<int, int>>& ltp_range,
+// The serial sweep: masks in decreasing popcount order, Proposition 5.2
+// pruning applied as soon as a mask is found robust. Per-mask verdicts come
+// from the MaskedDetector against one reused scratch — no graph copies, no
+// per-mask allocation. robust_masks is sorted by the caller, so push order
+// does not matter.
+void SweepSerial(const MaskedDetector& detector, Method method, int n,
                  const SubsetSweepHooks* hooks, SubsetReport& report) {
   const uint32_t full = (uint32_t{1} << n) - 1;
   std::vector<char> known_robust(full + 1, 0);
@@ -113,12 +99,12 @@ void SweepSerial(const SummaryGraph& full_graph, Method method, int n,
     return pa != pb ? pa > pb : a < b;
   });
 
+  DetectorScratch scratch = detector.MakeScratch();
   for (uint32_t mask : order) {
     if (!known_robust[mask]) {
       std::optional<bool> verdict = Lookup(hooks, mask);
       if (!verdict.has_value()) {
-        std::vector<bool> keep = KeepFor(mask, n, ltp_range, full_graph.num_programs());
-        verdict = IsRobust(full_graph.InducedSubgraph(keep), method);
+        verdict = detector.IsRobust(mask, method, scratch);
         Store(hooks, mask, *verdict);
       }
       if (!*verdict) continue;
@@ -136,9 +122,10 @@ void SweepSerial(const SummaryGraph& full_graph, Method method, int n,
 // bitmap is merged serially at the level barrier. This visits exactly the
 // masks the serial sweep runs the detector on, so the resulting report is
 // identical. Hooks are consulted and fed only in the serial sections
-// between fan-outs.
-void SweepParallel(const SummaryGraph& full_graph, Method method, int n,
-                   const std::vector<std::pair<int, int>>& ltp_range, ThreadPool& pool,
+// between fan-outs. Each ThreadPool worker slot owns one DetectorScratch
+// for the whole sweep, so the fan-out performs no per-mask allocation
+// either.
+void SweepParallel(const MaskedDetector& detector, Method method, int n, ThreadPool& pool,
                    const SubsetSweepHooks* hooks, SubsetReport& report) {
   const uint32_t full = (uint32_t{1} << n) - 1;
   std::vector<char> known_robust(full + 1, 0);
@@ -146,6 +133,10 @@ void SweepParallel(const SummaryGraph& full_graph, Method method, int n,
   for (uint32_t mask = 1; mask <= full; ++mask) {
     levels[__builtin_popcount(mask)].push_back(mask);
   }
+
+  std::vector<DetectorScratch> scratches;
+  scratches.reserve(pool.num_threads());
+  for (int t = 0; t < pool.num_threads(); ++t) scratches.push_back(detector.MakeScratch());
 
   for (int level = n; level >= 1; --level) {
     std::vector<uint32_t> todo;
@@ -165,9 +156,8 @@ void SweepParallel(const SummaryGraph& full_graph, Method method, int n,
       todo.push_back(mask);
     }
     std::vector<char> robust(todo.size(), 0);
-    pool.ParallelFor(static_cast<int64_t>(todo.size()), [&](int64_t t) {
-      std::vector<bool> keep = KeepFor(todo[t], n, ltp_range, full_graph.num_programs());
-      robust[t] = IsRobust(full_graph.InducedSubgraph(keep), method) ? 1 : 0;
+    pool.ParallelForWorkers(static_cast<int64_t>(todo.size()), [&](int worker, int64_t t) {
+      robust[t] = detector.IsRobust(todo[t], method, scratches[worker]) ? 1 : 0;
     });
     // Level barrier: merge verdicts into the shared bitmap before the next
     // (lower-popcount) level consults it.
@@ -182,27 +172,25 @@ void SweepParallel(const SummaryGraph& full_graph, Method method, int n,
 
 // The shared 1..kMaxSubsetPrograms bounds check; nullopt when `n` is fine.
 std::optional<Result<SubsetReport>> CheckProgramCount(int n) {
-  if (n >= 1 && n <= kMaxSubsetPrograms) return std::nullopt;
+  if (SubsetProgramCountOk(n)) return std::nullopt;
   return Result<SubsetReport>::Error(
       "subset analysis supports 1.." + std::to_string(kMaxSubsetPrograms) +
       " programs (got " + std::to_string(n) + "): subsets are encoded as 32-bit masks and 2^" +
       std::to_string(kMaxSubsetPrograms) + " is the largest sweep that stays tractable");
 }
 
-Result<SubsetReport> SweepGraph(const SummaryGraph& full_graph,
-                                const std::vector<std::pair<int, int>>& ltp_range,
-                                Method method, ThreadPool* pool,
-                                const SubsetSweepHooks* hooks) {
-  const int n = static_cast<int>(ltp_range.size());
+Result<SubsetReport> SweepDetector(const MaskedDetector& detector, Method method,
+                                   ThreadPool* pool, const SubsetSweepHooks* hooks) {
+  const int n = detector.num_programs();
   if (std::optional<Result<SubsetReport>> error = CheckProgramCount(n)) return *error;
   SubsetReport report;
   report.num_programs = n;
   if (pool != nullptr && pool->num_threads() > 1) {
     report.num_threads = pool->num_threads();
-    SweepParallel(full_graph, method, n, ltp_range, *pool, hooks, report);
+    SweepParallel(detector, method, n, *pool, hooks, report);
   } else {
     report.num_threads = 1;
-    SweepSerial(full_graph, method, n, ltp_range, hooks, report);
+    SweepSerial(detector, method, n, hooks, report);
   }
   std::sort(report.robust_masks.begin(), report.robust_masks.end());
   ComputeMaximalMasks(report);
@@ -211,11 +199,20 @@ Result<SubsetReport> SweepGraph(const SummaryGraph& full_graph,
 
 }  // namespace
 
+Result<SubsetReport> AnalyzeSubsetsOnDetector(const MaskedDetector& detector, Method method,
+                                              ThreadPool* pool,
+                                              const SubsetSweepHooks* hooks) {
+  return SweepDetector(detector, method, pool, hooks);
+}
+
 Result<SubsetReport> AnalyzeSubsetsOnGraph(const SummaryGraph& full_graph,
                                            const std::vector<std::pair<int, int>>& ltp_range,
                                            Method method, ThreadPool* pool,
                                            const SubsetSweepHooks* hooks) {
-  return SweepGraph(full_graph, ltp_range, method, pool, hooks);
+  const int n = static_cast<int>(ltp_range.size());
+  if (std::optional<Result<SubsetReport>> error = CheckProgramCount(n)) return *error;
+  MaskedDetector detector(full_graph, ltp_range);
+  return SweepDetector(detector, method, pool, hooks);
 }
 
 Result<SubsetReport> TryAnalyzeSubsets(const std::vector<Btp>& programs,
@@ -247,7 +244,7 @@ Result<SubsetReport> TryAnalyzeSubsets(const std::vector<Btp>& programs,
   SummaryGraph full_graph =
       BuildSummaryGraph(std::move(all_ltps), settings,
                         pool != nullptr && pool->num_threads() > 1 ? pool : nullptr);
-  return SweepGraph(full_graph, ltp_range, method, pool, hooks);
+  return AnalyzeSubsetsOnGraph(full_graph, ltp_range, method, pool, hooks);
 }
 
 SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSettings& settings,

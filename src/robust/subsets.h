@@ -19,6 +19,7 @@
 
 namespace mvrc {
 
+class MaskedDetector;
 class ThreadPool;
 
 /// Hard bound on the number of programs subset analysis accepts. Subsets are
@@ -30,6 +31,11 @@ class ThreadPool;
 /// `num_programs` is within this bound.
 inline constexpr int kMaxSubsetPrograms = 20;
 
+/// The accepted program-count range of every sweep entry point below — the
+/// single source of truth callers (the analysis service) consult to decide
+/// whether a sweep can run before building per-sweep structures.
+constexpr bool SubsetProgramCountOk(int n) { return n >= 1 && n <= kMaxSubsetPrograms; }
+
 /// Result of testing all non-empty subsets of a program set.
 struct SubsetReport {
   int num_programs = 0;
@@ -37,7 +43,9 @@ struct SubsetReport {
   std::vector<uint32_t> robust_masks;   // every robust subset, as a bitmask
   std::vector<uint32_t> maximal_masks;  // robust subsets maximal under inclusion
 
-  /// True when the subset encoded by `mask` was found robust.
+  /// True when the subset encoded by `mask` was found robust. Binary search:
+  /// requires robust_masks sorted ascending, which every sweep in this
+  /// header guarantees.
   bool IsRobustSubset(uint32_t mask) const;
 
   /// Renders masks as "{A, B}" strings using per-program display names.
@@ -88,16 +96,28 @@ Result<SubsetReport> TryAnalyzeSubsets(const std::vector<Btp>& programs,
 
 /// The sweep alone, on a caller-provided summary graph over the full program
 /// set. `ltp_range[i]` is the [begin, end) range of `full_graph` node
-/// indices holding program i's unfolded LTPs; subset graphs are induced
-/// subgraphs (Algorithm 1's edge conditions are local to the two programs of
-/// an edge). This is the entry point for the incremental analysis service,
-/// whose sessions maintain `full_graph` across mutations instead of
-/// rebuilding it per request. The report is identical to what
+/// indices holding program i's unfolded LTPs; a subset's graph is the
+/// induced subgraph over its programs' LTPs (Algorithm 1's edge conditions
+/// are local to the two programs of an edge), which the sweep evaluates
+/// without materializing: a MaskedDetector is precomputed once per call and
+/// each mask is a bitset query against it (AnalyzeSubsetsOnDetector below
+/// skips even that precomputation). The report is identical to what
 /// AnalyzeSubsets computes for the same program set.
 Result<SubsetReport> AnalyzeSubsetsOnGraph(const SummaryGraph& full_graph,
                                            const std::vector<std::pair<int, int>>& ltp_range,
                                            Method method, ThreadPool* pool = nullptr,
                                            const SubsetSweepHooks* hooks = nullptr);
+
+/// The sweep on a caller-owned MaskedDetector (robust/masked_detector.h) —
+/// the zero-copy hot path every entry point above funnels into. Per-mask
+/// verdicts are bitset queries against the detector's precomputed structures
+/// with no SummaryGraph/Ltp copies and no per-mask heap allocation; callers
+/// holding a summary graph across requests (the analysis service) keep the
+/// detector alongside it and amortize the precomputation too. The report is
+/// identical to AnalyzeSubsets over the same program set.
+Result<SubsetReport> AnalyzeSubsetsOnDetector(const MaskedDetector& detector, Method method,
+                                              ThreadPool* pool = nullptr,
+                                              const SubsetSweepHooks* hooks = nullptr);
 
 }  // namespace mvrc
 

@@ -100,7 +100,7 @@ void WorkloadSession::AppendEntryLocked(const Btp& program) {
     cells_[pairs[t].first][pairs[t].second] = std::move(computed[t]);
   }
   label_counter_ += program.num_statements();
-  graph_.reset();
+  InvalidateGraphLocked();
 }
 
 Result<std::vector<std::string>> WorkloadSession::LoadSql(const std::string& source) {
@@ -176,7 +176,7 @@ Status WorkloadSession::RemoveProgram(const std::string& name) {
   // to the two programs of an edge, so removing a program only removes its
   // incident edges.
   ++stats_.programs_removed;
-  graph_.reset();
+  InvalidateGraphLocked();
   return Status();
 }
 
@@ -229,7 +229,7 @@ Status WorkloadSession::ReplaceProgramLocked(const Btp& program) {
   }
   label_counter_ += program.num_statements();
   ++stats_.programs_replaced;
-  graph_.reset();
+  InvalidateGraphLocked();
   return Status();
 }
 
@@ -318,6 +318,17 @@ const SummaryGraph& WorkloadSession::CachedGraphLocked() {
   return *graph_;
 }
 
+const MaskedDetector& WorkloadSession::CachedDetectorLocked() {
+  const SummaryGraph& graph = CachedGraphLocked();
+  if (!detector_.has_value()) detector_.emplace(graph, LtpRangesLocked());
+  return *detector_;
+}
+
+void WorkloadSession::InvalidateGraphLocked() {
+  detector_.reset();  // borrows *graph_, so it must go first
+  graph_.reset();
+}
+
 SummaryGraph WorkloadSession::Graph() {
   std::lock_guard<std::mutex> lock(mutex_);
   return CachedGraphLocked();
@@ -400,8 +411,15 @@ Result<SubsetReport> WorkloadSession::Subsets(Method method, std::vector<std::st
     ++stats_.detector_runs;
     verdict_cache_.Store(FingerprintLocked(mask, method), robust);
   };
+  // In-bounds sweeps run against the memoized MaskedDetector, so repeated
+  // subset requests (and re-checks after mutations, where the verdict cache
+  // answers the untouched masks) skip both graph copies and the detector
+  // precomputation. Out-of-bounds sessions take the graph entry point, which
+  // reports the program-count error without building a detector.
   Result<SubsetReport> report =
-      AnalyzeSubsetsOnGraph(graph, LtpRangesLocked(), method, pool_, &hooks);
+      SubsetProgramCountOk(static_cast<int>(entries_.size()))
+          ? AnalyzeSubsetsOnDetector(CachedDetectorLocked(), method, pool_, &hooks)
+          : AnalyzeSubsetsOnGraph(graph, LtpRangesLocked(), method, pool_, &hooks);
   if (report.ok()) ++stats_.subset_sweeps;
   SyncCacheStatsLocked();
   return report;

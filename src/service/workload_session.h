@@ -43,6 +43,7 @@
 #include "btp/ltp.h"
 #include "btp/program.h"
 #include "robust/detector.h"
+#include "robust/masked_detector.h"
 #include "robust/subsets.h"
 #include "robust/verdict_cache.h"
 #include "schema/schema.h"
@@ -192,6 +193,10 @@ class WorkloadSession {
   Status ReplaceProgramLocked(const Btp& program);
   SummaryGraph MaterializeLocked();
   const SummaryGraph& CachedGraphLocked();
+  const MaskedDetector& CachedDetectorLocked();
+  // Drops the memoized graph and the detector borrowing it; every mutation
+  // that touches cells must call this.
+  void InvalidateGraphLocked();
   std::string FingerprintLocked(uint32_t mask, Method method) const;
   std::vector<std::pair<int, int>> LtpRangesLocked() const;
   void SyncCacheStatsLocked();
@@ -206,6 +211,10 @@ class WorkloadSession {
   // cells_[i][j], square over entries_.
   std::vector<std::vector<Cell>> cells_;
   std::optional<SummaryGraph> graph_;  // memoized materialization
+  // Memoized mask-native detector over *graph_ (borrows it; reset together).
+  // Subset re-checks after a mutation reuse its precomputed bitsets and only
+  // pay detector time for masks the verdict cache cannot answer.
+  std::optional<MaskedDetector> detector_;
   VerdictCache verdict_cache_;
   SessionStats stats_;
   int64_t next_revision_ = 1;

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 #include <tuple>
+#include <utility>
 
 #include "util/check.h"
 #include "util/dot_writer.h"
@@ -47,19 +48,19 @@ int SummaryGraph::num_distinct_statement_edges() const {
 }
 
 Digraph SummaryGraph::ProgramGraph() const {
-  Digraph graph(num_programs());
+  Digraph::Builder builder(num_programs());
   for (const SummaryEdge& edge : edges_) {
-    graph.AddEdge(edge.from_program, edge.to_program);
+    builder.Add(edge.from_program, edge.to_program);
   }
-  return graph;
+  return std::move(builder).Build();
 }
 
 Digraph SummaryGraph::NonCounterflowProgramGraph() const {
-  Digraph graph(num_programs());
+  Digraph::Builder builder(num_programs());
   for (const SummaryEdge& edge : edges_) {
-    if (!edge.counterflow) graph.AddEdge(edge.from_program, edge.to_program);
+    if (!edge.counterflow) builder.Add(edge.from_program, edge.to_program);
   }
-  return graph;
+  return std::move(builder).Build();
 }
 
 SummaryGraph SummaryGraph::InducedSubgraph(const std::vector<bool>& keep) const {

@@ -1,0 +1,37 @@
+// Helpers for word-packed bitset rows (64-bit words, bit b of a row lives
+// in word b/64). Shared by the cycle detectors: Digraph::Reachability,
+// detector.cc's closure assembly and the MaskedDetector all operate on rows
+// in this layout.
+
+#ifndef MVRC_UTIL_BITS_H_
+#define MVRC_UTIL_BITS_H_
+
+#include <cstdint>
+
+namespace mvrc {
+
+inline bool TestBit(const uint64_t* row, int bit) { return (row[bit / 64] >> (bit % 64)) & 1; }
+
+inline void SetBit(uint64_t* row, int bit) { row[bit / 64] |= uint64_t{1} << (bit % 64); }
+
+/// True when any bit of the `words`-word row is set.
+inline bool AnyBit(const uint64_t* row, int words) {
+  for (int w = 0; w < words; ++w) {
+    if (row[w] != 0) return true;
+  }
+  return false;
+}
+
+/// Calls fn(b) for every set bit b of the `words`-word row, ascending.
+template <typename Fn>
+void ForEachBit(const uint64_t* row, int words, Fn&& fn) {
+  for (int w = 0; w < words; ++w) {
+    for (uint64_t rest = row[w]; rest != 0; rest &= rest - 1) {
+      fn(w * 64 + __builtin_ctzll(rest));
+    }
+  }
+}
+
+}  // namespace mvrc
+
+#endif  // MVRC_UTIL_BITS_H_

@@ -41,15 +41,21 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(int64_t count, const std::function<void(int64_t)>& fn) {
+  ParallelForWorkers(count, [&fn](int, int64_t i) { fn(i); });
+}
+
+void ThreadPool::ParallelForWorkers(int64_t count,
+                                    const std::function<void(int, int64_t)>& fn) {
   if (count <= 0) return;
   // Dynamic scheduling: workers pull the next unclaimed index. One pool task
-  // per worker, each looping until the index space is exhausted.
+  // per worker, each looping until the index space is exhausted; the task's
+  // ordinal is the worker slot handed to fn.
   auto next = std::make_shared<std::atomic<int64_t>>(0);
   const int tasks = static_cast<int>(std::min<int64_t>(num_threads(), count));
   for (int t = 0; t < tasks; ++t) {
-    Submit([next, count, &fn] {
+    Submit([next, count, &fn, t] {
       for (int64_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
-        fn(i);
+        fn(t, i);
       }
     });
   }

@@ -44,6 +44,13 @@ class ThreadPool {
   /// (our callers write to disjoint output slots).
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
 
+  /// ParallelFor with a worker slot: fn(slot, index) where `slot` is stable
+  /// within one pool task and ranges over [0, min(num_threads, count)).
+  /// At most one item runs per slot at a time, so callers can keep mutable
+  /// per-slot state (the masked subset sweep reuses one DetectorScratch per
+  /// slot) without locking.
+  void ParallelForWorkers(int64_t count, const std::function<void(int, int64_t)>& fn);
+
   /// Maps a requested thread count to an effective one: values >= 1 pass
   /// through, values < 1 mean "use the hardware concurrency".
   static int ResolveThreadCount(int requested);
