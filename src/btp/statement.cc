@@ -135,6 +135,40 @@ Statement Statement::PredDelete(std::string label, const Schema& schema, Relatio
                    schema.relation(rel).AllAttrs(), pread_set);
 }
 
+size_t HashShape(const StatementShape& shape) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t value) {
+    h ^= value;
+    h *= 1099511628211ull;  // FNV-1a prime
+  };
+  mix(static_cast<uint64_t>(shape.type));
+  mix(static_cast<uint64_t>(shape.rel));
+  mix(shape.read_bits);
+  mix(shape.write_bits);
+  mix(shape.pread_bits);
+  mix(shape.defined);
+  return static_cast<size_t>(h);
+}
+
+StatementShape Statement::shape() const {
+  StatementShape shape;
+  shape.type = type_;
+  shape.rel = rel_;
+  if (read_set_.has_value()) {
+    shape.read_bits = read_set_->bits();
+    shape.defined |= 1;
+  }
+  if (write_set_.has_value()) {
+    shape.write_bits = write_set_->bits();
+    shape.defined |= 2;
+  }
+  if (pread_set_.has_value()) {
+    shape.pread_bits = pread_set_->bits();
+    shape.defined |= 4;
+  }
+  return shape;
+}
+
 bool operator==(const Statement& a, const Statement& b) {
   return a.label_ == b.label_ && a.type_ == b.type_ && a.rel_ == b.rel_ &&
          a.read_set_ == b.read_set_ && a.write_set_ == b.write_set_ &&

@@ -9,6 +9,7 @@
 #ifndef MVRC_BTP_STATEMENT_H_
 #define MVRC_BTP_STATEMENT_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -44,6 +45,30 @@ bool IsPredicateBased(StatementType type);
 /// True when the statement performs write operations (ins, upd, del).
 bool WritesTuples(StatementType type);
 
+/// The label-free identity of a statement: (type, rel, ReadSet, WriteSet,
+/// PReadSet) with ⊥ kept distinct from the defined-but-empty set. Every
+/// dependency verdict of Algorithm 1's condition tables is a pure function
+/// of the two statements' shapes, which is what makes shapes worth
+/// hash-consing (see summary/statement_interner.h): unfolded workloads
+/// contain few distinct shapes, so shape-pair verdicts can be precomputed
+/// once and replayed per occurrence pair.
+struct StatementShape {
+  StatementType type = StatementType::kInsert;
+  RelationId rel = 0;
+  // Attribute masks; ⊥ is distinguished from the empty set by `defined`
+  // (bit 0 = ReadSet, bit 1 = WriteSet, bit 2 = PReadSet). Undefined sets
+  // always store 0 bits so equality and hashing stay canonical.
+  uint64_t read_bits = 0;
+  uint64_t write_bits = 0;
+  uint64_t pread_bits = 0;
+  uint8_t defined = 0;
+
+  friend bool operator==(const StatementShape&, const StatementShape&) = default;
+};
+
+/// FNV-1a over the shape's canonical fields, for unordered_map interning.
+size_t HashShape(const StatementShape& shape);
+
 /// A single BTP statement. Value type; immutable after construction.
 class Statement {
  public:
@@ -73,6 +98,10 @@ class Statement {
   const std::optional<AttrSet>& write_set() const { return write_set_; }
   /// PReadSet(q): attributes used in selection predicates, or ⊥.
   const std::optional<AttrSet>& pread_set() const { return pread_set_; }
+
+  /// The statement's label-free identity. Two statements with equal shapes
+  /// are interchangeable for every dependency verdict.
+  StatementShape shape() const;
 
   /// ReadSet/WriteSet/PReadSet with ⊥ mapped to the empty set (convenient for
   /// intersection tests at attribute granularity).

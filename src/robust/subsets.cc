@@ -156,9 +156,18 @@ void SweepParallel(const MaskedDetector& detector, Method method, int n, ThreadP
       todo.push_back(mask);
     }
     std::vector<char> robust(todo.size(), 0);
-    pool.ParallelForWorkers(static_cast<int64_t>(todo.size()), [&](int worker, int64_t t) {
-      robust[t] = detector.IsRobust(todo[t], method, scratches[worker]) ? 1 : 0;
-    });
+    // Grain-chunked fan-out: one dispatch per block of masks instead of per
+    // mask (levels can hold 100k+ masks, each a microsecond-scale detector
+    // call). Capped so a handful of unusually slow masks cannot serialize a
+    // whole block's worth of work on one worker.
+    const int64_t grain = std::min<int64_t>(
+        ThreadPool::DefaultGrain(static_cast<int64_t>(todo.size()), pool.num_threads()), 256);
+    pool.ParallelForWorkersChunked(
+        static_cast<int64_t>(todo.size()), grain, [&](int worker, int64_t begin, int64_t end) {
+          for (int64_t t = begin; t < end; ++t) {
+            robust[t] = detector.IsRobust(todo[t], method, scratches[worker]) ? 1 : 0;
+          }
+        });
     // Level barrier: merge verdicts into the shared bitmap before the next
     // (lower-popcount) level consults it.
     for (size_t t = 0; t < todo.size(); ++t) {

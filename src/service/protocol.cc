@@ -250,6 +250,7 @@ Json HandleStats(SessionManager& manager, const Json& request) {
   response.Set("programs_replaced", Json::Int(stats.programs_replaced));
   response.Set("cells_computed", Json::Int(stats.cells_computed));
   response.Set("stmt_pairs_evaluated", Json::Int(stats.stmt_pairs_evaluated));
+  response.Set("shapes_interned", Json::Int(stats.shapes_interned));
   response.Set("graph_materializations", Json::Int(stats.graph_materializations));
   response.Set("detector_runs", Json::Int(stats.detector_runs));
   response.Set("subset_sweeps", Json::Int(stats.subset_sweeps));

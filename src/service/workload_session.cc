@@ -5,7 +5,6 @@
 
 #include "btp/unfold.h"
 #include "sql/analyzer.h"
-#include "summary/build_summary.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -45,15 +44,18 @@ int WorkloadSession::FindEntryLocked(const std::string& name) const {
 
 WorkloadSession::Cell WorkloadSession::ComputeCellLocked(const Entry& from,
                                                          const Entry& to) const {
+  // Interned bucket-join emission — bit-identical to SummaryEdgesBetween
+  // over the plain LTPs (the contract the interned builder is differentially
+  // gated on), straight into the cell's flat arena.
   Cell cell;
-  cell.rows.resize(from.ltps.size());
-  for (size_t a = 0; a < from.ltps.size(); ++a) {
-    for (size_t b = 0; b < to.ltps.size(); ++b) {
-      std::vector<SummaryEdge> edges =
-          SummaryEdgesBetween(from.ltps[a], static_cast<int>(a), to.ltps[b],
-                              static_cast<int>(b), settings_);
-      cell.rows[a].insert(cell.rows[a].end(), edges.begin(), edges.end());
+  cell.row_start.reserve(from.interned.size() + 1);
+  cell.row_start.push_back(0);
+  for (size_t a = 0; a < from.interned.size(); ++a) {
+    for (size_t b = 0; b < to.interned.size(); ++b) {
+      AppendInternedCellEdges(from.interned[a], static_cast<int>(a), to.interned[b],
+                              static_cast<int>(b), matrix_, cell.edges);
     }
+    cell.row_start.push_back(static_cast<int32_t>(cell.edges.size()));
   }
   return cell;
 }
@@ -80,8 +82,20 @@ std::vector<WorkloadSession::Cell> WorkloadSession::ComputeCellsLocked(
   return computed;
 }
 
+WorkloadSession::Entry WorkloadSession::MakeEntryLocked(const Btp& program) {
+  // The caller assigns the revision.
+  Entry entry{program, UnfoldAtMost2(program), {}, 0};
+  entry.interned.reserve(entry.ltps.size());
+  for (const Ltp& ltp : entry.ltps) entry.interned.push_back(InternLtp(interner_, ltp));
+  // Cover any newly interned shapes before cell computation (which may fan
+  // out across the pool and must see a read-only interner + matrix).
+  matrix_.Sync(interner_, settings_);
+  return entry;
+}
+
 void WorkloadSession::AppendEntryLocked(const Btp& program) {
-  entries_.push_back(Entry{program, UnfoldAtMost2(program), next_revision_++});
+  entries_.push_back(MakeEntryLocked(program));
+  entries_.back().revision = next_revision_++;
   const int k = static_cast<int>(entries_.size()) - 1;
 
   // Grow the grid and compute the new program's column and row: the only
@@ -193,7 +207,8 @@ Status WorkloadSession::ReplaceProgramLocked(const Btp& program) {
   }
   const int n = static_cast<int>(entries_.size());
 
-  Entry candidate{program, UnfoldAtMost2(program), entries_[r].revision};
+  Entry candidate = MakeEntryLocked(program);
+  candidate.revision = entries_[r].revision;
 
   // Recompute the replaced program's row and column of cells against the
   // candidate.
@@ -295,22 +310,33 @@ SummaryGraph WorkloadSession::MaterializeLocked() {
   for (const Entry& entry : entries_) {
     all_ltps.insert(all_ltps.end(), entry.ltps.begin(), entry.ltps.end());
   }
-  SummaryGraph graph(std::move(all_ltps));
   // Emit cells in the serial builder's order — source LTP major, then target
-  // LTP — so the edge list is bit-identical to a from-scratch build.
+  // LTP — so the edge list is bit-identical to a from-scratch build. Each
+  // (row, cell) contribution is one contiguous arena slice; only the
+  // pair-local program indices need remapping into the global node space.
   const int n = static_cast<int>(entries_.size());
+  size_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) total += cells_[i][j].edges.size();
+  }
+  std::vector<SummaryEdge> edges;
+  edges.reserve(total);
   for (int i = 0; i < n; ++i) {
     for (size_t a = 0; a < entries_[i].ltps.size(); ++a) {
       for (int j = 0; j < n; ++j) {
-        for (const SummaryEdge& edge : cells_[i][j].rows[a]) {
-          graph.AddEdge({ranges[i].first + edge.from_program, edge.from_occ,
-                         edge.counterflow, edge.to_occ, ranges[j].first + edge.to_program});
+        const Cell& cell = cells_[i][j];
+        const int32_t begin = cell.row_start[a], end = cell.row_start[a + 1];
+        for (int32_t e = begin; e < end; ++e) {
+          const SummaryEdge& edge = cell.edges[e];
+          edges.push_back({ranges[i].first + edge.from_program, edge.from_occ,
+                           edge.counterflow, edge.to_occ,
+                           ranges[j].first + edge.to_program});
         }
       }
     }
   }
   ++stats_.graph_materializations;
-  return graph;
+  return SummaryGraph(std::move(all_ltps), std::move(edges));
 }
 
 const SummaryGraph& WorkloadSession::CachedGraphLocked() {
@@ -351,6 +377,7 @@ void WorkloadSession::SyncCacheStatsLocked() {
   stats_.verdict_cache_hits = verdict_cache_.hits();
   stats_.verdict_cache_misses = verdict_cache_.misses();
   stats_.verdict_cache_size = static_cast<int64_t>(verdict_cache_.size());
+  stats_.shapes_interned = interner_.num_shapes();
 }
 
 CheckResult WorkloadSession::Check(Method method) {
@@ -441,6 +468,7 @@ SessionStats WorkloadSession::stats() const {
   copy.verdict_cache_hits = verdict_cache_.hits();
   copy.verdict_cache_misses = verdict_cache_.misses();
   copy.verdict_cache_size = static_cast<int64_t>(verdict_cache_.size());
+  copy.shapes_interned = interner_.num_shapes();
   return copy;
 }
 

@@ -48,6 +48,7 @@
 #include "robust/verdict_cache.h"
 #include "schema/schema.h"
 #include "search/counterexample.h"
+#include "summary/statement_interner.h"
 #include "summary/summary_graph.h"
 #include "util/result.h"
 #include "workloads/workload.h"
@@ -66,6 +67,7 @@ struct SessionStats {
   int64_t programs_replaced = 0;
   int64_t cells_computed = 0;        // LTP-pair cells recomputed
   int64_t stmt_pairs_evaluated = 0;  // statement pairs fed to the dep tables
+  int64_t shapes_interned = 0;       // distinct statement shapes hash-consed
   int64_t graph_materializations = 0;
   int64_t detector_runs = 0;   // cycle tests actually executed
   int64_t subset_sweeps = 0;
@@ -162,18 +164,23 @@ class WorkloadSession {
   SessionStats stats() const;
 
  private:
-  // One member program with its unfolding and cache revision.
+  // One member program with its unfolding (plain and interned — the
+  // interned form is what cell computation reads) and cache revision.
   struct Entry {
     Btp program;
     std::vector<Ltp> ltps;
+    std::vector<InternedLtp> interned;  // parallel to ltps, over interner_
     int64_t revision = 0;
   };
-  // Summary edges from entry i's LTPs to entry j's LTPs. rows[a] holds the
-  // edges whose source is LTP a of program i, in the serial builder's inner
-  // order — (target LTP b, q_i, q_j, non-counterflow before counterflow) —
-  // with from_program = a and to_program = b as pair-local LTP indices.
+  // Summary edges from entry i's LTPs to entry j's LTPs, stored CSR-style:
+  // one flat arena in the serial builder's inner order — (source LTP a,
+  // target LTP b, q_i, q_j, non-counterflow before counterflow) — with
+  // row_start[a] .. row_start[a+1] delimiting the edges whose source is LTP
+  // a, so materialization reads each (row, cell) slice contiguously.
+  // from_program = a and to_program = b are pair-local LTP indices.
   struct Cell {
-    std::vector<std::vector<SummaryEdge>> rows;
+    std::vector<SummaryEdge> edges;
+    std::vector<int32_t> row_start;  // size = from-entry LTP count + 1
 
     friend bool operator==(const Cell&, const Cell&) = default;
   };
@@ -183,6 +190,9 @@ class WorkloadSession {
   using EntryAt = std::function<const Entry&(int)>;
 
   int FindEntryLocked(const std::string& name) const;
+  // Unfolds and interns `program` (growing interner_/matrix_); the caller
+  // assigns the revision.
+  Entry MakeEntryLocked(const Btp& program);
   Cell ComputeCellLocked(const Entry& from, const Entry& to) const;
   // Computes the cells for `pairs` (fanning across the pool when present)
   // and accounts the dep-table work in stats_.
@@ -207,6 +217,11 @@ class WorkloadSession {
 
   mutable std::mutex mutex_;
   Schema schema_;
+  // Session-lifetime statement-shape interner and the verdict matrix over it
+  // (under settings_). Append-only: shapes of removed programs linger, which
+  // costs a few bytes and keeps every InternedLtp's ids stable.
+  StatementInterner interner_;
+  ShapeVerdictMatrix matrix_;
   std::vector<Entry> entries_;
   // cells_[i][j], square over entries_.
   std::vector<std::vector<Cell>> cells_;

@@ -1,31 +1,15 @@
 #include "summary/build_summary.h"
 
+#include <cstdint>
+#include <unordered_map>
 #include <utility>
 
 #include "btp/unfold.h"
+#include "summary/statement_interner.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace mvrc {
-
-namespace {
-
-// Edges whose source is program `pi`, in the serial loop's inner order
-// (pj, then qi, then qj, non-counterflow before counterflow per statement
-// pair). Appending these row buffers in pi order reproduces the serial edge
-// list bit for bit, which keeps the parallel build observably identical.
-std::vector<SummaryEdge> EdgesFromProgram(const SummaryGraph& graph, int pi,
-                                          const AnalysisSettings& settings) {
-  std::vector<SummaryEdge> edges;
-  const int n = graph.num_programs();
-  for (int pj = 0; pj < n; ++pj) {
-    std::vector<SummaryEdge> cell =
-        SummaryEdgesBetween(graph.program(pi), pi, graph.program(pj), pj, settings);
-    edges.insert(edges.end(), cell.begin(), cell.end());
-  }
-  return edges;
-}
-
-}  // namespace
 
 std::vector<SummaryEdge> SummaryEdgesBetween(const Ltp& from, int from_index, const Ltp& to,
                                              int to_index, const AnalysisSettings& settings) {
@@ -44,28 +28,296 @@ std::vector<SummaryEdge> SummaryEdgesBetween(const Ltp& from, int from_index, co
   return edges;
 }
 
-SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings,
-                               ThreadPool* pool) {
-  SummaryGraph graph(std::move(programs));
-  const int n = graph.num_programs();
-  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
-    for (int pi = 0; pi < n; ++pi) {
-      for (const SummaryEdge& edge : EdgesFromProgram(graph, pi, settings)) {
-        graph.AddEdge(edge);
+namespace {
+
+// One cell-template entry: an edge between two occurrence positions, with
+// the (from_program, to_program) fields left to the replay site.
+struct TemplateEdge {
+  int32_t from_occ;
+  int32_t to_occ;
+  bool counterflow;
+};
+
+// Hash-consing whole LTPs caps the cell-template table at
+// kMaxTemplatedLtpShapes² templates. Replicated workloads (the mvrcd
+// serving case) have a handful of distinct LTP shapes; workloads whose
+// shape count grows with the program count (e.g. Auction(n)'s per-item
+// relations) blow past the cap — or show no reuse at all — and take the
+// direct bucket-join path, whose cost is the same O(same-relation
+// occurrence pairs) as one template fill.
+constexpr int kMaxTemplatedLtpShapes = 512;
+
+// The interned lowering of a whole program set: one interner, one Sync'd
+// verdict matrix, one InternedLtp per program — plus, when the workload's
+// distinct LTP-shape count is small, a dense (shape, shape) -> edge-template
+// table that turns per-cell work into table replay.
+struct InternedPrograms {
+  StatementInterner interner;
+  ShapeVerdictMatrix matrix;
+  std::vector<InternedLtp> ltps;
+
+  // LTP hash-consing: ltp_shape[p] identifies p's whole-LTP shape;
+  // shape_rep[s] is the index of the first LTP with shape s.
+  std::vector<int32_t> ltp_shape;
+  std::vector<int32_t> shape_rep;
+
+  // Dense template table (empty when over budget): for shapes (sa, sb),
+  // templates[sa * num_shapes + sb] lists the cell's edges as
+  // (from_occ, to_occ, counterflow) triples in emission order.
+  std::vector<std::vector<TemplateEdge>> templates;
+  bool use_templates = false;
+};
+
+InternedPrograms InternPrograms(const std::vector<Ltp>& programs,
+                                const AnalysisSettings& settings) {
+  InternedPrograms interned;
+  interned.ltps.reserve(programs.size());
+  for (const Ltp& program : programs) {
+    interned.ltps.push_back(InternLtp(interned.interner, program));
+  }
+  interned.matrix.Sync(interned.interner, settings);
+
+  // Hash-cons whole LTPs (bucketed by content hash, verified by full
+  // comparison — hash collisions must not merge distinct shapes).
+  interned.ltp_shape.resize(interned.ltps.size());
+  std::unordered_map<uint64_t, std::vector<int32_t>> by_hash;
+  for (size_t p = 0; p < interned.ltps.size(); ++p) {
+    const uint64_t hash = HashLtpShape(interned.ltps[p]);
+    std::vector<int32_t>& candidates = by_hash[hash];
+    int32_t shape = -1;
+    for (int32_t s : candidates) {
+      if (SameLtpShape(interned.ltps[interned.shape_rep[s]], interned.ltps[p])) {
+        shape = s;
+        break;
       }
     }
-    return graph;
+    if (shape < 0) {
+      shape = static_cast<int32_t>(interned.shape_rep.size());
+      interned.shape_rep.push_back(static_cast<int32_t>(p));
+      candidates.push_back(shape);
+    }
+    interned.ltp_shape[p] = shape;
   }
-  // Rows (source programs) are independent: compute each row's edges on the
-  // pool, then splice serially in row order.
-  std::vector<std::vector<SummaryEdge>> rows(n);
-  pool->ParallelFor(n, [&graph, &rows, &settings](int64_t pi) {
-    rows[pi] = EdgesFromProgram(graph, static_cast<int>(pi), settings);
+
+  // Precompute the cell template of every ordered shape pair: the edges two
+  // LTPs of those shapes admit, which is the same for every replica pair
+  // (cell edges are a pure function of the two LTPs' shapes and FK lists).
+  // Only worthwhile when shapes are actually reused — with every LTP
+  // distinct, filling shapes² templates is exactly the direct build's
+  // dep-table work plus a second copy of every cell.
+  const int num_shapes = static_cast<int>(interned.shape_rep.size());
+  if (num_shapes <= kMaxTemplatedLtpShapes &&
+      num_shapes < static_cast<int>(interned.ltps.size())) {
+    interned.use_templates = true;
+    interned.templates.resize(static_cast<size_t>(num_shapes) * num_shapes);
+    std::vector<SummaryEdge> cell;
+    for (int sa = 0; sa < num_shapes; ++sa) {
+      for (int sb = 0; sb < num_shapes; ++sb) {
+        cell.clear();
+        AppendInternedCellEdges(interned.ltps[interned.shape_rep[sa]], 0,
+                                interned.ltps[interned.shape_rep[sb]], 0, interned.matrix,
+                                cell);
+        std::vector<TemplateEdge>& tmpl =
+            interned.templates[static_cast<size_t>(sa) * num_shapes + sb];
+        tmpl.reserve(cell.size());
+        for (const SummaryEdge& edge : cell) {
+          tmpl.push_back({static_cast<int32_t>(edge.from_occ),
+                          static_cast<int32_t>(edge.to_occ), edge.counterflow});
+        }
+      }
+    }
+  }
+  return interned;
+}
+
+// Edges whose source is row `pi`, in the serial loop's inner order (pj, then
+// qi, then qj, non-counterflow before counterflow per statement pair).
+// Appending these row buffers in pi order reproduces the legacy serial edge
+// list bit for bit, which keeps the interned and parallel builds observably
+// identical.
+void AppendRowEdges(const InternedPrograms& interned, int pi,
+                    std::vector<SummaryEdge>& out) {
+  const int n = static_cast<int>(interned.ltps.size());
+  const InternedLtp& from = interned.ltps[pi];
+  for (int pj = 0; pj < n; ++pj) {
+    AppendInternedCellEdges(from, pi, interned.ltps[pj], pj, interned.matrix, out);
+  }
+}
+
+// The arena and CSR metadata of a template-replay build, handed to the
+// trusted SummaryGraph constructor by BuildSummaryGraph (which befriends
+// it).
+struct ReplayArena {
+  std::vector<SummaryEdge> edges;
+  int num_counterflow = 0;
+  std::vector<int32_t> out_offsets, in_offsets, in_index;
+};
+
+// The template-replay build: because every cell is a template of known size,
+// the whole CSR layout — total edge count, per-row/per-column arena offsets
+// and the counterflow count — follows from shape-count algebra in
+// O(shapes² + n) before a single edge is written. Rows then write their
+// edges straight into disjoint slices of the final arena (serially or
+// grain-chunked across the pool), and the trusted SummaryGraph constructor
+// skips everything but the in-index scatter.
+ReplayArena ReplayBuild(const InternedPrograms& interned, ThreadPool* pool) {
+  const int n = static_cast<int>(interned.ltps.size());
+  const int num_shapes = static_cast<int>(interned.shape_rep.size());
+  const auto tmpl = [&interned, num_shapes](int sa, int sb) -> const std::vector<TemplateEdge>& {
+    return interned.templates[static_cast<size_t>(sa) * num_shapes + sb];
+  };
+
+  std::vector<int64_t> shape_count(num_shapes, 0);
+  for (int32_t s : interned.ltp_shape) ++shape_count[s];
+  // Edges emitted by one row/column of a given shape, and the counterflow
+  // total, by summing template sizes weighted by shape multiplicity.
+  std::vector<int64_t> row_edges(num_shapes, 0), col_edges(num_shapes, 0);
+  int64_t cf_total = 0;
+  for (int sa = 0; sa < num_shapes; ++sa) {
+    for (int sb = 0; sb < num_shapes; ++sb) {
+      const std::vector<TemplateEdge>& t = tmpl(sa, sb);
+      int64_t cf = 0;
+      for (const TemplateEdge& edge : t) cf += edge.counterflow ? 1 : 0;
+      row_edges[sa] += shape_count[sb] * static_cast<int64_t>(t.size());
+      col_edges[sb] += shape_count[sa] * static_cast<int64_t>(t.size());
+      cf_total += shape_count[sa] * shape_count[sb] * cf;
+    }
+  }
+  std::vector<int32_t> out_offsets(n + 1, 0), in_offsets(n + 1, 0);
+  int64_t total = 0, in_total = 0;
+  for (int p = 0; p < n; ++p) {
+    total += row_edges[interned.ltp_shape[p]];
+    in_total += col_edges[interned.ltp_shape[p]];
+    MVRC_CHECK_MSG(total <= INT32_MAX && in_total <= INT32_MAX,
+                   "summary graph exceeds 2^31 edges");
+    out_offsets[p + 1] = static_cast<int32_t>(total);
+    in_offsets[p + 1] = static_cast<int32_t>(in_total);
+  }
+
+  // Flatten the template table into one contiguous pool (plus per-pair
+  // begin/size arrays) so the emission loop touches no vector headers.
+  std::vector<TemplateEdge> tmpl_pool;
+  std::vector<int32_t> tmpl_begin(interned.templates.size()), tmpl_size(interned.templates.size());
+  for (size_t t = 0; t < interned.templates.size(); ++t) {
+    tmpl_begin[t] = static_cast<int32_t>(tmpl_pool.size());
+    tmpl_size[t] = static_cast<int32_t>(interned.templates[t].size());
+    tmpl_pool.insert(tmpl_pool.end(), interned.templates[t].begin(),
+                     interned.templates[t].end());
+  }
+
+  std::vector<SummaryEdge> edges;
+  // Row emission with a caller-chosen sink: the serial path appends into the
+  // reserved arena, the parallel path writes through a raw cursor into its
+  // row's slice.
+  const auto emit_row = [&](int pi, auto&& sink) {
+    const size_t row = static_cast<size_t>(interned.ltp_shape[pi]) * num_shapes;
+    const int32_t* begin_row = tmpl_begin.data() + row;
+    const int32_t* size_row = tmpl_size.data() + row;
+    for (int pj = 0; pj < n; ++pj) {
+      const int32_t sb = interned.ltp_shape[pj];
+      const TemplateEdge* t = tmpl_pool.data() + begin_row[sb];
+      for (int32_t k = 0; k < size_row[sb]; ++k) {
+        sink(SummaryEdge{pi, t[k].from_occ, t[k].counterflow, t[k].to_occ, pj});
+      }
+    }
+  };
+  // The in-index permutation, also by template algebra: target pj's
+  // in-edges from source pi sit at arena positions out_offsets[pi] +
+  // cell_prefix[shape(pi)][pj] + k — no arena scan, and each target's index
+  // range is written sequentially. cell_prefix[sa][pj] is the edge count a
+  // shape-sa row emits before reaching column pj.
+  std::vector<int32_t> cell_prefix(static_cast<size_t>(num_shapes) * (n + 1));
+  for (int sa = 0; sa < num_shapes; ++sa) {
+    int32_t* prefix = cell_prefix.data() + static_cast<size_t>(sa) * (n + 1);
+    int64_t run = 0;
+    for (int pj = 0; pj < n; ++pj) {
+      prefix[pj] = static_cast<int32_t>(run);
+      run += static_cast<int64_t>(tmpl(sa, interned.ltp_shape[pj]).size());
+    }
+    prefix[n] = static_cast<int32_t>(run);
+  }
+  std::vector<int32_t> in_index(static_cast<size_t>(total));
+  const auto fill_in_index = [&](int pj) {
+    int32_t* out = in_index.data() + in_offsets[pj];
+    const int32_t sj = interned.ltp_shape[pj];
+    for (int pi = 0; pi < n; ++pi) {
+      const int32_t sa = interned.ltp_shape[pi];
+      const int32_t count = static_cast<int32_t>(tmpl(sa, sj).size());
+      int32_t e = out_offsets[pi] + cell_prefix[static_cast<size_t>(sa) * (n + 1) + pj];
+      for (int32_t k = 0; k < count; ++k) *out++ = e++;
+    }
+  };
+
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    // Serial: rows are emitted back to back into the reserved arena
+    // (appending avoids the zero-fill a resize-then-overwrite would pay).
+    edges.reserve(static_cast<size_t>(total));
+    for (int pi = 0; pi < n; ++pi) {
+      emit_row(pi, [&edges](const SummaryEdge& edge) { edges.push_back(edge); });
+    }
+    for (int pj = 0; pj < n; ++pj) fill_in_index(pj);
+  } else {
+    // Parallel: rows write into disjoint slices of a pre-sized arena. The
+    // resize's value-initialization is one redundant pass over the arena,
+    // but it is what lets the workers write lock-free at their own offsets
+    // (vector has no uninitialized-resize), and the fan-out amortizes it.
+    edges.resize(static_cast<size_t>(total));
+    const int64_t grain = ThreadPool::DefaultGrain(n, pool->num_threads());
+    pool->ParallelForChunked(n, grain, [&](int64_t begin, int64_t end) {
+      for (int64_t pi = begin; pi < end; ++pi) {
+        SummaryEdge* out = edges.data() + out_offsets[pi];
+        emit_row(static_cast<int>(pi), [&out](const SummaryEdge& edge) { *out++ = edge; });
+      }
+    });
+    pool->ParallelForChunked(n, grain, [&fill_in_index](int64_t begin, int64_t end) {
+      for (int64_t pj = begin; pj < end; ++pj) fill_in_index(static_cast<int>(pj));
+    });
+  }
+  return {std::move(edges), static_cast<int>(cf_total), std::move(out_offsets),
+          std::move(in_offsets), std::move(in_index)};
+}
+
+}  // namespace
+
+SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings,
+                               ThreadPool* pool) {
+  const InternedPrograms interned = InternPrograms(programs, settings);
+  const int n = static_cast<int>(programs.size());
+
+  if (interned.use_templates) {
+    ReplayArena arena = ReplayBuild(interned, pool);
+    return SummaryGraph(std::move(programs), std::move(arena.edges), arena.num_counterflow,
+                        std::move(arena.out_offsets), std::move(arena.in_offsets),
+                        std::move(arena.in_index));
+  }
+
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    std::vector<SummaryEdge> edges;
+    for (int pi = 0; pi < n; ++pi) AppendRowEdges(interned, pi, edges);
+    return SummaryGraph(std::move(programs), std::move(edges));
+  }
+
+  // Rows (source programs) are independent: fan grain-chunked row blocks
+  // across the pool, each emitting into its own buffer, then splice the
+  // buffers in row-block order. Chunk boundaries never change the emitted
+  // sequence, only how it is produced.
+  const int64_t grain = ThreadPool::DefaultGrain(n, pool->num_threads());
+  const int64_t num_blocks = (n + grain - 1) / grain;
+  std::vector<std::vector<SummaryEdge>> blocks(num_blocks);
+  pool->ParallelForChunked(n, grain, [&interned, &blocks, grain](int64_t begin, int64_t end) {
+    std::vector<SummaryEdge>& block = blocks[begin / grain];
+    for (int64_t pi = begin; pi < end; ++pi) {
+      AppendRowEdges(interned, static_cast<int>(pi), block);
+    }
   });
-  for (int pi = 0; pi < n; ++pi) {
-    for (const SummaryEdge& edge : rows[pi]) graph.AddEdge(edge);
+  size_t total = 0;
+  for (const std::vector<SummaryEdge>& block : blocks) total += block.size();
+  std::vector<SummaryEdge> edges;
+  edges.reserve(total);
+  for (const std::vector<SummaryEdge>& block : blocks) {
+    edges.insert(edges.end(), block.begin(), block.end());
   }
-  return graph;
+  return SummaryGraph(std::move(programs), std::move(edges));
 }
 
 SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings) {
@@ -79,6 +331,27 @@ SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings
 SummaryGraph BuildSummaryGraph(const std::vector<Btp>& programs,
                                const AnalysisSettings& settings) {
   return BuildSummaryGraph(UnfoldAtMost2(programs), settings);
+}
+
+SummaryGraph BuildSummaryGraphLegacy(std::vector<Ltp> programs,
+                                     const AnalysisSettings& settings) {
+  // Faithful replica of the pre-interning serial builder: one heap-allocated
+  // edge vector per LTP-pair cell, spliced into per-row buffers, appended
+  // edge by edge, with the adjacency index finalized before return (the old
+  // graph maintained per-program in/out index vectors eagerly on insertion).
+  SummaryGraph graph(std::move(programs));
+  const int n = graph.num_programs();
+  for (int pi = 0; pi < n; ++pi) {
+    std::vector<SummaryEdge> row;
+    for (int pj = 0; pj < n; ++pj) {
+      std::vector<SummaryEdge> cell =
+          SummaryEdgesBetween(graph.program(pi), pi, graph.program(pj), pj, settings);
+      row.insert(row.end(), cell.begin(), cell.end());
+    }
+    for (const SummaryEdge& edge : row) graph.AddEdge(edge);
+  }
+  graph.FinalizeIndex();
+  return graph;
 }
 
 }  // namespace mvrc

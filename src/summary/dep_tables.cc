@@ -60,17 +60,14 @@ constexpr TableEntry kCDepTable[7][7] = {
     /* pred del */ {T, F, F, C, C, T, T},
 };
 
-// Non-empty intersection at attribute granularity; joint definedness at
-// tuple granularity (two defined accesses to the same tuple conflict
-// regardless of the attributes involved).
-bool Conflicts(const std::optional<AttrSet>& a, const std::optional<AttrSet>& b,
-               Granularity granularity) {
+}  // namespace
+
+bool AttrConflicts(const std::optional<AttrSet>& a, const std::optional<AttrSet>& b,
+                   Granularity granularity) {
   if (!a.has_value() || !b.has_value()) return false;
   if (granularity == Granularity::kTuple) return true;
   return a->Intersects(*b);
 }
-
-}  // namespace
 
 TableEntry NcDepTable(StatementType qi, StatementType qj) {
   return kNcDepTable[TableIndex(qi)][TableIndex(qj)];
@@ -81,21 +78,21 @@ TableEntry CDepTable(StatementType qi, StatementType qj) {
 }
 
 bool NcDepConds(const Statement& qi, const Statement& qj, Granularity granularity) {
-  return Conflicts(qi.write_set(), qj.write_set(), granularity) ||
-         Conflicts(qi.write_set(), qj.read_set(), granularity) ||
-         Conflicts(qi.write_set(), qj.pread_set(), granularity) ||
-         Conflicts(qi.read_set(), qj.write_set(), granularity) ||
-         Conflicts(qi.pread_set(), qj.write_set(), granularity);
+  return AttrConflicts(qi.write_set(), qj.write_set(), granularity) ||
+         AttrConflicts(qi.write_set(), qj.read_set(), granularity) ||
+         AttrConflicts(qi.write_set(), qj.pread_set(), granularity) ||
+         AttrConflicts(qi.read_set(), qj.write_set(), granularity) ||
+         AttrConflicts(qi.pread_set(), qj.write_set(), granularity);
 }
 
 bool CDepConds(const Ltp& pi, int qi_pos, const Ltp& pj, int qj_pos,
                const AnalysisSettings& settings) {
   const Statement& qi = pi.stmt(qi_pos);
   const Statement& qj = pj.stmt(qj_pos);
-  if (Conflicts(qi.pread_set(), qj.write_set(), settings.granularity)) {
+  if (AttrConflicts(qi.pread_set(), qj.write_set(), settings.granularity)) {
     return true;
   }
-  if (Conflicts(qi.read_set(), qj.write_set(), settings.granularity)) {
+  if (AttrConflicts(qi.read_set(), qj.write_set(), settings.granularity)) {
     if (settings.use_foreign_keys) {
       // Foreign-key suppression: a pair of constraints q_k = f(q_i) in P_i
       // and q_l = f(q_j) in P_j, with q_k and q_l key-writing statements

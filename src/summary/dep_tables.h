@@ -64,6 +64,14 @@ TableEntry NcDepTable(StatementType qi, StatementType qj);
 /// cDepTable[type(q_i)][type(q_j)] (Table 1b).
 TableEntry CDepTable(StatementType qi, StatementType qj);
 
+/// The conflict test underlying ncDepConds/cDepConds: non-empty intersection
+/// at attribute granularity, joint definedness at tuple granularity (⊥ never
+/// conflicts). Exposed so the shape-pair verdict matrix of
+/// summary/statement_interner.h can classify the counterflow kCheck entries
+/// without re-deriving the granularity semantics.
+bool AttrConflicts(const std::optional<AttrSet>& a, const std::optional<AttrSet>& b,
+                   Granularity granularity);
+
 /// ncDepConds(q_i, q_j) of Algorithm 1, parameterized by granularity.
 bool NcDepConds(const Statement& qi, const Statement& qj, Granularity granularity);
 

@@ -1,0 +1,241 @@
+#include "summary/statement_interner.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+ShapeId StatementInterner::Intern(const Statement& stmt) {
+  StatementShape shape = stmt.shape();
+  auto [it, inserted] = ids_.try_emplace(shape, static_cast<ShapeId>(shapes_.size()));
+  if (inserted) {
+    shapes_.push_back(shape);
+    if (shape.rel >= static_cast<RelationId>(rel_shapes_.size())) {
+      rel_shapes_.resize(shape.rel + 1);
+    }
+    local_ids_.push_back(static_cast<int>(rel_shapes_[shape.rel].size()));
+    rel_shapes_[shape.rel].push_back(it->second);
+  }
+  return it->second;
+}
+
+namespace {
+
+std::optional<AttrSet> OptSet(uint64_t bits, bool defined) {
+  if (!defined) return std::nullopt;
+  return AttrSet(bits);
+}
+
+// The Table 1 classification of one ordered same-relation shape pair: the
+// full non-counterflow verdict (ncDepTable + ncDepConds) and the
+// FK-independent part of the counterflow verdict (cDepTable + cDepConds
+// minus the foreign-key suppression rule, which depends on the occurrence
+// pair's programs and is deferred to emission as kCounterflowFkCheck).
+uint8_t ComputeVerdict(const StatementShape& a, const StatementShape& b,
+                       const AnalysisSettings& settings) {
+  const Granularity g = settings.granularity;
+  const std::optional<AttrSet> ra = OptSet(a.read_bits, a.defined & 1);
+  const std::optional<AttrSet> wa = OptSet(a.write_bits, a.defined & 2);
+  const std::optional<AttrSet> pa = OptSet(a.pread_bits, a.defined & 4);
+  const std::optional<AttrSet> rb = OptSet(b.read_bits, b.defined & 1);
+  const std::optional<AttrSet> wb = OptSet(b.write_bits, b.defined & 2);
+  const std::optional<AttrSet> pb = OptSet(b.pread_bits, b.defined & 4);
+
+  uint8_t verdict = 0;
+  switch (NcDepTable(a.type, b.type)) {
+    case TableEntry::kTrue:
+      verdict |= ShapeVerdictMatrix::kNonCounterflow;
+      break;
+    case TableEntry::kFalse:
+      break;
+    case TableEntry::kCheck:
+      // ncDepConds on the shapes' attribute sets.
+      if (AttrConflicts(wa, wb, g) || AttrConflicts(wa, rb, g) || AttrConflicts(wa, pb, g) ||
+          AttrConflicts(ra, wb, g) || AttrConflicts(pa, wb, g)) {
+        verdict |= ShapeVerdictMatrix::kNonCounterflow;
+      }
+      break;
+  }
+  switch (CDepTable(a.type, b.type)) {
+    case TableEntry::kTrue:
+      verdict |= ShapeVerdictMatrix::kCounterflow;
+      break;
+    case TableEntry::kFalse:
+      break;
+    case TableEntry::kCheck:
+      // cDepConds: the PReadSet clause never consults foreign keys; the
+      // ReadSet clause is suppressible only when use_foreign_keys is on.
+      if (AttrConflicts(pa, wb, g)) {
+        verdict |= ShapeVerdictMatrix::kCounterflow;
+      } else if (AttrConflicts(ra, wb, g)) {
+        verdict |= settings.use_foreign_keys ? ShapeVerdictMatrix::kCounterflowFkCheck
+                                             : ShapeVerdictMatrix::kCounterflow;
+      }
+      break;
+  }
+  return verdict;
+}
+
+// True when the two occurrences' preceding-key-writing-parent FK lists
+// intersect — cDepConds' suppression rule over the precomputed lists.
+bool FkSuppressed(const InternedLtp& a, int qi, const InternedLtp& b, int qj) {
+  const int32_t* i = a.fks.data() + a.fk_offsets[qi];
+  const int32_t* i_end = a.fks.data() + a.fk_offsets[qi + 1];
+  const int32_t* j = b.fks.data() + b.fk_offsets[qj];
+  const int32_t* j_end = b.fks.data() + b.fk_offsets[qj + 1];
+  while (i != i_end && j != j_end) {
+    if (*i == *j) return true;
+    if (*i < *j) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void ShapeVerdictMatrix::Sync(const StatementInterner& interner,
+                              const AnalysisSettings& settings) {
+  if (static_cast<int>(blocks_.size()) < interner.num_relations()) {
+    blocks_.resize(interner.num_relations());
+  }
+  for (RelationId rel = 0; rel < interner.num_relations(); ++rel) {
+    const std::vector<ShapeId>& shapes = interner.shapes_of_rel(rel);
+    Block& block = blocks_[rel];
+    const int width = static_cast<int>(shapes.size());
+    if (width == block.width) continue;  // no new shapes on this relation
+    // Re-layout the block at the new width. Old entries are recomputed too —
+    // verdicts are pure in the shapes, so this is just simpler than copying,
+    // and blocks are tiny (shapes per relation, not per occurrence).
+    Block next;
+    next.width = width;
+    next.entries.assign(static_cast<size_t>(width) * width, 0);
+    for (int i = 0; i < width; ++i) {
+      const StatementShape& a = interner.shape(shapes[i]);
+      for (int j = 0; j < width; ++j) {
+        next.entries[static_cast<size_t>(i) * width + j] =
+            ComputeVerdict(a, interner.shape(shapes[j]), settings);
+      }
+    }
+    block = std::move(next);
+  }
+}
+
+int64_t ShapeVerdictMatrix::num_entries() const {
+  int64_t total = 0;
+  for (const Block& block : blocks_) {
+    total += static_cast<int64_t>(block.width) * block.width;
+  }
+  return total;
+}
+
+InternedLtp InternLtp(StatementInterner& interner, const Ltp& ltp) {
+  InternedLtp out;
+  const int n = ltp.size();
+  out.shape.reserve(n);
+  out.rel.reserve(n);
+  out.local.reserve(n);
+  for (int q = 0; q < n; ++q) {
+    const ShapeId id = interner.Intern(ltp.stmt(q));
+    out.shape.push_back(id);
+    out.rel.push_back(interner.rel(id));
+    out.local.push_back(interner.local_id(id));
+  }
+
+  // Relation buckets, positions ascending within each.
+  out.bucket_pos.reserve(n);
+  for (int q = 0; q < n; ++q) {
+    const RelationId rel = out.rel[q];
+    bool found = false;
+    for (const InternedLtp::Bucket& bucket : out.buckets) {
+      if (bucket.rel == rel) {
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    InternedLtp::Bucket bucket;
+    bucket.rel = rel;
+    bucket.begin = static_cast<int32_t>(out.bucket_pos.size());
+    for (int p = q; p < n; ++p) {
+      if (out.rel[p] == rel) out.bucket_pos.push_back(p);
+    }
+    bucket.end = static_cast<int32_t>(out.bucket_pos.size());
+    out.buckets.push_back(bucket);
+  }
+
+  // Per-occurrence FK lists: foreign keys with a key-writing parent
+  // occurrence strictly before the child (the only constraints cDepConds'
+  // suppression rule can ever match).
+  out.fk_offsets.reserve(n + 1);
+  out.fk_offsets.push_back(0);
+  std::vector<int32_t> fks_of_q;
+  for (int q = 0; q < n; ++q) {
+    fks_of_q.clear();
+    for (const OccFkConstraint& c : ltp.constraints()) {
+      if (c.child_pos != q || !(c.parent_pos < q)) continue;
+      const StatementType parent_type = ltp.stmt(c.parent_pos).type();
+      if (parent_type != StatementType::kKeyUpdate &&
+          parent_type != StatementType::kKeyDelete &&
+          parent_type != StatementType::kInsert) {
+        continue;
+      }
+      fks_of_q.push_back(c.fk);
+    }
+    std::sort(fks_of_q.begin(), fks_of_q.end());
+    fks_of_q.erase(std::unique(fks_of_q.begin(), fks_of_q.end()), fks_of_q.end());
+    out.fks.insert(out.fks.end(), fks_of_q.begin(), fks_of_q.end());
+    out.fk_offsets.push_back(static_cast<int32_t>(out.fks.size()));
+  }
+  return out;
+}
+
+bool SameLtpShape(const InternedLtp& a, const InternedLtp& b) {
+  return a.shape == b.shape && a.fk_offsets == b.fk_offsets && a.fks == b.fks;
+}
+
+uint64_t HashLtpShape(const InternedLtp& ltp) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t value) {
+    h ^= value;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(ltp.shape.size()));
+  for (ShapeId id : ltp.shape) mix(static_cast<uint64_t>(id));
+  mix(static_cast<uint64_t>(ltp.fks.size()));
+  for (int32_t offset : ltp.fk_offsets) mix(static_cast<uint64_t>(offset));
+  for (int32_t fk : ltp.fks) mix(static_cast<uint64_t>(fk));
+  return h;
+}
+
+void AppendInternedCellEdges(const InternedLtp& from, int from_index, const InternedLtp& to,
+                             int to_index, const ShapeVerdictMatrix& matrix,
+                             std::vector<SummaryEdge>& out) {
+  const int n = from.size();
+  for (int qi = 0; qi < n; ++qi) {
+    const RelationId rel = from.rel[qi];
+    auto [pos, end] = to.BucketOf(rel);
+    if (pos == end) continue;
+    const int local_i = from.local[qi];
+    for (; pos != end; ++pos) {
+      const int qj = *pos;
+      const uint8_t verdict = matrix.Verdict(rel, local_i, to.local[qj]);
+      if (verdict == 0) continue;
+      if (verdict & ShapeVerdictMatrix::kNonCounterflow) {
+        out.push_back({from_index, qi, /*counterflow=*/false, qj, to_index});
+      }
+      if (verdict & ShapeVerdictMatrix::kCounterflow) {
+        out.push_back({from_index, qi, /*counterflow=*/true, qj, to_index});
+      } else if ((verdict & ShapeVerdictMatrix::kCounterflowFkCheck) &&
+                 !FkSuppressed(from, qi, to, qj)) {
+        out.push_back({from_index, qi, /*counterflow=*/true, qj, to_index});
+      }
+    }
+  }
+}
+
+}  // namespace mvrc

@@ -1,0 +1,181 @@
+// Statement-shape interning for the summary-graph builder.
+//
+// Unfolded workloads contain only a handful of *distinct* statement shapes
+// (see btp/statement.h: StatementShape): loop unfolding, program replication
+// and SQL-parameterized templates all reuse the same (type, relation,
+// attr-set) triples under different labels. Since every Table 1 verdict of
+// Algorithm 1 is a pure function of the two statements' shapes, hash-consing
+// shapes lets the builder precompute a dense shape-pair verdict matrix once
+// and reduce the O(n²·|P|²) per-occurrence-pair work to one byte lookup —
+// plus a foreign-key suppression check only for the pairs where Table 1b
+// says kCheck and the read/write overlap makes the FK rule reachable.
+//
+// Three pieces:
+//   * StatementInterner  — hash-conses Statement -> dense shape id. Shapes
+//     are additionally given a (relation, local id) coordinate so verdicts
+//     can be stored per relation: shapes of different relations never admit
+//     a dependency, and the builder's bucket join only ever asks about
+//     same-relation pairs.
+//   * ShapeVerdictMatrix — per relation, a dense local_shapes² byte matrix
+//     classifying each ordered shape pair: non-counterflow edge yes/no, and
+//     counterflow edge never / always / "present unless FK-suppressed".
+//     Sync() is incremental, so long-lived sessions extend it as programs
+//     arrive.
+//   * InternedLtp        — an LTP lowered onto shape ids: per-occurrence
+//     shape ids, occurrence positions bucketed by relation (the bucket join
+//     replacing the inner-loop rel() filter), and per-occurrence sorted
+//     lists of foreign keys with a preceding key-writing parent (the only
+//     program-local input of Algorithm 1's cDepConds).
+//
+// AppendInternedCellEdges emits the summary edges between two interned LTPs
+// bit-identically to the legacy SummaryEdgesBetween: same (q_i, q_j) pair
+// order, non-counterflow before counterflow per pair.
+
+#ifndef MVRC_SUMMARY_STATEMENT_INTERNER_H_
+#define MVRC_SUMMARY_STATEMENT_INTERNER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "btp/ltp.h"
+#include "btp/statement.h"
+#include "summary/dep_tables.h"
+#include "summary/summary_graph.h"
+
+namespace mvrc {
+
+/// Dense id of an interned statement shape.
+using ShapeId = int32_t;
+
+/// Hash-conses statements into shape ids. Append-only: ids are stable for
+/// the interner's lifetime, so cached verdict matrices and interned LTPs
+/// never need re-interning when more programs arrive.
+class StatementInterner {
+ public:
+  /// The shape id for `stmt`, interning it on first sight.
+  ShapeId Intern(const Statement& stmt);
+
+  int num_shapes() const { return static_cast<int>(shapes_.size()); }
+
+  /// The canonical shape of id `id`.
+  const StatementShape& shape(ShapeId id) const { return shapes_.at(id); }
+  /// The relation all statements of this shape access.
+  RelationId rel(ShapeId id) const { return shapes_.at(id).rel; }
+  /// The shape's dense index among the shapes of its relation.
+  int local_id(ShapeId id) const { return local_ids_.at(id); }
+  /// The shapes of `rel`, in interning order (index = local id).
+  const std::vector<ShapeId>& shapes_of_rel(RelationId rel) const {
+    static const std::vector<ShapeId> kEmpty;
+    return rel < static_cast<RelationId>(rel_shapes_.size()) ? rel_shapes_[rel] : kEmpty;
+  }
+  /// 1 + the largest relation id seen.
+  int num_relations() const { return static_cast<int>(rel_shapes_.size()); }
+
+ private:
+  struct ShapeHash {
+    size_t operator()(const StatementShape& shape) const { return HashShape(shape); }
+  };
+
+  std::unordered_map<StatementShape, ShapeId, ShapeHash> ids_;
+  std::vector<StatementShape> shapes_;             // id -> canonical shape
+  std::vector<int> local_ids_;                     // id -> index within its relation
+  std::vector<std::vector<ShapeId>> rel_shapes_;   // rel -> shape ids, local-id order
+};
+
+/// Precomputed Table 1 verdicts for every ordered pair of same-relation
+/// shapes. The FK-independent part of cDepConds is folded in; only the
+/// kCounterflowFkCheck entries still need the per-occurrence foreign-key
+/// suppression test at emission time.
+class ShapeVerdictMatrix {
+ public:
+  // Bit flags of one matrix entry.
+  static constexpr uint8_t kNonCounterflow = 1;      // emit a non-counterflow edge
+  static constexpr uint8_t kCounterflow = 2;         // emit a counterflow edge
+  static constexpr uint8_t kCounterflowFkCheck = 4;  // emit one unless FK-suppressed
+
+  /// Recomputes/extends the per-relation blocks to cover every shape the
+  /// interner currently holds. Incremental: relations whose shape count is
+  /// unchanged are left untouched. Settings must be the same on every call
+  /// (verdicts are settings-dependent; use one matrix per AnalysisSettings).
+  void Sync(const StatementInterner& interner, const AnalysisSettings& settings);
+
+  /// The entry for an ordered pair of *same-relation* shapes, addressed by
+  /// the shapes' relation and local ids (as handed out by the interner).
+  uint8_t Verdict(RelationId rel, int local_i, int local_j) const {
+    const Block& block = blocks_[rel];
+    return block.entries[static_cast<size_t>(local_i) * block.width + local_j];
+  }
+
+  int64_t num_entries() const;
+
+ private:
+  struct Block {
+    int width = 0;  // local shapes covered; entries is width x width
+    std::vector<uint8_t> entries;
+  };
+  std::vector<Block> blocks_;  // indexed by RelationId
+};
+
+/// An LTP lowered onto interned shapes — everything the interned builder
+/// reads per occurrence pair, laid out flat.
+struct InternedLtp {
+  // Per occurrence: shape id, the shape's relation, and its local id (cached
+  // to keep the emission loop free of interner lookups).
+  std::vector<ShapeId> shape;
+  std::vector<RelationId> rel;
+  std::vector<int32_t> local;
+
+  // Occurrence positions grouped by relation, each group ascending — the
+  // bucket join's right-hand side. `buckets` is a small directory (LTPs
+  // touch few relations), scanned linearly.
+  struct Bucket {
+    RelationId rel;
+    int32_t begin, end;  // [begin, end) into bucket_pos
+  };
+  std::vector<Bucket> buckets;
+  std::vector<int32_t> bucket_pos;
+
+  // Per occurrence q (as the child of a counterflow rw-antidependency): the
+  // sorted, deduplicated foreign keys with a key-writing parent occurrence
+  // preceding q — fks[fk_offsets[q] .. fk_offsets[q+1]). Two occurrences
+  // suppress a counterflow edge iff their lists intersect (cDepConds).
+  std::vector<int32_t> fk_offsets;
+  std::vector<int32_t> fks;
+
+  int size() const { return static_cast<int>(shape.size()); }
+  /// The positions of `rel`'s occurrences, or an empty range.
+  std::pair<const int32_t*, const int32_t*> BucketOf(RelationId r) const {
+    for (const Bucket& b : buckets) {
+      if (b.rel == r) return {bucket_pos.data() + b.begin, bucket_pos.data() + b.end};
+    }
+    return {nullptr, nullptr};
+  }
+};
+
+/// Whole-LTP shape equality: two interned LTPs with equal shape sequences
+/// and equal FK-suppression lists produce identical cell edge lists against
+/// any pair of targets — the fact the builder's cell-template replay rests
+/// on. (Buckets and rel/local caches are derived from the shape sequence,
+/// so they need no comparison.)
+bool SameLtpShape(const InternedLtp& a, const InternedLtp& b);
+
+/// FNV-1a over the shape-relevant content, consistent with SameLtpShape.
+uint64_t HashLtpShape(const InternedLtp& ltp);
+
+/// Lowers `ltp` onto `interner`'s shape ids (interning new shapes).
+InternedLtp InternLtp(StatementInterner& interner, const Ltp& ltp);
+
+/// Appends the summary edges from `from` (emitted with from_program =
+/// `from_index`) to `to` (to_program = `to_index`), bit-identical to
+/// SummaryEdgesBetween on the underlying LTPs: (q_i, q_j) pairs in
+/// lexicographic order, non-counterflow before counterflow per pair.
+/// `matrix` must be Sync'd against the interner that produced both LTPs,
+/// under the same AnalysisSettings.
+void AppendInternedCellEdges(const InternedLtp& from, int from_index, const InternedLtp& to,
+                             int to_index, const ShapeVerdictMatrix& matrix,
+                             std::vector<SummaryEdge>& out);
+
+}  // namespace mvrc
+
+#endif  // MVRC_SUMMARY_STATEMENT_INTERNER_H_

@@ -1,9 +1,11 @@
 #include "summary/summary_graph.h"
 
+#include <algorithm>
 #include <map>
-#include <set>
 #include <sstream>
+#include <string_view>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "util/check.h"
@@ -11,40 +13,155 @@
 
 namespace mvrc {
 
-SummaryGraph::SummaryGraph(std::vector<Ltp> programs)
-    : programs_(std::move(programs)),
-      out_edges_(programs_.size()),
-      in_edges_(programs_.size()) {}
+namespace {
 
-void SummaryGraph::AddEdge(SummaryEdge edge) {
+// Packed identity of a statement-level edge for the distinct-edge dedup:
+// interned source-BTP ids plus BTP-local statement ids.
+struct StatementEdgeKey {
+  int32_t from_source, from_stmt, to_stmt, to_source;
+  bool counterflow;
+  friend auto operator<=>(const StatementEdgeKey&, const StatementEdgeKey&) = default;
+};
+
+}  // namespace
+
+SummaryGraph::SummaryGraph(std::vector<Ltp> programs) : programs_(std::move(programs)) {}
+
+SummaryGraph::SummaryGraph(std::vector<Ltp> programs, std::vector<SummaryEdge> edges)
+    : programs_(std::move(programs)), edges_(std::move(edges)) {
+  MVRC_CHECK_MSG(edges_.size() <= static_cast<size_t>(INT32_MAX),
+                 "summary graph exceeds 2^31 edges");
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const SummaryEdge& edge = edges_[e];
+    CheckEdge(edge);
+    if (edge.counterflow) ++num_counterflow_;
+    if (e > 0 && cell_sorted_) {
+      const SummaryEdge& prev = edges_[e - 1];
+      cell_sorted_ = prev.from_program < edge.from_program ||
+                     (prev.from_program == edge.from_program &&
+                      prev.to_program <= edge.to_program);
+    }
+  }
+  FinalizeIndex();
+}
+
+SummaryGraph::SummaryGraph(std::vector<Ltp> programs, std::vector<SummaryEdge> edges,
+                           int num_counterflow, std::vector<int32_t> out_offsets,
+                           std::vector<int32_t> in_offsets, std::vector<int32_t> in_index)
+    : programs_(std::move(programs)),
+      edges_(std::move(edges)),
+      num_counterflow_(num_counterflow),
+      out_offsets_(std::move(out_offsets)),
+      in_offsets_(std::move(in_offsets)),
+      in_index_(std::move(in_index)) {
+  // Cell-sorted arena: out-edges are contiguous arena runs, served as
+  // counting ranges — no out-index array is materialized.
+  index_built_ = true;
+}
+
+void SummaryGraph::CheckEdge(const SummaryEdge& edge) const {
   MVRC_CHECK(edge.from_program >= 0 && edge.from_program < num_programs());
   MVRC_CHECK(edge.to_program >= 0 && edge.to_program < num_programs());
   MVRC_CHECK(edge.from_occ >= 0 && edge.from_occ < programs_[edge.from_program].size());
   MVRC_CHECK(edge.to_occ >= 0 && edge.to_occ < programs_[edge.to_program].size());
-  int index = num_edges();
-  edges_.push_back(edge);
-  out_edges_[edge.from_program].push_back(index);
-  in_edges_[edge.to_program].push_back(index);
 }
 
-int SummaryGraph::num_counterflow_edges() const {
-  int count = 0;
-  for (const SummaryEdge& edge : edges_) {
-    if (edge.counterflow) ++count;
+void SummaryGraph::AddEdge(SummaryEdge edge) {
+  CheckEdge(edge);
+  MVRC_CHECK_MSG(edges_.size() < static_cast<size_t>(INT32_MAX),
+                 "summary graph exceeds 2^31 edges");
+  if (edge.counterflow) ++num_counterflow_;
+  if (!edges_.empty() && cell_sorted_) {
+    const SummaryEdge& prev = edges_.back();
+    cell_sorted_ = prev.from_program < edge.from_program ||
+                   (prev.from_program == edge.from_program &&
+                    prev.to_program <= edge.to_program);
   }
-  return count;
+  edges_.push_back(edge);
+  index_built_ = false;
+}
+
+void SummaryGraph::FinalizeIndex() const {
+  if (index_built_) return;
+  const int n = num_programs();
+  const int32_t m = static_cast<int32_t>(edges_.size());
+  // Counting sort by endpoint; insertion order is preserved within a
+  // program, matching the old per-program push_back lists exactly.
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (const SummaryEdge& edge : edges_) {
+    ++out_offsets_[edge.from_program + 1];
+    ++in_offsets_[edge.to_program + 1];
+  }
+  for (int p = 0; p < n; ++p) {
+    out_offsets_[p + 1] += out_offsets_[p];
+    in_offsets_[p + 1] += in_offsets_[p];
+  }
+  if (cell_sorted_) {
+    // Arena sorted by source program: out-edges are contiguous runs and the
+    // counting ranges need no index array.
+    out_index_.clear();
+  } else {
+    out_index_.resize(m);
+    std::vector<int32_t> out_cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+    for (int32_t e = 0; e < m; ++e) out_index_[out_cursor[edges_[e].from_program]++] = e;
+  }
+  in_index_.resize(m);
+  std::vector<int32_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (int32_t e = 0; e < m; ++e) {
+    in_index_[in_cursor[edges_[e].to_program]++] = e;
+  }
+  index_built_ = true;
+}
+
+EdgeIndexRange SummaryGraph::OutEdges(int program) const {
+  FinalizeIndex();
+  MVRC_CHECK(program >= 0 && program < num_programs());
+  return {out_index_.empty() ? nullptr : out_index_.data(), out_offsets_[program],
+          out_offsets_[program + 1] - out_offsets_[program]};
+}
+
+EdgeIndexRange SummaryGraph::InEdges(int program) const {
+  FinalizeIndex();
+  MVRC_CHECK(program >= 0 && program < num_programs());
+  return {in_index_.data(), in_offsets_[program],
+          in_offsets_[program + 1] - in_offsets_[program]};
+}
+
+std::span<const SummaryEdge> SummaryGraph::CellEdges(int from, int to) const {
+  MVRC_CHECK_MSG(cell_sorted_,
+                 "CellEdges requires the edge arena to be (from, to)-sorted — true for "
+                 "all builder and materialization paths, lost after out-of-order AddEdge");
+  const auto cell_less = [](const SummaryEdge& edge, std::pair<int, int> cell) {
+    return std::pair(edge.from_program, edge.to_program) < cell;
+  };
+  const auto begin =
+      std::lower_bound(edges_.begin(), edges_.end(), std::pair(from, to), cell_less);
+  const auto end =
+      std::lower_bound(begin, edges_.end(), std::pair(from, to + 1), cell_less);
+  return {edges_.data() + (begin - edges_.begin()), edges_.data() + (end - edges_.begin())};
 }
 
 int SummaryGraph::num_distinct_statement_edges() const {
-  std::set<std::tuple<std::string, int, bool, int, std::string>> distinct;
-  for (const SummaryEdge& edge : edges_) {
-    distinct.insert({programs_[edge.from_program].source_program(),
-                     programs_[edge.from_program].occurrence(edge.from_occ).source_stmt,
-                     edge.counterflow,
-                     programs_[edge.to_program].occurrence(edge.to_occ).source_stmt,
-                     programs_[edge.to_program].source_program()});
+  // Intern each program's source-BTP name once, then dedup packed integer
+  // keys in a sorted vector — no per-edge string tuples, no tree nodes.
+  std::unordered_map<std::string_view, int32_t> source_ids;
+  std::vector<int32_t> source_of(num_programs());
+  for (int p = 0; p < num_programs(); ++p) {
+    source_of[p] = source_ids.try_emplace(programs_[p].source_program(),
+                                          static_cast<int32_t>(source_ids.size()))
+                       .first->second;
   }
-  return static_cast<int>(distinct.size());
+  std::vector<StatementEdgeKey> keys;
+  keys.reserve(edges_.size());
+  for (const SummaryEdge& edge : edges_) {
+    keys.push_back({source_of[edge.from_program],
+                    programs_[edge.from_program].occurrence(edge.from_occ).source_stmt,
+                    programs_[edge.to_program].occurrence(edge.to_occ).source_stmt,
+                    source_of[edge.to_program], edge.counterflow});
+  }
+  std::sort(keys.begin(), keys.end());
+  return static_cast<int>(std::unique(keys.begin(), keys.end()) - keys.begin());
 }
 
 Digraph SummaryGraph::ProgramGraph() const {
@@ -73,14 +190,14 @@ SummaryGraph SummaryGraph::InducedSubgraph(const std::vector<bool>& keep) const 
       kept.push_back(programs_[p]);
     }
   }
-  SummaryGraph sub(std::move(kept));
+  std::vector<SummaryEdge> kept_edges;
   for (const SummaryEdge& edge : edges_) {
     if (keep[edge.from_program] && keep[edge.to_program]) {
-      sub.AddEdge({remap[edge.from_program], edge.from_occ, edge.counterflow,
-                   edge.to_occ, remap[edge.to_program]});
+      kept_edges.push_back({remap[edge.from_program], edge.from_occ, edge.counterflow,
+                            edge.to_occ, remap[edge.to_program]});
     }
   }
-  return sub;
+  return SummaryGraph(std::move(kept), std::move(kept_edges));
 }
 
 std::string SummaryGraph::DescribeEdge(const SummaryEdge& edge) const {
@@ -97,8 +214,32 @@ std::string SummaryGraph::ToDot(const std::string& name, bool merge_labels) cons
   for (const Ltp& program : programs_) {
     dot.AddNode(program.name(), program.name(), "shape=box");
   }
-  if (merge_labels) {
-    // Group parallel edges by (from, to, counterflow) into one labeled arrow.
+  if (merge_labels && cell_sorted_) {
+    // Group parallel edges by (from, to, counterflow) into one labeled
+    // arrow, walking the arena cell by cell: each (from, to) slice is
+    // contiguous, so no intermediate map is needed. Arrows come out in the
+    // same (from, to, non-counterflow-first) order the map produced.
+    size_t e = 0;
+    while (e < edges_.size()) {
+      const std::span<const SummaryEdge> cell =
+          CellEdges(edges_[e].from_program, edges_[e].to_program);
+      for (bool counterflow : {false, true}) {
+        std::string label;
+        for (const SummaryEdge& edge : cell) {
+          if (edge.counterflow != counterflow) continue;
+          if (!label.empty()) label += "\n";
+          label += programs_[edge.from_program].stmt(edge.from_occ).label() + "->" +
+                   programs_[edge.to_program].stmt(edge.to_occ).label();
+        }
+        if (!label.empty()) {
+          dot.AddEdge(programs_[cell.front().from_program].name(),
+                      programs_[cell.front().to_program].name(), label, counterflow);
+        }
+      }
+      e += cell.size();
+    }
+  } else if (merge_labels) {
+    // Fallback for hand-built graphs whose arena is not cell-sorted.
     std::map<std::tuple<int, int, bool>, std::string> grouped;
     for (const SummaryEdge& edge : edges_) {
       std::string& label = grouped[{edge.from_program, edge.to_program, edge.counterflow}];

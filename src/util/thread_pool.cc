@@ -46,20 +46,42 @@ void ThreadPool::ParallelFor(int64_t count, const std::function<void(int64_t)>& 
 
 void ThreadPool::ParallelForWorkers(int64_t count,
                                     const std::function<void(int, int64_t)>& fn) {
+  ParallelForWorkersChunked(count, 1, [&fn](int worker, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(worker, i);
+  });
+}
+
+void ThreadPool::ParallelForChunked(int64_t count, int64_t grain,
+                                    const std::function<void(int64_t, int64_t)>& fn) {
+  ParallelForWorkersChunked(count, grain,
+                            [&fn](int, int64_t begin, int64_t end) { fn(begin, end); });
+}
+
+void ThreadPool::ParallelForWorkersChunked(
+    int64_t count, int64_t grain, const std::function<void(int, int64_t, int64_t)>& fn) {
   if (count <= 0) return;
-  // Dynamic scheduling: workers pull the next unclaimed index. One pool task
-  // per worker, each looping until the index space is exhausted; the task's
-  // ordinal is the worker slot handed to fn.
+  if (grain < 1) grain = 1;
+  // Dynamic scheduling: workers pull the next unclaimed [begin, end) range.
+  // One pool task per worker, each looping until the index space is
+  // exhausted; the task's ordinal is the worker slot handed to fn.
   auto next = std::make_shared<std::atomic<int64_t>>(0);
-  const int tasks = static_cast<int>(std::min<int64_t>(num_threads(), count));
+  const int64_t chunks = (count + grain - 1) / grain;
+  const int tasks = static_cast<int>(std::min<int64_t>(num_threads(), chunks));
   for (int t = 0; t < tasks; ++t) {
-    Submit([next, count, &fn, t] {
-      for (int64_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
-        fn(t, i);
+    Submit([next, count, grain, &fn, t] {
+      for (int64_t begin = next->fetch_add(grain); begin < count;
+           begin = next->fetch_add(grain)) {
+        fn(t, begin, std::min<int64_t>(begin + grain, count));
       }
     });
   }
   Wait();
+}
+
+int64_t ThreadPool::DefaultGrain(int64_t count, int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  const int64_t grain = count / (static_cast<int64_t>(num_threads) * 8);
+  return grain < 1 ? 1 : grain;
 }
 
 int ThreadPool::ResolveThreadCount(int requested) {

@@ -51,6 +51,24 @@ class ThreadPool {
   /// slot) without locking.
   void ParallelForWorkers(int64_t count, const std::function<void(int, int64_t)>& fn);
 
+  /// Grain-chunked ParallelFor: workers claim half-open ranges
+  /// [begin, begin + grain) instead of single indices, so fine-grained
+  /// loops (summary-graph rows, subset-sweep levels) pay one atomic claim
+  /// and one std::function dispatch per `grain` items instead of per item.
+  /// Ranges are claimed in ascending order; grain < 1 is clamped to 1, so
+  /// grain 1 degrades to the unchunked dynamic schedule.
+  void ParallelForChunked(int64_t count, int64_t grain,
+                          const std::function<void(int64_t, int64_t)>& fn);
+
+  /// Chunked variant with a worker slot: fn(slot, begin, end), same slot
+  /// exclusivity as ParallelForWorkers.
+  void ParallelForWorkersChunked(int64_t count, int64_t grain,
+                                 const std::function<void(int, int64_t, int64_t)>& fn);
+
+  /// A grain that yields ~8 claimable chunks per worker — small enough to
+  /// balance heterogeneous items, big enough to amortize dispatch.
+  static int64_t DefaultGrain(int64_t count, int num_threads);
+
   /// Maps a requested thread count to an effective one: values >= 1 pass
   /// through, values < 1 mean "use the hardware concurrency".
   static int ResolveThreadCount(int requested);
