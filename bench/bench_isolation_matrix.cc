@@ -1,0 +1,244 @@
+// The isolation matrix: per-policy robustness rates across workloads and
+// settings — the end-to-end demonstration of the pluggable isolation-policy
+// layer. For every workload (SmallBank, TPC-C, Auction, IsolationDemo),
+// every granularity/FK setting, and both shipped policies (MVRC, lock-based
+// RC), it reports the full-set verdict and the subset sweep's robust-subset
+// count/rate, and enforces three correctness gates:
+//
+//   1. Monotonicity: every lock-based-RC schedule is MVRC-admissible, so
+//      every MVRC-robust subset must also be RC-robust — per mask, on every
+//      workload and setting.
+//   2. Separation: at least one (workload, setting) cell must differ
+//      between the two policies (IsolationDemo guarantees this: not robust
+//      under MVRC, robust under lock-based RC, on all four settings).
+//   3. Graph sharing: MVRC and RC summary graphs differ only in
+//      counterflow edges (non-counterflow generation is
+//      isolation-independent).
+//
+// Exit status 0 and "ok": true in the JSON record only when every gate
+// holds. Usage:
+//   bench_isolation_matrix [--threads=T] [--json-out=PATH|-]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/resource.h>
+
+#include "btp/unfold.h"
+#include "robust/detector.h"
+#include "robust/subsets.h"
+#include "summary/build_summary.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+#include "workloads/auction.h"
+#include "workloads/policy_demo.h"
+#include "workloads/smallbank.h"
+#include "workloads/tpcc.h"
+
+namespace mvrc {
+namespace {
+
+struct Options {
+  int threads = 1;
+  std::string json_out = "BENCH_isolation_matrix.json";
+};
+
+int64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // ru_maxrss is KiB on Linux
+}
+
+struct CellResult {
+  bool robust = false;
+  int num_edges = 0;
+  int num_counterflow_edges = 0;
+  double seconds = 0;
+  std::vector<uint32_t> robust_masks;  // empty when the sweep was skipped
+  bool swept = false;
+};
+
+CellResult RunCell(const Workload& workload, const AnalysisSettings& settings,
+                   ThreadPool* pool) {
+  CellResult cell;
+  Stopwatch timer;
+  // One graph build serves both the full-set verdict and the subset sweep
+  // (the sweep only needs the per-BTP LTP ranges on top of it).
+  std::vector<Ltp> all_ltps;
+  std::vector<std::pair<int, int>> ltp_range;
+  for (const Btp& program : workload.programs) {
+    std::vector<Ltp> unfolded = UnfoldAtMost2(program);
+    ltp_range.push_back({static_cast<int>(all_ltps.size()),
+                         static_cast<int>(all_ltps.size() + unfolded.size())});
+    for (Ltp& ltp : unfolded) all_ltps.push_back(std::move(ltp));
+  }
+  SummaryGraph graph = BuildSummaryGraph(std::move(all_ltps), settings,
+                                         pool != nullptr && pool->num_threads() > 1 ? pool
+                                                                                    : nullptr);
+  cell.num_edges = graph.num_edges();
+  cell.num_counterflow_edges = graph.num_counterflow_edges();
+  cell.robust = RunCycleTest(graph, Method::kTypeII, settings.policy()).robust;
+  if (SubsetProgramCountOk(static_cast<int>(workload.programs.size()))) {
+    Result<SubsetReport> report = AnalyzeSubsetsOnGraph(graph, ltp_range, Method::kTypeII,
+                                                        pool, nullptr, settings.policy());
+    if (report.ok()) {
+      cell.robust_masks = report.value().robust_masks;
+      cell.swept = true;
+    }
+  }
+  cell.seconds = timer.ElapsedSeconds();
+  return cell;
+}
+
+bool BenchWorkload(const Workload& workload, const Options& options, ThreadPool* pool,
+                   Json& records, int& cells_differing) {
+  const AnalysisSettings bases[] = {
+      AnalysisSettings::TupleDep().WithThreads(options.threads),
+      AnalysisSettings::AttrDep().WithThreads(options.threads),
+      AnalysisSettings::TupleDepFk().WithThreads(options.threads),
+      AnalysisSettings::AttrDepFk().WithThreads(options.threads),
+  };
+  const uint32_t full =
+      workload.programs.size() >= 32
+          ? ~uint32_t{0}
+          : (uint32_t{1} << workload.programs.size()) - 1;
+
+  for (const AnalysisSettings& base : bases) {
+    CellResult mvrc = RunCell(workload, base, pool);
+    CellResult rc = RunCell(workload, base.WithIsolation(IsolationLevel::kRc), pool);
+
+    // Gate 3: non-counterflow edge generation is isolation-independent.
+    if (mvrc.num_edges - mvrc.num_counterflow_edges !=
+        rc.num_edges - rc.num_counterflow_edges) {
+      std::printf("FAIL: %s / %s: non-counterflow edge counts differ across policies\n",
+                  workload.name.c_str(), base.name());
+      return false;
+    }
+    // Gate 1 (full set): MVRC-robust implies RC-robust.
+    if (mvrc.robust && !rc.robust) {
+      std::printf("FAIL: %s / %s: MVRC-robust but not RC-robust\n", workload.name.c_str(),
+                  base.name());
+      return false;
+    }
+    // Gate 1 (per mask).
+    if (mvrc.swept && rc.swept) {
+      SubsetReport rc_report;
+      rc_report.num_programs = static_cast<int>(workload.programs.size());
+      rc_report.robust_masks = rc.robust_masks;
+      for (uint32_t mask : mvrc.robust_masks) {
+        if (!rc_report.IsRobustSubset(mask)) {
+          std::printf("FAIL: %s / %s: mask %u MVRC-robust but not RC-robust\n",
+                      workload.name.c_str(), base.name(), mask);
+          return false;
+        }
+      }
+    }
+
+    const bool differs =
+        mvrc.robust != rc.robust ||
+        (mvrc.swept && rc.swept && mvrc.robust_masks != rc.robust_masks);
+    cells_differing += differs ? 1 : 0;
+
+    for (const auto& [policy_name, cell] :
+         {std::pair<const char*, const CellResult*>{"mvrc", &mvrc},
+          std::pair<const char*, const CellResult*>{"rc", &rc}}) {
+      Json record = Json::Object();
+      record.Set("workload", Json::Str(workload.name));
+      record.Set("settings", Json::Str(base.ToString()));
+      record.Set("isolation", Json::Str(policy_name));
+      record.Set("num_programs", Json::Int(static_cast<int64_t>(workload.programs.size())));
+      record.Set("num_edges", Json::Int(cell->num_edges));
+      record.Set("num_counterflow_edges", Json::Int(cell->num_counterflow_edges));
+      record.Set("robust", Json::Bool(cell->robust));
+      if (cell->swept) {
+        record.Set("robust_subsets", Json::Int(static_cast<int64_t>(cell->robust_masks.size())));
+        record.Set("total_subsets", Json::Int(static_cast<int64_t>(full)));
+        record.Set("robust_rate",
+                   Json::Number(full > 0 ? static_cast<double>(cell->robust_masks.size()) / full
+                                         : 0));
+      }
+      record.Set("seconds", Json::Number(cell->seconds));
+      records.Append(std::move(record));
+    }
+
+    std::printf("%-14s %-16s mvrc: %-10s rc: %-10s", workload.name.c_str(), base.name(),
+                mvrc.robust ? "robust" : "not robust", rc.robust ? "robust" : "not robust");
+    if (mvrc.swept && rc.swept) {
+      std::printf("  robust subsets %zu -> %zu of %u", mvrc.robust_masks.size(),
+                  rc.robust_masks.size(), full);
+    }
+    std::printf("%s\n", differs ? "  [differs]" : "");
+  }
+  return true;
+}
+
+int Run(const Options& options) {
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads != 1) {
+    pool = std::make_unique<ThreadPool>(ThreadPool::ResolveThreadCount(options.threads));
+  }
+
+  Json doc = Json::Object();
+  doc.Set("bench", Json::Str("isolation_matrix"));
+  Json records = Json::Array();
+  int cells_differing = 0;
+  bool ok = true;
+  for (const Workload& workload :
+       {MakeSmallBank(), MakeTpcc(), MakeAuction(), MakeIsolationDemo()}) {
+    if (!BenchWorkload(workload, options, pool.get(), records, cells_differing)) {
+      ok = false;
+      break;
+    }
+  }
+
+  // Gate 2: the policy layer must be observably pluggable — some cell must
+  // separate the two levels (IsolationDemo exists for exactly this).
+  if (ok && cells_differing == 0) {
+    std::printf("FAIL: no (workload, settings) cell separates MVRC from RC\n");
+    ok = false;
+  }
+
+  doc.Set("workloads", std::move(records));
+  doc.Set("cells_differing", Json::Int(cells_differing));
+  doc.Set("threads", Json::Int(options.threads));
+  doc.Set("peak_rss_bytes", Json::Int(PeakRssBytes()));
+  doc.Set("ok", Json::Bool(ok));
+  const std::string rendered = doc.Dump();
+  std::printf("%s\n", rendered.c_str());
+  if (options.json_out != "-") {
+    if (std::FILE* f = std::fopen(options.json_out.c_str(), "w")) {
+      std::fputs(rendered.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::printf("FAIL: cannot write %s\n", options.json_out.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mvrc
+
+int main(int argc, char** argv) {
+  mvrc::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = std::atoi(arg.c_str() + std::strlen("--threads="));
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      options.json_out = arg.substr(std::strlen("--json-out="));
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads=T] [--json-out=PATH|-]\n", argv[0]);
+      return 2;
+    }
+  }
+  return mvrc::Run(options);
+}

@@ -10,22 +10,6 @@ namespace mvrc {
 
 namespace {
 
-// Is type(q) one of {key sel, pred sel, pred upd, pred del}? These are the
-// types whose instantiations can place a read operation as the *target* of
-// an incoming dependency while still allowing the ordered-counterflow
-// condition of Theorem 6.4 (the b_{i-1} is an R- or PR-operation case).
-bool IsReadLikeSourceType(StatementType type) {
-  switch (type) {
-    case StatementType::kKeySelect:
-    case StatementType::kPredSelect:
-    case StatementType::kPredUpdate:
-    case StatementType::kPredDelete:
-      return true;
-    default:
-      return false;
-  }
-}
-
 // Boolean n x n matrix with 64-bit packed rows.
 class BoolMatrix {
  public:
@@ -49,12 +33,15 @@ class BoolMatrix {
 }  // namespace
 
 bool AdjacentPairCondition(const SummaryGraph& graph, const SummaryEdge& e3,
-                           const SummaryEdge& e4) {
+                           const SummaryEdge& e4, const IsolationPolicy& policy) {
   MVRC_CHECK(e3.to_program == e4.from_program);
-  if (e3.counterflow) return true;                   // adjacent-counterflow pair
-  if (e4.from_occ < e3.to_occ) return true;          // q4' <_{P4} q4
   const Statement& q3 = graph.program(e3.from_program).stmt(e3.from_occ);
-  return IsReadLikeSourceType(q3.type());            // b_{i-1} is an R/PR-operation
+  return policy.DangerousAdjacentPair(e3.counterflow, e3.to_occ, q3.type(), e4.from_occ);
+}
+
+bool AdjacentPairCondition(const SummaryGraph& graph, const SummaryEdge& e3,
+                           const SummaryEdge& e4) {
+  return AdjacentPairCondition(graph, e3, e4, GetPolicy(IsolationLevel::kMvrc));
 }
 
 std::string TypeIWitness::Describe(const SummaryGraph& graph) const {
@@ -78,6 +65,17 @@ std::string TypeIIWitness::Describe(const SummaryGraph& graph) const {
   return os.str();
 }
 
+std::string RcSplitWitness::Describe(const SummaryGraph& graph) const {
+  std::ostringstream os;
+  os << "rc split cycle (split program " << graph.program(outgoing.from_program).name()
+     << "):\n";
+  os << "  outgoing (counterflow):     " << graph.DescribeEdge(outgoing) << "\n";
+  os << "  incoming (non-counterflow): " << graph.DescribeEdge(incoming) << "\n";
+  os << "  path P2~>Pn:";
+  for (int p : return_path) os << " " << graph.program(p).name();
+  return os.str();
+}
+
 std::optional<TypeIWitness> FindTypeICycle(const SummaryGraph& graph) {
   Digraph program_graph = graph.ProgramGraph();
   Digraph::Reachability reach = program_graph.ComputeReachability();
@@ -93,7 +91,8 @@ std::optional<TypeIWitness> FindTypeICycle(const SummaryGraph& graph) {
   return std::nullopt;
 }
 
-std::optional<TypeIIWitness> FindTypeIICycle(const SummaryGraph& graph) {
+std::optional<TypeIIWitness> FindTypeIICycle(const SummaryGraph& graph,
+                                             const IsolationPolicy& policy) {
   const int n = graph.num_programs();
   if (n == 0) return std::nullopt;
   Digraph program_graph = graph.ProgramGraph();
@@ -139,7 +138,7 @@ std::optional<TypeIIWitness> FindTypeIICycle(const SummaryGraph& graph) {
       if (!e4.counterflow) continue;
       for (int e3_index : graph.InEdges(p4)) {
         const SummaryEdge& e3 = graph.edges()[e3_index];
-        if (!AdjacentPairCondition(graph, e3, e4)) continue;
+        if (!AdjacentPairCondition(graph, e3, e4, policy)) continue;
         if (!through.At(e4.to_program, e3.from_program)) continue;
         // Reconstruct a witnessing e1.
         for (const SummaryEdge& e1 : graph.edges()) {
@@ -164,7 +163,8 @@ std::optional<TypeIIWitness> FindTypeIICycle(const SummaryGraph& graph) {
   return std::nullopt;
 }
 
-std::optional<TypeIIWitness> FindTypeIICycleNaive(const SummaryGraph& graph) {
+std::optional<TypeIIWitness> FindTypeIICycleNaive(const SummaryGraph& graph,
+                                                  const IsolationPolicy& policy) {
   Digraph program_graph = graph.ProgramGraph();
   Digraph::Reachability reach = program_graph.ComputeReachability();
   // Literal Algorithm 2: iterate e1, e3, e4.
@@ -176,7 +176,7 @@ std::optional<TypeIIWitness> FindTypeIICycleNaive(const SummaryGraph& graph) {
         const SummaryEdge& e4 = graph.edges()[e4_index];
         if (!e4.counterflow) continue;
         if (!reach.At(e4.to_program, e1.from_program)) continue;
-        if (!AdjacentPairCondition(graph, e3, e4)) continue;
+        if (!AdjacentPairCondition(graph, e3, e4, policy)) continue;
         TypeIIWitness witness;
         witness.e1 = e1;
         witness.e3 = e3;
@@ -190,22 +190,89 @@ std::optional<TypeIIWitness> FindTypeIICycleNaive(const SummaryGraph& graph) {
   return std::nullopt;
 }
 
-bool IsRobust(const SummaryGraph& graph, Method method) {
+std::optional<RcSplitWitness> FindRcSplitCycle(const SummaryGraph& graph,
+                                               const IsolationPolicy& policy) {
+  const int n = graph.num_programs();
+  if (n == 0) return std::nullopt;
+  Digraph program_graph = graph.ProgramGraph();
+  Digraph::Reachability reach = program_graph.ComputeReachability();
+
+  // Scan split candidates: a counterflow e4 out of P1 adjacent to a
+  // non-counterflow e3 into P1 with e4's source occurrence strictly before
+  // e3's target occurrence (the policy's DangerousAdjacentPair), closed by
+  // any program path e4.to ~> e3.from. The iteration order (P1 ascending,
+  // out-edges, then in-edges) is mirrored by MaskedDetector::FindRcSplitCycle
+  // so masked witnesses match this oracle.
+  for (int p1 = 0; p1 < n; ++p1) {
+    for (int e4_index : graph.OutEdges(p1)) {
+      const SummaryEdge& e4 = graph.edges()[e4_index];
+      if (!e4.counterflow) continue;
+      for (int e3_index : graph.InEdges(p1)) {
+        const SummaryEdge& e3 = graph.edges()[e3_index];
+        if (!AdjacentPairCondition(graph, e3, e4, policy)) continue;
+        if (!reach.At(e4.to_program, e3.from_program)) continue;
+        RcSplitWitness witness;
+        witness.incoming = e3;
+        witness.outgoing = e4;
+        witness.return_path = program_graph.ShortestPath(e4.to_program, e3.from_program);
+        return witness;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsRobust(const SummaryGraph& graph, Method method, const IsolationPolicy& policy) {
   switch (method) {
     case Method::kTypeI:
       return !FindTypeICycle(graph).has_value();
     case Method::kTypeII:
-      return !FindTypeIICycle(graph).has_value();
     case Method::kTypeIINaive:
-      return !FindTypeIICycleNaive(graph).has_value();
+      if (policy.closure() == CycleClosure::kDirect) {
+        return !FindRcSplitCycle(graph, policy).has_value();
+      }
+      return method == Method::kTypeIINaive ? !FindTypeIICycleNaive(graph, policy).has_value()
+                                            : !FindTypeIICycle(graph, policy).has_value();
   }
   MVRC_CHECK_MSG(false, "unreachable method");
   return false;
 }
 
+CycleTestOutcome RunCycleTest(const SummaryGraph& graph, Method method,
+                              const IsolationPolicy& policy) {
+  CycleTestOutcome outcome;
+  if (method == Method::kTypeI) {
+    if (std::optional<TypeIWitness> witness = FindTypeICycle(graph)) {
+      outcome.robust = false;
+      outcome.witness = witness->Describe(graph);
+    }
+    return outcome;
+  }
+  if (policy.closure() == CycleClosure::kDirect) {
+    if (std::optional<RcSplitWitness> witness = FindRcSplitCycle(graph, policy)) {
+      outcome.robust = false;
+      outcome.witness = witness->Describe(graph);
+    }
+    return outcome;
+  }
+  std::optional<TypeIIWitness> witness = method == Method::kTypeIINaive
+                                             ? FindTypeIICycleNaive(graph, policy)
+                                             : FindTypeIICycle(graph, policy);
+  if (witness.has_value()) {
+    outcome.robust = false;
+    outcome.witness = witness->Describe(graph);
+  }
+  return outcome;
+}
+
+bool IsRobustUnder(const std::vector<Btp>& programs, const AnalysisSettings& settings,
+                   Method method) {
+  return IsRobust(BuildSummaryGraph(programs, settings), method, settings.policy());
+}
+
 bool IsRobustAgainstMvrc(const std::vector<Btp>& programs, const AnalysisSettings& settings,
                          Method method) {
-  return IsRobust(BuildSummaryGraph(programs, settings), method);
+  return IsRobustUnder(programs, settings, method);
 }
 
 }  // namespace mvrc

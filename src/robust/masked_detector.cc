@@ -9,8 +9,10 @@
 namespace mvrc {
 
 MaskedDetector::MaskedDetector(const SummaryGraph& graph,
-                               std::vector<std::pair<int, int>> ltp_range)
+                               std::vector<std::pair<int, int>> ltp_range,
+                               const IsolationPolicy& policy)
     : graph_(&graph),
+      policy_(&policy),
       ltp_range_(std::move(ltp_range)),
       num_ltps_(graph.num_programs()),
       words_((num_ltps_ + 63) / 64 > 0 ? (num_ltps_ + 63) / 64 : 1),
@@ -39,15 +41,15 @@ MaskedDetector::MaskedDetector(const SummaryGraph& graph,
     if (graph.edges()[e].counterflow) cf_edges_.push_back(e);
   }
   // Per counterflow edge e4, the sources P3 of in-edges e3 of e4's source
-  // program that satisfy the adjacent-pair condition — Algorithm 2's
-  // innermost disjunct, evaluated once here instead of once per mask.
+  // program that satisfy the policy's adjacent-pair condition — the cycle
+  // test's innermost disjunct, evaluated once here instead of once per mask.
   pair_srcs_.assign(cf_edges_.size() * static_cast<size_t>(words_), 0);
   for (size_t ordinal = 0; ordinal < cf_edges_.size(); ++ordinal) {
     const SummaryEdge& e4 = graph.edges()[cf_edges_[ordinal]];
     uint64_t* row = pair_srcs_.data() + ordinal * words_;
     for (int e3_index : graph.InEdges(e4.from_program)) {
       const SummaryEdge& e3 = graph.edges()[e3_index];
-      if (AdjacentPairCondition(graph, e3, e4)) SetBit(row, e3.from_program);
+      if (AdjacentPairCondition(graph, e3, e4, *policy_)) SetBit(row, e3.from_program);
     }
   }
 }
@@ -167,13 +169,33 @@ bool MaskedDetector::HasTypeIICycle(uint32_t mask, DetectorScratch& scratch) con
   return false;
 }
 
+bool MaskedDetector::HasRcSplitCycle(uint32_t mask, DetectorScratch& scratch) const {
+  BeginQuery(mask, scratch);
+  const uint64_t* active = scratch.active.data();
+  for (size_t ordinal = 0; ordinal < cf_edges_.size(); ++ordinal) {
+    const SummaryEdge& e4 = graph_->edges()[cf_edges_[ordinal]];
+    if (!TestBit(active, e4.from_program) || !TestBit(active, e4.to_program)) continue;
+    const uint64_t* srcs = PairSrcRow(static_cast<int>(ordinal));
+    for (int w = 0; w < words_; ++w) scratch.pair_srcs[w] = srcs[w] & active[w];
+    if (!AnyBit(scratch.pair_srcs.data(), words_)) continue;
+    // The split cycle closes directly: e4's target must reach the source of
+    // some valid closing non-counterflow edge (no separate e1 needed).
+    const uint64_t* from_p2 = ReachRow(e4.to_program, scratch);
+    for (int w = 0; w < words_; ++w) {
+      if (from_p2[w] & scratch.pair_srcs[w]) return true;
+    }
+  }
+  return false;
+}
+
 bool MaskedDetector::IsRobust(uint32_t mask, Method method, DetectorScratch& scratch) const {
   switch (method) {
     case Method::kTypeI:
       return !HasTypeICycle(mask, scratch);
     case Method::kTypeII:
     case Method::kTypeIINaive:
-      return !HasTypeIICycle(mask, scratch);
+      return policy_->closure() == CycleClosure::kDirect ? !HasRcSplitCycle(mask, scratch)
+                                                         : !HasTypeIICycle(mask, scratch);
   }
   MVRC_CHECK_MSG(false, "unreachable method");
   return false;
@@ -244,7 +266,7 @@ std::optional<TypeIIWitness> MaskedDetector::FindTypeIICycle(uint32_t mask,
       for (int e3_index : graph_->InEdges(p4)) {
         const SummaryEdge& e3 = graph_->edges()[e3_index];
         if (!TestBit(active, e3.from_program)) continue;
-        if (!AdjacentPairCondition(*graph_, e3, e4)) continue;
+        if (!AdjacentPairCondition(*graph_, e3, e4, *policy_)) continue;
         std::fill(scratch.pair_srcs.begin(), scratch.pair_srcs.end(), 0);
         SetBit(scratch.pair_srcs.data(), e3.from_program);
         if (!ClosesThrough(e4.to_program, scratch.pair_srcs.data(), scratch)) continue;
@@ -266,6 +288,36 @@ std::optional<TypeIIWitness> MaskedDetector::FindTypeIICycle(uint32_t mask,
           }
         }
         MVRC_CHECK_MSG(false, "closure said a closing nc edge exists but scan found none");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RcSplitWitness> MaskedDetector::FindRcSplitCycle(uint32_t mask,
+                                                               DetectorScratch& scratch) const {
+  BeginQuery(mask, scratch);
+  const uint64_t* active = scratch.active.data();
+  // Mirrors FindRcSplitCycle(const SummaryGraph&) on the induced subgraph:
+  // same split-program order (active nodes ascending), same edge orders
+  // (induced subgraphs preserve edge order), so the first witness found is
+  // the same.
+  for (int p1 = 0; p1 < num_ltps_; ++p1) {
+    if (!TestBit(active, p1)) continue;
+    for (int e4_index : graph_->OutEdges(p1)) {
+      const SummaryEdge& e4 = graph_->edges()[e4_index];
+      if (!e4.counterflow) continue;
+      if (!TestBit(active, e4.to_program)) continue;
+      for (int e3_index : graph_->InEdges(p1)) {
+        const SummaryEdge& e3 = graph_->edges()[e3_index];
+        if (!TestBit(active, e3.from_program)) continue;
+        if (!AdjacentPairCondition(*graph_, e3, e4, *policy_)) continue;
+        if (!Reaches(e4.to_program, e3.from_program, scratch)) continue;
+        RcSplitWitness witness;
+        witness.incoming = e3;
+        witness.outgoing = e4;
+        witness.return_path = MaskedShortestPath(e4.to_program, e3.from_program, scratch);
+        return witness;
       }
     }
   }

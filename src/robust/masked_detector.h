@@ -11,8 +11,9 @@
 //     non-counterflow edges separately),
 //   * a counterflow-edge index in summary-edge order,
 //   * per counterflow edge e4, the bitset of source programs P3 with an
-//     adjacent in-edge e3 of e4.from_program satisfying Algorithm 2's
-//     innermost disjunct (AdjacentPairCondition),
+//     adjacent in-edge e3 of e4.from_program satisfying the isolation
+//     policy's adjacent-pair condition (Algorithm 2's innermost disjunct
+//     under MVRC, the strict split-order test under lock-based RC),
 //   * per-BTP bitsets mapping subset-mask bits to the unfolded LTP nodes,
 //
 // and then answers IsRobust(mask) for any subset with zero heap allocation:
@@ -65,12 +66,16 @@ struct DetectorScratch {
 /// copying it. `graph` is borrowed and must outlive the detector;
 /// `ltp_range[i]` is the [begin, end) range of graph node indices holding
 /// BTP i's unfolded LTPs (bit i of a mask selects exactly those nodes), as
-/// in AnalyzeSubsetsOnGraph.
+/// in AnalyzeSubsetsOnGraph. `policy` selects the cycle certification the
+/// per-mask precomputation (the adjacent-pair source bitsets) is built for;
+/// it should match the isolation level the graph was built under.
 class MaskedDetector {
  public:
-  MaskedDetector(const SummaryGraph& graph, std::vector<std::pair<int, int>> ltp_range);
+  MaskedDetector(const SummaryGraph& graph, std::vector<std::pair<int, int>> ltp_range,
+                 const IsolationPolicy& policy = GetPolicy(IsolationLevel::kMvrc));
 
   const SummaryGraph& graph() const { return *graph_; }
+  const IsolationPolicy& policy() const { return *policy_; }
   /// Number of BTPs, i.e. of usable mask bits.
   int num_programs() const { return static_cast<int>(ltp_range_.size()); }
   /// Number of LTP nodes in the underlying summary graph.
@@ -79,15 +84,20 @@ class MaskedDetector {
   /// A scratch sized for this detector. One per querying thread.
   DetectorScratch MakeScratch() const;
 
-  /// True when the subset selected by `mask` passes the chosen cycle test.
-  /// Equal to IsRobust(graph().InducedSubgraph(...), method) for every mask;
-  /// performs no heap allocation. kTypeIINaive shares the type-II verdict
-  /// (the two implementations are equivalent by construction).
+  /// True when the subset selected by `mask` passes the chosen cycle test
+  /// under the detector's policy. Equal to
+  /// IsRobust(graph().InducedSubgraph(...), method, policy()) for every
+  /// mask; performs no heap allocation. kTypeIINaive shares the type-II
+  /// verdict (the two implementations are equivalent by construction).
   bool IsRobust(uint32_t mask, Method method, DetectorScratch& scratch) const;
 
-  /// The two cycle tests individually (verdict only, allocation-free).
+  /// The cycle tests individually (verdict only, allocation-free).
+  /// HasTypeIICycle is the through-nc-closure search and assumes a
+  /// kThroughNonCounterflowEdge policy; HasRcSplitCycle assumes kDirect.
+  /// IsRobust picks the right one — prefer it.
   bool HasTypeICycle(uint32_t mask, DetectorScratch& scratch) const;
   bool HasTypeIICycle(uint32_t mask, DetectorScratch& scratch) const;
+  bool HasRcSplitCycle(uint32_t mask, DetectorScratch& scratch) const;
 
   /// Witness-producing variants, mirroring FindTypeICycle / FindTypeIICycle
   /// on the induced subgraph: the returned witness references full-graph
@@ -96,6 +106,7 @@ class MaskedDetector {
   /// and are meant for reporting, not for the sweep's hot loop.
   std::optional<TypeIWitness> FindTypeICycle(uint32_t mask, DetectorScratch& scratch) const;
   std::optional<TypeIIWitness> FindTypeIICycle(uint32_t mask, DetectorScratch& scratch) const;
+  std::optional<RcSplitWitness> FindRcSplitCycle(uint32_t mask, DetectorScratch& scratch) const;
 
  private:
   int words() const { return words_; }
@@ -127,6 +138,7 @@ class MaskedDetector {
   bool ClosesThrough(int p5, const uint64_t* srcs, DetectorScratch& scratch) const;
 
   const SummaryGraph* graph_;
+  const IsolationPolicy* policy_;
   std::vector<std::pair<int, int>> ltp_range_;
   int num_ltps_;
   int words_;

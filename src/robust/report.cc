@@ -13,6 +13,7 @@ std::string WorkloadReport::ToText() const {
   std::ostringstream os;
   os << "workload: " << workload_name << " (" << num_programs << " programs, "
      << num_unfolded << " unfolded)\n";
+  os << "isolation: " << mvrc::ToString(isolation) << "\n";
   os << "verdicts:\n";
   for (const VerdictEntry& entry : verdicts) {
     os << "  " << entry.settings.name() << " / "
@@ -37,6 +38,7 @@ std::string WorkloadReport::ToText() const {
 Json WorkloadReport::ToJson() const {
   Json json = Json::Object();
   json.Set("workload", Json::Str(workload_name));
+  json.Set("isolation", Json::Str(mvrc::ToString(isolation)));
   json.Set("num_programs", Json::Int(num_programs));
   json.Set("num_unfolded", Json::Int(num_unfolded));
   Json verdict_array = Json::Array();
@@ -62,9 +64,10 @@ Json WorkloadReport::ToJson() const {
 }
 
 WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets,
-                           int num_threads) {
+                           int num_threads, IsolationLevel isolation) {
   WorkloadReport report;
   report.workload_name = workload.name.empty() ? "(unnamed)" : workload.name;
+  report.isolation = isolation;
   report.num_programs = static_cast<int>(workload.programs.size());
   report.num_unfolded = static_cast<int>(UnfoldAtMost2(workload.programs).size());
 
@@ -75,10 +78,10 @@ WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets,
     pool = std::make_unique<ThreadPool>(ThreadPool::ResolveThreadCount(num_threads));
   }
   for (AnalysisSettings settings :
-       {AnalysisSettings::TupleDep().WithThreads(num_threads),
-        AnalysisSettings::AttrDep().WithThreads(num_threads),
-        AnalysisSettings::TupleDepFk().WithThreads(num_threads),
-        AnalysisSettings::AttrDepFk().WithThreads(num_threads)}) {
+       {AnalysisSettings::TupleDep().WithThreads(num_threads).WithIsolation(isolation),
+        AnalysisSettings::AttrDep().WithThreads(num_threads).WithIsolation(isolation),
+        AnalysisSettings::TupleDepFk().WithThreads(num_threads).WithIsolation(isolation),
+        AnalysisSettings::AttrDepFk().WithThreads(num_threads).WithIsolation(isolation)}) {
     SummaryGraph graph =
         BuildSummaryGraph(UnfoldAtMost2(workload.programs), settings, pool.get());
     for (Method method : {Method::kTypeII, Method::kTypeI}) {
@@ -87,15 +90,9 @@ WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets,
       entry.method = method;
       entry.num_edges = graph.num_edges();
       entry.num_counterflow_edges = graph.num_counterflow_edges();
-      if (method == Method::kTypeII) {
-        std::optional<TypeIIWitness> witness = FindTypeIICycle(graph);
-        entry.robust = !witness.has_value();
-        if (witness.has_value()) entry.witness = witness->Describe(graph);
-      } else {
-        std::optional<TypeIWitness> witness = FindTypeICycle(graph);
-        entry.robust = !witness.has_value();
-        if (witness.has_value()) entry.witness = witness->Describe(graph);
-      }
+      CycleTestOutcome outcome = RunCycleTest(graph, method, settings.policy());
+      entry.robust = outcome.robust;
+      entry.witness = std::move(outcome.witness);
       report.verdicts.push_back(std::move(entry));
     }
   }
@@ -104,9 +101,10 @@ WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets,
       report.num_programs <= kMaxSubsetPrograms) {
     // Reuse the report's pool for the sweep instead of constructing another.
     SubsetReport subsets =
-        TryAnalyzeSubsets(workload.programs,
-                          AnalysisSettings::AttrDepFk().WithThreads(num_threads),
-                          Method::kTypeII, pool.get())
+        TryAnalyzeSubsets(
+            workload.programs,
+            AnalysisSettings::AttrDepFk().WithThreads(num_threads).WithIsolation(isolation),
+            Method::kTypeII, pool.get())
             .value();
     std::vector<std::string> names = workload.abbreviations;
     if (names.size() != workload.programs.size()) {

@@ -31,6 +31,7 @@ struct VerdictEntry {
 /// The analysis report for a workload.
 struct WorkloadReport {
   std::string workload_name;
+  IsolationLevel isolation = IsolationLevel::kMvrc;
   int num_programs = 0;
   int num_unfolded = 0;
   std::vector<VerdictEntry> verdicts;
@@ -47,13 +48,15 @@ struct WorkloadReport {
   Json ToJson() const;
 };
 
-/// Analyzes `workload` under all four settings with both methods; when
-/// `analyze_subsets` is set (and the workload has at most 20 programs) also
-/// computes the maximal robust subsets under attr dep + FK. `num_threads`
-/// parallelizes graph construction and the subset sweep (1 = serial, < 1 =
-/// hardware concurrency); it never changes the report's contents.
+/// Analyzes `workload` under all four granularity/FK settings with both
+/// methods, under `isolation`'s policy; when `analyze_subsets` is set (and
+/// the workload has at most 20 programs) also computes the maximal robust
+/// subsets under attr dep + FK. `num_threads` parallelizes graph
+/// construction and the subset sweep (1 = serial, < 1 = hardware
+/// concurrency); it never changes the report's contents.
 WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets,
-                           int num_threads = 1);
+                           int num_threads = 1,
+                           IsolationLevel isolation = IsolationLevel::kMvrc);
 
 }  // namespace mvrc
 

@@ -217,10 +217,11 @@ Result<SubsetReport> AnalyzeSubsetsOnDetector(const MaskedDetector& detector, Me
 Result<SubsetReport> AnalyzeSubsetsOnGraph(const SummaryGraph& full_graph,
                                            const std::vector<std::pair<int, int>>& ltp_range,
                                            Method method, ThreadPool* pool,
-                                           const SubsetSweepHooks* hooks) {
+                                           const SubsetSweepHooks* hooks,
+                                           const IsolationPolicy& policy) {
   const int n = static_cast<int>(ltp_range.size());
   if (std::optional<Result<SubsetReport>> error = CheckProgramCount(n)) return *error;
-  MaskedDetector detector(full_graph, ltp_range);
+  MaskedDetector detector(full_graph, ltp_range, policy);
   return SweepDetector(detector, method, pool, hooks);
 }
 
@@ -253,7 +254,7 @@ Result<SubsetReport> TryAnalyzeSubsets(const std::vector<Btp>& programs,
   SummaryGraph full_graph =
       BuildSummaryGraph(std::move(all_ltps), settings,
                         pool != nullptr && pool->num_threads() > 1 ? pool : nullptr);
-  return AnalyzeSubsetsOnGraph(full_graph, ltp_range, method, pool, hooks);
+  return AnalyzeSubsetsOnGraph(full_graph, ltp_range, method, pool, hooks, settings.policy());
 }
 
 SubsetReport AnalyzeSubsets(const std::vector<Btp>& programs, const AnalysisSettings& settings,

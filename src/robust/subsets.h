@@ -106,7 +106,9 @@ Result<SubsetReport> TryAnalyzeSubsets(const std::vector<Btp>& programs,
 Result<SubsetReport> AnalyzeSubsetsOnGraph(const SummaryGraph& full_graph,
                                            const std::vector<std::pair<int, int>>& ltp_range,
                                            Method method, ThreadPool* pool = nullptr,
-                                           const SubsetSweepHooks* hooks = nullptr);
+                                           const SubsetSweepHooks* hooks = nullptr,
+                                           const IsolationPolicy& policy =
+                                               GetPolicy(IsolationLevel::kMvrc));
 
 /// The sweep on a caller-owned MaskedDetector (robust/masked_detector.h) —
 /// the zero-copy hot path every entry point above funnels into. Per-mask

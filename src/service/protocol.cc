@@ -27,12 +27,55 @@ Json OkResponse() {
   return response;
 }
 
-std::optional<AnalysisSettings> ParseSettings(const std::string& text) {
-  if (text.empty() || text == "attr+fk") return AnalysisSettings::AttrDepFk();
-  if (text == "attr") return AnalysisSettings::AttrDep();
-  if (text == "tpl+fk") return AnalysisSettings::TupleDepFk();
-  if (text == "tpl") return AnalysisSettings::TupleDep();
-  return std::nullopt;
+// The analysis parameters a load_sql/add_program request carries, resolved
+// against the server defaults, plus which of them the client spelled out —
+// explicit parameters must match an existing session's, implicit ones
+// inherit (never silently re-default).
+struct RequestedAnalysis {
+  AnalysisSettings settings;
+  bool explicit_settings = false;   // "settings" member present
+  bool explicit_isolation = false;  // isolation named via either spelling
+};
+
+Result<RequestedAnalysis> ParseRequestedAnalysis(const Json& request,
+                                                 const ProtocolOptions& options) {
+  RequestedAnalysis requested;
+  requested.settings = AnalysisSettings::AttrDepFk().WithIsolation(options.default_isolation);
+
+  const std::string text = request.GetString("settings");
+  if (!text.empty()) {
+    // AnalysisSettings::Parse is the single source of truth for the
+    // settings grammar (shared with the CLI tools), including whether the
+    // string named an isolation level.
+    bool settings_named_isolation = false;
+    Result<AnalysisSettings> parsed = AnalysisSettings::Parse(text, &settings_named_isolation);
+    if (!parsed.ok()) return Result<RequestedAnalysis>::Error(parsed.error());
+    requested.settings = parsed.value();
+    requested.explicit_settings = true;
+    if (settings_named_isolation) {
+      requested.explicit_isolation = true;
+    } else {
+      requested.settings.isolation = options.default_isolation;
+    }
+  }
+
+  const std::string isolation_text = request.GetString("isolation");
+  if (!isolation_text.empty()) {
+    std::optional<IsolationLevel> level = ParseIsolationLevel(isolation_text);
+    if (!level.has_value()) {
+      return Result<RequestedAnalysis>::Error("unknown isolation " + isolation_text +
+                                              " (expected mvrc or rc)");
+    }
+    if (requested.explicit_isolation && requested.settings.isolation != *level) {
+      return Result<RequestedAnalysis>::Error(
+          "conflicting isolation: settings string says " +
+          std::string(ToString(requested.settings.isolation)) + " but \"isolation\" says " +
+          isolation_text);
+    }
+    requested.settings.isolation = *level;
+    requested.explicit_isolation = true;
+  }
+  return requested;
 }
 
 std::optional<Method> ParseMethod(const std::string& text) {
@@ -69,13 +112,12 @@ std::shared_ptr<WorkloadSession> RequireSession(SessionManager& manager, const J
   return session;
 }
 
-Json HandleLoad(SessionManager& manager, const Json& request) {
+Json HandleLoad(SessionManager& manager, const Json& request, const ProtocolOptions& options) {
   const std::string session_name = request.GetString("session");
   if (session_name.empty()) return ErrorResponse("missing \"session\"");
-  std::optional<AnalysisSettings> settings = ParseSettings(request.GetString("settings"));
-  if (!settings.has_value()) {
-    return ErrorResponse("unknown settings (expected attr+fk, attr, tpl+fk or tpl)");
-  }
+  Result<RequestedAnalysis> requested = ParseRequestedAnalysis(request, options);
+  if (!requested.ok()) return ErrorResponse(requested.error());
+  const AnalysisSettings& settings = requested.value().settings;
 
   // Validate arguments before touching the registry, and drop a session we
   // created if its very first load fails — otherwise a typo would leak an
@@ -95,7 +137,7 @@ Json HandleLoad(SessionManager& manager, const Json& request) {
 
   bool created = false;
   std::shared_ptr<WorkloadSession> session =
-      manager.GetOrCreate(session_name, *settings, &created);
+      manager.GetOrCreate(session_name, settings, &created);
   // Only the creating request rolls back, and only while the session is
   // still empty. (Two clients racing to create the same session with
   // different content is an application-level conflict either way.)
@@ -103,6 +145,27 @@ Json HandleLoad(SessionManager& manager, const Json& request) {
     if (created && session->num_programs() == 0) manager.Drop(session_name);
     return ErrorResponse(message);
   };
+
+  // An existing session keeps the analysis parameters it was created under;
+  // a request that explicitly asks for different ones must fail loudly
+  // rather than silently analyze under something else. Implicit parameters
+  // inherit the session's.
+  if (!created) {
+    const AnalysisSettings& have = session->settings();
+    if (requested.value().explicit_isolation && have.isolation != settings.isolation) {
+      return ErrorResponse("session " + session_name + " was created under isolation " +
+                           ToString(have.isolation) + " (got " +
+                           ToString(settings.isolation) +
+                           "); drop it or use a differently named session");
+    }
+    if (requested.value().explicit_settings &&
+        (have.granularity != settings.granularity ||
+         have.use_foreign_keys != settings.use_foreign_keys)) {
+      return ErrorResponse("session " + session_name + " was created with settings " +
+                           have.ToString() + " (got " + settings.ToString() +
+                           "); drop it or use a differently named session");
+    }
+  }
 
   std::vector<std::string> added;
   if (builtin_workload.has_value()) {
@@ -244,6 +307,7 @@ Json HandleStats(SessionManager& manager, const Json& request) {
   Json response = OkResponse();
   response.Set("session", Json::Str(session->name()));
   response.Set("settings", Json::Str(session->settings().name()));
+  response.Set("isolation", Json::Str(ToString(session->settings().isolation)));
   response.Set("programs", NamesArray(session->ProgramNames()));
   response.Set("programs_added", Json::Int(stats.programs_added));
   response.Set("programs_removed", Json::Int(stats.programs_removed));
@@ -271,14 +335,15 @@ Json HandleDrop(SessionManager& manager, const Json& request) {
 
 }  // namespace
 
-Json HandleRequest(SessionManager& manager, const Json& request) {
+Json HandleRequest(SessionManager& manager, const Json& request,
+                   const ProtocolOptions& options) {
   if (!request.is_object()) return ErrorResponse("request must be a JSON object");
   const Json* cmd = request.Find("cmd");
   if (cmd == nullptr || !cmd->is_string()) return ErrorResponse("missing \"cmd\"");
   const std::string& name = cmd->string_value();
   Json response;
   if (name == "load_sql" || name == "add_program") {
-    response = HandleLoad(manager, request);
+    response = HandleLoad(manager, request, options);
   } else if (name == "remove_program") {
     response = HandleRemove(manager, request);
   } else if (name == "replace_program") {
@@ -301,10 +366,11 @@ Json HandleRequest(SessionManager& manager, const Json& request) {
   return response;
 }
 
-std::string HandleRequestLine(SessionManager& manager, const std::string& line) {
+std::string HandleRequestLine(SessionManager& manager, const std::string& line,
+                              const ProtocolOptions& options) {
   Result<Json> request = Json::Parse(line);
   if (!request.ok()) return ErrorResponse(request.error()).Dump();
-  return HandleRequest(manager, request.value()).Dump();
+  return HandleRequest(manager, request.value(), options).Dump();
 }
 
 }  // namespace mvrc

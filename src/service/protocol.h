@@ -7,11 +7,15 @@
 // Commands:
 //
 //   {"cmd":"load_sql","session":S, "sql":TEXT | "builtin":"smallbank|tpcc|auction"
-//    [,"settings":"attr+fk|attr|tpl+fk|tpl"]}
-//       Creates the session on first use (settings apply only then; default
-//       attr+fk — the paper's most precise analysis) and parses TABLE /
-//       FOREIGN KEY / PROGRAM declarations into it. -> {"programs":[names],
-//       "num_programs":N}
+//    [,"settings":"<attr|tpl>[+fk][+mvrc|+rc]"][,"isolation":"mvrc|rc"]}
+//       Creates the session on first use (settings/isolation apply then;
+//       default attr+fk under MVRC — the paper's most precise analysis) and
+//       parses TABLE / FOREIGN KEY / PROGRAM declarations into it.
+//       "isolation" may also ride inside the settings string (e.g.
+//       "attr+fk+rc"); giving both with different levels is an error, as is
+//       addressing an existing session with explicit settings or isolation
+//       that differ from the ones it was created under. ->
+//       {"programs":[names],"num_programs":N}
 //   {"cmd":"add_program","session":S,"sql":TEXT}
 //       Alias of load_sql for incremental additions: the SQL may reference
 //       the session's existing schema. -> {"programs":[names added],...}
@@ -24,7 +28,8 @@
 //   {"cmd":"counterexample","session":S[,"domain_size":D,"max_txns":T,
 //    "max_schedules":M]}
 //       -> {"found":B,"description"?:..,"schedules_checked":..}
-//   {"cmd":"stats","session":S}        -> per-session counters
+//   {"cmd":"stats","session":S}        -> per-session counters (including
+//       "settings" and "isolation")
 //   {"cmd":"stats"}                    -> {"sessions":[names],"num_threads":N}
 //   {"cmd":"drop_session","session":S} -> {"dropped":B}
 //
@@ -41,14 +46,23 @@
 
 namespace mvrc {
 
+/// Server-side protocol defaults (mvrcd --isolation feeds these).
+struct ProtocolOptions {
+  /// Isolation level of sessions created by requests that specify none.
+  IsolationLevel default_isolation = IsolationLevel::kMvrc;
+};
+
 /// Executes one parsed request. Never aborts on bad input: every failure
-/// (including unknown commands and missing arguments) is an
-/// {"ok":false,"error":...} response.
-Json HandleRequest(SessionManager& manager, const Json& request);
+/// (including unknown commands, missing arguments, unknown settings or
+/// isolation strings, and isolation mismatches against an existing session)
+/// is an {"ok":false,"error":...} response.
+Json HandleRequest(SessionManager& manager, const Json& request,
+                   const ProtocolOptions& options = {});
 
 /// Parses one NDJSON request line, dispatches it, and renders the response
 /// as a single line (no trailing newline).
-std::string HandleRequestLine(SessionManager& manager, const std::string& line);
+std::string HandleRequestLine(SessionManager& manager, const std::string& line,
+                              const ProtocolOptions& options = {});
 
 }  // namespace mvrc
 

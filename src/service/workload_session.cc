@@ -346,7 +346,7 @@ const SummaryGraph& WorkloadSession::CachedGraphLocked() {
 
 const MaskedDetector& WorkloadSession::CachedDetectorLocked() {
   const SummaryGraph& graph = CachedGraphLocked();
-  if (!detector_.has_value()) detector_.emplace(graph, LtpRangesLocked());
+  if (!detector_.has_value()) detector_.emplace(graph, LtpRangesLocked(), settings_.policy());
   return *detector_;
 }
 
@@ -361,7 +361,13 @@ SummaryGraph WorkloadSession::Graph() {
 }
 
 std::string WorkloadSession::FingerprintLocked(uint32_t mask, Method method) const {
-  std::string fingerprint = std::to_string(static_cast<int>(method));
+  // The settings prefix (granularity, FK usage, isolation) keeps
+  // fingerprints collision-free across isolation levels — two sessions
+  // analyzing the same programs under different policies never share a key
+  // even if their caches were merged.
+  std::string fingerprint = settings_.ToString();
+  fingerprint.push_back('|');
+  fingerprint += std::to_string(static_cast<int>(method));
   fingerprint.push_back('|');
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (i < 32 && ((mask >> i) & 1) == 0) continue;
@@ -406,17 +412,9 @@ CheckResult WorkloadSession::Check(Method method) {
   }
 
   ++stats_.detector_runs;
-  if (method == Method::kTypeI) {
-    std::optional<TypeIWitness> witness = FindTypeICycle(graph);
-    result.robust = !witness.has_value();
-    if (witness.has_value()) result.witness = witness->Describe(graph);
-  } else {
-    std::optional<TypeIIWitness> witness = method == Method::kTypeIINaive
-                                               ? FindTypeIICycleNaive(graph)
-                                               : FindTypeIICycle(graph);
-    result.robust = !witness.has_value();
-    if (witness.has_value()) result.witness = witness->Describe(graph);
-  }
+  CycleTestOutcome outcome = RunCycleTest(graph, method, settings_.policy());
+  result.robust = outcome.robust;
+  result.witness = std::move(outcome.witness);
   verdict_cache_.Store(fingerprint, result.robust);
   SyncCacheStatsLocked();
   return result;
@@ -446,7 +444,8 @@ Result<SubsetReport> WorkloadSession::Subsets(Method method, std::vector<std::st
   Result<SubsetReport> report =
       SubsetProgramCountOk(static_cast<int>(entries_.size()))
           ? AnalyzeSubsetsOnDetector(CachedDetectorLocked(), method, pool_, &hooks)
-          : AnalyzeSubsetsOnGraph(graph, LtpRangesLocked(), method, pool_, &hooks);
+          : AnalyzeSubsetsOnGraph(graph, LtpRangesLocked(), method, pool_, &hooks,
+                                  settings_.policy());
   if (report.ok()) ++stats_.subset_sweeps;
   SyncCacheStatsLocked();
   return report;

@@ -17,7 +17,8 @@
 //
 // Robustness verdicts — of the full set and of every subset the sweep
 // evaluates — are memoized in a VerdictCache keyed by a program-set
-// fingerprint: the analysis method plus each member's (name, revision).
+// fingerprint: the analysis settings (granularity, FK usage, isolation
+// level) and method plus each member's (name, revision).
 // A revision only advances when a mutation actually changed one of the
 // program's incident cells (ReplaceProgram with equivalent edges keeps the
 // revision), so cached verdicts survive every mutation that provably cannot

@@ -17,7 +17,7 @@ std::vector<SummaryEdge> SummaryEdgesBetween(const Ltp& from, int from_index, co
   for (int qi = 0; qi < from.size(); ++qi) {
     for (int qj = 0; qj < to.size(); ++qj) {
       if (from.stmt(qi).rel() != to.stmt(qj).rel()) continue;
-      if (AllowsNonCounterflow(from.stmt(qi), to.stmt(qj), settings.granularity)) {
+      if (AllowsNonCounterflow(from.stmt(qi), to.stmt(qj), settings)) {
         edges.push_back({from_index, qi, /*counterflow=*/false, qj, to_index});
       }
       if (AllowsCounterflow(from, qi, to, qj, settings)) {

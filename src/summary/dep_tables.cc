@@ -1,5 +1,7 @@
 #include "summary/dep_tables.h"
 
+#include <vector>
+
 #include "util/check.h"
 
 namespace mvrc {
@@ -62,6 +64,68 @@ constexpr TableEntry kCDepTable[7][7] = {
 
 }  // namespace
 
+const char* AnalysisSettings::name() const {
+  const bool rc = isolation == IsolationLevel::kRc;
+  if (granularity == Granularity::kTuple) {
+    if (use_foreign_keys) return rc ? "tpl dep + FK @ rc" : "tpl dep + FK";
+    return rc ? "tpl dep @ rc" : "tpl dep";
+  }
+  if (use_foreign_keys) return rc ? "attr dep + FK @ rc" : "attr dep + FK";
+  return rc ? "attr dep @ rc" : "attr dep";
+}
+
+std::string AnalysisSettings::ToString() const {
+  std::string out = granularity == Granularity::kTuple ? "tpl" : "attr";
+  if (use_foreign_keys) out += "+fk";
+  if (isolation != IsolationLevel::kMvrc) {
+    out += '+';
+    out += mvrc::ToString(isolation);
+  }
+  return out;
+}
+
+Result<AnalysisSettings> AnalysisSettings::Parse(const std::string& text,
+                                                 bool* isolation_explicit) {
+  if (isolation_explicit != nullptr) *isolation_explicit = false;
+  const auto error = [&text]() {
+    return Result<AnalysisSettings>::Error(
+        "unknown settings \"" + text +
+        "\" (expected <attr|tpl>[+fk][+mvrc|+rc], e.g. attr+fk, tpl or attr+fk+rc)");
+  };
+  std::vector<std::string> tokens;
+  size_t begin = 0;
+  while (true) {
+    const size_t plus = text.find('+', begin);
+    tokens.push_back(text.substr(begin, plus == std::string::npos ? plus : plus - begin));
+    if (plus == std::string::npos) break;
+    begin = plus + 1;
+  }
+
+  AnalysisSettings settings;
+  settings.use_foreign_keys = false;
+  if (tokens[0] == "attr") {
+    settings.granularity = Granularity::kAttribute;
+  } else if (tokens[0] == "tpl") {
+    settings.granularity = Granularity::kTuple;
+  } else {
+    return error();
+  }
+  size_t next = 1;
+  if (next < tokens.size() && tokens[next] == "fk") {
+    settings.use_foreign_keys = true;
+    ++next;
+  }
+  if (next < tokens.size()) {
+    std::optional<IsolationLevel> level = ParseIsolationLevel(tokens[next]);
+    if (!level.has_value()) return error();
+    settings.isolation = *level;
+    if (isolation_explicit != nullptr) *isolation_explicit = true;
+    ++next;
+  }
+  if (next != tokens.size()) return error();
+  return settings;
+}
+
 bool AttrConflicts(const std::optional<AttrSet>& a, const std::optional<AttrSet>& b,
                    Granularity granularity) {
   if (!a.has_value() || !b.has_value()) return false;
@@ -92,6 +156,7 @@ bool CDepConds(const Ltp& pi, int qi_pos, const Ltp& pj, int qj_pos,
   if (AttrConflicts(qi.pread_set(), qj.write_set(), settings.granularity)) {
     return true;
   }
+  if (!settings.policy().CounterflowReadClauseApplies(qi.type())) return false;
   if (AttrConflicts(qi.read_set(), qj.write_set(), settings.granularity)) {
     if (settings.use_foreign_keys) {
       // Foreign-key suppression: a pair of constraints q_k = f(q_i) in P_i
@@ -122,21 +187,22 @@ bool CDepConds(const Ltp& pi, int qi_pos, const Ltp& pj, int qj_pos,
   return false;
 }
 
-bool AllowsNonCounterflow(const Statement& qi, const Statement& qj, Granularity granularity) {
-  switch (NcDepTable(qi.type(), qj.type())) {
+bool AllowsNonCounterflow(const Statement& qi, const Statement& qj,
+                          const AnalysisSettings& settings) {
+  switch (settings.policy().NcDep(qi.type(), qj.type())) {
     case TableEntry::kTrue:
       return true;
     case TableEntry::kFalse:
       return false;
     case TableEntry::kCheck:
-      return NcDepConds(qi, qj, granularity);
+      return NcDepConds(qi, qj, settings.granularity);
   }
   return false;
 }
 
 bool AllowsCounterflow(const Ltp& pi, int qi_pos, const Ltp& pj, int qj_pos,
                        const AnalysisSettings& settings) {
-  switch (CDepTable(pi.stmt(qi_pos).type(), pj.stmt(qj_pos).type())) {
+  switch (settings.policy().CDep(pi.stmt(qi_pos).type(), pj.stmt(qj_pos).type())) {
     case TableEntry::kTrue:
       return true;
     case TableEntry::kFalse:

@@ -36,6 +36,7 @@ std::optional<AttrSet> OptSet(uint64_t bits, bool defined) {
 uint8_t ComputeVerdict(const StatementShape& a, const StatementShape& b,
                        const AnalysisSettings& settings) {
   const Granularity g = settings.granularity;
+  const IsolationPolicy& policy = settings.policy();
   const std::optional<AttrSet> ra = OptSet(a.read_bits, a.defined & 1);
   const std::optional<AttrSet> wa = OptSet(a.write_bits, a.defined & 2);
   const std::optional<AttrSet> pa = OptSet(a.pread_bits, a.defined & 4);
@@ -44,7 +45,7 @@ uint8_t ComputeVerdict(const StatementShape& a, const StatementShape& b,
   const std::optional<AttrSet> pb = OptSet(b.pread_bits, b.defined & 4);
 
   uint8_t verdict = 0;
-  switch (NcDepTable(a.type, b.type)) {
+  switch (policy.NcDep(a.type, b.type)) {
     case TableEntry::kTrue:
       verdict |= ShapeVerdictMatrix::kNonCounterflow;
       break;
@@ -58,7 +59,7 @@ uint8_t ComputeVerdict(const StatementShape& a, const StatementShape& b,
       }
       break;
   }
-  switch (CDepTable(a.type, b.type)) {
+  switch (policy.CDep(a.type, b.type)) {
     case TableEntry::kTrue:
       verdict |= ShapeVerdictMatrix::kCounterflow;
       break;
@@ -66,10 +67,12 @@ uint8_t ComputeVerdict(const StatementShape& a, const StatementShape& b,
       break;
     case TableEntry::kCheck:
       // cDepConds: the PReadSet clause never consults foreign keys; the
-      // ReadSet clause is suppressible only when use_foreign_keys is on.
+      // ReadSet clause applies only when the policy admits it for this
+      // source type (lock-based RC drops it for writing sources) and is
+      // suppressible only when use_foreign_keys is on.
       if (AttrConflicts(pa, wb, g)) {
         verdict |= ShapeVerdictMatrix::kCounterflow;
-      } else if (AttrConflicts(ra, wb, g)) {
+      } else if (policy.CounterflowReadClauseApplies(a.type) && AttrConflicts(ra, wb, g)) {
         verdict |= settings.use_foreign_keys ? ShapeVerdictMatrix::kCounterflowFkCheck
                                              : ShapeVerdictMatrix::kCounterflow;
       }

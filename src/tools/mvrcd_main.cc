@@ -4,11 +4,16 @@
 // (socat/inetd). See src/service/protocol.h for the command reference.
 //
 // Usage:
-//   mvrcd [--threads=N]
+//   mvrcd [--threads=N] [--isolation=mvrc|rc]
 //
 // Options:
-//   --threads=N   worker threads for graph maintenance and subset sweeps
-//                 (default 1 = serial; 0 = hardware concurrency)
+//   --threads=N          worker threads for graph maintenance and subset
+//                        sweeps (default 1 = serial; 0 = hardware
+//                        concurrency)
+//   --isolation=mvrc|rc  isolation level for sessions whose load request
+//                        does not name one (default mvrc); individual
+//                        requests may still override with "isolation" or a
+//                        settings string like "attr+fk+rc"
 //
 // Blank input lines are ignored. The process exits 0 at end of input.
 //
@@ -21,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "service/protocol.h"
@@ -29,7 +35,8 @@
 namespace {
 
 int Usage() {
-  std::fprintf(stderr, "usage: mvrcd [--threads=N]   (NDJSON requests on stdin)\n");
+  std::fprintf(stderr,
+               "usage: mvrcd [--threads=N] [--isolation=mvrc|rc]   (NDJSON requests on stdin)\n");
   return 2;
 }
 
@@ -37,6 +44,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   int num_threads = 1;
+  mvrc::ProtocolOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
@@ -45,6 +53,11 @@ int main(int argc, char** argv) {
       long parsed = std::strtol(value, &end, 10);
       if (end == value || *end != '\0' || parsed < 0 || parsed > 1024) return Usage();
       num_threads = static_cast<int>(parsed);
+    } else if (arg.rfind("--isolation=", 0) == 0) {
+      std::optional<mvrc::IsolationLevel> level =
+          mvrc::ParseIsolationLevel(arg.substr(std::strlen("--isolation=")));
+      if (!level.has_value()) return Usage();
+      options.default_isolation = *level;
     } else {
       return Usage();
     }
@@ -56,7 +69,7 @@ int main(int argc, char** argv) {
     // Tolerate CRLF input (telnet-style clients).
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    std::string response = mvrc::HandleRequestLine(manager, line);
+    std::string response = mvrc::HandleRequestLine(manager, line, options);
     std::fwrite(response.data(), 1, response.size(), stdout);
     std::fputc('\n', stdout);
     std::fflush(stdout);

@@ -8,20 +8,27 @@
 //   --subsets      also compute maximal robust subsets (≤ 20 programs)
 //   --dot          print the summary graph (attr dep + FK) as Graphviz DOT
 //   --certify      on rejection, search for a concrete counterexample
+//                  (counterexample schedules are MVRC executions; under
+//                  --isolation=rc the search is still reported but certifies
+//                  against the broader MVRC semantics)
 //   --programs     print the derived BTP statement tables
 //   --threads=N    worker threads for graph construction and the subset
 //                  sweep (default 1 = serial; 0 = hardware concurrency)
+//   --isolation=L  isolation level to analyze against: mvrc (default) or rc
+//                  (lock-based Read Committed, the transaction-template
+//                  characterization)
 //   --json         print the report as a single JSON object instead of text
 //                  (see WorkloadReport::ToJson; --dot/--certify/--programs
 //                  keep their text output and are best not combined)
 //
-// Exit status: 0 when robust under attr dep + FK / type-II, 1 when not,
-// 2 on usage or parse errors.
+// Exit status: 0 when robust under attr dep + FK / type-II at the chosen
+// isolation level, 1 when not, 2 on usage or parse errors.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -38,7 +45,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: mvrcdet [--subsets] [--dot] [--certify] [--programs] [--threads=N]\n"
-               "               [--json] (<workload.sql> | --builtin=<smallbank|tpcc|auction>)\n");
+               "               [--isolation=mvrc|rc] [--json]\n"
+               "               (<workload.sql> | --builtin=<smallbank|tpcc|auction>)\n");
   return 2;
 }
 
@@ -48,6 +56,7 @@ int main(int argc, char** argv) {
   using namespace mvrc;
   bool subsets = false, dot = false, certify = false, print_programs = false, json = false;
   int num_threads = 1;
+  IsolationLevel isolation = IsolationLevel::kMvrc;
   std::string file, builtin;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -67,6 +76,11 @@ int main(int argc, char** argv) {
       long parsed = std::strtol(value, &end, 10);
       if (end == value || *end != '\0' || parsed < 0 || parsed > 1024) return Usage();
       num_threads = static_cast<int>(parsed);
+    } else if (arg.rfind("--isolation=", 0) == 0) {
+      std::optional<IsolationLevel> level =
+          ParseIsolationLevel(arg.substr(std::strlen("--isolation=")));
+      if (!level.has_value()) return Usage();
+      isolation = *level;
     } else if (arg.rfind("--builtin=", 0) == 0) {
       builtin = arg.substr(std::strlen("--builtin="));
     } else if (!arg.empty() && arg[0] == '-') {
@@ -112,16 +126,17 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  WorkloadReport report = BuildReport(workload, subsets, num_threads);
+  WorkloadReport report = BuildReport(workload, subsets, num_threads, isolation);
   if (json) {
     std::printf("%s\n", report.ToJson().Dump().c_str());
   } else {
     std::printf("%s", report.ToText().c_str());
   }
 
-  bool robust = IsRobustAgainstMvrc(workload.programs,
-                                    AnalysisSettings::AttrDepFk().WithThreads(num_threads),
-                                    Method::kTypeII);
+  bool robust = IsRobustUnder(
+      workload.programs,
+      AnalysisSettings::AttrDepFk().WithThreads(num_threads).WithIsolation(isolation),
+      Method::kTypeII);
   if (!robust && certify) {
     SearchOptions options;
     options.domain_size = 2;
@@ -133,8 +148,8 @@ int main(int argc, char** argv) {
   }
 
   if (dot) {
-    SummaryGraph graph =
-        BuildSummaryGraph(workload.programs, AnalysisSettings::AttrDepFk());
+    SummaryGraph graph = BuildSummaryGraph(
+        workload.programs, AnalysisSettings::AttrDepFk().WithIsolation(isolation));
     std::printf("\n%s", graph.ToDot(workload.name).c_str());
   }
   return robust ? 0 : 1;

@@ -1,0 +1,29 @@
+#include "workloads/policy_demo.h"
+
+namespace mvrc {
+
+Workload MakeIsolationDemo() {
+  Workload workload;
+  workload.name = "IsolationDemo";
+  Schema& schema = workload.schema;
+
+  RelationId gauge = schema.AddRelation("Gauge", {"id", "flag", "val"}, {"id"});
+  const AttrSet flag = schema.MakeAttrSet(gauge, {"flag"});
+  const AttrSet val = schema.MakeAttrSet(gauge, {"val"});
+
+  {
+    Btp p("Monitor");
+    p.AddStatement(Statement::KeySelect("q1", schema, gauge, val));
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("Mon");
+  }
+  {
+    Btp p("Refresh");
+    p.AddStatement(Statement::PredUpdate("q2", schema, gauge, flag, AttrSet{}, val));
+    workload.programs.push_back(std::move(p));
+    workload.abbreviations.push_back("Ref");
+  }
+  return workload;
+}
+
+}  // namespace mvrc

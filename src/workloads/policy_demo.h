@@ -1,0 +1,42 @@
+// The isolation-demo workload: the smallest workload on which the MVRC and
+// lock-based RC robustness verdicts differ, used by the policy unit tests
+// and bench_isolation_matrix to demonstrate the policy layer end to end.
+//
+// Two single-statement programs over one relation Gauge(id, flag, val):
+//
+//   Monitor:  q1 = key sel Gauge  Read = {val}
+//   Refresh:  q1 = pred upd Gauge PRead = {flag}, Write = {val}
+//
+// Summary graph (attribute granularity; FK settings identical — no foreign
+// keys): one counterflow edge Monitor -> Refresh (Monitor's read of val is
+// overwritten by Refresh), plus non-counterflow edges Monitor <-> Refresh
+// and Refresh -> Refresh.
+//
+//   * MVRC: not robust. The cycle Monitor ->cf Refresh ->nc Monitor is a
+//     Theorem 6.4 dangerous structure via the read-like-source escape: the
+//     closing edge's source (Refresh's pred upd) is a PR-type statement, so
+//     under multiversion semantics its antidependency may target Monitor's
+//     single statement even though it is not strictly after the split read
+//     (both are occurrence 0).
+//   * Lock-based RC: robust. The split-schedule shape needs the closing
+//     dependency to re-enter Monitor strictly after the interrupted read,
+//     and Monitor has only one statement — there is no such position. (And
+//     indeed: Monitor is a single read; under lock-based RC it either runs
+//     before, after, or blocks on a Refresh, and every interleaving is
+//     serializable.)
+//
+// The difference survives all four granularity/FK settings.
+
+#ifndef MVRC_WORKLOADS_POLICY_DEMO_H_
+#define MVRC_WORKLOADS_POLICY_DEMO_H_
+
+#include "workloads/workload.h"
+
+namespace mvrc {
+
+/// Programs in order: Monitor, Refresh.
+Workload MakeIsolationDemo();
+
+}  // namespace mvrc
+
+#endif  // MVRC_WORKLOADS_POLICY_DEMO_H_

@@ -18,11 +18,14 @@
 
 #include "btp/unfold.h"
 #include "robust/subsets.h"
+#include "service/protocol.h"
 #include "service/session_manager.h"
 #include "service/workload_session.h"
 #include "sql/analyzer.h"
 #include "summary/build_summary.h"
+#include "util/json.h"
 #include "workloads/auction.h"
+#include "workloads/policy_demo.h"
 #include "workloads/smallbank.h"
 #include "workloads/sql_texts.h"
 #include "workloads/tpcc.h"
@@ -54,7 +57,7 @@ void ExpectMatchesScratch(WorkloadSession& session, const std::string& context) 
   EXPECT_EQ(incremental.edges(), scratch.edges());
 
   for (Method method : {Method::kTypeI, Method::kTypeII}) {
-    EXPECT_EQ(session.Check(method).robust, IsRobust(scratch, method));
+    EXPECT_EQ(session.Check(method).robust, IsRobust(scratch, method, settings.policy()));
   }
 
   if (!programs.empty() && static_cast<int>(programs.size()) <= kMaxSubsetPrograms) {
@@ -346,6 +349,152 @@ TEST(SessionManagerTest, SharedPoolAcrossSessionsAndThreads) {
   auto session = manager.GetOrCreate("sb", AnalysisSettings::AttrDepFk());
   ASSERT_TRUE(session->LoadWorkload(MakeSmallBank()).ok());
   ExpectMatchesScratch(*session, "manager-owned smallbank session");
+}
+
+// --- Isolation-policy plumbing through sessions and the protocol. ---------
+
+// An RC session's incremental state stays bit-identical to from-scratch RC
+// analysis across mutations (the same contract the MVRC sessions have).
+TEST(WorkloadSessionTest, RcSessionMatchesScratchAcrossMutations) {
+  Workload demo = MakeIsolationDemo();
+  WorkloadSession session(
+      "rc", AnalysisSettings::AttrDepFk().WithIsolation(IsolationLevel::kRc));
+  ASSERT_TRUE(session.LoadWorkload(SchemaOnly(demo)).ok());
+  for (size_t i = 0; i < demo.programs.size(); ++i) {
+    ASSERT_TRUE(session.AddProgram(demo.programs[i]).ok());
+    ExpectMatchesScratch(session, "rc demo after add " + demo.programs[i].name());
+  }
+  EXPECT_TRUE(session.Check().robust);  // robust under lock-based RC...
+  ASSERT_TRUE(session.RemoveProgram("Refresh").ok());
+  ExpectMatchesScratch(session, "rc demo after remove");
+
+  WorkloadSession mvrc_session("mvrc", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(mvrc_session.LoadWorkload(demo).ok());
+  EXPECT_FALSE(mvrc_session.Check().robust);  // ...but not under MVRC.
+}
+
+Json Request(SessionManager& manager, const std::string& line,
+             const ProtocolOptions& options = {}) {
+  Result<Json> parsed = Json::Parse(HandleRequestLine(manager, line, options));
+  EXPECT_TRUE(parsed.ok());
+  return parsed.ok() ? parsed.value() : Json::Object();
+}
+
+TEST(ProtocolIsolationTest, UnknownSettingsAndIsolationAreErrors) {
+  SessionManager manager;
+  Json bad_settings = Request(
+      manager, R"({"cmd":"load_sql","session":"s","builtin":"smallbank","settings":"attr+si"})");
+  EXPECT_FALSE(bad_settings.GetBool("ok", true));
+  EXPECT_NE(bad_settings.GetString("error").find("unknown settings"), std::string::npos);
+
+  Json bad_isolation = Request(
+      manager, R"({"cmd":"load_sql","session":"s","builtin":"smallbank","isolation":"si"})");
+  EXPECT_FALSE(bad_isolation.GetBool("ok", true));
+  EXPECT_NE(bad_isolation.GetString("error").find("unknown isolation"), std::string::npos);
+
+  Json conflict = Request(manager,
+                          R"({"cmd":"load_sql","session":"s","builtin":"smallbank",)"
+                          R"("settings":"attr+fk+rc","isolation":"mvrc"})");
+  EXPECT_FALSE(conflict.GetBool("ok", true));
+  EXPECT_NE(conflict.GetString("error").find("conflicting isolation"), std::string::npos);
+
+  // A failed create must not leak an empty session.
+  Json stats = Request(manager, R"({"cmd":"stats"})");
+  EXPECT_TRUE(stats.GetBool("ok", false));
+  const Json* sessions = stats.Find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  EXPECT_EQ(sessions->size(), 0);
+}
+
+TEST(ProtocolIsolationTest, MutationsUnderDifferentIsolationAreRejected) {
+  SessionManager manager;
+  Json created = Request(
+      manager, R"({"cmd":"load_sql","session":"s","builtin":"smallbank","isolation":"rc"})");
+  ASSERT_TRUE(created.GetBool("ok", false));
+
+  // Explicitly addressing the rc session as mvrc (either spelling) fails.
+  Json mismatch = Request(
+      manager,
+      R"({"cmd":"add_program","session":"s","isolation":"mvrc","sql":"PROGRAM P(:x): COMMIT;"})");
+  EXPECT_FALSE(mismatch.GetBool("ok", true));
+  EXPECT_NE(mismatch.GetString("error").find("isolation"), std::string::npos);
+  Json mismatch_settings = Request(manager,
+                                   R"({"cmd":"load_sql","session":"s",)"
+                                   R"("settings":"attr+fk+mvrc","sql":"PROGRAM P(:x): COMMIT;"})");
+  EXPECT_FALSE(mismatch_settings.GetBool("ok", true));
+
+  // Different granularity/FK settings are rejected too.
+  Json granularity = Request(manager,
+                             R"({"cmd":"load_sql","session":"s","settings":"tpl",)"
+                             R"("sql":"PROGRAM P(:x): COMMIT;"})");
+  EXPECT_FALSE(granularity.GetBool("ok", true));
+  EXPECT_NE(granularity.GetString("error").find("settings"), std::string::npos);
+
+  // Omitting isolation inherits the session's — no error, and the session
+  // is unchanged by the failures above.
+  Json stats = Request(manager, R"({"cmd":"stats","session":"s"})");
+  ASSERT_TRUE(stats.GetBool("ok", false));
+  EXPECT_EQ(stats.GetString("isolation"), "rc");
+  EXPECT_EQ(stats.GetInt("programs_added", -1), 5);
+}
+
+TEST(ProtocolIsolationTest, RcAndMvrcSessionsAnswerDifferently) {
+  const std::string demo_sql =
+      "TABLE Gauge(id, flag, val, PRIMARY KEY(id));\n"
+      "PROGRAM Monitor(:k):\n"
+      "  SELECT val INTO :v FROM Gauge WHERE id = :k;\n"
+      "COMMIT;\n"
+      "PROGRAM Refresh(:f, :v):\n"
+      "  UPDATE Gauge SET val = :v WHERE flag = :f;\n"
+      "COMMIT;\n";
+  SessionManager manager;
+  Json mvrc_load = Request(manager, std::string(R"({"cmd":"load_sql","session":"m","sql":)") +
+                                        Json::Str(demo_sql).Dump() + "}");
+  ASSERT_TRUE(mvrc_load.GetBool("ok", false)) << mvrc_load.GetString("error");
+  Json rc_load =
+      Request(manager, std::string(R"({"cmd":"load_sql","session":"r","isolation":"rc","sql":)") +
+                           Json::Str(demo_sql).Dump() + "}");
+  ASSERT_TRUE(rc_load.GetBool("ok", false)) << rc_load.GetString("error");
+
+  Json mvrc_check = Request(manager, R"({"cmd":"check","session":"m"})");
+  ASSERT_TRUE(mvrc_check.GetBool("ok", false));
+  EXPECT_FALSE(mvrc_check.GetBool("robust", true));
+  EXPECT_FALSE(mvrc_check.GetString("witness").empty());
+
+  Json rc_check = Request(manager, R"({"cmd":"check","session":"r"})");
+  ASSERT_TRUE(rc_check.GetBool("ok", false));
+  EXPECT_TRUE(rc_check.GetBool("robust", false));
+
+  // The subsets sweep under rc reports every subset robust; under mvrc the
+  // pair is rejected.
+  Json rc_subsets = Request(manager, R"({"cmd":"subsets","session":"r"})");
+  ASSERT_TRUE(rc_subsets.GetBool("ok", false));
+  EXPECT_EQ(rc_subsets.GetInt("num_robust_subsets", -1), 3);
+  Json mvrc_subsets = Request(manager, R"({"cmd":"subsets","session":"m"})");
+  ASSERT_TRUE(mvrc_subsets.GetBool("ok", false));
+  EXPECT_EQ(mvrc_subsets.GetInt("num_robust_subsets", -1), 2);
+}
+
+TEST(ProtocolIsolationTest, DaemonDefaultIsolationAppliesToNewSessionsOnly) {
+  SessionManager manager;
+  ProtocolOptions rc_default;
+  rc_default.default_isolation = IsolationLevel::kRc;
+
+  Json created =
+      Request(manager, R"({"cmd":"load_sql","session":"s","builtin":"smallbank"})", rc_default);
+  ASSERT_TRUE(created.GetBool("ok", false));
+  Json stats = Request(manager, R"({"cmd":"stats","session":"s"})", rc_default);
+  EXPECT_EQ(stats.GetString("isolation"), "rc");
+  EXPECT_EQ(stats.GetString("settings"), "attr dep + FK @ rc");
+
+  // A request naming mvrc explicitly still beats the daemon default at
+  // creation time.
+  Json mvrc_session = Request(
+      manager, R"({"cmd":"load_sql","session":"m","builtin":"auction","isolation":"mvrc"})",
+      rc_default);
+  ASSERT_TRUE(mvrc_session.GetBool("ok", false));
+  Json mvrc_stats = Request(manager, R"({"cmd":"stats","session":"m"})", rc_default);
+  EXPECT_EQ(mvrc_stats.GetString("isolation"), "mvrc");
 }
 
 }  // namespace

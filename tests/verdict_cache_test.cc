@@ -1,0 +1,130 @@
+// Direct unit coverage for robust/verdict_cache plus the fingerprint
+// semantics the analysis service builds on it: hits and misses are
+// accounted, revisions bump cached verdicts out exactly when a mutation
+// changes a program's incident edges, and fingerprints keyed under
+// different isolation levels never collide.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "robust/verdict_cache.h"
+#include "service/workload_session.h"
+#include "workloads/policy_demo.h"
+#include "workloads/smallbank.h"
+
+namespace mvrc {
+namespace {
+
+TEST(VerdictCacheTest, LookupMissThenHit) {
+  VerdictCache cache;
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("k1").has_value());
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 0);
+
+  cache.Store("k1", true);
+  EXPECT_EQ(cache.size(), 1u);
+  std::optional<bool> verdict = cache.Lookup("k1");
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(VerdictCacheTest, StoreOverwritesAndClearEmpties) {
+  VerdictCache cache;
+  cache.Store("k", true);
+  cache.Store("k", false);
+  EXPECT_EQ(cache.size(), 1u);
+  std::optional<bool> verdict = cache.Lookup("k");
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  // Counters survive Clear (they describe the cache's lifetime service).
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+// Fingerprints under different isolation levels are distinct keys even for
+// the same program set, method and revision — the convention
+// WorkloadSession::FingerprintLocked implements by prefixing the settings
+// string.
+TEST(VerdictCacheTest, IsolationLevelsDoNotCollide) {
+  VerdictCache cache;
+  const std::string mvrc_key =
+      AnalysisSettings::AttrDepFk().ToString() + "|1|Monitor#1;Refresh#2;";
+  const std::string rc_key =
+      AnalysisSettings::AttrDepFk().WithIsolation(IsolationLevel::kRc).ToString() +
+      "|1|Monitor#1;Refresh#2;";
+  ASSERT_NE(mvrc_key, rc_key);
+  cache.Store(mvrc_key, false);
+  cache.Store(rc_key, true);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(mvrc_key), std::optional<bool>(false));
+  EXPECT_EQ(cache.Lookup(rc_key), std::optional<bool>(true));
+}
+
+// --- Revision semantics through WorkloadSession. --------------------------
+
+// Replacing a program with an equivalent one preserves cached verdicts;
+// replacing it with one that changes incident edges invalidates them.
+TEST(VerdictCacheSessionTest, RevisionBumpInvalidates) {
+  Workload workload = MakeSmallBank();
+  WorkloadSession session("s", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session.LoadWorkload(workload).ok());
+
+  CheckResult first = session.Check();
+  EXPECT_FALSE(first.from_cache);
+  CheckResult second = session.Check();
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.robust, first.robust);
+
+  // Identity replace: same program, same incident edges — the revision (and
+  // with it the cached verdict) survives.
+  ASSERT_TRUE(session.ReplaceProgram(workload.programs[0]).ok());
+  CheckResult after_identity = session.Check();
+  EXPECT_TRUE(after_identity.from_cache);
+
+  // Mutating replace: drop the program's statements down to a single read —
+  // incident edges change, the revision bumps, the verdict must be
+  // recomputed.
+  Btp reduced(workload.programs[0].name());
+  reduced.AddStatement(Statement::KeySelect(
+      "q1", workload.schema, 0, workload.schema.MakeAttrSet(0, {"CustomerId"})));
+  ASSERT_TRUE(session.ReplaceProgram(reduced).ok());
+  CheckResult after_mutation = session.Check();
+  EXPECT_FALSE(after_mutation.from_cache);
+}
+
+// Two sessions over the same programs under different isolation levels keep
+// independent verdicts: the demo workload is non-robust under MVRC and
+// robust under lock-based RC.
+TEST(VerdictCacheSessionTest, IsolationLevelsKeepIndependentVerdicts) {
+  Workload demo = MakeIsolationDemo();
+
+  WorkloadSession mvrc_session("mvrc", AnalysisSettings::AttrDepFk());
+  WorkloadSession rc_session(
+      "rc", AnalysisSettings::AttrDepFk().WithIsolation(IsolationLevel::kRc));
+  ASSERT_TRUE(mvrc_session.LoadWorkload(demo).ok());
+  ASSERT_TRUE(rc_session.LoadWorkload(demo).ok());
+
+  CheckResult mvrc_result = mvrc_session.Check();
+  CheckResult rc_result = rc_session.Check();
+  EXPECT_FALSE(mvrc_result.robust);
+  EXPECT_FALSE(mvrc_result.witness.empty());
+  EXPECT_TRUE(rc_result.robust);
+  EXPECT_TRUE(rc_result.witness.empty());
+
+  // Both serve their own cached verdict on re-check.
+  EXPECT_TRUE(mvrc_session.Check().from_cache);
+  EXPECT_TRUE(rc_session.Check().from_cache);
+  EXPECT_FALSE(mvrc_session.Check().robust);
+  EXPECT_TRUE(rc_session.Check().robust);
+}
+
+}  // namespace
+}  // namespace mvrc
