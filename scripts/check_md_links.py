@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links in README.md and docs/.
+
+Verifies that every relative link target `[text](path#anchor)` resolves to
+an existing file (or directory) in the repository, and that fragment
+anchors into markdown files match a heading in the target (GitHub slug
+rules: lowercase, spaces to dashes, punctuation dropped). External links
+(http/https/mailto) are not fetched. Exits 1 listing every broken link.
+
+Usage: scripts/check_md_links.py [file-or-dir ...]   (default: README.md docs)
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — excluding images is unnecessary: an image path must
+# resolve just the same. Nested brackets in the text are out of scope.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading):
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def markdown_anchors(path):
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                slug = github_slug(match.group(1))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def check_file(md_path, repo_root):
+    errors = []
+    base = os.path.dirname(md_path)
+    for lineno, target in iter_links(md_path):
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        target, _, fragment = target.partition("#")
+        if target:
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                errors.append(f"{md_path}:{lineno}: broken link: {target}")
+                continue
+        else:
+            resolved = md_path  # same-file anchor
+        if fragment and resolved.endswith(".md") and os.path.isfile(resolved):
+            if fragment not in markdown_anchors(resolved):
+                errors.append(f"{md_path}:{lineno}: broken anchor: "
+                              f"{target or os.path.basename(md_path)}#{fragment}")
+        if os.path.commonpath([os.path.abspath(resolved), repo_root]) != repo_root:
+            errors.append(f"{md_path}:{lineno}: link escapes the repository: {target}")
+    return errors
+
+
+def main(argv):
+    repo_root = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+    roots = argv[1:] or [os.path.join(repo_root, "README.md"),
+                         os.path.join(repo_root, "docs")]
+    files = []
+    for root in roots:
+        if os.path.isdir(root):
+            for dirpath, _, names in os.walk(root):
+                files.extend(os.path.join(dirpath, n) for n in sorted(names)
+                             if n.endswith(".md"))
+        elif os.path.isfile(root):
+            files.append(root)
+        else:
+            print(f"no such file or directory: {root}")
+            return 1
+
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, repo_root))
+    for error in errors:
+        print(error)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,357 @@
+#include "robust/core_search.h"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <utility>
+
+#include "btp/unfold.h"
+#include "robust/masked_detector.h"
+#include "summary/build_summary.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace mvrc {
+
+namespace {
+
+// Per-candidate outcome of one batch: the verdict, plus (for non-robust
+// candidates) the shrunk minimal core and the query counts the worker
+// spent, merged into the stats at the batch barrier.
+struct CandidateOutcome {
+  int verdict = -1;  // -1 unknown, 0 non-robust, 1 robust
+  bool from_hook = false;
+  bool trivially_robust = false;  // empty candidate; no detector/hook traffic
+  ProgramSet core;
+  int64_t candidate_queries = 0;
+  int64_t shrink_queries = 0;
+  int64_t witness_queries = 0;
+};
+
+// The programs on the counterexample cycle the detector finds in
+// `candidate` — a non-robust support: restricting to exactly these programs
+// keeps every node and edge of the witness cycle active, so the cycle
+// survives and the support fails the same test. Witness node indices are
+// full-graph LTP nodes; `node_program` maps them back to mask bits.
+ProgramSet WitnessSupport(const MaskedDetector& detector, Method method,
+                          const ProgramSet& candidate, const std::vector<int>& node_program,
+                          DetectorScratch& scratch) {
+  ProgramSet support(detector.num_programs());
+  auto add_node = [&](int node) { support.Set(node_program[node]); };
+  auto add_path = [&](const std::vector<int>& path) {
+    for (int node : path) add_node(node);
+  };
+  if (method == Method::kTypeI) {
+    std::optional<TypeIWitness> witness = detector.FindTypeICycle(candidate, scratch);
+    MVRC_CHECK_MSG(witness.has_value(), "non-robust candidate must yield a type-I witness");
+    add_node(witness->edge.from_program);
+    add_node(witness->edge.to_program);
+    add_path(witness->return_path);
+  } else if (detector.policy().closure() == CycleClosure::kDirect) {
+    std::optional<RcSplitWitness> witness = detector.FindRcSplitCycle(candidate, scratch);
+    MVRC_CHECK_MSG(witness.has_value(), "non-robust candidate must yield a split witness");
+    add_node(witness->incoming.from_program);
+    add_node(witness->incoming.to_program);
+    add_node(witness->outgoing.from_program);
+    add_node(witness->outgoing.to_program);
+    add_path(witness->return_path);
+  } else {
+    std::optional<TypeIIWitness> witness = detector.FindTypeIICycle(candidate, scratch);
+    MVRC_CHECK_MSG(witness.has_value(), "non-robust candidate must yield a type-II witness");
+    add_node(witness->e1.from_program);
+    add_node(witness->e1.to_program);
+    add_node(witness->e3.from_program);
+    add_node(witness->e3.to_program);
+    add_node(witness->e4.from_program);
+    add_node(witness->e4.to_program);
+    add_path(witness->path_p2_to_p3);
+    add_path(witness->path_p5_to_p1);
+  }
+  return support;
+}
+
+// Greedy minimization of a non-robust set: drop each element whose removal
+// keeps the set non-robust. One ascending pass is enough — when element p
+// survives, the set tested was S_t \ {p} and was robust, and the final set
+// minus p is a subset of it, hence robust too (Proposition 5.2). The result
+// is therefore non-robust with every proper subset robust: a minimal core.
+ProgramSet ShrinkToCore(const MaskedDetector& detector, Method method, ProgramSet support,
+                        DetectorScratch& scratch, int64_t& shrink_queries) {
+  for (int p : support.ToIndices()) {
+    ProgramSet without = support.Without(p);
+    ++shrink_queries;
+    if (!detector.IsRobust(without, method, scratch)) support = std::move(without);
+  }
+  return support;
+}
+
+// Berge's incremental hitting-set step for one new core. `unconfirmed`
+// holds the minimal hitting sets of the previous core family that are not
+// yet verified; `confirmed` holds the verified ones (their complements are
+// robust, so they necessarily intersect every non-robust core and stay
+// minimal — only the unconfirmed sets need repair). Sets that miss the new
+// core are replaced by one-element extensions, then pruned to the minimal
+// ones against the whole family.
+void BergeUpdate(const ProgramSet& core, const std::vector<ProgramSet>& confirmed,
+                 std::vector<ProgramSet>& unconfirmed) {
+  std::vector<ProgramSet> keep;
+  std::vector<ProgramSet> extended;
+  for (ProgramSet& hs : unconfirmed) {
+    if (hs.Intersects(core)) {
+      keep.push_back(std::move(hs));
+    } else {
+      for (int e : core.ToIndices()) extended.push_back(hs.With(e));
+    }
+  }
+  // Minimality pruning. Confirmed and kept sets are never strict supersets
+  // of an extension (an extension strictly inside one would contradict its
+  // minimality for the previous family), so only the extensions need
+  // checking — against the family and against each other, smallest first so
+  // a dominated extension always meets its dominator before being accepted.
+  std::sort(extended.begin(), extended.end(), [](const ProgramSet& a, const ProgramSet& b) {
+    const int ca = a.Count(), cb = b.Count();
+    return ca != cb ? ca < cb : a < b;
+  });
+  std::vector<ProgramSet> accepted;
+  for (ProgramSet& candidate : extended) {
+    bool dominated = false;
+    for (const ProgramSet& hs : confirmed) {
+      if (candidate.ContainsAll(hs)) {
+        dominated = true;
+        break;
+      }
+    }
+    for (const ProgramSet& hs : keep) {
+      if (dominated) break;
+      if (candidate.ContainsAll(hs)) dominated = true;
+    }
+    for (const ProgramSet& hs : accepted) {
+      if (dominated) break;
+      if (candidate.ContainsAll(hs)) dominated = true;
+    }
+    if (!dominated) accepted.push_back(std::move(candidate));
+  }
+  unconfirmed = std::move(keep);
+  unconfirmed.insert(unconfirmed.end(), std::make_move_iterator(accepted.begin()),
+                     std::make_move_iterator(accepted.end()));
+}
+
+}  // namespace
+
+Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Method method,
+                                              ThreadPool* pool, const SubsetSweepHooks* hooks,
+                                              CoreSearchStats* stats,
+                                              const CoreSearchOptions& options) {
+  const int n = detector.num_programs();
+  if (!CoreSearchProgramCountOk(n)) {
+    return Result<SubsetReport>::Error(
+        "core-guided subset analysis supports 1.." + std::to_string(kMaxCoreSearchPrograms) +
+        " programs (got " + std::to_string(n) + ")");
+  }
+  // The hook currency is uint32_t masks; wider workloads run hook-free.
+  const bool use_hooks = hooks != nullptr && n <= 32;
+
+  std::vector<int> node_program(detector.num_ltps(), -1);
+  const std::vector<std::pair<int, int>>& ranges = detector.ltp_range();
+  for (int i = 0; i < n; ++i) {
+    for (int node = ranges[i].first; node < ranges[i].second; ++node) node_program[node] = i;
+  }
+
+  const int workers = pool != nullptr ? pool->num_threads() : 1;
+  std::vector<DetectorScratch> scratches;
+  scratches.reserve(workers);
+  for (int t = 0; t < workers; ++t) scratches.push_back(detector.MakeScratch());
+
+  CoreSearchStats counts;
+  std::vector<ProgramSet> cores;
+  std::vector<ProgramSet> confirmed;
+  // The empty set is the one minimal hitting set of the empty core family;
+  // its complement — the full program set — is round one's candidate.
+  std::vector<ProgramSet> unconfirmed{ProgramSet(n)};
+
+  while (!unconfirmed.empty()) {
+    ++counts.rounds;
+    const size_t batch = unconfirmed.size();
+    std::vector<ProgramSet> candidates;
+    candidates.reserve(batch);
+    for (const ProgramSet& hs : unconfirmed) candidates.push_back(hs.Complement());
+
+    // Hooks run serially on the calling thread, before the fan-out. Only a
+    // cached "robust" settles a candidate — a cached "non-robust" still
+    // needs the detector pass for its witness, so it re-runs below (and is
+    // not re-stored).
+    std::vector<CandidateOutcome> outcomes(batch);
+    std::vector<int64_t> todo;
+    for (size_t i = 0; i < batch; ++i) {
+      if (candidates[i].Empty()) {
+        // Complement of the full hitting set: the empty subset, trivially
+        // robust (no programs, no cycle). Skipping the query keeps hook
+        // traffic aligned with the exhaustive sweep, which never evaluates
+        // mask 0.
+        outcomes[i].verdict = 1;
+        outcomes[i].trivially_robust = true;
+        continue;
+      }
+      if (use_hooks && hooks->lookup) {
+        std::optional<bool> cached = hooks->lookup(candidates[i].ToMask());
+        if (cached.has_value()) {
+          ++counts.hook_hits;
+          outcomes[i].from_hook = true;
+          if (*cached) {
+            outcomes[i].verdict = 1;
+            continue;
+          }
+        }
+      }
+      todo.push_back(static_cast<int64_t>(i));
+    }
+
+    // Candidate verdicts and per-core shrinking fan out across the pool;
+    // each worker slot owns one scratch, and all query counting lands in
+    // the per-candidate outcome so no shared counters are touched.
+    auto run_candidate = [&](int worker, size_t idx) {
+      CandidateOutcome& out = outcomes[idx];
+      DetectorScratch& scratch = scratches[worker];
+      ++out.candidate_queries;
+      const bool robust = detector.IsRobust(candidates[idx], method, scratch);
+      out.verdict = robust ? 1 : 0;
+      if (!robust) {
+        ++out.witness_queries;
+        ProgramSet support =
+            WitnessSupport(detector, method, candidates[idx], node_program, scratch);
+        out.core = ShrinkToCore(detector, method, std::move(support), scratch,
+                                out.shrink_queries);
+      }
+    };
+    if (pool != nullptr && todo.size() > 1) {
+      pool->ParallelForWorkers(static_cast<int64_t>(todo.size()), [&](int worker, int64_t t) {
+        run_candidate(worker, static_cast<size_t>(todo[t]));
+      });
+    } else {
+      for (int64_t t : todo) run_candidate(0, static_cast<size_t>(t));
+    }
+
+    // Barrier: merge counters, feed hooks, split the batch into confirmed
+    // hitting sets and fresh cores, and repair the hitting-set family.
+    std::vector<ProgramSet> new_cores;
+    std::vector<ProgramSet> still_unconfirmed;
+    for (size_t i = 0; i < batch; ++i) {
+      CandidateOutcome& out = outcomes[i];
+      counts.candidate_queries += out.candidate_queries;
+      counts.shrink_queries += out.shrink_queries;
+      counts.witness_queries += out.witness_queries;
+      if (use_hooks && hooks->store && !out.from_hook && !out.trivially_robust) {
+        hooks->store(candidates[i].ToMask(), out.verdict == 1);
+      }
+      if (out.verdict == 1) {
+        confirmed.push_back(std::move(unconfirmed[i]));
+        continue;
+      }
+      still_unconfirmed.push_back(std::move(unconfirmed[i]));
+      // Batch-level dedup: two candidates can shrink onto the same core.
+      // Cross-batch duplicates are impossible — every candidate contains no
+      // previously known core, and cores are pairwise incomparable by
+      // minimality.
+      if (std::find(new_cores.begin(), new_cores.end(), out.core) == new_cores.end()) {
+        new_cores.push_back(std::move(out.core));
+      }
+    }
+    unconfirmed = std::move(still_unconfirmed);
+    for (ProgramSet& core : new_cores) {
+      BergeUpdate(core, confirmed, unconfirmed);
+      cores.push_back(std::move(core));
+    }
+    const int64_t family =
+        static_cast<int64_t>(confirmed.size()) + static_cast<int64_t>(unconfirmed.size());
+    if (family > options.max_lattice_sets) {
+      return Result<SubsetReport>::Error(
+          "core-guided subset analysis exceeded max_lattice_sets = " +
+          std::to_string(options.max_lattice_sets) + " maximal-robust-set hypotheses (" +
+          std::to_string(cores.size()) + " cores found so far): the verdict lattice of this "
+          "workload has no tractable core/maximal-set description");
+    }
+  }
+
+  // Every minimal hitting set of the final core family is confirmed, so the
+  // family is complete: a subset containing no core lies inside some
+  // confirmed complement and is robust by downward closure. The maximal
+  // robust subsets are exactly those complements (minus the empty set,
+  // which the exhaustive sweep never reports).
+  SubsetReport report;
+  report.num_programs = n;
+  report.num_threads = workers;
+  report.from_core_search = true;
+  std::sort(cores.begin(), cores.end());
+  report.cores = std::move(cores);
+  report.maximal_sets.reserve(confirmed.size());
+  for (const ProgramSet& hs : confirmed) {
+    ProgramSet maximal = hs.Complement();
+    if (!maximal.Empty()) report.maximal_sets.push_back(std::move(maximal));
+  }
+  std::sort(report.maximal_sets.begin(), report.maximal_sets.end());
+  if (n <= 32) {
+    report.maximal_masks.reserve(report.maximal_sets.size());
+    for (const ProgramSet& set : report.maximal_sets) {
+      report.maximal_masks.push_back(set.ToMask());
+    }
+  }
+  if (SubsetProgramCountOk(n)) {
+    // Materialize the full verdict list from the lattice so exhaustive-range
+    // reports are field-for-field comparable with AnalyzeSubsets.
+    std::vector<uint32_t> core_masks;
+    core_masks.reserve(report.cores.size());
+    for (const ProgramSet& core : report.cores) core_masks.push_back(core.ToMask());
+    const uint32_t full = (uint32_t{1} << n) - 1;
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      bool above_core = false;
+      for (uint32_t core : core_masks) {
+        if ((mask & core) == core) {
+          above_core = true;
+          break;
+        }
+      }
+      if (!above_core) report.robust_masks.push_back(mask);
+    }
+  }
+  counts.detector_queries = counts.candidate_queries + counts.shrink_queries;
+  report.detector_queries = counts.detector_queries;
+  if (stats != nullptr) *stats = counts;
+  return report;
+}
+
+Result<SubsetReport> TryAnalyzeSubsetsCoreGuided(const std::vector<Btp>& programs,
+                                                 const AnalysisSettings& settings,
+                                                 Method method, ThreadPool* pool,
+                                                 CoreSearchStats* stats,
+                                                 const CoreSearchOptions& options) {
+  const int n = static_cast<int>(programs.size());
+  if (!CoreSearchProgramCountOk(n)) {
+    return Result<SubsetReport>::Error(
+        "core-guided subset analysis supports 1.." + std::to_string(kMaxCoreSearchPrograms) +
+        " programs (got " + std::to_string(n) + ")");
+  }
+
+  std::vector<Ltp> all_ltps;
+  std::vector<std::pair<int, int>> ltp_range(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<Ltp> unfolded = UnfoldAtMost2(programs[i]);
+    ltp_range[i] = {static_cast<int>(all_ltps.size()),
+                    static_cast<int>(all_ltps.size() + unfolded.size())};
+    all_ltps.insert(all_ltps.end(), std::make_move_iterator(unfolded.begin()),
+                    std::make_move_iterator(unfolded.end()));
+  }
+
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && settings.num_threads != 1) {
+    owned_pool =
+        std::make_unique<ThreadPool>(ThreadPool::ResolveThreadCount(settings.num_threads));
+    pool = owned_pool.get();
+  }
+  SummaryGraph full_graph =
+      BuildSummaryGraph(std::move(all_ltps), settings,
+                        pool != nullptr && pool->num_threads() > 1 ? pool : nullptr);
+  MaskedDetector detector(full_graph, ltp_range, settings.policy());
+  return AnalyzeSubsetsCoreGuided(detector, method, pool, nullptr, stats, options);
+}
+
+}  // namespace mvrc

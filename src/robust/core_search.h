@@ -1,0 +1,127 @@
+// Core-guided subset analysis: the Figure 6 / Figure 7 per-subset verdicts
+// past the exhaustive sweep's 2^20 barrier.
+//
+// Robustness is closed under subsets (Proposition 5.2), so non-robustness
+// is upward-closed: the full verdict lattice over 2^n subsets is determined
+// by the *minimal non-robust cores* alone — a subset is robust iff it
+// contains no core — and, dually, by the *maximal robust subsets*, which
+// are exactly the complements of the minimal hitting sets of the core
+// family. Instead of enumerating 2^n - 1 masks, the search grows both
+// descriptions together, MARCO-style:
+//
+//   1. Candidate masks are the complements of the minimal hitting sets of
+//      the cores discovered so far (initially just the full program set,
+//      the complement of the empty hitting set). Each candidate provably
+//      contains no known core, so its verdict is new information.
+//   2. A robust candidate confirms its hitting set: the candidate is a
+//      maximal robust subset (minimality of the hitting set means adding
+//      any program re-admits some core).
+//   3. A non-robust candidate yields a counterexample cycle from
+//      MaskedDetector's witness search. The programs on the cycle are a
+//      non-robust support (the cycle survives restriction to them), which
+//      greedy deletion shrinks to a minimal core with |support| extra
+//      IsRobust queries — a single pass suffices, again by monotonicity.
+//   4. Each new core updates the minimal-hitting-set family incrementally
+//      (Berge's algorithm: hitting sets that miss the core are extended by
+//      one core element each, then pruned to the minimal ones).
+//
+// The loop ends when every minimal hitting set is confirmed, at which point
+// the core family is complete: any subset above no core is contained in
+// some confirmed complement and is robust by downward closure. Detector
+// work is proportional to the lattice's *description* (cores + maximal
+// sets, each costing one candidate test or one witness-plus-shrink), not
+// to its 2^n size — on replicated 64-program workloads the search spends
+// thousands of queries where the sweep would need 2^64
+// (bench/bench_core_search.cc measures the ratio).
+//
+// Candidate tests and per-core shrinking fan out across the ThreadPool
+// (each worker owns a DetectorScratch); hitting-set bookkeeping is serial.
+// Verdicts are bit-identical to AnalyzeSubsets wherever both run —
+// tests/core_search_test.cc pins this differentially over random workloads
+// under both the MVRC and lock-based-RC policies.
+
+#ifndef MVRC_ROBUST_CORE_SEARCH_H_
+#define MVRC_ROBUST_CORE_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "btp/program.h"
+#include "robust/subsets.h"
+#include "summary/dep_tables.h"
+#include "util/result.h"
+
+namespace mvrc {
+
+class MaskedDetector;
+class ThreadPool;
+
+/// Hard bound on the number of programs the core-guided search accepts.
+/// Subsets are ProgramSet wide masks (robust/program_set.h), so there is no
+/// representation limit; the bound caps the witness-shrink and hitting-set
+/// work, which grows with the core family rather than with 2^n but is not
+/// guaranteed small for adversarial workloads. 128 covers the ROADMAP's
+/// 100+ program replicated-workload target with headroom.
+inline constexpr int kMaxCoreSearchPrograms = 128;
+
+/// The accepted program-count range of the core-guided entry points — the
+/// counterpart of SubsetProgramCountOk for the wide regime.
+constexpr bool CoreSearchProgramCountOk(int n) {
+  return n >= 1 && n <= kMaxCoreSearchPrograms;
+}
+
+/// Safety valves for the core-guided search.
+struct CoreSearchOptions {
+  /// Upper bound on the hitting-set family the search may hold (confirmed +
+  /// unconfirmed). The family's final size is the number of maximal robust
+  /// subsets, which is exponential in n for adversarial core structures;
+  /// crossing the bound aborts the search with an error Result instead of
+  /// consuming unbounded memory. The default admits every lattice the
+  /// exhaustive sweep could have enumerated.
+  int64_t max_lattice_sets = int64_t{1} << 20;
+};
+
+/// Observability counters for one search run (all detector evaluations, by
+/// purpose). detector_queries = candidate + shrink queries; witness_queries
+/// counts the Find*Cycle calls separately (they re-run a found cycle search
+/// to materialize the witness and are not IsRobust evaluations).
+struct CoreSearchStats {
+  int64_t detector_queries = 0;
+  int64_t candidate_queries = 0;  // hitting-set complement tests
+  int64_t shrink_queries = 0;     // greedy core-minimization tests
+  int64_t witness_queries = 0;    // witness extractions on non-robust candidates
+  int64_t hook_hits = 0;          // candidate verdicts answered by hooks
+  int rounds = 0;                 // candidate-batch iterations
+};
+
+/// Core-guided analysis against a caller-owned MaskedDetector — the wide
+/// counterpart of AnalyzeSubsetsOnDetector, producing the lattice
+/// representation of the same verdicts (SubsetReport::cores /
+/// maximal_sets; robust_masks is additionally materialized when
+/// num_programs() <= kMaxSubsetPrograms, for differential comparison).
+/// `hooks` follow the SubsetSweepHooks contract and are consulted/fed for
+/// candidate masks only, from the calling thread only, and only when
+/// num_programs() <= 32 (the hook currency is uint32_t masks); shrink
+/// queries bypass them. Errors: program count outside
+/// [1, kMaxCoreSearchPrograms], or the hitting-set family exceeding
+/// options.max_lattice_sets.
+Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Method method,
+                                              ThreadPool* pool = nullptr,
+                                              const SubsetSweepHooks* hooks = nullptr,
+                                              CoreSearchStats* stats = nullptr,
+                                              const CoreSearchOptions& options = {});
+
+/// Convenience entry point from programs, mirroring TryAnalyzeSubsets:
+/// unfolds, builds the full summary graph under settings.policy(), and runs
+/// the core-guided search on a detector over it. A caller-provided pool is
+/// reused for graph construction and the search; otherwise
+/// settings.num_threads decides as in TryAnalyzeSubsets.
+Result<SubsetReport> TryAnalyzeSubsetsCoreGuided(const std::vector<Btp>& programs,
+                                                 const AnalysisSettings& settings,
+                                                 Method method, ThreadPool* pool = nullptr,
+                                                 CoreSearchStats* stats = nullptr,
+                                                 const CoreSearchOptions& options = {});
+
+}  // namespace mvrc
+
+#endif  // MVRC_ROBUST_CORE_SEARCH_H_

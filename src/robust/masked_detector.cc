@@ -17,8 +17,9 @@ MaskedDetector::MaskedDetector(const SummaryGraph& graph,
       num_ltps_(graph.num_programs()),
       words_((num_ltps_ + 63) / 64 > 0 ? (num_ltps_ + 63) / 64 : 1),
       program_digraph_(graph.ProgramGraph()) {
-  MVRC_CHECK_MSG(ltp_range_.size() <= 32, "subset masks hold at most 32 program bits");
-
+  // No program-count ceiling here: uint32_t query masks require <= 32
+  // programs (checked per query), but ProgramSet wide masks address any
+  // count — the core-guided search builds detectors over 100+ programs.
   adj_.assign(static_cast<size_t>(num_ltps_) * words_, 0);
   nc_adj_.assign(static_cast<size_t>(num_ltps_) * words_, 0);
   for (const SummaryEdge& edge : graph.edges()) {
@@ -68,11 +69,30 @@ DetectorScratch MaskedDetector::MakeScratch() const {
 }
 
 void MaskedDetector::BeginQuery(uint32_t mask, DetectorScratch& scratch) const {
+  MVRC_CHECK_MSG(ltp_range_.size() <= 32,
+                 "uint32_t query masks encode at most 32 programs — use the ProgramSet "
+                 "overloads for wider workloads");
   MVRC_CHECK(static_cast<int>(scratch.reach_done.size()) == num_ltps_ &&
              static_cast<int>(scratch.active.size()) == words_);
   std::fill(scratch.active.begin(), scratch.active.end(), 0);
   for (size_t i = 0; i < ltp_range_.size(); ++i) {
     if ((mask >> i) & 1) {
+      const uint64_t* row = BtpRow(static_cast<int>(i));
+      for (int w = 0; w < words_; ++w) scratch.active[w] |= row[w];
+    }
+  }
+  if (num_ltps_ > 0) {
+    std::memset(scratch.reach_done.data(), 0, scratch.reach_done.size());
+  }
+}
+
+void MaskedDetector::BeginQuery(const ProgramSet& mask, DetectorScratch& scratch) const {
+  MVRC_CHECK(mask.num_programs() == num_programs());
+  MVRC_CHECK(static_cast<int>(scratch.reach_done.size()) == num_ltps_ &&
+             static_cast<int>(scratch.active.size()) == words_);
+  std::fill(scratch.active.begin(), scratch.active.end(), 0);
+  for (size_t i = 0; i < ltp_range_.size(); ++i) {
+    if (mask.Test(static_cast<int>(i))) {
       const uint64_t* row = BtpRow(static_cast<int>(i));
       for (int w = 0; w < words_; ++w) scratch.active[w] |= row[w];
     }
@@ -146,6 +166,15 @@ bool MaskedDetector::ClosesThrough(int p5, const uint64_t* srcs,
 
 bool MaskedDetector::HasTypeICycle(uint32_t mask, DetectorScratch& scratch) const {
   BeginQuery(mask, scratch);
+  return HasTypeICycleActive(scratch);
+}
+
+bool MaskedDetector::HasTypeICycle(const ProgramSet& mask, DetectorScratch& scratch) const {
+  BeginQuery(mask, scratch);
+  return HasTypeICycleActive(scratch);
+}
+
+bool MaskedDetector::HasTypeICycleActive(DetectorScratch& scratch) const {
   const uint64_t* active = scratch.active.data();
   for (int e : cf_edges_) {
     const SummaryEdge& edge = graph_->edges()[e];
@@ -157,6 +186,15 @@ bool MaskedDetector::HasTypeICycle(uint32_t mask, DetectorScratch& scratch) cons
 
 bool MaskedDetector::HasTypeIICycle(uint32_t mask, DetectorScratch& scratch) const {
   BeginQuery(mask, scratch);
+  return HasTypeIICycleActive(scratch);
+}
+
+bool MaskedDetector::HasTypeIICycle(const ProgramSet& mask, DetectorScratch& scratch) const {
+  BeginQuery(mask, scratch);
+  return HasTypeIICycleActive(scratch);
+}
+
+bool MaskedDetector::HasTypeIICycleActive(DetectorScratch& scratch) const {
   const uint64_t* active = scratch.active.data();
   for (size_t ordinal = 0; ordinal < cf_edges_.size(); ++ordinal) {
     const SummaryEdge& e4 = graph_->edges()[cf_edges_[ordinal]];
@@ -171,6 +209,15 @@ bool MaskedDetector::HasTypeIICycle(uint32_t mask, DetectorScratch& scratch) con
 
 bool MaskedDetector::HasRcSplitCycle(uint32_t mask, DetectorScratch& scratch) const {
   BeginQuery(mask, scratch);
+  return HasRcSplitCycleActive(scratch);
+}
+
+bool MaskedDetector::HasRcSplitCycle(const ProgramSet& mask, DetectorScratch& scratch) const {
+  BeginQuery(mask, scratch);
+  return HasRcSplitCycleActive(scratch);
+}
+
+bool MaskedDetector::HasRcSplitCycleActive(DetectorScratch& scratch) const {
   const uint64_t* active = scratch.active.data();
   for (size_t ordinal = 0; ordinal < cf_edges_.size(); ++ordinal) {
     const SummaryEdge& e4 = graph_->edges()[cf_edges_[ordinal]];
@@ -189,13 +236,24 @@ bool MaskedDetector::HasRcSplitCycle(uint32_t mask, DetectorScratch& scratch) co
 }
 
 bool MaskedDetector::IsRobust(uint32_t mask, Method method, DetectorScratch& scratch) const {
+  BeginQuery(mask, scratch);
+  return IsRobustActive(method, scratch);
+}
+
+bool MaskedDetector::IsRobust(const ProgramSet& mask, Method method,
+                              DetectorScratch& scratch) const {
+  BeginQuery(mask, scratch);
+  return IsRobustActive(method, scratch);
+}
+
+bool MaskedDetector::IsRobustActive(Method method, DetectorScratch& scratch) const {
   switch (method) {
     case Method::kTypeI:
-      return !HasTypeICycle(mask, scratch);
+      return !HasTypeICycleActive(scratch);
     case Method::kTypeII:
     case Method::kTypeIINaive:
-      return policy_->closure() == CycleClosure::kDirect ? !HasRcSplitCycle(mask, scratch)
-                                                         : !HasTypeIICycle(mask, scratch);
+      return policy_->closure() == CycleClosure::kDirect ? !HasRcSplitCycleActive(scratch)
+                                                         : !HasTypeIICycleActive(scratch);
   }
   MVRC_CHECK_MSG(false, "unreachable method");
   return false;
@@ -236,6 +294,17 @@ std::vector<int> MaskedDetector::MaskedShortestPath(int from, int to,
 std::optional<TypeIWitness> MaskedDetector::FindTypeICycle(uint32_t mask,
                                                            DetectorScratch& scratch) const {
   BeginQuery(mask, scratch);
+  return FindTypeICycleActive(scratch);
+}
+
+std::optional<TypeIWitness> MaskedDetector::FindTypeICycle(const ProgramSet& mask,
+                                                           DetectorScratch& scratch) const {
+  BeginQuery(mask, scratch);
+  return FindTypeICycleActive(scratch);
+}
+
+std::optional<TypeIWitness> MaskedDetector::FindTypeICycleActive(
+    DetectorScratch& scratch) const {
   const uint64_t* active = scratch.active.data();
   for (int e : cf_edges_) {
     const SummaryEdge& edge = graph_->edges()[e];
@@ -253,6 +322,17 @@ std::optional<TypeIWitness> MaskedDetector::FindTypeICycle(uint32_t mask,
 std::optional<TypeIIWitness> MaskedDetector::FindTypeIICycle(uint32_t mask,
                                                              DetectorScratch& scratch) const {
   BeginQuery(mask, scratch);
+  return FindTypeIICycleActive(scratch);
+}
+
+std::optional<TypeIIWitness> MaskedDetector::FindTypeIICycle(const ProgramSet& mask,
+                                                             DetectorScratch& scratch) const {
+  BeginQuery(mask, scratch);
+  return FindTypeIICycleActive(scratch);
+}
+
+std::optional<TypeIIWitness> MaskedDetector::FindTypeIICycleActive(
+    DetectorScratch& scratch) const {
   const uint64_t* active = scratch.active.data();
   // Mirrors FindTypeIICycle(const SummaryGraph&) on the induced subgraph:
   // same P4 order (active nodes ascending), same edge orders (induced
@@ -297,6 +377,17 @@ std::optional<TypeIIWitness> MaskedDetector::FindTypeIICycle(uint32_t mask,
 std::optional<RcSplitWitness> MaskedDetector::FindRcSplitCycle(uint32_t mask,
                                                                DetectorScratch& scratch) const {
   BeginQuery(mask, scratch);
+  return FindRcSplitCycleActive(scratch);
+}
+
+std::optional<RcSplitWitness> MaskedDetector::FindRcSplitCycle(const ProgramSet& mask,
+                                                               DetectorScratch& scratch) const {
+  BeginQuery(mask, scratch);
+  return FindRcSplitCycleActive(scratch);
+}
+
+std::optional<RcSplitWitness> MaskedDetector::FindRcSplitCycleActive(
+    DetectorScratch& scratch) const {
   const uint64_t* active = scratch.active.data();
   // Mirrors FindRcSplitCycle(const SummaryGraph&) on the induced subgraph:
   // same split-program order (active nodes ascending), same edge orders

@@ -31,9 +31,23 @@
 // differentially against the InducedSubgraph oracle on randomized and
 // builtin workloads for every mask.
 //
+// Two mask encodings are accepted, selecting identical code paths after the
+// active set is formed:
+//
+//   * `uint32_t` masks — the exhaustive sweep's encoding, valid only while
+//     num_programs() <= 32 (a bit per program), and
+//   * `ProgramSet` wide masks (robust/program_set.h) — word-packed subsets
+//     with no program-count ceiling, the encoding of the core-guided search
+//     (robust/core_search.h) that analyzes 100+ program workloads.
+//
+// For num_programs() <= 32 the two encodings of the same subset produce the
+// same verdict and the same witness (tests/core_search_test.cc pins the
+// parity), so callers may mix them freely against one detector.
+//
 // Thread safety: a MaskedDetector is immutable after construction and may
 // be shared across threads; each thread needs its own DetectorScratch
-// (SweepParallel keeps one per ThreadPool worker slot).
+// (SweepParallel keeps one per ThreadPool worker slot, and the core-guided
+// search one per worker for its candidate and shrink fan-outs).
 
 #ifndef MVRC_ROBUST_MASKED_DETECTOR_H_
 #define MVRC_ROBUST_MASKED_DETECTOR_H_
@@ -44,6 +58,7 @@
 #include <vector>
 
 #include "robust/detector.h"
+#include "robust/program_set.h"
 #include "summary/summary_graph.h"
 
 namespace mvrc {
@@ -80,6 +95,9 @@ class MaskedDetector {
   int num_programs() const { return static_cast<int>(ltp_range_.size()); }
   /// Number of LTP nodes in the underlying summary graph.
   int num_ltps() const { return num_ltps_; }
+  /// The per-BTP [begin, end) node ranges the detector was built over — what
+  /// the core-guided search uses to map witness nodes back to mask bits.
+  const std::vector<std::pair<int, int>>& ltp_range() const { return ltp_range_; }
 
   /// A scratch sized for this detector. One per querying thread.
   DetectorScratch MakeScratch() const;
@@ -89,7 +107,11 @@ class MaskedDetector {
   /// IsRobust(graph().InducedSubgraph(...), method, policy()) for every
   /// mask; performs no heap allocation. kTypeIINaive shares the type-II
   /// verdict (the two implementations are equivalent by construction).
+  /// The uint32_t overloads require num_programs() <= 32; the ProgramSet
+  /// overloads accept any program count and agree bit-for-bit where both
+  /// encodings apply.
   bool IsRobust(uint32_t mask, Method method, DetectorScratch& scratch) const;
+  bool IsRobust(const ProgramSet& mask, Method method, DetectorScratch& scratch) const;
 
   /// The cycle tests individually (verdict only, allocation-free).
   /// HasTypeIICycle is the through-nc-closure search and assumes a
@@ -98,15 +120,25 @@ class MaskedDetector {
   bool HasTypeICycle(uint32_t mask, DetectorScratch& scratch) const;
   bool HasTypeIICycle(uint32_t mask, DetectorScratch& scratch) const;
   bool HasRcSplitCycle(uint32_t mask, DetectorScratch& scratch) const;
+  bool HasTypeICycle(const ProgramSet& mask, DetectorScratch& scratch) const;
+  bool HasTypeIICycle(const ProgramSet& mask, DetectorScratch& scratch) const;
+  bool HasRcSplitCycle(const ProgramSet& mask, DetectorScratch& scratch) const;
 
   /// Witness-producing variants, mirroring FindTypeICycle / FindTypeIICycle
   /// on the induced subgraph: the returned witness references full-graph
   /// node indices (Describe it against graph()) and names the same edges and
   /// path programs the oracle would find. These allocate (witness vectors)
-  /// and are meant for reporting, not for the sweep's hot loop.
+  /// and are meant for reporting — and for the core-guided search's witness
+  /// extraction — not for the sweep's hot loop.
   std::optional<TypeIWitness> FindTypeICycle(uint32_t mask, DetectorScratch& scratch) const;
   std::optional<TypeIIWitness> FindTypeIICycle(uint32_t mask, DetectorScratch& scratch) const;
   std::optional<RcSplitWitness> FindRcSplitCycle(uint32_t mask, DetectorScratch& scratch) const;
+  std::optional<TypeIWitness> FindTypeICycle(const ProgramSet& mask,
+                                             DetectorScratch& scratch) const;
+  std::optional<TypeIIWitness> FindTypeIICycle(const ProgramSet& mask,
+                                               DetectorScratch& scratch) const;
+  std::optional<RcSplitWitness> FindRcSplitCycle(const ProgramSet& mask,
+                                                 DetectorScratch& scratch) const;
 
  private:
   int words() const { return words_; }
@@ -124,7 +156,18 @@ class MaskedDetector {
   }
 
   // Fills scratch.active from `mask` and invalidates the cached reach rows.
+  // The uint32_t form requires num_programs() <= 32 (checked).
   void BeginQuery(uint32_t mask, DetectorScratch& scratch) const;
+  void BeginQuery(const ProgramSet& mask, DetectorScratch& scratch) const;
+  // The cycle searches proper, on whatever active set the last BeginQuery
+  // installed — shared by both mask encodings.
+  bool HasTypeICycleActive(DetectorScratch& scratch) const;
+  bool HasTypeIICycleActive(DetectorScratch& scratch) const;
+  bool HasRcSplitCycleActive(DetectorScratch& scratch) const;
+  bool IsRobustActive(Method method, DetectorScratch& scratch) const;
+  std::optional<TypeIWitness> FindTypeICycleActive(DetectorScratch& scratch) const;
+  std::optional<TypeIIWitness> FindTypeIICycleActive(DetectorScratch& scratch) const;
+  std::optional<RcSplitWitness> FindRcSplitCycleActive(DetectorScratch& scratch) const;
   // The reachability row of active node `node` under the current active set,
   // computed on first use by bitset BFS (reflexive: node reaches itself).
   const uint64_t* ReachRow(int node, DetectorScratch& scratch) const;

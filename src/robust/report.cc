@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "btp/unfold.h"
+#include "robust/core_search.h"
 #include "summary/build_summary.h"
 #include "util/thread_pool.h"
 
@@ -98,13 +99,19 @@ WorkloadReport BuildReport(const Workload& workload, bool analyze_subsets,
   }
 
   if (analyze_subsets && report.num_programs >= 1 &&
-      report.num_programs <= kMaxSubsetPrograms) {
-    // Reuse the report's pool for the sweep instead of constructing another.
+      report.num_programs <= kMaxCoreSearchPrograms) {
+    // Reuse the report's pool instead of constructing another. The
+    // exhaustive sweep serves workloads in its range; larger ones take the
+    // core-guided search, whose maximal sets are the same subsets in the
+    // wide representation.
+    const AnalysisSettings subset_settings =
+        AnalysisSettings::AttrDepFk().WithThreads(num_threads).WithIsolation(isolation);
     SubsetReport subsets =
-        TryAnalyzeSubsets(
-            workload.programs,
-            AnalysisSettings::AttrDepFk().WithThreads(num_threads).WithIsolation(isolation),
-            Method::kTypeII, pool.get())
+        (report.num_programs <= kMaxSubsetPrograms
+             ? TryAnalyzeSubsets(workload.programs, subset_settings, Method::kTypeII,
+                                 pool.get())
+             : TryAnalyzeSubsetsCoreGuided(workload.programs, subset_settings,
+                                           Method::kTypeII, pool.get()))
             .value();
     std::vector<std::string> names = workload.abbreviations;
     if (names.size() != workload.programs.size()) {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "btp/unfold.h"
+#include "robust/core_search.h"
 #include "robust/masked_detector.h"
 #include "summary/build_summary.h"
 #include "util/check.h"
@@ -15,13 +16,31 @@
 namespace mvrc {
 
 bool SubsetReport::IsRobustSubset(uint32_t mask) const {
+  if (robust_masks.empty() && from_core_search) {
+    return IsRobustSubset(ProgramSet::FromMask(mask, num_programs));
+  }
   return std::binary_search(robust_masks.begin(), robust_masks.end(), mask);
+}
+
+bool SubsetReport::IsRobustSubset(const ProgramSet& subset) const {
+  MVRC_CHECK(subset.num_programs() == num_programs);
+  if (!from_core_search) return IsRobustSubset(subset.ToMask());
+  // Lattice answer: robust iff non-empty and above no core (Proposition
+  // 5.2's upward closure of non-robustness makes the cores decisive). The
+  // empty subset is excluded to match the exhaustive sweep, which only
+  // enumerates non-empty masks.
+  if (subset.Empty()) return false;
+  for (const ProgramSet& core : cores) {
+    if (subset.ContainsAll(core)) return false;
+  }
+  return true;
 }
 
 std::string SubsetReport::DescribeMask(uint32_t mask,
                                        const std::vector<std::string>& names) const {
-  MVRC_CHECK_MSG(num_programs <= kMaxSubsetPrograms,
-                 "SubsetReport masks encode at most kMaxSubsetPrograms programs");
+  MVRC_CHECK_MSG(num_programs <= 32,
+                 "uint32_t subset masks encode at most 32 programs — wide subsets are "
+                 "rendered by DescribeSet");
   std::ostringstream os;
   os << "{";
   bool first = true;
@@ -36,11 +55,38 @@ std::string SubsetReport::DescribeMask(uint32_t mask,
   return os.str();
 }
 
+std::string SubsetReport::DescribeSet(const ProgramSet& set,
+                                      const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int i : set.ToIndices()) {
+    if (!first) os << ", ";
+    os << names.at(i);
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
 std::vector<std::string> SubsetReport::DescribeMaximal(
     const std::vector<std::string>& names) const {
   std::vector<std::string> out;
+  if (!maximal_sets.empty()) {
+    out.reserve(maximal_sets.size());
+    for (const ProgramSet& set : maximal_sets) out.push_back(DescribeSet(set, names));
+    return out;
+  }
   out.reserve(maximal_masks.size());
   for (uint32_t mask : maximal_masks) out.push_back(DescribeMask(mask, names));
+  return out;
+}
+
+std::vector<std::string> SubsetReport::DescribeCores(
+    const std::vector<std::string>& names) const {
+  std::vector<std::string> out;
+  out.reserve(cores.size());
+  for (const ProgramSet& core : cores) out.push_back(DescribeSet(core, names));
   return out;
 }
 
@@ -183,9 +229,14 @@ void SweepParallel(const MaskedDetector& detector, Method method, int n, ThreadP
 std::optional<Result<SubsetReport>> CheckProgramCount(int n) {
   if (SubsetProgramCountOk(n)) return std::nullopt;
   return Result<SubsetReport>::Error(
-      "subset analysis supports 1.." + std::to_string(kMaxSubsetPrograms) +
-      " programs (got " + std::to_string(n) + "): subsets are encoded as 32-bit masks and 2^" +
-      std::to_string(kMaxSubsetPrograms) + " is the largest sweep that stays tractable");
+      "exhaustive subset analysis supports 1.." + std::to_string(kMaxSubsetPrograms) +
+      " programs (got " + std::to_string(n) +
+      "): subsets are enumerated as 32-bit masks and 2^" +
+      std::to_string(kMaxSubsetPrograms) +
+      " is the largest exhaustive sweep that stays tractable — larger workloads take the "
+      "core-guided search (AnalyzeSubsetsCoreGuided in robust/core_search.h, up to " +
+      std::to_string(kMaxCoreSearchPrograms) +
+      " programs), which the analysis service and `mvrcdet --subsets` select automatically");
 }
 
 Result<SubsetReport> SweepDetector(const MaskedDetector& detector, Method method,

@@ -1,6 +1,20 @@
-// Subset analysis for the Figure 6 / Figure 7 experiments: test every
-// non-empty subset of a workload's programs for robustness and report the
-// maximal robust subsets.
+// Subset analysis for the Figure 6 / Figure 7 experiments: decide, for
+// every non-empty subset of a workload's programs, whether the subset is
+// robust, and report the maximal robust subsets.
+//
+// Two regimes produce the same answers in two representations:
+//
+//   * the exhaustive sweep in this header — enumerates all 2^n - 1 masks
+//     (with Proposition 5.2 pruning) and materializes every verdict; capped
+//     at kMaxSubsetPrograms, and kept as the oracle the core-guided path is
+//     differentially tested against, and
+//   * the core-guided search (robust/core_search.h) — discovers the minimal
+//     non-robust cores and the maximal robust subsets directly, never
+//     enumerating the lattice, which lifts the cap to
+//     kMaxCoreSearchPrograms (128) programs.
+//
+// Both fill the SubsetReport below; see its field comments for which fields
+// each regime populates.
 
 #ifndef MVRC_ROBUST_SUBSETS_H_
 #define MVRC_ROBUST_SUBSETS_H_
@@ -14,6 +28,7 @@
 
 #include "btp/program.h"
 #include "robust/detector.h"
+#include "robust/program_set.h"
 #include "summary/dep_tables.h"
 #include "util/result.h"
 
@@ -22,35 +37,75 @@ namespace mvrc {
 class MaskedDetector;
 class ThreadPool;
 
-/// Hard bound on the number of programs subset analysis accepts. Subsets are
-/// encoded as bits of a `uint32_t` mask (program i <-> bit i), and the sweep
-/// materializes per-mask state for all 2^n - 1 non-empty masks, so the bound
-/// is both a representation limit and a tractability cutoff: 2^20 subsets is
-/// the largest sweep that stays interactive. Every mask-accepting API in
-/// this header (SubsetReport::DescribeMask included) assumes its
-/// `num_programs` is within this bound.
+/// Hard bound on the number of programs the *exhaustive* subset sweep
+/// accepts. Subsets are encoded as bits of a `uint32_t` mask (program i <->
+/// bit i), and the sweep materializes per-mask state for all 2^n - 1
+/// non-empty masks, so the bound is both a representation limit and a
+/// tractability cutoff: 2^20 subsets is the largest sweep that stays
+/// interactive. Larger workloads are not out of reach — they take the
+/// core-guided search (robust/core_search.h, up to kMaxCoreSearchPrograms
+/// programs), which reports cores and maximal sets instead of materializing
+/// every verdict; the analysis service and `mvrcdet --subsets` switch over
+/// automatically. Every uint32_t-mask-accepting API in this header assumes
+/// its `num_programs` fits the mask (<= 32); sweeps additionally enforce
+/// this bound.
 inline constexpr int kMaxSubsetPrograms = 20;
 
-/// The accepted program-count range of every sweep entry point below — the
-/// single source of truth callers (the analysis service) consult to decide
-/// whether a sweep can run before building per-sweep structures.
+/// The accepted program-count range of every exhaustive-sweep entry point
+/// below — the single source of truth callers (the analysis service)
+/// consult to decide which regime a workload takes before building
+/// per-sweep structures. CoreSearchProgramCountOk (robust/core_search.h) is
+/// the core-guided counterpart.
 constexpr bool SubsetProgramCountOk(int n) { return n >= 1 && n <= kMaxSubsetPrograms; }
 
-/// Result of testing all non-empty subsets of a program set.
+/// Result of deciding robustness for all non-empty subsets of a program
+/// set, in one of two representations:
+///
+///   * Exhaustive (from AnalyzeSubsets and friends): robust_masks holds
+///     every robust subset and maximal_masks the inclusion-maximal ones;
+///     cores/maximal_sets stay empty and from_core_search is false.
+///   * Core-guided (from AnalyzeSubsetsCoreGuided): `cores` holds the
+///     minimal non-robust subsets and `maximal_sets` the maximal robust
+///     subsets — together they determine every verdict, since a subset is
+///     robust iff it is non-empty and contains no core (non-robustness is
+///     upward-closed, Proposition 5.2). from_core_search is true.
+///     robust_masks is additionally materialized when
+///     num_programs <= kMaxSubsetPrograms, and maximal_masks whenever the
+///     masks fit (num_programs <= 32), so the two regimes are directly
+///     comparable on workloads both accept.
 struct SubsetReport {
   int num_programs = 0;
   int num_threads = 1;                  // worker threads the sweep ran with
   std::vector<uint32_t> robust_masks;   // every robust subset, as a bitmask
   std::vector<uint32_t> maximal_masks;  // robust subsets maximal under inclusion
 
-  /// True when the subset encoded by `mask` was found robust. Binary search:
-  /// requires robust_masks sorted ascending, which every sweep in this
-  /// header guarantees.
-  bool IsRobustSubset(uint32_t mask) const;
+  // Core-guided lattice representation (empty for exhaustive reports). Both
+  // vectors are sorted by ProgramSet's numeric order, which coincides with
+  // the numeric order of the equivalent uint32_t masks when both encodings
+  // apply, so e.g. maximal_sets[i] and maximal_masks[i] name the same
+  // subset.
+  std::vector<ProgramSet> cores;         // minimal non-robust subsets
+  std::vector<ProgramSet> maximal_sets;  // maximal robust subsets
+  bool from_core_search = false;
+  int64_t detector_queries = 0;  // detector evaluations the search spent
 
-  /// Renders masks as "{A, B}" strings using per-program display names.
+  /// True when the subset encoded by `mask` was found robust. Answered by
+  /// binary search over robust_masks when they were materialized (requires
+  /// the ascending sort every sweep guarantees), and from the core lattice
+  /// otherwise; the two agree wherever both apply. The uint32_t form
+  /// requires num_programs <= 32 — wide reports take the ProgramSet form.
+  bool IsRobustSubset(uint32_t mask) const;
+  bool IsRobustSubset(const ProgramSet& subset) const;
+
+  /// Renders masks / wide subsets as "{A, B}" strings using per-program
+  /// display names. DescribeMask requires num_programs <= 32.
   std::string DescribeMask(uint32_t mask, const std::vector<std::string>& names) const;
+  std::string DescribeSet(const ProgramSet& set, const std::vector<std::string>& names) const;
+  /// The maximal robust subsets, rendered from whichever representation the
+  /// report carries (identical output where both exist).
   std::vector<std::string> DescribeMaximal(const std::vector<std::string>& names) const;
+  /// The minimal non-robust cores, rendered; empty for exhaustive reports.
+  std::vector<std::string> DescribeCores(const std::vector<std::string>& names) const;
 };
 
 /// Optional memoization hooks for the sweep, used by the incremental

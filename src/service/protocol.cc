@@ -240,22 +240,48 @@ Json HandleSubsets(SessionManager& manager, const Json& request) {
   std::optional<Method> method = ParseMethod(request.GetString("method"));
   if (!method.has_value()) return ErrorResponse("unknown method (expected type1 or type2)");
   std::vector<std::string> names;  // snapshotted atomically with the sweep
-  Result<SubsetReport> report = session->Subsets(*method, &names);
-  if (!report.ok()) return ErrorResponse(report.error());
-  Json maximal = Json::Array();
-  for (uint32_t mask : report.value().maximal_masks) {
+  Result<SubsetReport> result = session->Subsets(*method, &names);
+  if (!result.ok()) return ErrorResponse(result.error());
+  const SubsetReport& report = result.value();
+  auto name_members = [&](const std::vector<int>& indices) {
     Json members = Json::Array();
-    for (int i = 0; i < report.value().num_programs; ++i) {
-      if ((mask >> i) & 1) members.Append(Json::Str(names.at(i)));
+    for (int i : indices) members.Append(Json::Str(names.at(i)));
+    return members;
+  };
+  // Maximal subsets render from whichever representation the regime filled:
+  // wide sets for core-guided reports, masks for exhaustive ones (identical
+  // output where both exist — the vectors share their sort order).
+  Json maximal = Json::Array();
+  if (!report.maximal_sets.empty()) {
+    for (const ProgramSet& set : report.maximal_sets) maximal.Append(name_members(set.ToIndices()));
+  } else {
+    for (uint32_t mask : report.maximal_masks) {
+      std::vector<int> indices;
+      for (int i = 0; i < report.num_programs; ++i) {
+        if ((mask >> i) & 1) indices.push_back(i);
+      }
+      maximal.Append(name_members(indices));
     }
-    maximal.Append(std::move(members));
   }
   Json response = OkResponse();
   response.Set("session", Json::Str(session->name()));
-  response.Set("num_programs", Json::Int(report.value().num_programs));
-  response.Set("num_robust_subsets",
-               Json::Int(static_cast<int64_t>(report.value().robust_masks.size())));
+  response.Set("num_programs", Json::Int(report.num_programs));
+  response.Set("search", Json::Str(report.from_core_search ? "core_guided" : "exhaustive"));
+  // The exhaustive count exists only where the verdict list is materialized
+  // (always for exhaustive sweeps, and for core-guided runs in the
+  // exhaustive range); wide lattices omit it rather than report a wrong 0.
+  if (!report.from_core_search || report.num_programs <= kMaxSubsetPrograms) {
+    response.Set("num_robust_subsets",
+                 Json::Int(static_cast<int64_t>(report.robust_masks.size())));
+  }
   response.Set("maximal", std::move(maximal));
+  if (report.from_core_search) {
+    Json cores = Json::Array();
+    for (const ProgramSet& core : report.cores) cores.Append(name_members(core.ToIndices()));
+    response.Set("num_cores", Json::Int(static_cast<int64_t>(report.cores.size())));
+    response.Set("cores", std::move(cores));
+    response.Set("detector_queries", Json::Int(report.detector_queries));
+  }
   return response;
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "btp/unfold.h"
+#include "robust/core_search.h"
 #include "sql/analyzer.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -422,7 +423,6 @@ CheckResult WorkloadSession::Check(Method method) {
 
 Result<SubsetReport> WorkloadSession::Subsets(Method method, std::vector<std::string>* names) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const SummaryGraph& graph = CachedGraphLocked();
   if (names != nullptr) {
     names->clear();
     for (const Entry& entry : entries_) names->push_back(entry.program.name());
@@ -436,16 +436,30 @@ Result<SubsetReport> WorkloadSession::Subsets(Method method, std::vector<std::st
     ++stats_.detector_runs;
     verdict_cache_.Store(FingerprintLocked(mask, method), robust);
   };
-  // In-bounds sweeps run against the memoized MaskedDetector, so repeated
+  // Regime routing, both against the memoized MaskedDetector so repeated
   // subset requests (and re-checks after mutations, where the verdict cache
   // answers the untouched masks) skip both graph copies and the detector
-  // precomputation. Out-of-bounds sessions take the graph entry point, which
-  // reports the program-count error without building a detector.
-  Result<SubsetReport> report =
-      SubsetProgramCountOk(static_cast<int>(entries_.size()))
-          ? AnalyzeSubsetsOnDetector(CachedDetectorLocked(), method, pool_, &hooks)
-          : AnalyzeSubsetsOnGraph(graph, LtpRangesLocked(), method, pool_, &hooks,
-                                  settings_.policy());
+  // precomputation: exhaustive-range sessions take the sweep (bit-identical
+  // oracle), larger ones the core-guided search. The verdict-cache hooks
+  // speak uint32_t masks, so they are only wired while every subset of the
+  // session fits one (<= 32 programs; FingerprintLocked's per-mask keys are
+  // exact only in that range too). Sessions beyond both regimes get the
+  // program-count error without building anything.
+  const int n = static_cast<int>(entries_.size());
+  Result<SubsetReport> report = [&]() -> Result<SubsetReport> {
+    if (SubsetProgramCountOk(n)) {
+      return AnalyzeSubsetsOnDetector(CachedDetectorLocked(), method, pool_, &hooks);
+    }
+    if (CoreSearchProgramCountOk(n)) {
+      return AnalyzeSubsetsCoreGuided(CachedDetectorLocked(), method, pool_,
+                                      n <= 32 ? &hooks : nullptr);
+    }
+    return Result<SubsetReport>::Error(
+        "subset analysis supports at most " + std::to_string(kMaxCoreSearchPrograms) +
+        " programs (got " + std::to_string(n) + "): the exhaustive sweep covers 1.." +
+        std::to_string(kMaxSubsetPrograms) + ", the core-guided search up to " +
+        std::to_string(kMaxCoreSearchPrograms));
+  }();
   if (report.ok()) ++stats_.subset_sweeps;
   SyncCacheStatsLocked();
   return report;

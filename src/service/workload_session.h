@@ -149,12 +149,19 @@ class WorkloadSession {
   /// cache when the fingerprint is known.
   CheckResult Check(Method method = Method::kTypeII);
 
-  /// Subset sweep over the current programs, memoized per subset: masks
-  /// whose member fingerprints are cached skip the detector. The report is
-  /// identical to AnalyzeSubsets(Programs(), settings(), method). When
-  /// `names` is non-null it receives the member program names in mask-bit
-  /// order, snapshotted atomically with the sweep — a caller reading names
-  /// separately could race a concurrent mutation and mislabel masks.
+  /// Subset analysis over the current programs, in the regime the program
+  /// count selects: the exhaustive sweep through kMaxSubsetPrograms (the
+  /// report is identical to AnalyzeSubsets(Programs(), settings(), method)),
+  /// the core-guided search (robust/core_search.h) through
+  /// kMaxCoreSearchPrograms — same maximal sets, lattice representation
+  /// (SubsetReport::cores / maximal_sets) — and an error above that. Both
+  /// regimes are memoized per subset through the verdict cache: subsets
+  /// whose member fingerprints are cached skip the detector (in the
+  /// core-guided regime only while the workload still fits 32-bit masks,
+  /// the cache's currency). When `names` is non-null it receives the member
+  /// program names in mask-bit order, snapshotted atomically with the
+  /// analysis — a caller reading names separately could race a concurrent
+  /// mutation and mislabel masks.
   Result<SubsetReport> Subsets(Method method = Method::kTypeII,
                                std::vector<std::string>* names = nullptr);
 

@@ -5,7 +5,8 @@
 //   mvrcdet [options] --builtin=<smallbank|tpcc|auction>
 //
 // Options:
-//   --subsets      also compute maximal robust subsets (≤ 20 programs)
+//   --subsets      also compute maximal robust subsets (≤ 128 programs:
+//                  exhaustive sweep through 20, core-guided search above)
 //   --dot          print the summary graph (attr dep + FK) as Graphviz DOT
 //   --certify      on rejection, search for a concrete counterexample
 //                  (counterexample schedules are MVRC executions; under

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "btp/unfold.h"
+#include "robust/core_search.h"
 #include "robust/subsets.h"
 #include "service/protocol.h"
 #include "service/session_manager.h"
@@ -276,20 +277,47 @@ std::string ManyProgramsSql(int n) {
   return os.str();
 }
 
-TEST(WorkloadSessionTest, OversizedSubsetSweepIsARequestErrorNotAnAbort) {
+TEST(WorkloadSessionTest, OversizedSubsetSweepTakesTheCoreGuidedSearch) {
   WorkloadSession session("big", AnalysisSettings::AttrDepFk());
   ASSERT_TRUE(session.LoadSql(ManyProgramsSql(kMaxSubsetPrograms + 1)).ok());
+  // Past the exhaustive cap the session switches regimes instead of failing:
+  // 21 read-only programs are fully robust, so the one maximal set is the
+  // whole workload and no cores exist.
   Result<SubsetReport> report = session.Subsets(Method::kTypeII);
-  ASSERT_FALSE(report.ok());
-  EXPECT_NE(report.error().find("21"), std::string::npos);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().from_core_search);
+  EXPECT_TRUE(report.value().cores.empty());
+  ASSERT_EQ(report.value().maximal_sets.size(), 1u);
+  EXPECT_EQ(report.value().maximal_sets[0],
+            ProgramSet::Full(kMaxSubsetPrograms + 1));
 
   // The non-subset paths keep working beyond the subset bound.
   EXPECT_TRUE(session.Check().robust);
 
-  // And the library-level error path agrees.
+  // The library-level exhaustive entry point still rejects the workload —
+  // with a message that states the cap and names the core-guided successor.
   Result<SubsetReport> direct =
       TryAnalyzeSubsets(session.Programs(), session.settings(), Method::kTypeII);
-  EXPECT_FALSE(direct.ok());
+  ASSERT_FALSE(direct.ok());
+  EXPECT_NE(direct.error().find("1.." + std::to_string(kMaxSubsetPrograms)),
+            std::string::npos);
+  EXPECT_NE(direct.error().find("got 21"), std::string::npos);
+  EXPECT_NE(direct.error().find("core-guided"), std::string::npos);
+  EXPECT_NE(direct.error().find("AnalyzeSubsetsCoreGuided"), std::string::npos);
+  EXPECT_NE(direct.error().find(std::to_string(kMaxCoreSearchPrograms)),
+            std::string::npos);
+}
+
+TEST(WorkloadSessionTest, SubsetsBeyondCoreSearchCapIsARequestErrorNotAnAbort) {
+  WorkloadSession session("huge", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session.LoadSql(ManyProgramsSql(kMaxCoreSearchPrograms + 1)).ok());
+  Result<SubsetReport> report = session.Subsets(Method::kTypeII);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().find(std::to_string(kMaxCoreSearchPrograms)), std::string::npos);
+  EXPECT_NE(report.error().find("got " + std::to_string(kMaxCoreSearchPrograms + 1)),
+            std::string::npos);
+  // The non-subset paths keep working past both bounds.
+  EXPECT_TRUE(session.Check().robust);
 }
 
 TEST(TryAnalyzeSubsetsTest, SharedPoolMatchesOwnedPool) {
@@ -473,6 +501,62 @@ TEST(ProtocolIsolationTest, RcAndMvrcSessionsAnswerDifferently) {
   Json mvrc_subsets = Request(manager, R"({"cmd":"subsets","session":"m"})");
   ASSERT_TRUE(mvrc_subsets.GetBool("ok", false));
   EXPECT_EQ(mvrc_subsets.GetInt("num_robust_subsets", -1), 2);
+}
+
+TEST(ProtocolTest, OversizedSubsetsResponseCarriesTheCoreGuidedLattice) {
+  // One genuinely conflicting pair (the Gauge demo workload) plus 19 trivial
+  // read-only programs pushes the session past kMaxSubsetPrograms, so the
+  // subsets command must answer from the core-guided search: the response
+  // names the regime, lists the single minimal core {Monitor, Refresh}, and
+  // omits the exhaustive num_robust_subsets count it cannot materialize.
+  std::ostringstream sql;
+  sql << "TABLE Gauge(id, flag, val, PRIMARY KEY(id));\n"
+         "PROGRAM Monitor(:k):\n"
+         "  SELECT val INTO :v FROM Gauge WHERE id = :k;\n"
+         "COMMIT;\n"
+         "PROGRAM Refresh(:f, :v):\n"
+         "  UPDATE Gauge SET val = :v WHERE flag = :f;\n"
+         "COMMIT;\n"
+         "TABLE T(a, b, PRIMARY KEY(a));\n";
+  for (int i = 1; i <= kMaxSubsetPrograms - 1; ++i) {
+    sql << "PROGRAM P" << i << "(:x):\n  SELECT b FROM T WHERE a = :x;\nCOMMIT;\n";
+  }
+  SessionManager manager;
+  Json load = Request(manager, std::string(R"({"cmd":"load_sql","session":"wide","sql":)") +
+                                   Json::Str(sql.str()).Dump() + "}");
+  ASSERT_TRUE(load.GetBool("ok", false)) << load.GetString("error");
+  ASSERT_EQ(load.GetInt("num_programs", -1), kMaxSubsetPrograms + 1);
+
+  Json subsets = Request(manager, R"({"cmd":"subsets","session":"wide"})");
+  ASSERT_TRUE(subsets.GetBool("ok", false)) << subsets.GetString("error");
+  EXPECT_EQ(subsets.GetString("search"), "core_guided");
+  EXPECT_EQ(subsets.GetInt("num_programs", -1), kMaxSubsetPrograms + 1);
+  EXPECT_EQ(subsets.Find("num_robust_subsets"), nullptr);
+  EXPECT_GT(subsets.GetInt("detector_queries", 0), 0);
+
+  // Exactly one minimal core: the conflicting pair, rendered by name.
+  EXPECT_EQ(subsets.GetInt("num_cores", -1), 1);
+  const Json* cores = subsets.Find("cores");
+  ASSERT_NE(cores, nullptr);
+  ASSERT_EQ(cores->size(), 1);
+  ASSERT_EQ(cores->at(0).size(), 2);
+  EXPECT_EQ(cores->at(0).at(0).string_value(), "Monitor");
+  EXPECT_EQ(cores->at(0).at(1).string_value(), "Refresh");
+
+  // Two maximal robust subsets — everything minus one side of the core.
+  const Json* maximal = subsets.Find("maximal");
+  ASSERT_NE(maximal, nullptr);
+  ASSERT_EQ(maximal->size(), 2);
+  for (int i = 0; i < maximal->size(); ++i) {
+    EXPECT_EQ(maximal->at(i).size(), kMaxSubsetPrograms);
+    bool has_monitor = false, has_refresh = false;
+    for (int j = 0; j < maximal->at(i).size(); ++j) {
+      const std::string& name = maximal->at(i).at(j).string_value();
+      has_monitor |= name == "Monitor";
+      has_refresh |= name == "Refresh";
+    }
+    EXPECT_NE(has_monitor, has_refresh);
+  }
 }
 
 TEST(ProtocolIsolationTest, DaemonDefaultIsolationAppliesToNewSessionsOnly) {
