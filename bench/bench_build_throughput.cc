@@ -34,12 +34,11 @@
 #include <utility>
 #include <vector>
 
-#include <sys/resource.h>
-
 #if defined(__GLIBC__)
 #include <malloc.h>
 #endif
 
+#include "bench_json.h"
 #include "btp/unfold.h"
 #include "summary/build_summary.h"
 #include "summary/statement_interner.h"
@@ -78,12 +77,6 @@ std::vector<Ltp> ReplicateLtps(const Workload& workload, int target) {
     }
   }
   return out;
-}
-
-int64_t PeakRssBytes() {
-  struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // ru_maxrss is KiB on Linux
 }
 
 // Full identity gate between the two builds: edge arena, counterflow count
@@ -259,21 +252,7 @@ int Run(const Options& options) {
 
   doc.Set("workloads", std::move(records));
   doc.Set("overall_speedup", Json::Number(speedup));
-  doc.Set("peak_rss_bytes", Json::Int(PeakRssBytes()));
-  doc.Set("ok", Json::Bool(ok));
-  const std::string rendered = doc.Dump();
-  std::printf("%s\n", rendered.c_str());
-  if (options.json_out != "-") {
-    if (std::FILE* f = std::fopen(options.json_out.c_str(), "w")) {
-      std::fputs(rendered.c_str(), f);
-      std::fputc('\n', f);
-      std::fclose(f);
-    } else {
-      std::printf("FAIL: cannot write %s\n", options.json_out.c_str());
-      ok = false;
-    }
-  }
-  return ok ? 0 : 1;
+  return bench::FinishBenchJson(std::move(doc), ok, options.json_out) ? 0 : 1;
 }
 
 }  // namespace

@@ -40,8 +40,7 @@
 #include <utility>
 #include <vector>
 
-#include <sys/resource.h>
-
+#include "bench_json.h"
 #include "btp/unfold.h"
 #include "robust/core_search.h"
 #include "robust/masked_detector.h"
@@ -64,12 +63,6 @@ struct Options {
   int64_t max_queries = 0;
   std::string json_out = "BENCH_core_search.json";
 };
-
-int64_t PeakRssBytes() {
-  struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // ru_maxrss is KiB on Linux
-}
 
 // --- Phase 1: the core-guided lattice must agree with the exhaustive sweep
 // wherever the exhaustive sweep exists.
@@ -280,21 +273,7 @@ int Run(const Options& options) {
 
   ok = ok && CheckWide(options, doc);
 
-  doc.Set("peak_rss_bytes", Json::Int(PeakRssBytes()));
-  doc.Set("ok", Json::Bool(ok));
-  const std::string rendered = doc.Dump();
-  std::printf("%s\n", rendered.c_str());
-  if (options.json_out != "-") {
-    if (std::FILE* f = std::fopen(options.json_out.c_str(), "w")) {
-      std::fputs(rendered.c_str(), f);
-      std::fputc('\n', f);
-      std::fclose(f);
-    } else {
-      std::printf("FAIL: cannot write %s\n", options.json_out.c_str());
-      ok = false;
-    }
-  }
-  return ok ? 0 : 1;
+  return bench::FinishBenchJson(std::move(doc), ok, options.json_out) ? 0 : 1;
 }
 
 }  // namespace

@@ -27,8 +27,7 @@
 #include <utility>
 #include <vector>
 
-#include <sys/resource.h>
-
+#include "bench_json.h"
 #include "btp/unfold.h"
 #include "robust/detector.h"
 #include "robust/subsets.h"
@@ -48,12 +47,6 @@ struct Options {
   int threads = 1;
   std::string json_out = "BENCH_isolation_matrix.json";
 };
-
-int64_t PeakRssBytes() {
-  struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // ru_maxrss is KiB on Linux
-}
 
 struct CellResult {
   bool robust = false;
@@ -207,21 +200,7 @@ int Run(const Options& options) {
   doc.Set("workloads", std::move(records));
   doc.Set("cells_differing", Json::Int(cells_differing));
   doc.Set("threads", Json::Int(options.threads));
-  doc.Set("peak_rss_bytes", Json::Int(PeakRssBytes()));
-  doc.Set("ok", Json::Bool(ok));
-  const std::string rendered = doc.Dump();
-  std::printf("%s\n", rendered.c_str());
-  if (options.json_out != "-") {
-    if (std::FILE* f = std::fopen(options.json_out.c_str(), "w")) {
-      std::fputs(rendered.c_str(), f);
-      std::fputc('\n', f);
-      std::fclose(f);
-    } else {
-      std::printf("FAIL: cannot write %s\n", options.json_out.c_str());
-      ok = false;
-    }
-  }
-  return ok ? 0 : 1;
+  return bench::FinishBenchJson(std::move(doc), ok, options.json_out) ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+// Relaxed atomic min/max via CAS (fetch_min/fetch_max are C++26).
+void AtomicMin(std::atomic<int64_t>& cell, int64_t value) {
+  int64_t current = cell.load(std::memory_order_relaxed);
+  while (value < current &&
+         !cell.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>& cell, int64_t value) {
+  int64_t current = cell.load(std::memory_order_relaxed);
+  while (value > current &&
+         !cell.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool MetricsEnabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint32_t ObsThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+const std::vector<int64_t>& Histogram::BucketBoundaries() {
+  static const std::vector<int64_t> boundaries = [] {
+    std::vector<int64_t> bounds;
+    bounds.push_back(0);  // bucket 0: [0, 1)
+    // Four linear sub-buckets per power-of-two octave, width at least 1 so
+    // the low octaves degrade to exact single-value buckets (duplicate
+    // boundaries from overlapping low octaves collapse).
+    for (int64_t octave = 1; octave <= (int64_t{1} << 40); octave *= 2) {
+      const int64_t width = std::max<int64_t>(1, octave / 4);
+      for (int sub = 0; sub < 4; ++sub) {
+        const int64_t bound = octave + sub * width;
+        if (bound > bounds.back()) bounds.push_back(bound);
+      }
+    }
+    return bounds;
+  }();
+  return boundaries;
+}
+
+int Histogram::BucketIndex(int64_t value) {
+  const std::vector<int64_t>& bounds = BucketBoundaries();
+  if (value <= 0) return 0;
+  // upper_bound returns the first boundary strictly above `value`; the
+  // bucket whose lower bound precedes it holds the value. Values beyond the
+  // last boundary land in the open-ended overflow bucket.
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<int>(it - bounds.begin()) - 1;
+}
+
+Histogram::Histogram() {
+  const size_t num_buckets = BucketBoundaries().size();
+  for (Stripe& stripe : stripes_) {
+    stripe.buckets = std::vector<std::atomic<int64_t>>(num_buckets);
+  }
+}
+
+void Histogram::Record(int64_t value) {
+  if (!MetricsEnabled()) return;
+  if (value < 0) value = 0;
+  Stripe& stripe = stripes_[ObsThreadId() % obs_internal::kStripes];
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(stripe.min, value);
+  AtomicMax(stripe.max, value);
+  stripe.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.buckets.assign(BucketBoundaries().size(), 0);
+  int64_t min = INT64_MAX, max = INT64_MIN;
+  for (const Stripe& stripe : stripes_) {
+    snap.count += stripe.count.load(std::memory_order_relaxed);
+    snap.sum += stripe.sum.load(std::memory_order_relaxed);
+    min = std::min(min, stripe.min.load(std::memory_order_relaxed));
+    max = std::max(max, stripe.max.load(std::memory_order_relaxed));
+    for (size_t b = 0; b < snap.buckets.size(); ++b) {
+      snap.buckets[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  if (snap.count > 0) {
+    snap.min = min;
+    snap.max = max;
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Stripe& stripe : stripes_) {
+    stripe.count.store(0, std::memory_order_relaxed);
+    stripe.sum.store(0, std::memory_order_relaxed);
+    stripe.min.store(INT64_MAX, std::memory_order_relaxed);
+    stripe.max.store(INT64_MIN, std::memory_order_relaxed);
+    for (auto& bucket : stripe.buckets) bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t Histogram::Snapshot::Percentile(double p) const {
+  if (count <= 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p / 100.0 * static_cast<double>(count))));
+  const std::vector<int64_t>& bounds = BucketBoundaries();
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      // Inclusive upper bound of the bucket, clamped to the observed max so
+      // the top quantiles of a narrow distribution stay exact. The overflow
+      // bucket has no upper bound and always reports the max.
+      if (b + 1 >= bounds.size()) return max;
+      return std::min(max, bounds[b + 1] - 1);
+    }
+  }
+  return max;  // unreachable when bucket counts match `count`
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MVRC_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
+                     histograms_.find(name) == histograms_.end(),
+                 "metric name registered as a different kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MVRC_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                     histograms_.find(name) == histograms_.end(),
+                 "metric name registered as a different kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MVRC_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                     gauges_.find(name) == gauges_.end(),
+                 "metric name registered as a different kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json::Object();
+  for (const auto& [name, counter] : counters_) {
+    counters.Set(name, Json::Int(counter->Value()));
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Set(name, Json::Int(gauge->Value()));
+  }
+  Json histograms = Json::Object();
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->Snap();
+    Json entry = Json::Object();
+    entry.Set("count", Json::Int(snap.count));
+    entry.Set("sum", Json::Int(snap.sum));
+    entry.Set("min", Json::Int(snap.min));
+    entry.Set("max", Json::Int(snap.max));
+    entry.Set("mean", Json::Number(snap.Mean()));
+    entry.Set("p50", Json::Int(snap.Percentile(50)));
+    entry.Set("p95", Json::Int(snap.Percentile(95)));
+    entry.Set("p99", Json::Int(snap.Percentile(99)));
+    histograms.Set(name, std::move(entry));
+  }
+  Json snapshot = Json::Object();
+  snapshot.Set("counters", std::move(counters));
+  snapshot.Set("gauges", std::move(gauges));
+  snapshot.Set("histograms", std::move(histograms));
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace mvrc

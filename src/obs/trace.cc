@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace mvrc {
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();  // never destroyed
+  return *buffer;
+}
+
+void TraceBuffer::Start(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity = std::clamp(capacity, kMinCapacity, kMaxCapacity);
+  ring_.clear();
+  ring_.resize(capacity);
+  written_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceBuffer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+int64_t TraceBuffer::NowMicros() const {
+  if (epoch_ == std::chrono::steady_clock::time_point{}) return 0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceBuffer::Record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) return;  // enabled without Start: nowhere to put it
+  ring_[static_cast<size_t>(written_) % ring_.size()] = std::move(event);
+  ++written_;
+}
+
+int64_t TraceBuffer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+int64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.empty() ? 0
+                       : std::max<int64_t>(0, written_ - static_cast<int64_t>(ring_.size()));
+}
+
+Json TraceBuffer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json events = Json::Array();
+  const int64_t size = static_cast<int64_t>(ring_.size());
+  const int64_t begin = size > 0 ? std::max<int64_t>(0, written_ - size) : 0;
+  for (int64_t seq = begin; seq < written_; ++seq) {
+    const TraceEvent& event = ring_[static_cast<size_t>(seq) % ring_.size()];
+    Json entry = Json::Object();
+    entry.Set("name", Json::Str(event.name));
+    entry.Set("cat", Json::Str("mvrc"));
+    entry.Set("ph", Json::Str("X"));
+    entry.Set("ts", Json::Int(event.ts_us));
+    entry.Set("dur", Json::Int(event.dur_us));
+    entry.Set("pid", Json::Int(1));
+    entry.Set("tid", Json::Int(event.tid));
+    if (!event.args.empty()) {
+      Json args = Json::Object();
+      args.Set("detail", Json::Str(event.args));
+      entry.Set("args", std::move(args));
+    }
+    events.Append(std::move(entry));
+  }
+  Json doc = Json::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", Json::Str("ms"));
+  return doc;
+}
+
+bool TraceBuffer::WriteChromeJson(const std::string& path) const {
+  const std::string rendered = ToChromeJson().Dump();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs(rendered.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+TraceSpan::TraceSpan(const char* name, std::string args) : name_(name) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  if (!buffer.enabled()) return;
+  args_ = std::move(args);
+  start_us_ = buffer.NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0) return;
+  TraceBuffer& buffer = TraceBuffer::Global();
+  TraceEvent event;
+  event.name = name_;
+  event.args = std::move(args_);
+  event.tid = ObsThreadId();
+  event.ts_us = start_us_;
+  event.dur_us = std::max<int64_t>(0, buffer.NowMicros() - start_us_);
+  buffer.Record(std::move(event));
+}
+
+void TraceSpan::AppendArgs(const std::string& more) {
+  if (start_us_ < 0) return;
+  if (!args_.empty()) args_.push_back(' ');
+  args_ += more;
+}
+
+}  // namespace mvrc

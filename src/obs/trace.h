@@ -1,0 +1,112 @@
+// Phase-scoped tracing: RAII TraceSpans record (name, tid, start, duration,
+// args) events into a bounded ring buffer that dumps Chrome `trace_event`
+// JSON — load the file in chrome://tracing or https://ui.perfetto.dev to see
+// the pipeline's phase breakdown (parse -> intern -> build -> detect ->
+// core-search) per thread. `mvrcdet --trace=FILE` and `mvrcd --trace=FILE`
+// enable it; docs/OBSERVABILITY.md catalogs the span names.
+//
+// Cost model: tracing is off by default, and a disabled TraceSpan is one
+// relaxed atomic load — cheap enough to leave in analysis-level code paths
+// (it is deliberately NOT placed in per-mask detector queries, whose budget
+// is nanoseconds; those are covered by counters in obs/metrics.h). When
+// enabled, each span end takes a short mutex-guarded critical section to
+// claim a ring slot; spans wrap millisecond-scale phases, so the lock is
+// uncontended in practice and keeps the overwrite-oldest ring semantics
+// exact (recorded/dropped counts, no torn events).
+
+#ifndef MVRC_OBS_TRACE_H_
+#define MVRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace mvrc {
+
+/// One completed span. `ts_us` counts from TraceBuffer::Start.
+struct TraceEvent {
+  std::string name;
+  std::string args;  // freeform "key=value ..." detail; empty = none
+  uint32_t tid = 0;  // ObsThreadId() of the recording thread
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+};
+
+/// Bounded overwrite-oldest ring of TraceEvents with a Chrome trace_event
+/// dumper. One process-wide instance (Global()); tests may construct more.
+class TraceBuffer {
+ public:
+  /// Capacity bounds for Start(); requests are clamped into this range.
+  static constexpr size_t kMinCapacity = 16;
+  static constexpr size_t kMaxCapacity = size_t{1} << 20;
+
+  TraceBuffer() = default;
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  static TraceBuffer& Global();
+
+  /// Clears any previous events, sets the time origin, and enables
+  /// recording.
+  void Start(size_t capacity);
+  /// Disables recording; buffered events remain dumpable.
+  void Stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since Start (0 when never started).
+  int64_t NowMicros() const;
+
+  /// Appends one completed event; when the ring is full the oldest event is
+  /// overwritten (the ring keeps the most recent `capacity` events). No-op
+  /// while disabled.
+  void Record(TraceEvent event);
+
+  /// Events accepted since Start / events lost to overwriting.
+  int64_t recorded() const;
+  int64_t dropped() const;
+
+  /// {"traceEvents":[{"name","cat","ph":"X","ts","dur","pid","tid",
+  ///  "args"?},...],"displayTimeUnit":"ms"} — events oldest-first. Valid
+  /// Chrome trace_event JSON whether tracing is running or stopped.
+  Json ToChromeJson() const;
+  /// Dumps ToChromeJson() to `path`; false when the file cannot be written.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;  // guards ring_, written_, epoch_
+  std::vector<TraceEvent> ring_;
+  int64_t written_ = 0;  // events accepted since Start
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// Scoped timer: records one TraceEvent spanning construction to destruction
+/// into TraceBuffer::Global(). Inactive (one atomic load, nothing stored)
+/// when tracing is disabled at construction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : TraceSpan(name, std::string()) {}
+  TraceSpan(const char* name, std::string args);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Appends outcome detail ("robust=1 cached=0") to the span's args;
+  /// ignored when the span is inactive.
+  void AppendArgs(const std::string& more);
+
+ private:
+  const char* name_;
+  std::string args_;
+  int64_t start_us_ = -1;  // -1 = inactive
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_OBS_TRACE_H_

@@ -6,9 +6,12 @@
 #include <utility>
 
 #include "btp/unfold.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "robust/masked_detector.h"
 #include "summary/build_summary.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace mvrc {
@@ -151,6 +154,11 @@ Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Me
   // The hook currency is uint32_t masks; wider workloads run hook-free.
   const bool use_hooks = hooks != nullptr && n <= 32;
 
+  TraceSpan span("core/search", "programs=" + std::to_string(n));
+  Stopwatch timer;
+  static Counter* runs = MetricsRegistry::Global().counter("core_search.runs");
+  runs->Add(1);
+
   std::vector<int> node_program(detector.num_ltps(), -1);
   const std::vector<std::pair<int, int>>& ranges = detector.ltp_range();
   for (int i = 0; i < n; ++i) {
@@ -172,6 +180,8 @@ Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Me
   while (!unconfirmed.empty()) {
     ++counts.rounds;
     const size_t batch = unconfirmed.size();
+    TraceSpan round_span("core/round", "round=" + std::to_string(counts.rounds) +
+                                           " candidates=" + std::to_string(batch));
     std::vector<ProgramSet> candidates;
     candidates.reserve(batch);
     for (const ProgramSet& hs : unconfirmed) candidates.push_back(hs.Complement());
@@ -316,6 +326,17 @@ Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Me
   counts.detector_queries = counts.candidate_queries + counts.shrink_queries;
   report.detector_queries = counts.detector_queries;
   if (stats != nullptr) *stats = counts;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* rounds = registry.counter("core_search.rounds");
+  static Counter* cores_found = registry.counter("core_search.cores_found");
+  static Counter* queries = registry.counter("core_search.detector_queries");
+  static Histogram* run_us = registry.histogram("core_search.run_us");
+  rounds->Add(counts.rounds);
+  cores_found->Add(static_cast<int64_t>(report.cores.size()));
+  queries->Add(counts.detector_queries);
+  run_us->Record(timer.ElapsedMicros());
+  span.AppendArgs("rounds=" + std::to_string(counts.rounds) +
+                  " cores=" + std::to_string(report.cores.size()));
   return report;
 }
 

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace mvrc {
 
@@ -240,6 +244,17 @@ bool IsRobust(const SummaryGraph& graph, Method method, const IsolationPolicy& p
 
 CycleTestOutcome RunCycleTest(const SummaryGraph& graph, Method method,
                               const IsolationPolicy& policy) {
+  TraceSpan span("detect/cycle_test",
+                 "programs=" + std::to_string(graph.num_programs()));
+  Stopwatch timer;
+  static Counter* tests = MetricsRegistry::Global().counter("detector.cycle_tests");
+  static Histogram* test_us = MetricsRegistry::Global().histogram("detector.cycle_test_us");
+  tests->Add(1);
+  struct RecordOnExit {
+    Histogram* hist;
+    Stopwatch* timer;
+    ~RecordOnExit() { hist->Record(timer->ElapsedMicros()); }
+  } record{test_us, &timer};
   CycleTestOutcome outcome;
   if (method == Method::kTypeI) {
     if (std::optional<TypeIWitness> witness = FindTypeICycle(graph)) {

@@ -7,10 +7,13 @@
 #include <utility>
 
 #include "btp/unfold.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "robust/core_search.h"
 #include "robust/masked_detector.h"
 #include "summary/build_summary.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace mvrc {
@@ -243,6 +246,8 @@ Result<SubsetReport> SweepDetector(const MaskedDetector& detector, Method method
                                    ThreadPool* pool, const SubsetSweepHooks* hooks) {
   const int n = detector.num_programs();
   if (std::optional<Result<SubsetReport>> error = CheckProgramCount(n)) return *error;
+  TraceSpan span("robust/sweep", "programs=" + std::to_string(n));
+  Stopwatch timer;
   SubsetReport report;
   report.num_programs = n;
   if (pool != nullptr && pool->num_threads() > 1) {
@@ -254,6 +259,13 @@ Result<SubsetReport> SweepDetector(const MaskedDetector& detector, Method method
   }
   std::sort(report.robust_masks.begin(), report.robust_masks.end());
   ComputeMaximalMasks(report);
+  static Counter* sweeps = MetricsRegistry::Global().counter("robust.sweeps");
+  static Counter* masks = MetricsRegistry::Global().counter("robust.masks_swept");
+  static Histogram* sweep_us = MetricsRegistry::Global().histogram("robust.sweep_us");
+  sweeps->Add(1);
+  masks->Add((int64_t{1} << n) - 1);  // nonempty subsets of n programs
+  sweep_us->Record(timer.ElapsedMicros());
+  span.AppendArgs("robust_masks=" + std::to_string(report.robust_masks.size()));
   return report;
 }
 

@@ -4,8 +4,12 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "robust/core_search.h"
 #include "robust/detector.h"
 #include "search/counterexample.h"
+#include "util/stopwatch.h"
 #include "workloads/auction.h"
 #include "workloads/smallbank.h"
 #include "workloads/tpcc.h"
@@ -88,6 +92,17 @@ std::optional<Workload> MakeBuiltin(const std::string& name) {
   if (name == "smallbank") return MakeSmallBank();
   if (name == "tpcc") return MakeTpcc();
   if (name == "auction") return MakeAuction();
+  // auction<N>, N >= 1: the Auction(n) scaling family (2n programs) — the
+  // protocol's route to workloads past the exhaustive-sweep range, where
+  // `subsets` switches to the core-guided search.
+  if (name.size() > 7 && name.compare(0, 7, "auction") == 0) {
+    int n = 0;
+    for (size_t i = 7; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9' || n > kMaxCoreSearchPrograms) return std::nullopt;
+      n = n * 10 + (name[i] - '0');
+    }
+    if (n >= 1 && 2 * n <= kMaxCoreSearchPrograms) return MakeAuctionN(n);
+  }
   return std::nullopt;
 }
 
@@ -129,7 +144,7 @@ Json HandleLoad(SessionManager& manager, const Json& request, const ProtocolOpti
     builtin_workload = MakeBuiltin(builtin);
     if (!builtin_workload.has_value()) {
       return ErrorResponse("unknown builtin " + builtin +
-                           " (expected smallbank, tpcc or auction)");
+                           " (expected smallbank, tpcc, auction or auction<N>)");
     }
   } else if (sql == nullptr || !sql->is_string()) {
     return ErrorResponse("missing \"sql\" (or \"builtin\")");
@@ -329,24 +344,44 @@ Json HandleStats(SessionManager& manager, const Json& request) {
   Json error;
   std::shared_ptr<WorkloadSession> session = RequireSession(manager, request, &error);
   if (session == nullptr) return error;
-  SessionStats stats = session->stats();
   Json response = OkResponse();
   response.Set("session", Json::Str(session->name()));
   response.Set("settings", Json::Str(session->settings().name()));
   response.Set("isolation", Json::Str(ToString(session->settings().isolation)));
   response.Set("programs", NamesArray(session->ProgramNames()));
-  response.Set("programs_added", Json::Int(stats.programs_added));
-  response.Set("programs_removed", Json::Int(stats.programs_removed));
-  response.Set("programs_replaced", Json::Int(stats.programs_replaced));
-  response.Set("cells_computed", Json::Int(stats.cells_computed));
-  response.Set("stmt_pairs_evaluated", Json::Int(stats.stmt_pairs_evaluated));
-  response.Set("shapes_interned", Json::Int(stats.shapes_interned));
-  response.Set("graph_materializations", Json::Int(stats.graph_materializations));
-  response.Set("detector_runs", Json::Int(stats.detector_runs));
-  response.Set("subset_sweeps", Json::Int(stats.subset_sweeps));
-  response.Set("verdict_cache_hits", Json::Int(stats.verdict_cache_hits));
-  response.Set("verdict_cache_misses", Json::Int(stats.verdict_cache_misses));
-  response.Set("verdict_cache_size", Json::Int(stats.verdict_cache_size));
+  // Splice the shared SessionStats rendering in as flat fields — the
+  // response shape predates ToJson and stays wire-compatible.
+  Json stats = session->stats().ToJson();
+  for (int i = 0; i < stats.size(); ++i) {
+    response.Set(stats.key_at(i), Json(stats.value_at(i)));
+  }
+  return response;
+}
+
+// Process-wide metrics snapshot (counters / gauges / histograms), the trace
+// buffer's state, and — when "session" names one — that session's stats
+// block. The global snapshot spans every session and both CLIs' codepaths;
+// see docs/OBSERVABILITY.md for the metric inventory.
+Json HandleMetrics(SessionManager& manager, const Json& request) {
+  Json response = OkResponse();
+  Json snapshot = MetricsRegistry::Global().ToJson();
+  for (int i = 0; i < snapshot.size(); ++i) {
+    response.Set(snapshot.key_at(i), Json(snapshot.value_at(i)));
+  }
+  const TraceBuffer& trace = TraceBuffer::Global();
+  Json trace_info = Json::Object();
+  trace_info.Set("enabled", Json::Bool(trace.enabled()));
+  trace_info.Set("recorded", Json::Int(trace.recorded()));
+  trace_info.Set("dropped", Json::Int(trace.dropped()));
+  response.Set("trace", std::move(trace_info));
+  const std::string session_name = request.GetString("session");
+  if (!session_name.empty()) {
+    Json error;
+    std::shared_ptr<WorkloadSession> session = RequireSession(manager, request, &error);
+    if (session == nullptr) return error;
+    response.Set("session", Json::Str(session->name()));
+    response.Set("session_stats", session->stats().ToJson());
+  }
   return response;
 }
 
@@ -363,10 +398,25 @@ Json HandleDrop(SessionManager& manager, const Json& request) {
 
 Json HandleRequest(SessionManager& manager, const Json& request,
                    const ProtocolOptions& options) {
-  if (!request.is_object()) return ErrorResponse("request must be a JSON object");
+  Stopwatch timer;
+  static Counter* requests = MetricsRegistry::Global().counter("protocol.requests");
+  static Counter* errors = MetricsRegistry::Global().counter("protocol.errors");
+  static Histogram* request_us = MetricsRegistry::Global().histogram("protocol.request_us");
+  requests->Add(1);
+  auto finish = [&](Json response) {
+    const int64_t elapsed = timer.ElapsedMicros();
+    request_us->Record(elapsed);
+    const Json* ok = response.Find("ok");
+    if (ok == nullptr || !ok->bool_value()) errors->Add(1);
+    // Server-side handling time; transport latency is the client's to add.
+    response.Set("elapsed_us", Json::Int(elapsed));
+    return response;
+  };
+  if (!request.is_object()) return finish(ErrorResponse("request must be a JSON object"));
   const Json* cmd = request.Find("cmd");
-  if (cmd == nullptr || !cmd->is_string()) return ErrorResponse("missing \"cmd\"");
+  if (cmd == nullptr || !cmd->is_string()) return finish(ErrorResponse("missing \"cmd\""));
   const std::string& name = cmd->string_value();
+  TraceSpan span("protocol/request", "cmd=" + name);
   Json response;
   if (name == "load_sql" || name == "add_program") {
     response = HandleLoad(manager, request, options);
@@ -382,6 +432,8 @@ Json HandleRequest(SessionManager& manager, const Json& request,
     response = HandleCounterexample(manager, request);
   } else if (name == "stats") {
     response = HandleStats(manager, request);
+  } else if (name == "metrics") {
+    response = HandleMetrics(manager, request);
   } else if (name == "drop_session") {
     response = HandleDrop(manager, request);
   } else {
@@ -389,7 +441,7 @@ Json HandleRequest(SessionManager& manager, const Json& request,
   }
   // Echo the command first for log readability.
   response.SetFront("cmd", Json::Str(name));
-  return response;
+  return finish(std::move(response));
 }
 
 std::string HandleRequestLine(SessionManager& manager, const std::string& line,

@@ -6,7 +6,8 @@
 // responses always carry "ok" (and "error" with a message when false).
 // Commands:
 //
-//   {"cmd":"load_sql","session":S, "sql":TEXT | "builtin":"smallbank|tpcc|auction"
+//   {"cmd":"load_sql","session":S,
+//    "sql":TEXT | "builtin":"smallbank|tpcc|auction|auction<N>"
 //    [,"settings":"<attr|tpl>[+fk][+mvrc|+rc]"][,"isolation":"mvrc|rc"]}
 //       Creates the session on first use (settings/isolation apply then;
 //       default attr+fk under MVRC — the paper's most precise analysis) and
@@ -31,7 +32,15 @@
 //   {"cmd":"stats","session":S}        -> per-session counters (including
 //       "settings" and "isolation")
 //   {"cmd":"stats"}                    -> {"sessions":[names],"num_threads":N}
+//   {"cmd":"metrics"[,"session":S]}    -> process-wide observability snapshot
+//       {"counters":{..},"gauges":{..},"histograms":{name:{"count","sum",
+//       "min","max","mean","p50","p95","p99"}},"trace":{"enabled","recorded",
+//       "dropped"}}, plus "session_stats" for S when given. Metric inventory:
+//       docs/OBSERVABILITY.md.
 //   {"cmd":"drop_session","session":S} -> {"dropped":B}
+//
+// Every response additionally carries "elapsed_us": the server-side handling
+// time of that request in whole microseconds.
 //
 // Mutations answer from the incrementally maintained session state; see
 // workload_session.h for what each mutation recomputes.

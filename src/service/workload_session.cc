@@ -1,17 +1,30 @@
 #include "service/workload_session.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "btp/unfold.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "robust/core_search.h"
 #include "sql/analyzer.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace mvrc {
 
 namespace {
+
+// Shared tail of every applied mutation (add/remove/replace/load): error
+// returns skip it, so the counters measure mutations that changed state.
+void RecordMutation(const Stopwatch& timer) {
+  static Counter* mutations = MetricsRegistry::Global().counter("session.mutations");
+  static Histogram* mutation_us = MetricsRegistry::Global().histogram("session.mutation_us");
+  mutations->Add(1);
+  mutation_us->Record(timer.ElapsedMicros());
+}
 
 // Everything the cycle detectors read besides the edge list: the number of
 // LTPs (subset masks keep whole programs), each LTP's occurrence count
@@ -32,6 +45,23 @@ bool SameDetectorView(const std::vector<Ltp>& a, const std::vector<Ltp>& b) {
 }
 
 }  // namespace
+
+Json SessionStats::ToJson() const {
+  Json stats = Json::Object();
+  stats.Set("programs_added", Json::Int(programs_added));
+  stats.Set("programs_removed", Json::Int(programs_removed));
+  stats.Set("programs_replaced", Json::Int(programs_replaced));
+  stats.Set("cells_computed", Json::Int(cells_computed));
+  stats.Set("stmt_pairs_evaluated", Json::Int(stmt_pairs_evaluated));
+  stats.Set("shapes_interned", Json::Int(shapes_interned));
+  stats.Set("graph_materializations", Json::Int(graph_materializations));
+  stats.Set("detector_runs", Json::Int(detector_runs));
+  stats.Set("subset_sweeps", Json::Int(subset_sweeps));
+  stats.Set("verdict_cache_hits", Json::Int(verdict_cache_hits));
+  stats.Set("verdict_cache_misses", Json::Int(verdict_cache_misses));
+  stats.Set("verdict_cache_size", Json::Int(verdict_cache_size));
+  return stats;
+}
 
 WorkloadSession::WorkloadSession(std::string name, AnalysisSettings settings, ThreadPool* pool)
     : name_(std::move(name)), settings_(settings), pool_(pool) {}
@@ -63,6 +93,7 @@ WorkloadSession::Cell WorkloadSession::ComputeCellLocked(const Entry& from,
 
 std::vector<WorkloadSession::Cell> WorkloadSession::ComputeCellsLocked(
     const std::vector<std::pair<int, int>>& pairs, const EntryAt& entry_at) {
+  TraceSpan span("session/compute_cells", "cells=" + std::to_string(pairs.size()));
   std::vector<Cell> computed(pairs.size());
   auto compute = [&](int64_t t) {
     computed[t] = ComputeCellLocked(entry_at(pairs[t].first), entry_at(pairs[t].second));
@@ -73,6 +104,8 @@ std::vector<WorkloadSession::Cell> WorkloadSession::ComputeCellsLocked(
     for (size_t t = 0; t < pairs.size(); ++t) compute(static_cast<int64_t>(t));
   }
   stats_.cells_computed += static_cast<int64_t>(pairs.size());
+  static Counter* cells = MetricsRegistry::Global().counter("session.cells_computed");
+  cells->Add(static_cast<int64_t>(pairs.size()));
   for (const auto& [i, j] : pairs) {
     for (const Ltp& a : entry_at(i).ltps) {
       for (const Ltp& b : entry_at(j).ltps) {
@@ -119,6 +152,8 @@ void WorkloadSession::AppendEntryLocked(const Btp& program) {
 }
 
 Result<std::vector<std::string>> WorkloadSession::LoadSql(const std::string& source) {
+  TraceSpan span("session/load_sql");
+  Stopwatch timer;
   std::lock_guard<std::mutex> lock(mutex_);
   Result<Workload> parsed = ParseWorkloadSqlInto(source, schema_, label_counter_);
   if (!parsed.ok()) return Result<std::vector<std::string>>::Error(parsed.error());
@@ -144,10 +179,15 @@ Result<std::vector<std::string>> WorkloadSession::LoadSql(const std::string& sou
     names.push_back(program.name());
     ++stats_.programs_added;
   }
+  span.AppendArgs("programs=" + std::to_string(names.size()));
+  RecordMutation(timer);
   return names;
 }
 
 Status WorkloadSession::LoadWorkload(const Workload& workload) {
+  TraceSpan span("session/load_workload",
+                 "programs=" + std::to_string(workload.programs.size()));
+  Stopwatch timer;
   std::lock_guard<std::mutex> lock(mutex_);
   if (!entries_.empty() || schema_.num_relations() > 0) {
     return Status::Error("load requires an empty session (session " + name_ +
@@ -166,10 +206,13 @@ Status WorkloadSession::LoadWorkload(const Workload& workload) {
     AppendEntryLocked(program);
     ++stats_.programs_added;
   }
+  RecordMutation(timer);
   return Status();
 }
 
 Status WorkloadSession::AddProgram(const Btp& program) {
+  TraceSpan span("session/add_program", "name=" + program.name());
+  Stopwatch timer;
   std::lock_guard<std::mutex> lock(mutex_);
   if (FindEntryLocked(program.name()) >= 0) {
     return Status::Error("program " + program.name() + " already exists in session " +
@@ -177,10 +220,13 @@ Status WorkloadSession::AddProgram(const Btp& program) {
   }
   AppendEntryLocked(program);
   ++stats_.programs_added;
+  RecordMutation(timer);
   return Status();
 }
 
 Status WorkloadSession::RemoveProgram(const std::string& name) {
+  TraceSpan span("session/remove_program", "name=" + name);
+  Stopwatch timer;
   std::lock_guard<std::mutex> lock(mutex_);
   const int r = FindEntryLocked(name);
   if (r < 0) return Status::Error("no program named " + name + " in session " + name_);
@@ -192,12 +238,17 @@ Status WorkloadSession::RemoveProgram(const std::string& name) {
   // incident edges.
   ++stats_.programs_removed;
   InvalidateGraphLocked();
+  RecordMutation(timer);
   return Status();
 }
 
 Status WorkloadSession::ReplaceProgram(const Btp& program) {
+  TraceSpan span("session/replace_program", "name=" + program.name());
+  Stopwatch timer;
   std::lock_guard<std::mutex> lock(mutex_);
-  return ReplaceProgramLocked(program);
+  Status status = ReplaceProgramLocked(program);
+  if (status.ok()) RecordMutation(timer);
+  return status;
 }
 
 Status WorkloadSession::ReplaceProgramLocked(const Btp& program) {
@@ -250,6 +301,8 @@ Status WorkloadSession::ReplaceProgramLocked(const Btp& program) {
 }
 
 Status WorkloadSession::ReplaceProgramSql(const std::string& source) {
+  TraceSpan span("session/replace_program");
+  Stopwatch timer;
   std::lock_guard<std::mutex> lock(mutex_);
   Result<Workload> parsed = ParseWorkloadSqlInto(source, schema_, label_counter_);
   if (!parsed.ok()) return Status::Error(parsed.error());
@@ -265,7 +318,9 @@ Status WorkloadSession::ReplaceProgramSql(const std::string& source) {
                          " in session " + name_ + " (use add_program to add it)");
   }
   schema_ = workload.schema;
-  return ReplaceProgramLocked(workload.programs[0]);
+  Status status = ReplaceProgramLocked(workload.programs[0]);
+  if (status.ok()) RecordMutation(timer);
+  return status;
 }
 
 int WorkloadSession::num_programs() const {
@@ -306,6 +361,8 @@ std::vector<std::pair<int, int>> WorkloadSession::LtpRangesLocked() const {
 }
 
 SummaryGraph WorkloadSession::MaterializeLocked() {
+  TraceSpan span("session/materialize",
+                 "programs=" + std::to_string(entries_.size()));
   std::vector<std::pair<int, int>> ranges = LtpRangesLocked();
   std::vector<Ltp> all_ltps;
   for (const Entry& entry : entries_) {
@@ -388,6 +445,17 @@ void WorkloadSession::SyncCacheStatsLocked() {
 }
 
 CheckResult WorkloadSession::Check(Method method) {
+  TraceSpan span("session/check");
+  Stopwatch timer;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* checks = registry.counter("session.checks");
+  static Counter* cache_hits = registry.counter("session.check_cache_hits");
+  static Counter* cache_misses = registry.counter("session.check_cache_misses");
+  static Histogram* check_us = registry.histogram("session.check_us");
+  static Histogram* hit_us = registry.histogram("session.check_hit_us");
+  static Histogram* miss_us = registry.histogram("session.check_miss_us");
+  checks->Add(1);
+
   std::lock_guard<std::mutex> lock(mutex_);
   const SummaryGraph& graph = CachedGraphLocked();
 
@@ -409,6 +477,11 @@ CheckResult WorkloadSession::Check(Method method) {
     result.robust = *cached;
     result.from_cache = true;
     SyncCacheStatsLocked();
+    cache_hits->Add(1);
+    const int64_t elapsed = timer.ElapsedMicros();
+    check_us->Record(elapsed);
+    hit_us->Record(elapsed);
+    span.AppendArgs("cached=1 robust=" + std::to_string(result.robust ? 1 : 0));
     return result;
   }
 
@@ -418,10 +491,20 @@ CheckResult WorkloadSession::Check(Method method) {
   result.witness = std::move(outcome.witness);
   verdict_cache_.Store(fingerprint, result.robust);
   SyncCacheStatsLocked();
+  cache_misses->Add(1);
+  const int64_t elapsed = timer.ElapsedMicros();
+  check_us->Record(elapsed);
+  miss_us->Record(elapsed);
+  span.AppendArgs("cached=0 robust=" + std::to_string(result.robust ? 1 : 0));
   return result;
 }
 
 Result<SubsetReport> WorkloadSession::Subsets(Method method, std::vector<std::string>* names) {
+  TraceSpan span("session/subsets");
+  Stopwatch timer;
+  static Counter* requests = MetricsRegistry::Global().counter("session.subset_requests");
+  static Histogram* subsets_us = MetricsRegistry::Global().histogram("session.subsets_us");
+  requests->Add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   if (names != nullptr) {
     names->clear();
@@ -462,6 +545,9 @@ Result<SubsetReport> WorkloadSession::Subsets(Method method, std::vector<std::st
   }();
   if (report.ok()) ++stats_.subset_sweeps;
   SyncCacheStatsLocked();
+  subsets_us->Record(timer.ElapsedMicros());
+  span.AppendArgs("programs=" + std::to_string(n) + " ok=" +
+                  std::to_string(report.ok() ? 1 : 0));
   return report;
 }
 

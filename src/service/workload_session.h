@@ -51,6 +51,7 @@
 #include "search/counterexample.h"
 #include "summary/statement_interner.h"
 #include "summary/summary_graph.h"
+#include "util/json.h"
 #include "util/result.h"
 #include "workloads/workload.h"
 
@@ -75,6 +76,12 @@ struct SessionStats {
   int64_t verdict_cache_hits = 0;
   int64_t verdict_cache_misses = 0;
   int64_t verdict_cache_size = 0;
+
+  /// One flat object, one key per field above, same spelling — the single
+  /// rendering shared by the protocol's `stats` response, the `metrics`
+  /// command's per-session block, and `mvrcdet --json`'s "session_stats"
+  /// (tests/service_test.cc pins the field names).
+  Json ToJson() const;
 };
 
 /// Outcome of a (possibly cached) full-set robustness check.

@@ -1,12 +1,16 @@
 #include "summary/build_summary.h"
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "btp/unfold.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "summary/statement_interner.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace mvrc {
@@ -281,43 +285,57 @@ ReplayArena ReplayBuild(const InternedPrograms& interned, ThreadPool* pool) {
 
 SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings,
                                ThreadPool* pool) {
-  const InternedPrograms interned = InternPrograms(programs, settings);
-  const int n = static_cast<int>(programs.size());
+  TraceSpan span("summary/build", "programs=" + std::to_string(programs.size()));
+  Stopwatch timer;
+  // The build proper runs in an immediately-invoked lambda (which inherits
+  // this friend function's access to SummaryGraph's private constructor) so
+  // the metrics epilogue below covers every return path.
+  SummaryGraph graph = [&]() -> SummaryGraph {
+    const InternedPrograms interned = InternPrograms(programs, settings);
+    const int n = static_cast<int>(programs.size());
 
-  if (interned.use_templates) {
-    ReplayArena arena = ReplayBuild(interned, pool);
-    return SummaryGraph(std::move(programs), std::move(arena.edges), arena.num_counterflow,
-                        std::move(arena.out_offsets), std::move(arena.in_offsets),
-                        std::move(arena.in_index));
-  }
-
-  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
-    std::vector<SummaryEdge> edges;
-    for (int pi = 0; pi < n; ++pi) AppendRowEdges(interned, pi, edges);
-    return SummaryGraph(std::move(programs), std::move(edges));
-  }
-
-  // Rows (source programs) are independent: fan grain-chunked row blocks
-  // across the pool, each emitting into its own buffer, then splice the
-  // buffers in row-block order. Chunk boundaries never change the emitted
-  // sequence, only how it is produced.
-  const int64_t grain = ThreadPool::DefaultGrain(n, pool->num_threads());
-  const int64_t num_blocks = (n + grain - 1) / grain;
-  std::vector<std::vector<SummaryEdge>> blocks(num_blocks);
-  pool->ParallelForChunked(n, grain, [&interned, &blocks, grain](int64_t begin, int64_t end) {
-    std::vector<SummaryEdge>& block = blocks[begin / grain];
-    for (int64_t pi = begin; pi < end; ++pi) {
-      AppendRowEdges(interned, static_cast<int>(pi), block);
+    if (interned.use_templates) {
+      ReplayArena arena = ReplayBuild(interned, pool);
+      return SummaryGraph(std::move(programs), std::move(arena.edges), arena.num_counterflow,
+                          std::move(arena.out_offsets), std::move(arena.in_offsets),
+                          std::move(arena.in_index));
     }
-  });
-  size_t total = 0;
-  for (const std::vector<SummaryEdge>& block : blocks) total += block.size();
-  std::vector<SummaryEdge> edges;
-  edges.reserve(total);
-  for (const std::vector<SummaryEdge>& block : blocks) {
-    edges.insert(edges.end(), block.begin(), block.end());
-  }
-  return SummaryGraph(std::move(programs), std::move(edges));
+
+    if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+      std::vector<SummaryEdge> edges;
+      for (int pi = 0; pi < n; ++pi) AppendRowEdges(interned, pi, edges);
+      return SummaryGraph(std::move(programs), std::move(edges));
+    }
+
+    // Rows (source programs) are independent: fan grain-chunked row blocks
+    // across the pool, each emitting into its own buffer, then splice the
+    // buffers in row-block order. Chunk boundaries never change the emitted
+    // sequence, only how it is produced.
+    const int64_t grain = ThreadPool::DefaultGrain(n, pool->num_threads());
+    const int64_t num_blocks = (n + grain - 1) / grain;
+    std::vector<std::vector<SummaryEdge>> blocks(num_blocks);
+    pool->ParallelForChunked(n, grain, [&interned, &blocks, grain](int64_t begin, int64_t end) {
+      std::vector<SummaryEdge>& block = blocks[begin / grain];
+      for (int64_t pi = begin; pi < end; ++pi) {
+        AppendRowEdges(interned, static_cast<int>(pi), block);
+      }
+    });
+    size_t total = 0;
+    for (const std::vector<SummaryEdge>& block : blocks) total += block.size();
+    std::vector<SummaryEdge> edges;
+    edges.reserve(total);
+    for (const std::vector<SummaryEdge>& block : blocks) {
+      edges.insert(edges.end(), block.begin(), block.end());
+    }
+    return SummaryGraph(std::move(programs), std::move(edges));
+  }();
+  static Counter* builds = MetricsRegistry::Global().counter("summary.builds");
+  static Counter* edges = MetricsRegistry::Global().counter("summary.edges_emitted");
+  static Histogram* build_us = MetricsRegistry::Global().histogram("summary.build_us");
+  builds->Add(1);
+  edges->Add(graph.num_edges());
+  build_us->Record(timer.ElapsedMicros());
+  return graph;
 }
 
 SummaryGraph BuildSummaryGraph(std::vector<Ltp> programs, const AnalysisSettings& settings) {
@@ -335,6 +353,10 @@ SummaryGraph BuildSummaryGraph(const std::vector<Btp>& programs,
 
 SummaryGraph BuildSummaryGraphLegacy(std::vector<Ltp> programs,
                                      const AnalysisSettings& settings) {
+  TraceSpan span("summary/build_legacy",
+                 "programs=" + std::to_string(programs.size()));
+  static Counter* builds = MetricsRegistry::Global().counter("summary.legacy_builds");
+  builds->Add(1);
   // Faithful replica of the pre-interning serial builder: one heap-allocated
   // edge vector per LTP-pair cell, spliced into per-row buffers, appended
   // edge by edge, with the adjacency index finalized before return (the old

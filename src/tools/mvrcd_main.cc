@@ -4,7 +4,8 @@
 // (socat/inetd). See src/service/protocol.h for the command reference.
 //
 // Usage:
-//   mvrcd [--threads=N] [--isolation=mvrc|rc]
+//   mvrcd [--threads=N] [--isolation=mvrc|rc] [--trace=FILE]
+//         [--metrics-json=FILE]
 //
 // Options:
 //   --threads=N          worker threads for graph maintenance and subset
@@ -14,6 +15,12 @@
 //                        does not name one (default mvrc); individual
 //                        requests may still override with "isolation" or a
 //                        settings string like "attr+fk+rc"
+//   --trace=FILE         record phase spans for the whole run and dump them
+//                        as Chrome trace_event JSON at end of input (open in
+//                        chrome://tracing or https://ui.perfetto.dev)
+//   --metrics-json=FILE  dump the final metrics snapshot (the `metrics`
+//                        command's counters/gauges/histograms) as JSON at
+//                        end of input
 //
 // Blank input lines are ignored. The process exits 0 at end of input.
 //
@@ -29,6 +36,8 @@
 #include <optional>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 #include "service/session_manager.h"
 
@@ -36,7 +45,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mvrcd [--threads=N] [--isolation=mvrc|rc]   (NDJSON requests on stdin)\n");
+               "usage: mvrcd [--threads=N] [--isolation=mvrc|rc] [--trace=FILE] "
+               "[--metrics-json=FILE]   (NDJSON requests on stdin)\n");
   return 2;
 }
 
@@ -45,6 +55,8 @@ int Usage() {
 int main(int argc, char** argv) {
   int num_threads = 1;
   mvrc::ProtocolOptions options;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
@@ -58,21 +70,52 @@ int main(int argc, char** argv) {
           mvrc::ParseIsolationLevel(arg.substr(std::strlen("--isolation=")));
       if (!level.has_value()) return Usage();
       options.default_isolation = *level;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+      if (trace_path.empty()) return Usage();
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(std::strlen("--metrics-json="));
+      if (metrics_path.empty()) return Usage();
     } else {
       return Usage();
     }
   }
 
-  mvrc::SessionManager manager(num_threads);
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    // Tolerate CRLF input (telnet-style clients).
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    std::string response = mvrc::HandleRequestLine(manager, line, options);
-    std::fwrite(response.data(), 1, response.size(), stdout);
-    std::fputc('\n', stdout);
-    std::fflush(stdout);
+  if (!trace_path.empty()) mvrc::TraceBuffer::Global().Start(size_t{1} << 16);
+
+  {
+    // Scope the manager so its pool (and the worker gauge) wind down before
+    // the metrics snapshot is written.
+    mvrc::SessionManager manager(num_threads);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      // Tolerate CRLF input (telnet-style clients).
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = mvrc::HandleRequestLine(manager, line, options);
+      std::fwrite(response.data(), 1, response.size(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+    }
+  }
+
+  if (!trace_path.empty()) {
+    mvrc::TraceBuffer::Global().Stop();
+    if (!mvrc::TraceBuffer::Global().WriteChromeJson(trace_path)) {
+      std::fprintf(stderr, "mvrcd: cannot write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    const std::string rendered = mvrc::MetricsRegistry::Global().ToJson().Dump();
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "mvrcd: cannot write metrics to %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::fputs(rendered.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
   }
   return 0;
 }

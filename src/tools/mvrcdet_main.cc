@@ -20,7 +20,16 @@
 //                  characterization)
 //   --json         print the report as a single JSON object instead of text
 //                  (see WorkloadReport::ToJson; --dot/--certify/--programs
-//                  keep their text output and are best not combined)
+//                  keep their text output and are best not combined). The
+//                  object gains a "session_stats" block: the incremental
+//                  session counters (workload_session.h SessionStats) of a
+//                  throwaway session replaying the workload
+//   --trace=FILE   record phase spans (build/detect/core-search) and dump
+//                  Chrome trace_event JSON on exit — load in
+//                  chrome://tracing or https://ui.perfetto.dev
+//   --metrics-json=FILE
+//                  dump the final metrics snapshot (counters/gauges/latency
+//                  histograms, see docs/OBSERVABILITY.md) as JSON on exit
 //
 // Exit status: 0 when robust under attr dep + FK / type-II at the chosen
 // isolation level, 1 when not, 2 on usage or parse errors.
@@ -33,8 +42,11 @@
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "robust/certify.h"
 #include "robust/report.h"
+#include "service/workload_session.h"
 #include "sql/analyzer.h"
 #include "summary/build_summary.h"
 #include "workloads/auction.h"
@@ -46,9 +58,21 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: mvrcdet [--subsets] [--dot] [--certify] [--programs] [--threads=N]\n"
-               "               [--isolation=mvrc|rc] [--json]\n"
+               "               [--isolation=mvrc|rc] [--json] [--trace=FILE]\n"
+               "               [--metrics-json=FILE]\n"
                "               (<workload.sql> | --builtin=<smallbank|tpcc|auction>)\n");
   return 2;
+}
+
+// Dumps the global metrics snapshot to `path`; exit-path best effort.
+bool WriteMetricsJson(const std::string& path) {
+  const std::string rendered = mvrc::MetricsRegistry::Global().ToJson().Dump();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs(rendered.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -58,7 +82,7 @@ int main(int argc, char** argv) {
   bool subsets = false, dot = false, certify = false, print_programs = false, json = false;
   int num_threads = 1;
   IsolationLevel isolation = IsolationLevel::kMvrc;
-  std::string file, builtin;
+  std::string file, builtin, trace_path, metrics_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--subsets") {
@@ -84,6 +108,12 @@ int main(int argc, char** argv) {
       isolation = *level;
     } else if (arg.rfind("--builtin=", 0) == 0) {
       builtin = arg.substr(std::strlen("--builtin="));
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+      if (trace_path.empty()) return Usage();
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(std::strlen("--metrics-json="));
+      if (metrics_path.empty()) return Usage();
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else {
@@ -91,6 +121,8 @@ int main(int argc, char** argv) {
     }
   }
   if (file.empty() == builtin.empty()) return Usage();
+
+  if (!trace_path.empty()) TraceBuffer::Global().Start(size_t{1} << 16);
 
   Workload workload;
   if (!builtin.empty()) {
@@ -129,7 +161,18 @@ int main(int argc, char** argv) {
 
   WorkloadReport report = BuildReport(workload, subsets, num_threads, isolation);
   if (json) {
-    std::printf("%s\n", report.ToJson().Dump().c_str());
+    Json doc = report.ToJson();
+    // Replay the workload through a throwaway incremental session so the
+    // report carries the SessionStats block (one rendering shared with the
+    // protocol's `stats` and `metrics` responses).
+    WorkloadSession session(
+        workload.name.empty() ? "mvrcdet" : workload.name,
+        AnalysisSettings::AttrDepFk().WithThreads(num_threads).WithIsolation(isolation));
+    if (session.LoadWorkload(workload).ok()) {
+      session.Check(Method::kTypeII);
+      doc.Set("session_stats", session.stats().ToJson());
+    }
+    std::printf("%s\n", doc.Dump().c_str());
   } else {
     std::printf("%s", report.ToText().c_str());
   }
@@ -152,6 +195,18 @@ int main(int argc, char** argv) {
     SummaryGraph graph = BuildSummaryGraph(
         workload.programs, AnalysisSettings::AttrDepFk().WithIsolation(isolation));
     std::printf("\n%s", graph.ToDot(workload.name).c_str());
+  }
+
+  if (!trace_path.empty()) {
+    TraceBuffer::Global().Stop();
+    if (!TraceBuffer::Global().WriteChromeJson(trace_path)) {
+      std::fprintf(stderr, "mvrcdet: cannot write trace to %s\n", trace_path.c_str());
+      return 2;
+    }
+  }
+  if (!metrics_path.empty() && !WriteMetricsJson(metrics_path)) {
+    std::fprintf(stderr, "mvrcdet: cannot write metrics to %s\n", metrics_path.c_str());
+    return 2;
   }
   return robust ? 0 : 1;
 }

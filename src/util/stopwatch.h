@@ -1,9 +1,12 @@
-// Wall-clock stopwatch used by the Figure 8 scalability harness.
+// Wall-clock stopwatch (steady clock) — the repo-wide timing primitive: the
+// bench harnesses, the CLI tools, and the observability layer's latency
+// histograms (src/obs/) all read elapsed time through it.
 
 #ifndef MVRC_UTIL_STOPWATCH_H_
 #define MVRC_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace mvrc {
 
@@ -19,6 +22,13 @@ class Stopwatch {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Whole elapsed microseconds — the integer currency of obs/ histograms
+  /// and the protocol's per-response `elapsed_us`.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

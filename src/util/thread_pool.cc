@@ -4,9 +4,23 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace mvrc {
+
+namespace {
+
+// Pool utilization metrics, shared across every pool in the process: the
+// workers gauge tracks live worker threads, busy/idle split each worker's
+// wall clock between running tasks and waiting for them.
+Gauge* WorkersGauge() {
+  static Gauge* workers = MetricsRegistry::Global().gauge("thread_pool.workers");
+  return workers;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -14,6 +28,7 @@ ThreadPool::ThreadPool(int num_threads) {
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  WorkersGauge()->Add(num_threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -23,10 +38,13 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  WorkersGauge()->Add(-static_cast<int64_t>(workers_.size()));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   MVRC_CHECK_MSG(task != nullptr, "ThreadPool::Submit requires a callable task");
+  static Counter* submitted = MetricsRegistry::Global().counter("thread_pool.tasks_submitted");
+  submitted->Add(1);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     MVRC_CHECK_MSG(!stopping_, "ThreadPool::Submit after shutdown began");
@@ -91,17 +109,25 @@ int ThreadPool::ResolveThreadCount(int requested) {
 }
 
 void ThreadPool::WorkerLoop() {
+  static Counter* executed = MetricsRegistry::Global().counter("thread_pool.tasks_executed");
+  static Counter* busy_us = MetricsRegistry::Global().counter("thread_pool.busy_us");
+  static Counter* idle_us = MetricsRegistry::Global().counter("thread_pool.idle_us");
   for (;;) {
     std::function<void()> task;
     {
+      Stopwatch idle;
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      idle_us->Add(idle.ElapsedMicros());
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
+    Stopwatch busy;
     task();
+    executed->Add(1);
+    busy_us->Add(busy.ElapsedMicros());
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

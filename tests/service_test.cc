@@ -581,5 +581,122 @@ TEST(ProtocolIsolationTest, DaemonDefaultIsolationAppliesToNewSessionsOnly) {
   EXPECT_EQ(mvrc_stats.GetString("isolation"), "mvrc");
 }
 
+// SessionStats::ToJson is the single spelling of the stats fields, shared by
+// the protocol `stats` command, the `metrics` session block, and
+// `mvrcdet --json`. This test pins the field names: renaming one is a
+// protocol break and must show up here.
+TEST(SessionStatsTest, ToJsonPinsFieldNames) {
+  WorkloadSession session("pin", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session.LoadWorkload(MakeSmallBank()).ok());
+  session.Check();
+  session.Check();  // second check hits the verdict cache
+
+  const Json stats = session.stats().ToJson();
+  const char* kFields[] = {
+      "programs_added",     "programs_removed",      "programs_replaced",
+      "cells_computed",     "stmt_pairs_evaluated",  "shapes_interned",
+      "graph_materializations", "detector_runs",     "subset_sweeps",
+      "verdict_cache_hits", "verdict_cache_misses",  "verdict_cache_size"};
+  ASSERT_EQ(stats.size(), static_cast<int>(sizeof(kFields) / sizeof(kFields[0])));
+  for (const char* field : kFields) {
+    ASSERT_NE(stats.Find(field), nullptr) << field;
+    EXPECT_TRUE(stats.Find(field)->is_number()) << field;
+  }
+  EXPECT_GE(stats.GetInt("programs_added", -1), 1);
+  EXPECT_EQ(stats.GetInt("verdict_cache_hits", -1), 1);
+
+  // The protocol `stats` response carries exactly these spellings.
+  SessionManager manager;
+  Json load = Request(manager, R"({"cmd":"load_sql","session":"s","builtin":"smallbank"})");
+  ASSERT_TRUE(load.GetBool("ok", false)) << load.GetString("error");
+  Json response = Request(manager, R"({"cmd":"stats","session":"s"})");
+  for (const char* field : kFields) {
+    EXPECT_NE(response.Find(field), nullptr) << field;
+  }
+}
+
+TEST(ProtocolTest, MetricsCommandReportsCountersAndLatencies) {
+  SessionManager manager;
+  Json load = Request(manager, R"({"cmd":"load_sql","session":"s","builtin":"smallbank"})");
+  ASSERT_TRUE(load.GetBool("ok", false)) << load.GetString("error");
+  Json check = Request(manager, R"({"cmd":"check","session":"s"})");
+  ASSERT_TRUE(check.GetBool("ok", false)) << check.GetString("error");
+
+  Json metrics = Request(manager, R"({"cmd":"metrics"})");
+  ASSERT_TRUE(metrics.GetBool("ok", false)) << metrics.GetString("error");
+  const Json* counters = metrics.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  // The session layer ran at least one mutation and one check in this
+  // process (metrics are process-global, so >= rather than ==).
+  ASSERT_NE(counters->Find("session.checks"), nullptr);
+  EXPECT_GE(counters->Find("session.checks")->int_value(), 1);
+  ASSERT_NE(counters->Find("session.mutations"), nullptr);
+  EXPECT_GE(counters->Find("session.mutations")->int_value(), 1);
+  ASSERT_NE(counters->Find("protocol.requests"), nullptr);
+  EXPECT_GE(counters->Find("protocol.requests")->int_value(), 2);
+
+  // Check latency percentiles, the headline of the `metrics` command.
+  const Json* hists = metrics.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const Json* check_us = hists->Find("session.check_us");
+  ASSERT_NE(check_us, nullptr);
+  EXPECT_GE(check_us->Find("count")->int_value(), 1);
+  for (const char* key : {"p50", "p95", "p99"}) {
+    ASSERT_NE(check_us->Find(key), nullptr) << key;
+    EXPECT_GE(check_us->Find(key)->int_value(), 0) << key;
+  }
+
+  const Json* trace = metrics.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_NE(trace->Find("enabled"), nullptr);
+  EXPECT_TRUE(trace->Find("enabled")->is_bool());
+
+  // With a session, the response adds that session's stats block.
+  Json scoped = Request(manager, R"({"cmd":"metrics","session":"s"})");
+  ASSERT_TRUE(scoped.GetBool("ok", false));
+  EXPECT_EQ(scoped.GetString("session"), "s");
+  const Json* session_stats = scoped.Find("session_stats");
+  ASSERT_NE(session_stats, nullptr);
+  EXPECT_GE(session_stats->GetInt("programs_added", -1), 1);
+
+  Json missing = Request(manager, R"({"cmd":"metrics","session":"nope"})");
+  EXPECT_FALSE(missing.GetBool("ok", true));
+}
+
+TEST(ProtocolTest, EveryResponseCarriesElapsedUs) {
+  SessionManager manager;
+  Json ok_response = Request(manager, R"({"cmd":"stats"})");
+  ASSERT_NE(ok_response.Find("elapsed_us"), nullptr);
+  EXPECT_GE(ok_response.Find("elapsed_us")->int_value(), 0);
+
+  Json error_response = Request(manager, R"({"cmd":"no_such_cmd"})");
+  EXPECT_FALSE(error_response.GetBool("ok", true));
+  ASSERT_NE(error_response.Find("elapsed_us"), nullptr);
+  EXPECT_GE(error_response.Find("elapsed_us")->int_value(), 0);
+}
+
+TEST(ProtocolTest, AuctionNBuiltinScalesThePredefinedWorkload) {
+  SessionManager manager;
+  // auction11 = 22 programs: past the 20-program exhaustive-sweep cap, so a
+  // subsets request on it must take the core-guided lattice path.
+  Json load = Request(manager, R"({"cmd":"load_sql","session":"a","builtin":"auction11"})");
+  ASSERT_TRUE(load.GetBool("ok", false)) << load.GetString("error");
+  EXPECT_EQ(load.GetInt("num_programs", -1), 22);
+  Json stats = Request(manager, R"({"cmd":"stats","session":"a"})");
+  EXPECT_EQ(stats.GetInt("programs_added", -1), 22);
+
+  Json subsets = Request(manager, R"({"cmd":"subsets","session":"a"})");
+  ASSERT_TRUE(subsets.GetBool("ok", false)) << subsets.GetString("error");
+  EXPECT_EQ(subsets.GetString("search"), "core_guided");
+
+  // Degenerate and oversized suffixes are rejected like any unknown builtin.
+  for (const char* bad : {"auction0", "auction999", "auctionx"}) {
+    Json response = Request(
+        manager, std::string(R"({"cmd":"load_sql","session":"bad","builtin":")") + bad + "\"}");
+    EXPECT_FALSE(response.GetBool("ok", true)) << bad;
+    EXPECT_NE(response.GetString("error").find("unknown builtin"), std::string::npos) << bad;
+  }
+}
+
 }  // namespace
 }  // namespace mvrc

@@ -77,8 +77,21 @@ TEST(StopwatchTest, MeasuresNonNegativeElapsed) {
   Stopwatch watch;
   EXPECT_GE(watch.ElapsedSeconds(), 0.0);
   EXPECT_GE(watch.ElapsedMillis(), 0.0);
+  EXPECT_GE(watch.ElapsedMicros(), 0);
   watch.Restart();
   EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(StopwatchTest, UnitsAgree) {
+  Stopwatch watch;
+  // Busy-wait until some time has visibly passed on the microsecond clock.
+  while (watch.ElapsedMicros() < 1000) {
+  }
+  const int64_t micros = watch.ElapsedMicros();
+  const double millis = watch.ElapsedMillis();
+  EXPECT_GE(micros, 1000);
+  // The two reads are an instant apart; allow 10ms of scheduler slop.
+  EXPECT_NEAR(millis, static_cast<double>(micros) / 1000.0, 10.0);
 }
 
 TEST(CheckDeathTest, CheckAbortsWithMessage) {
