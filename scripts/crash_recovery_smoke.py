@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Crash-recovery smoke test for mvrcd --state-dir.
+
+Drives a scripted mutation sequence through a durable daemon, SIGKILLs it at
+every interesting instant (after each acknowledged mutation, and once more
+with a request in flight), restarts on the same state dir, and asserts the
+recovered world is exactly one of the allowed outcomes:
+
+  * the session is restored to the state of some acknowledged mutation
+    prefix, and its `check` / `subsets` responses are bit-identical to an
+    uninterrupted reference daemon replaying that same prefix; or
+  * the snapshot was quarantined (torn by the kill) and the session is
+    absent — degraded, never wrong.
+
+Any other outcome — a verdict differing from every prefix, a daemon that
+dies on startup, a half-restored session — fails the script.
+
+Usage: scripts/crash_recovery_smoke.py [--mvrcd build/mvrcd]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+WALLET_SQL = (
+    "TABLE Wallet(id, balance, PRIMARY KEY(id));\n"
+    "\n"
+    "PROGRAM Deposit(:a, :v):\n"
+    "  UPDATE Wallet SET balance = balance + :v WHERE id = :a;\n"
+    "COMMIT;\n"
+)
+
+DEPOSIT_V2_SQL = (
+    "PROGRAM Deposit(:a, :v):\n"
+    "  SELECT balance INTO :b FROM Wallet WHERE id = :a;\n"
+    "  UPDATE Wallet SET balance = :b + :v WHERE id = :a;\n"
+    "COMMIT;\n"
+)
+
+MUTATIONS = [
+    {"cmd": "load_sql", "session": "s", "builtin": "smallbank"},
+    {"cmd": "remove_program", "session": "s", "name": "Balance"},
+    {"cmd": "load_sql", "session": "s", "sql": WALLET_SQL},
+    {"cmd": "replace_program", "session": "s", "sql": DEPOSIT_V2_SQL},
+    {"cmd": "remove_program", "session": "s", "name": "Amalgamate"},
+]
+
+VERDICT_REQUESTS = [
+    {"cmd": "check", "session": "s", "method": "type2"},
+    {"cmd": "check", "session": "s", "method": "type1"},
+    {"cmd": "subsets", "session": "s"},
+]
+
+# Fields that legitimately differ between a live and a recovered daemon.
+VOLATILE_KEYS = {"elapsed_us", "cached", "durable", "persist_error"}
+
+
+def normalize(response):
+    return {k: v for k, v in response.items() if k not in VOLATILE_KEYS}
+
+
+class Daemon:
+    """One mvrcd process driven synchronously over stdin/stdout."""
+
+    def __init__(self, mvrcd, state_dir=None):
+        cmd = [mvrcd]
+        if state_dir is not None:
+            cmd.append(f"--state-dir={state_dir}")
+        self.proc = subprocess.Popen(
+            cmd,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def request(self, obj):
+        self.proc.stdin.write(json.dumps(obj) + "\n")
+        self.proc.stdin.flush()
+        line = self.proc.stdout.readline()
+        if not line:
+            raise RuntimeError("daemon closed stdout mid-conversation")
+        return json.loads(line)
+
+    def send_only(self, obj):
+        self.proc.stdin.write(json.dumps(obj) + "\n")
+        self.proc.stdin.flush()
+
+    def kill(self):
+        self.proc.kill()
+        self.proc.wait()
+
+    def close(self):
+        self.proc.stdin.close()
+        self.proc.wait(timeout=60)
+        return self.proc.stderr.read()
+
+
+def reference_state(mvrcd, prefix_len):
+    """Verdicts of an uninterrupted, store-less daemon after `prefix_len`
+    mutations, plus the session's sorted program names (the state's key)."""
+    daemon = Daemon(mvrcd)
+    try:
+        for mutation in MUTATIONS[:prefix_len]:
+            response = daemon.request(mutation)
+            assert response.get("ok"), f"reference mutation failed: {response}"
+        stats = daemon.request({"cmd": "stats", "session": "s"})
+        programs = tuple(sorted(stats.get("programs", []))) if stats.get("ok") else ()
+        verdicts = [normalize(daemon.request(r)) for r in VERDICT_REQUESTS]
+        return programs, verdicts
+    finally:
+        daemon.kill()
+
+
+def run_one_crash(mvrcd, state_dir, acked, in_flight, references):
+    """Kill a durable daemon after `acked` acknowledged mutations (plus one
+    unacknowledged in-flight request when `in_flight`), restart, verify."""
+    label = f"acked={acked} in_flight={in_flight}"
+    victim = Daemon(mvrcd, state_dir)
+    for mutation in MUTATIONS[:acked]:
+        response = victim.request(mutation)
+        assert response.get("ok"), f"[{label}] mutation failed: {response}"
+    if in_flight and acked < len(MUTATIONS):
+        victim.send_only(MUTATIONS[acked])
+        # Give the in-flight request a chance to be mid-mutation or
+        # mid-snapshot when the SIGKILL lands (still a race by design —
+        # every landing spot must be safe).
+        time.sleep(0.02)
+    victim.kill()
+
+    survivor = Daemon(mvrcd, state_dir)
+    try:
+        stats = survivor.request({"cmd": "stats", "session": "s"})
+        if not stats.get("ok"):
+            # Allowed only as an explicit quarantine/no-snapshot outcome:
+            # the state dir must hold no live snapshot, and a *.corrupt file
+            # unless the kill landed before the first publish.
+            snaps = [f for f in os.listdir(state_dir) if f.endswith(".snap")]
+            assert not snaps, f"[{label}] session missing but snapshot present: {snaps}"
+            corrupt = [f for f in os.listdir(state_dir) if f.endswith(".corrupt")]
+            possible_no_publish = acked == 0
+            assert corrupt or possible_no_publish, (
+                f"[{label}] session lost without quarantine evidence"
+            )
+            return "quarantined" if corrupt else "no-snapshot"
+
+        programs = tuple(sorted(stats.get("programs", [])))
+        verdicts = [normalize(survivor.request(r)) for r in VERDICT_REQUESTS]
+        # The recovered prefix can only be one the daemon acknowledged, or
+        # the in-flight mutation that the kill raced with — and the entire
+        # recovered state (program set AND every verdict) must be
+        # bit-identical to that prefix's uninterrupted reference.
+        upper = min(acked + (1 if in_flight else 0), len(MUTATIONS))
+        matching = [k for k in range(upper + 1)
+                    if references[k] == (programs, verdicts)]
+        assert matching, (
+            f"[{label}] recovered state matches no acknowledged prefix <= {upper}:\n"
+            f"  programs: {programs}\n  verdicts: {verdicts}"
+        )
+        return f"restored-prefix-{matching[-1]}"
+    finally:
+        survivor.kill()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mvrcd", default="build/mvrcd", help="daemon binary")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.mvrcd):
+        print(f"error: {args.mvrcd} not found (build first)", file=sys.stderr)
+        return 2
+
+    references = {}
+    for k in range(len(MUTATIONS) + 1):
+        references[k] = reference_state(args.mvrcd, k)
+
+    outcomes = []
+    for acked in range(len(MUTATIONS) + 1):
+        for in_flight in (False, True):
+            if in_flight and acked == len(MUTATIONS):
+                continue
+            state_dir = tempfile.mkdtemp(prefix="mvrc_crash_smoke_")
+            try:
+                outcome = run_one_crash(args.mvrcd, state_dir, acked, in_flight,
+                                        references)
+                outcomes.append(outcome)
+                print(f"acked={acked} in_flight={int(in_flight)}: {outcome}")
+            finally:
+                shutil.rmtree(state_dir, ignore_errors=True)
+
+    restored = sum(1 for o in outcomes if o.startswith("restored"))
+    print(f"crash_recovery_smoke: {len(outcomes)} kills, {restored} restored, "
+          f"{len(outcomes) - restored} degraded cleanly")
+    # The smoke must actually exercise recovery, not just the degraded path.
+    assert restored >= len(MUTATIONS), "too few kills recovered a session"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

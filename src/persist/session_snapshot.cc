@@ -1,0 +1,212 @@
+#include "persist/session_snapshot.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "summary/dep_tables.h"
+#include "util/fault_injection.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "workloads/builtins.h"
+
+namespace mvrc {
+
+namespace {
+
+// Replays one journal op through the ordinary mutation entry points.
+Status ReplayOp(WorkloadSession& session, const SessionJournalOp& op) {
+  if (op.op == "load_sql") {
+    Result<std::vector<std::string>> names = session.LoadSql(op.arg);
+    return names.ok() ? Status() : Status::Error(names.error());
+  }
+  if (op.op == "builtin") {
+    std::optional<Workload> workload = MakeBuiltinWorkload(op.arg);
+    if (!workload.has_value()) return Status::Error("unknown builtin " + op.arg);
+    return session.LoadWorkload(*workload, op.arg);
+  }
+  if (op.op == "remove") return session.RemoveProgram(op.arg);
+  if (op.op == "replace_sql") return session.ReplaceProgramSql(op.arg);
+  return Status::Error("unknown journal op " + op.op);
+}
+
+}  // namespace
+
+Result<std::string> EncodeSessionSnapshot(const WorkloadSession& session) {
+  if (MVRC_FAULT_POINT("alloc.fail")) {
+    return Result<std::string>::Error("injected allocation failure encoding snapshot of " +
+                                      session.name());
+  }
+  SessionReplayState state = session.replay_state();
+  if (!state.replayable) {
+    return Result<std::string>::Error(
+        "session " + session.name() +
+        " holds programs without recorded sources (loaded as prebuilt Btps); "
+        "it cannot be snapshotted");
+  }
+  Json payload = Json::Object();
+  payload.Set("format", Json::Int(kSessionSnapshotFormat));
+  payload.Set("session", Json::Str(session.name()));
+  payload.Set("settings", Json::Str(state.settings));
+  Json journal = Json::Array();
+  for (const SessionJournalOp& op : state.journal) {
+    Json entry = Json::Object();
+    entry.Set("op", Json::Str(op.op));
+    entry.Set("arg", Json::Str(op.arg));
+    journal.Append(std::move(entry));
+  }
+  payload.Set("journal", std::move(journal));
+  Json programs = Json::Array();
+  for (const auto& [name, revision] : state.revisions) {
+    Json entry = Json::Object();
+    entry.Set("name", Json::Str(name));
+    entry.Set("revision", Json::Int(revision));
+    programs.Append(std::move(entry));
+  }
+  payload.Set("programs", std::move(programs));
+  payload.Set("label_counter", Json::Int(state.label_counter));
+  payload.Set("next_revision", Json::Int(state.next_revision));
+  return payload.Dump();
+}
+
+Result<std::string> RestoreSessionFromPayload(SessionManager& manager,
+                                              const std::string& payload) {
+  using R = Result<std::string>;
+  Result<Json> parsed = Json::Parse(payload);
+  if (!parsed.ok()) return R::Error("snapshot payload is not JSON: " + parsed.error());
+  const Json& doc = parsed.value();
+  if (!doc.is_object()) return R::Error("snapshot payload is not an object");
+  if (doc.GetInt("format", -1) != kSessionSnapshotFormat) {
+    return R::Error("unsupported snapshot payload format " +
+                    std::to_string(doc.GetInt("format", -1)));
+  }
+  const std::string name = doc.GetString("session");
+  if (name.empty()) return R::Error("snapshot payload names no session");
+  Result<AnalysisSettings> settings = AnalysisSettings::Parse(doc.GetString("settings"));
+  if (!settings.ok()) return R::Error("snapshot settings: " + settings.error());
+  const Json* journal = doc.Find("journal");
+  if (journal == nullptr || !journal->is_array()) {
+    return R::Error("snapshot payload has no journal array");
+  }
+
+  if (manager.Find(name) != nullptr) {
+    return R::Error("session " + name + " already exists; not restoring over it");
+  }
+  bool created = false;
+  std::shared_ptr<WorkloadSession> session =
+      manager.GetOrCreate(name, settings.value(), &created);
+  auto fail = [&](const std::string& message) {
+    // Never leave a half-replayed session behind — restore is all or
+    // nothing, the recovery analogue of mutations' validate-first rule.
+    if (created) manager.Drop(name);
+    return R::Error("restoring session " + name + ": " + message);
+  };
+  if (!created) return fail("lost creation race");
+
+  for (int i = 0; i < journal->size(); ++i) {
+    const Json& entry = journal->at(i);
+    if (!entry.is_object()) return fail("journal entry " + std::to_string(i) + " malformed");
+    SessionJournalOp op{entry.GetString("op"), entry.GetString("arg")};
+    Status replayed = ReplayOp(*session, op);
+    if (!replayed.ok()) {
+      return fail("journal entry " + std::to_string(i) + " (" + op.op +
+                  "): " + replayed.error());
+    }
+  }
+
+  // The replay must land exactly where the recording stood: same programs,
+  // same revisions, same counters. A divergence means the journal and the
+  // code disagree (version drift, corrupted-but-CRC-clean payload) — the
+  // caller quarantines rather than serving almost-right verdicts.
+  SessionReplayState state = session->replay_state();
+  const Json* programs = doc.Find("programs");
+  if (programs == nullptr || !programs->is_array() ||
+      static_cast<size_t>(programs->size()) != state.revisions.size()) {
+    return fail("replay produced " + std::to_string(state.revisions.size()) +
+                " programs, snapshot records " +
+                std::to_string(programs == nullptr ? -1 : programs->size()));
+  }
+  for (int i = 0; i < programs->size(); ++i) {
+    const Json& expected = programs->at(i);
+    if (expected.GetString("name") != state.revisions[i].first ||
+        expected.GetInt("revision", -1) != state.revisions[i].second) {
+      return fail("program " + std::to_string(i) + " replayed as " +
+                  state.revisions[i].first + "#" +
+                  std::to_string(state.revisions[i].second) + ", snapshot records " +
+                  expected.GetString("name") + "#" +
+                  std::to_string(expected.GetInt("revision", -1)));
+    }
+  }
+  if (doc.GetInt("label_counter", -1) != state.label_counter) {
+    return fail("label counter diverged after replay");
+  }
+  if (doc.GetInt("next_revision", -1) != state.next_revision) {
+    return fail("revision counter diverged after replay");
+  }
+  return name;
+}
+
+Status TrySnapshotSession(SnapshotStore& store, const WorkloadSession& session,
+                          bool* skipped) {
+  TraceSpan span("persist/snapshot", "session=" + session.name());
+  Stopwatch timer;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Histogram* snapshot_us = registry.histogram("persist.snapshot_us");
+  static Counter* written = registry.counter("persist.snapshots_written");
+  static Counter* snapshot_errors = registry.counter("persist.snapshot_errors");
+  if (skipped != nullptr) *skipped = false;
+
+  Result<std::string> payload = EncodeSessionSnapshot(session);
+  if (!payload.ok()) {
+    if (skipped != nullptr && !session.replay_state().replayable) {
+      // Non-replayable sessions degrade to memory-only; the caller reports
+      // them rather than treating the whole flush as failed.
+      *skipped = true;
+    }
+    snapshot_errors->Add(1);
+    return Status::Error(payload.error());
+  }
+  Status status = store.Write(SnapshotStore::EncodeKey(session.name()), payload.value());
+  if (!status.ok()) {
+    snapshot_errors->Add(1);
+    return status;
+  }
+  written->Add(1);
+  snapshot_us->Record(timer.ElapsedMicros());
+  return Status();
+}
+
+RestoreReport RestoreAllSessions(SnapshotStore& store, SessionManager& manager) {
+  TraceSpan span("persist/restore");
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Histogram* restore_us = registry.histogram("persist.restore_us");
+  static Counter* restored_counter = registry.counter("persist.sessions_restored");
+
+  RestoreReport report;
+  SnapshotStore::ScanResult scan = store.ScanAll();
+  report.quarantined = std::move(scan.quarantined);
+  for (auto& [key, payload] : scan.payloads) {
+    Result<std::string> decoded_name = SnapshotStore::DecodeKey(key);
+    if (decoded_name.ok() && manager.Find(decoded_name.value()) != nullptr) {
+      continue;  // already live (e.g. a `restore` command mid-flight)
+    }
+    Stopwatch timer;
+    Result<std::string> restored = RestoreSessionFromPayload(manager, payload);
+    if (restored.ok()) {
+      restored_counter->Add(1);
+      restore_us->Record(timer.ElapsedMicros());
+      report.restored.push_back(restored.value());
+    } else {
+      // A CRC-clean file that will not replay is as unusable as a torn one:
+      // same quarantine, so a restart never loops over it again.
+      Status quarantined = store.Quarantine(key);
+      if (quarantined.ok()) {
+        report.quarantined.push_back(store.PathForKey(key) +
+                                     SnapshotStore::kCorruptSuffix);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,70 @@
+// Session <-> snapshot-payload codec plus the daemon-level orchestration:
+// snapshot one session into a SnapshotStore, and restore every valid
+// snapshot in a store into a SessionManager on startup.
+//
+// A snapshot payload is JSON (docs/DURABILITY.md documents the schema): the
+// session's settings string, its replayable mutation journal, and the
+// expected post-replay cursor state (program revisions, revision counter,
+// label counter). Restore replays the journal through the ordinary session
+// entry points — the summary graph, interner, and caches are *recomputed*,
+// not deserialized (cheap post-PR 4), which keeps the on-disk format tiny
+// and the recovery bit-identical by construction — then verifies the cursor
+// state matches the recording. Any mismatch (a schema drift between writer
+// and reader, a truncated journal that still passed CRC, an unknown builtin)
+// is treated exactly like corruption: the file is quarantined, never
+// half-restored.
+//
+// Graceful degradation: sessions mutated through non-journaled entry points
+// (prebuilt Btps) are not snapshottable; TrySnapshotSession reports them as
+// skipped rather than failing the flush of every other session.
+
+#ifndef MVRC_PERSIST_SESSION_SNAPSHOT_H_
+#define MVRC_PERSIST_SESSION_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "persist/snapshot_store.h"
+#include "service/session_manager.h"
+#include "util/result.h"
+
+namespace mvrc {
+
+/// Snapshot payload format version (inside the page envelope's own version).
+inline constexpr int kSessionSnapshotFormat = 1;
+
+/// Renders `session` as a snapshot payload. Errors when the session is not
+/// replayable (see SessionReplayState::replayable) or under the alloc.fail
+/// fault point.
+Result<std::string> EncodeSessionSnapshot(const WorkloadSession& session);
+
+/// Rebuilds the session recorded in `payload` inside `manager` by replaying
+/// its journal, then verifies the replay reached the recorded cursor state.
+/// On any error the half-built session is dropped and nothing is left in the
+/// manager. Returns the restored session's name.
+Result<std::string> RestoreSessionFromPayload(SessionManager& manager,
+                                              const std::string& payload);
+
+/// Encodes `session` and writes it into `store` (atomic replace). Records
+/// persist.snapshot_us / persist.snapshots_written. `skipped` (optional) is
+/// set when the session is non-replayable — not an error: the caller keeps
+/// serving it from memory, it just will not survive a restart.
+Status TrySnapshotSession(SnapshotStore& store, const WorkloadSession& session,
+                          bool* skipped = nullptr);
+
+/// Outcome of a startup scan-and-restore over one store.
+struct RestoreReport {
+  std::vector<std::string> restored;     // session names, restore order
+  std::vector<std::string> quarantined;  // *.corrupt paths (CRC or replay)
+};
+
+/// Scans `store`, restores every valid snapshot into `manager`, and
+/// quarantines every file that fails validation *or* replay. Snapshots of
+/// sessions already live in `manager` are skipped untouched. Records
+/// persist.restore_us / persist.sessions_restored. Never fatal: the report
+/// says what happened.
+RestoreReport RestoreAllSessions(SnapshotStore& store, SessionManager& manager);
+
+}  // namespace mvrc
+
+#endif  // MVRC_PERSIST_SESSION_SNAPSHOT_H_

@@ -1,0 +1,357 @@
+#include "persist/snapshot_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/metrics.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+
+namespace mvrc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'M', 'V', 'R', 'C', 'S', 'N', 'P', '1'};
+
+// Header page layout. All integers little-endian.
+//   [0..8)   magic
+//   [8..12)  format version
+//   [12..16) page size
+//   [16..20) number of data pages
+//   [20..24) reserved (zero)
+//   [24..32) payload length in bytes
+//   [32..36) CRC-32 of bytes [0..32)
+constexpr size_t kHeaderBytes = 36;
+
+void PutU32(unsigned char* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<unsigned char>(value >> (8 * i));
+}
+
+void PutU64(unsigned char* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<unsigned char>(value >> (8 * i));
+}
+
+uint32_t GetU32(const unsigned char* in) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value |= static_cast<uint32_t>(in[i]) << (8 * i);
+  return value;
+}
+
+uint64_t GetU64(const unsigned char* in) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value |= static_cast<uint64_t>(in[i]) << (8 * i);
+  return value;
+}
+
+bool IsHex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return c - 'A' + 10;
+}
+
+// Writes one page through the write fault points. Returns "" on success, an
+// error description otherwise; *crashed reports the simulated-crash point
+// (caller must then abandon the temp file in place, like a real crash).
+std::string WritePage(int fd, const unsigned char* page, uint32_t size, bool* crashed) {
+  *crashed = false;
+  if (MVRC_FAULT_POINT("fs.write_fail")) return "injected write failure";
+  // A short write models a lying disk: only a prefix of the page persists
+  // (the rest reads back as zeros) while the process observes success, so
+  // the snapshot publishes and only the read-time page CRC can catch it.
+  size_t want = size;
+  const bool torn = MVRC_FAULT_POINT("fs.write_short");
+  if (torn) want = size / 2;
+  size_t done = 0;
+  while (done < want) {
+    ssize_t n = ::write(fd, page + done, want - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::string("write: ") + std::strerror(errno);
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (torn && ::lseek(fd, static_cast<off_t>(size - want), SEEK_CUR) < 0) {
+    return std::string("lseek: ") + std::strerror(errno);
+  }
+  if (MVRC_FAULT_POINT("crash.after_n_writes")) {
+    *crashed = true;
+    return "simulated crash after page write";
+  }
+  return "";
+}
+
+Counter* QuarantinedCounter() {
+  static Counter* quarantined = MetricsRegistry::Global().counter("persist.quarantined");
+  return quarantined;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+Status SnapshotStore::Init() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return Status::Error("cannot create state dir " + dir_ + ": " + ec.message());
+  if (!fs::is_directory(dir_, ec)) return Status::Error(dir_ + " is not a directory");
+  return Status();
+}
+
+std::string SnapshotStore::PathForKey(const std::string& key) const {
+  return (fs::path(dir_) / (key + kSnapshotSuffix)).string();
+}
+
+std::string SnapshotStore::EncodeKey(const std::string& name) {
+  static const char kHexDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(name.size());
+  for (unsigned char c : name) {
+    if ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+        c == '_' || c == '-') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(kHexDigits[c >> 4]);
+      out.push_back(kHexDigits[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> SnapshotStore::DecodeKey(const std::string& encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded[i] != '%') {
+      out.push_back(encoded[i]);
+      continue;
+    }
+    if (i + 2 >= encoded.size() || !IsHex(encoded[i + 1]) || !IsHex(encoded[i + 2])) {
+      return Result<std::string>::Error("malformed key escape in " + encoded);
+    }
+    out.push_back(static_cast<char>(HexValue(encoded[i + 1]) * 16 + HexValue(encoded[i + 2])));
+    i += 2;
+  }
+  return out;
+}
+
+Status SnapshotStore::Write(const std::string& key, const std::string& payload) {
+  const std::string final_path = PathForKey(key);
+  const std::string temp_path = final_path + kTempSuffix;
+
+  const uint64_t payload_size = payload.size();
+  const uint32_t num_data_pages =
+      static_cast<uint32_t>((payload_size + kChunkSize - 1) / kChunkSize);
+
+  int fd = ::open(temp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Error("cannot create " + temp_path + ": " + std::strerror(errno));
+  }
+  // A non-crash failure rolls the attempt back; a simulated crash leaves the
+  // temp file exactly as the kernel would have.
+  auto fail = [&](const std::string& message, bool crashed) {
+    ::close(fd);
+    if (!crashed) ::unlink(temp_path.c_str());
+    return Status::Error("snapshot write " + temp_path + ": " + message);
+  };
+
+  std::vector<unsigned char> page(kPageSize, 0);
+  std::memcpy(page.data(), kMagic, sizeof(kMagic));
+  PutU32(page.data() + 8, kFormatVersion);
+  PutU32(page.data() + 12, kPageSize);
+  PutU32(page.data() + 16, num_data_pages);
+  PutU32(page.data() + 20, 0);
+  PutU64(page.data() + 24, payload_size);
+  PutU32(page.data() + 32, Crc32(page.data(), 32));
+
+  bool crashed = false;
+  std::string error = WritePage(fd, page.data(), kPageSize, &crashed);
+  if (!error.empty()) return fail(error, crashed);
+
+  for (uint32_t p = 0; p < num_data_pages; ++p) {
+    const uint64_t offset = static_cast<uint64_t>(p) * kChunkSize;
+    const uint32_t len =
+        static_cast<uint32_t>(std::min<uint64_t>(kChunkSize, payload_size - offset));
+    std::fill(page.begin(), page.end(), 0);
+    PutU32(page.data(), Crc32(payload.data() + offset, len));
+    PutU32(page.data() + 4, len);
+    std::memcpy(page.data() + 8, payload.data() + offset, len);
+    error = WritePage(fd, page.data(), kPageSize, &crashed);
+    if (!error.empty()) return fail(error, crashed);
+  }
+
+  if (MVRC_FAULT_POINT("fs.fsync_fail") || ::fsync(fd) != 0) {
+    return fail("fsync failed", false);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(temp_path.c_str());
+    return Status::Error("close " + temp_path + ": " + std::strerror(errno));
+  }
+
+  if (::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    const std::string message = std::strerror(errno);
+    ::unlink(temp_path.c_str());
+    return Status::Error("rename to " + final_path + ": " + message);
+  }
+
+  // Make the rename itself durable: fsync the containing directory.
+  int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status();
+}
+
+Status SnapshotStore::ValidateFile(const std::string& path, std::string* payload) const {
+  std::error_code ec;
+  const uint64_t file_size = fs::file_size(path, ec);
+  if (ec) return Status::Error("cannot stat " + path + ": " + ec.message());
+  if (file_size < kPageSize || file_size % kPageSize != 0) {
+    return Status::Error(path + ": size " + std::to_string(file_size) +
+                         " is not a positive multiple of the page size");
+  }
+
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::Error("cannot open " + path + ": " + std::strerror(errno));
+  auto fail = [&](const std::string& message) {
+    ::close(fd);
+    return Status::Error(path + ": " + message);
+  };
+
+  std::vector<unsigned char> page(kPageSize);
+  auto read_page = [&]() -> bool {
+    size_t done = 0;
+    while (done < kPageSize) {
+      ssize_t n = ::read(fd, page.data() + done, kPageSize - done);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      done += static_cast<size_t>(n);
+    }
+    return true;
+  };
+
+  if (!read_page()) return fail("cannot read header page");
+  if (std::memcmp(page.data(), kMagic, sizeof(kMagic)) != 0) return fail("bad magic");
+  if (GetU32(page.data() + 32) != Crc32(page.data(), 32)) return fail("header CRC mismatch");
+  const uint32_t version = GetU32(page.data() + 8);
+  if (version != kFormatVersion) {
+    return fail("unsupported format version " + std::to_string(version));
+  }
+  if (GetU32(page.data() + 12) != kPageSize) return fail("unexpected page size");
+  const uint32_t num_data_pages = GetU32(page.data() + 16);
+  const uint64_t payload_size = GetU64(page.data() + 24);
+  if (file_size != static_cast<uint64_t>(num_data_pages + 1) * kPageSize) {
+    return fail("data page count disagrees with file size");
+  }
+  if (payload_size > static_cast<uint64_t>(num_data_pages) * kChunkSize ||
+      (num_data_pages > 0 &&
+       payload_size <= static_cast<uint64_t>(num_data_pages - 1) * kChunkSize)) {
+    return fail("payload length disagrees with data page count");
+  }
+
+  std::string out;
+  out.reserve(payload_size);
+  for (uint32_t p = 0; p < num_data_pages; ++p) {
+    if (!read_page()) return fail("cannot read data page " + std::to_string(p));
+    const uint32_t crc = GetU32(page.data());
+    const uint32_t len = GetU32(page.data() + 4);
+    if (len > kChunkSize) return fail("data page " + std::to_string(p) + " overlong chunk");
+    if (Crc32(page.data() + 8, len) != crc) {
+      return fail("data page " + std::to_string(p) + " CRC mismatch");
+    }
+    out.append(reinterpret_cast<const char*>(page.data() + 8), len);
+  }
+  ::close(fd);
+  if (out.size() != payload_size) return Status::Error(path + ": payload length mismatch");
+  if (payload != nullptr) *payload = std::move(out);
+  return Status();
+}
+
+Result<std::string> SnapshotStore::Read(const std::string& key) const {
+  std::string payload;
+  Status status = ValidateFile(PathForKey(key), &payload);
+  if (!status.ok()) return Result<std::string>::Error(status.error());
+  return payload;
+}
+
+Status SnapshotStore::Remove(const std::string& key) {
+  std::error_code ec;
+  fs::remove(PathForKey(key), ec);
+  if (ec) return Status::Error("cannot remove snapshot for " + key + ": " + ec.message());
+  return Status();
+}
+
+Status SnapshotStore::Quarantine(const std::string& key) {
+  const std::string path = PathForKey(key);
+  std::error_code ec;
+  fs::rename(path, path + kCorruptSuffix, ec);
+  if (ec) return Status::Error("cannot quarantine " + path + ": " + ec.message());
+  QuarantinedCounter()->Add(1);
+  return Status();
+}
+
+std::vector<std::string> SnapshotStore::ListKeys() const {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > std::strlen(kSnapshotSuffix) &&
+        name.ends_with(kSnapshotSuffix)) {
+      keys.push_back(name.substr(0, name.size() - std::strlen(kSnapshotSuffix)));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+SnapshotStore::ScanResult SnapshotStore::ScanAll() {
+  ScanResult result;
+  std::error_code ec;
+  std::vector<fs::path> snapshots;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(kTempSuffix)) {
+      // Crash debris: an unpublished write attempt. The previous snapshot
+      // (if any) is the authoritative state; the temp is deleted.
+      fs::remove(entry.path(), ec);
+    } else if (name.ends_with(kSnapshotSuffix)) {
+      snapshots.push_back(entry.path());
+    }
+  }
+  std::sort(snapshots.begin(), snapshots.end());
+
+  for (const fs::path& path : snapshots) {
+    std::string payload;
+    Status status = ValidateFile(path.string(), &payload);
+    const std::string stem =
+        path.filename().string().substr(0, path.filename().string().size() -
+                                               std::strlen(kSnapshotSuffix));
+    Result<std::string> key = DecodeKey(stem);
+    if (status.ok() && key.ok()) {
+      result.payloads.emplace_back(key.value(), std::move(payload));
+      continue;
+    }
+    // Quarantine, never delete: the bytes stay available for forensics and
+    // a re-scan will not trip over them again.
+    const fs::path corrupt = path.string() + kCorruptSuffix;
+    fs::rename(path, corrupt, ec);
+    result.quarantined.push_back(corrupt.string());
+    QuarantinedCounter()->Add(1);
+  }
+  return result;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,114 @@
+// Paged, checksummed snapshot storage for durable sessions — the on-disk
+// half of `mvrcd --state-dir=`.
+//
+// File format (docs/DURABILITY.md has the byte-level reference):
+//  * A snapshot file is a sequence of fixed-size 4 KiB pages.
+//  * Page 0 is the header: an 8-byte magic ("MVRCSNP1"), format version,
+//    page size, payload length, data-page count, and a CRC-32 over those
+//    fields. Everything after the header struct is zero.
+//  * Pages 1..N each carry one payload chunk: {u32 crc, u32 len, bytes},
+//    len <= page size - 8, crc = CRC-32 of the chunk bytes. The payload is
+//    the concatenation of the chunks in page order.
+//
+// Durability discipline (libgavran-style): a write goes to `<file>.tmp`,
+// is fsync'd, renamed over the final name, and the directory is fsync'd —
+// so a crash at any instant leaves either the previous snapshot or the new
+// one, never a half-published file. Torn writes *inside* the temp file
+// (short write, power loss mid-page) are caught by the per-page CRCs at
+// read time.
+//
+// Recovery discipline: a file that fails any validation (magic, version,
+// header CRC, page count, page CRC, payload length) is *quarantined* —
+// renamed to `<file>.corrupt` — rather than aborting the scan or the
+// process; the daemon degrades to recomputing that session from clients
+// instead of dying. Leftover `.tmp` files (crash debris) are deleted.
+//
+// Fault points (util/fault_injection.h) cover every failure the format
+// defends against: fs.write_short, fs.write_fail, fs.fsync_fail,
+// crash.after_n_writes. The fault-matrix test in tests/persist_test.cc
+// fires each at every hit index and asserts restore-or-quarantine.
+
+#ifndef MVRC_PERSIST_SNAPSHOT_STORE_H_
+#define MVRC_PERSIST_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mvrc {
+
+/// One directory of snapshot files, one file per key.
+class SnapshotStore {
+ public:
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr uint32_t kFormatVersion = 1;
+  /// Payload bytes per data page (8 bytes go to the chunk's crc + length).
+  static constexpr uint32_t kChunkSize = kPageSize - 8;
+  /// Snapshot filename suffixes.
+  static constexpr const char* kSnapshotSuffix = ".snap";
+  static constexpr const char* kTempSuffix = ".tmp";
+  static constexpr const char* kCorruptSuffix = ".corrupt";
+
+  /// The store roots at `dir`; call Init() before use.
+  explicit SnapshotStore(std::string dir);
+
+  /// Creates the directory (and parents) if needed; validates it is usable.
+  Status Init();
+
+  const std::string& dir() const { return dir_; }
+
+  /// Atomically replaces key's snapshot with `payload` (temp + fsync +
+  /// rename + directory fsync). On error the previous snapshot, if any, is
+  /// left intact; a simulated crash (crash.after_n_writes) additionally
+  /// leaves the partial temp file behind, as a real crash would.
+  Status Write(const std::string& key, const std::string& payload);
+
+  /// Reads and fully validates key's snapshot. A missing file and a corrupt
+  /// file are both errors; Read never quarantines (see ScanAll).
+  Result<std::string> Read(const std::string& key) const;
+
+  /// Deletes key's snapshot; ok when it did not exist.
+  Status Remove(const std::string& key);
+
+  /// Renames key's snapshot to `<file>.corrupt` and bumps
+  /// persist.quarantined — for callers that discover a CRC-clean snapshot is
+  /// still unusable (e.g. its journal no longer replays).
+  Status Quarantine(const std::string& key);
+
+  /// Keys with a snapshot file present, sorted.
+  std::vector<std::string> ListKeys() const;
+
+  struct ScanResult {
+    /// (key, payload) for every snapshot that validated, sorted by key.
+    std::vector<std::pair<std::string, std::string>> payloads;
+    /// Final paths of files quarantined to *.corrupt this scan.
+    std::vector<std::string> quarantined;
+  };
+
+  /// Validates every snapshot in the directory: valid payloads are returned,
+  /// invalid files are renamed to `<file>.corrupt` (never deleted, never
+  /// fatal), and leftover `.tmp` crash debris is removed. Also bumps the
+  /// persist.quarantined counter per quarantined file.
+  ScanResult ScanAll();
+
+  /// Filesystem-safe file stem for a session name: [A-Za-z0-9_-] pass
+  /// through, every other byte becomes %XX. Injective, so distinct sessions
+  /// never collide on one file.
+  static std::string EncodeKey(const std::string& name);
+  /// Inverse of EncodeKey (error on malformed escapes).
+  static Result<std::string> DecodeKey(const std::string& encoded);
+
+  std::string PathForKey(const std::string& key) const;
+
+ private:
+  Status ValidateFile(const std::string& path, std::string* payload) const;
+
+  std::string dir_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_PERSIST_SNAPSHOT_STORE_H_

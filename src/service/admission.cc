@@ -1,0 +1,31 @@
+#include "service/admission.h"
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace mvrc {
+
+AdmissionController::AdmissionController(int max_inflight) : max_inflight_(max_inflight) {
+  MVRC_CHECK_MSG(max_inflight >= 0, "max_inflight must be non-negative");
+}
+
+bool AdmissionController::TryEnter() {
+  int current = inflight_.load(std::memory_order_relaxed);
+  while (current < max_inflight_) {
+    if (inflight_.compare_exchange_weak(current, current + 1, std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  static Counter* shed_counter = MetricsRegistry::Global().counter("protocol.shed");
+  shed_counter->Add(1);
+  return false;
+}
+
+void AdmissionController::Exit() {
+  const int previous = inflight_.fetch_sub(1, std::memory_order_release);
+  MVRC_CHECK_MSG(previous > 0, "Exit without matching TryEnter");
+}
+
+}  // namespace mvrc

@@ -1,0 +1,66 @@
+// Admission control for the analysis service: a bounded in-flight gate that
+// sheds load with a *retryable* protocol error instead of queueing without
+// limit. The stdin daemon processes one request at a time, so today the gate
+// matters under direct concurrent HandleRequest callers (tests, embedders)
+// and is the backpressure primitive the planned TCP front end will lean on —
+// a connection handler that cannot enter simply relays the shed response.
+
+#ifndef MVRC_SERVICE_ADMISSION_H_
+#define MVRC_SERVICE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mvrc {
+
+/// Counting gate over concurrently admitted requests.
+class AdmissionController {
+ public:
+  /// Admits at most `max_inflight` requests at once (>= 0; 0 admits nothing
+  /// — useful to drain a server or to force the shed path in tests).
+  explicit AdmissionController(int max_inflight);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  int max_inflight() const { return max_inflight_; }
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  /// Requests shed (TryEnter refusals) since construction.
+  int64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+  /// Claims a slot; false when the server is at capacity (the caller must
+  /// then answer with a retryable overload error and NOT call Exit).
+  bool TryEnter();
+  /// Releases a slot claimed by a successful TryEnter.
+  void Exit();
+
+  /// RAII wrapper: enters on construction, exits on destruction when
+  /// admitted.
+  class Slot {
+   public:
+    explicit Slot(AdmissionController* controller)  // controller may be null
+        : controller_(controller),
+          admitted_(controller == nullptr || controller->TryEnter()) {}
+    ~Slot() {
+      if (controller_ != nullptr && admitted_) controller_->Exit();
+    }
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+
+    /// False when the request must be shed.
+    bool admitted() const { return admitted_; }
+
+   private:
+    AdmissionController* controller_;
+    bool admitted_;
+  };
+
+ private:
+  const int max_inflight_;
+  std::atomic<int> inflight_{0};
+  std::atomic<int64_t> shed_{0};
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_SERVICE_ADMISSION_H_

@@ -1,0 +1,87 @@
+#include "service/line_reader.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace mvrc {
+
+BoundedLineReader::BoundedLineReader(int fd, size_t max_bytes, const volatile int* stop)
+    : fd_(fd), max_bytes_(max_bytes), stop_(stop) {}
+
+bool BoundedLineReader::Refill(Event* event) {
+  char chunk[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      return true;
+    }
+    if (n < 0 && errno == EINTR) {
+      if (stop_ != nullptr && *stop_ != 0) {
+        *event = Event::kInterrupted;
+        return false;
+      }
+      continue;  // unrelated signal; retry the read
+    }
+    // EOF, or an unrecoverable read error (treated as end of input).
+    eof_ = true;
+    *event = Event::kEof;
+    return false;
+  }
+}
+
+BoundedLineReader::Event BoundedLineReader::Next(std::string* line) {
+  line->clear();
+  bool overflowing = false;
+  while (true) {
+    const size_t newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      const size_t len = newline - pos_;
+      if (!overflowing && line->size() + len > max_bytes_) {
+        discarded_bytes_ += line->size() + len;
+        line->clear();
+        overflowing = true;
+      }
+      if (!overflowing) line->append(buffer_, pos_, len);
+      pos_ = newline + 1;
+      // Compact once the consumed prefix dominates, keeping the buffer from
+      // growing with the stream.
+      if (pos_ > (size_t{64} * 1024) && pos_ * 2 > buffer_.size()) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+      }
+      if (overflowing) return Event::kOverflow;
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return Event::kLine;
+    }
+
+    // No newline buffered: fold the partial tail into the line (or the
+    // discard count) and read more.
+    const size_t len = buffer_.size() - pos_;
+    if (overflowing) {
+      discarded_bytes_ += len;
+    } else if (line->size() + len > max_bytes_) {
+      discarded_bytes_ += line->size() + len;
+      line->clear();
+      overflowing = true;
+    } else {
+      line->append(buffer_, pos_, len);
+    }
+    buffer_.clear();
+    pos_ = 0;
+
+    Event event = Event::kEof;
+    if (eof_ || !Refill(&event)) {
+      if (!eof_ && event == Event::kInterrupted) return Event::kInterrupted;
+      if (overflowing) return Event::kOverflow;
+      if (!line->empty()) {
+        if (line->back() == '\r') line->pop_back();
+        return Event::kLine;  // final unterminated line
+      }
+      return Event::kEof;
+    }
+  }
+}
+
+}  // namespace mvrc

@@ -1,0 +1,57 @@
+// Length-capped NDJSON line reader for the daemon's input loop, replacing
+// unbounded std::getline: a client (or a stray binary stream) can no longer
+// make the server allocate an arbitrarily large request line. An overlong
+// line is *consumed to its newline* and reported as kOverflow, so the daemon
+// answers it with one structured error and stays in sync with the stream —
+// graceful degradation instead of OOM.
+//
+// Reads the raw fd (not iostreams) so an interrupting signal (SIGTERM /
+// SIGINT installed without SA_RESTART) surfaces as kInterrupted and the
+// daemon can flush snapshots, metrics, and traces before exiting.
+
+#ifndef MVRC_SERVICE_LINE_READER_H_
+#define MVRC_SERVICE_LINE_READER_H_
+
+#include <cstddef>
+#include <string>
+
+namespace mvrc {
+
+/// Reads '\n'-terminated lines from a file descriptor with a hard per-line
+/// byte cap.
+class BoundedLineReader {
+ public:
+  enum class Event {
+    kLine,         // a complete line (without its terminator) is in *line
+    kOverflow,     // line exceeded max_bytes; it was discarded to its '\n'
+    kEof,          // end of input (a final unterminated line is returned
+                   // as kLine first)
+    kInterrupted,  // read() failed with EINTR and the stop flag was set
+  };
+
+  /// Reads lines of at most `max_bytes` bytes from `fd`. `stop` (optional)
+  /// is polled on EINTR — point it at the daemon's signal flag.
+  BoundedLineReader(int fd, size_t max_bytes, const volatile int* stop = nullptr);
+
+  /// Next event. A trailing '\r' (CRLF input) is stripped from kLine.
+  Event Next(std::string* line);
+
+  /// Bytes the cap forced the reader to discard so far (overflow lines).
+  size_t discarded_bytes() const { return discarded_bytes_; }
+
+ private:
+  // Refills buffer_; false on EOF or interrupt (*event says which).
+  bool Refill(Event* event);
+
+  const int fd_;
+  const size_t max_bytes_;
+  const volatile int* stop_;
+  std::string buffer_;   // unconsumed input
+  size_t pos_ = 0;       // read cursor into buffer_
+  bool eof_ = false;
+  size_t discarded_bytes_ = 0;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_SERVICE_LINE_READER_H_

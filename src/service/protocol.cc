@@ -6,22 +6,27 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "persist/session_snapshot.h"
+#include "persist/snapshot_store.h"
 #include "robust/core_search.h"
 #include "robust/detector.h"
 #include "search/counterexample.h"
 #include "util/stopwatch.h"
-#include "workloads/auction.h"
-#include "workloads/smallbank.h"
-#include "workloads/tpcc.h"
+#include "workloads/builtins.h"
 
 namespace mvrc {
 
 namespace {
 
-Json ErrorResponse(const std::string& message) {
+// `retryable` marks transient server-side conditions (overload, a failed
+// snapshot flush) where resending the identical request can succeed; every
+// client-caused error is non-retryable. The field is always present so
+// clients never need a missing-key fallback.
+Json ErrorResponse(const std::string& message, bool retryable = false) {
   Json response = Json::Object();
   response.Set("ok", Json::Bool(false));
   response.Set("error", Json::Str(message));
+  response.Set("retryable", Json::Bool(retryable));
   return response;
 }
 
@@ -88,24 +93,6 @@ std::optional<Method> ParseMethod(const std::string& text) {
   return std::nullopt;
 }
 
-std::optional<Workload> MakeBuiltin(const std::string& name) {
-  if (name == "smallbank") return MakeSmallBank();
-  if (name == "tpcc") return MakeTpcc();
-  if (name == "auction") return MakeAuction();
-  // auction<N>, N >= 1: the Auction(n) scaling family (2n programs) — the
-  // protocol's route to workloads past the exhaustive-sweep range, where
-  // `subsets` switches to the core-guided search.
-  if (name.size() > 7 && name.compare(0, 7, "auction") == 0) {
-    int n = 0;
-    for (size_t i = 7; i < name.size(); ++i) {
-      if (name[i] < '0' || name[i] > '9' || n > kMaxCoreSearchPrograms) return std::nullopt;
-      n = n * 10 + (name[i] - '0');
-    }
-    if (n >= 1 && 2 * n <= kMaxCoreSearchPrograms) return MakeAuctionN(n);
-  }
-  return std::nullopt;
-}
-
 Json NamesArray(const std::vector<std::string>& names) {
   Json array = Json::Array();
   for (const std::string& name : names) array.Append(Json::Str(name));
@@ -141,7 +128,7 @@ Json HandleLoad(SessionManager& manager, const Json& request, const ProtocolOpti
   const std::string builtin = request.GetString("builtin");
   const Json* sql = request.Find("sql");
   if (!builtin.empty()) {
-    builtin_workload = MakeBuiltin(builtin);
+    builtin_workload = MakeBuiltinWorkload(builtin);
     if (!builtin_workload.has_value()) {
       return ErrorResponse("unknown builtin " + builtin +
                            " (expected smallbank, tpcc, auction or auction<N>)");
@@ -184,7 +171,9 @@ Json HandleLoad(SessionManager& manager, const Json& request, const ProtocolOpti
 
   std::vector<std::string> added;
   if (builtin_workload.has_value()) {
-    Status status = session->LoadWorkload(*builtin_workload);
+    // Passing the builtin's *name* keeps the session replayable: the
+    // snapshot journal records "builtin smallbank", not 2n Btps.
+    Status status = session->LoadWorkload(*builtin_workload, builtin);
     if (!status.ok()) return fail(status.error());
     for (const Btp& program : builtin_workload->programs) added.push_back(program.name());
   } else {
@@ -385,13 +374,100 @@ Json HandleMetrics(SessionManager& manager, const Json& request) {
   return response;
 }
 
-Json HandleDrop(SessionManager& manager, const Json& request) {
+Json HandleDrop(SessionManager& manager, const Json& request, const ProtocolOptions& options) {
   const std::string session_name = request.GetString("session");
   if (session_name.empty()) return ErrorResponse("missing \"session\"");
+  const bool dropped = manager.Drop(session_name);
+  // Dropping is also a durability event: without this, a restart would
+  // resurrect the session from its stale snapshot.
+  if (dropped && options.store != nullptr) {
+    (void)options.store->Remove(SnapshotStore::EncodeKey(session_name));
+  }
   Json response = OkResponse();
   response.Set("session", Json::Str(session_name));
-  response.Set("dropped", Json::Bool(manager.Drop(session_name)));
+  response.Set("dropped", Json::Bool(dropped));
   return response;
+}
+
+Json HandleSnapshot(SessionManager& manager, const Json& request,
+                    const ProtocolOptions& options) {
+  if (options.store == nullptr) {
+    return ErrorResponse("no snapshot store (start mvrcd with --state-dir=)");
+  }
+  const std::string session_name = request.GetString("session");
+  std::vector<std::shared_ptr<WorkloadSession>> targets;
+  if (!session_name.empty()) {
+    Json error;
+    std::shared_ptr<WorkloadSession> session = RequireSession(manager, request, &error);
+    if (session == nullptr) return error;
+    targets.push_back(std::move(session));
+  } else {
+    for (const std::string& name : manager.SessionNames()) {
+      std::shared_ptr<WorkloadSession> session = manager.Find(name);
+      if (session != nullptr) targets.push_back(std::move(session));
+    }
+  }
+  Json snapshotted = Json::Array();
+  Json skipped_names = Json::Array();
+  Json failed = Json::Array();
+  std::string first_error;
+  for (const std::shared_ptr<WorkloadSession>& session : targets) {
+    bool skipped = false;
+    Status status = TrySnapshotSession(*options.store, *session, &skipped);
+    if (status.ok()) {
+      snapshotted.Append(Json::Str(session->name()));
+    } else if (skipped) {
+      skipped_names.Append(Json::Str(session->name()));
+    } else {
+      failed.Append(Json::Str(session->name()));
+      if (first_error.empty()) first_error = status.error();
+    }
+  }
+  // A flush that hit an I/O error is worth retrying; partial progress (the
+  // sessions that did flush) is already on disk either way.
+  if (failed.size() > 0 && !session_name.empty()) {
+    return ErrorResponse("snapshot of " + session_name + " failed: " + first_error,
+                         /*retryable=*/true);
+  }
+  Json response = OkResponse();
+  response.Set("snapshotted", std::move(snapshotted));
+  response.Set("skipped", std::move(skipped_names));
+  response.Set("failed", std::move(failed));
+  if (!first_error.empty()) response.Set("error_detail", Json::Str(first_error));
+  return response;
+}
+
+Json HandleRestore(SessionManager& manager, const ProtocolOptions& options) {
+  if (options.store == nullptr) {
+    return ErrorResponse("no snapshot store (start mvrcd with --state-dir=)");
+  }
+  RestoreReport report = RestoreAllSessions(*options.store, manager);
+  Json response = OkResponse();
+  response.Set("restored", NamesArray(report.restored));
+  response.Set("quarantined", NamesArray(report.quarantined));
+  return response;
+}
+
+// Commands whose success mutates session state — exactly the set whose
+// responses carry "durable" when a store is configured.
+bool IsMutationCommand(const std::string& cmd) {
+  return cmd == "load_sql" || cmd == "add_program" || cmd == "remove_program" ||
+         cmd == "replace_program";
+}
+
+// Auto-flush after a successful mutation: annotates `response` with whether
+// the session's new state survived to disk. A failed flush degrades, never
+// fails the mutation — the in-memory session already advanced, and lying
+// about that with an error would desync the client.
+void StampDurability(SessionManager& manager, const ProtocolOptions& options, Json* response) {
+  const Json* ok = response->Find("ok");
+  if (ok == nullptr || !ok->bool_value() || options.store == nullptr) return;
+  const std::string session_name = response->GetString("session");
+  std::shared_ptr<WorkloadSession> session = manager.Find(session_name);
+  if (session == nullptr) return;  // dropped concurrently; nothing to flush
+  Status status = TrySnapshotSession(*options.store, *session);
+  response->Set("durable", Json::Bool(status.ok()));
+  if (!status.ok()) response->Set("persist_error", Json::Str(status.error()));
 }
 
 }  // namespace
@@ -412,6 +488,13 @@ Json HandleRequest(SessionManager& manager, const Json& request,
     response.Set("elapsed_us", Json::Int(elapsed));
     return response;
   };
+  // Admission control sits in front of parsing: a server past its in-flight
+  // bound sheds with the one error clients should retry.
+  AdmissionController::Slot slot(options.admission);
+  if (!slot.admitted()) {
+    return finish(ErrorResponse("server overloaded (in-flight request bound reached)",
+                                /*retryable=*/true));
+  }
   if (!request.is_object()) return finish(ErrorResponse("request must be a JSON object"));
   const Json* cmd = request.Find("cmd");
   if (cmd == nullptr || !cmd->is_string()) return finish(ErrorResponse("missing \"cmd\""));
@@ -435,10 +518,15 @@ Json HandleRequest(SessionManager& manager, const Json& request,
   } else if (name == "metrics") {
     response = HandleMetrics(manager, request);
   } else if (name == "drop_session") {
-    response = HandleDrop(manager, request);
+    response = HandleDrop(manager, request, options);
+  } else if (name == "snapshot") {
+    response = HandleSnapshot(manager, request, options);
+  } else if (name == "restore") {
+    response = HandleRestore(manager, options);
   } else {
     response = ErrorResponse("unknown cmd " + name);
   }
+  if (IsMutationCommand(name)) StampDurability(manager, options, &response);
   // Echo the command first for log readability.
   response.SetFront("cmd", Json::Str(name));
   return finish(std::move(response));

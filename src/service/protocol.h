@@ -3,7 +3,12 @@
 // daemon is a thin stdin/stdout loop over HandleRequestLine).
 //
 // Requests are objects with a "cmd" member and command-specific arguments;
-// responses always carry "ok" (and "error" with a message when false).
+// responses always carry "ok" (and, when false, "error" with a message plus
+// "retryable": true only for transient server-side conditions — overload
+// shedding, a failed snapshot flush — where the identical request can
+// succeed later. Client-side errors (malformed JSON, unknown commands or
+// sessions, settings conflicts, out-of-range bounds) are "retryable": false:
+// resending the same bytes cannot help.)
 // Commands:
 //
 //   {"cmd":"load_sql","session":S,
@@ -37,10 +42,24 @@
 //       "min","max","mean","p50","p95","p99"}},"trace":{"enabled","recorded",
 //       "dropped"}}, plus "session_stats" for S when given. Metric inventory:
 //       docs/OBSERVABILITY.md.
-//   {"cmd":"drop_session","session":S} -> {"dropped":B}
+//   {"cmd":"drop_session","session":S} -> {"dropped":B}   (also deletes the
+//       session's snapshot file when a state dir is configured)
+//   {"cmd":"snapshot"[,"session":S]}   -> flushes S (or every session) to
+//       the state dir: {"snapshotted":[names],"skipped":[names],
+//       "failed":[names]}. skipped = sessions holding programs without
+//       recorded sources (not snapshottable, still served from memory).
+//       Errors with retryable:false when the daemon has no state dir.
+//   {"cmd":"restore"}                  -> re-scans the state dir and
+//       restores every valid snapshot whose session is not already live:
+//       {"restored":[names],"quarantined":[paths]} (corrupt or
+//       non-replayable files are renamed *.corrupt, never fatal). See
+//       docs/DURABILITY.md for the recovery semantics.
 //
 // Every response additionally carries "elapsed_us": the server-side handling
-// time of that request in whole microseconds.
+// time of that request in whole microseconds. When a state dir is
+// configured, successful mutation responses also carry "durable": whether
+// the post-mutation snapshot flush committed (false adds "persist_error";
+// the session stays fully served from memory either way).
 //
 // Mutations answer from the incrementally maintained session state; see
 // workload_session.h for what each mutation recomputes.
@@ -50,15 +69,25 @@
 
 #include <string>
 
+#include "service/admission.h"
 #include "service/session_manager.h"
 #include "util/json.h"
 
 namespace mvrc {
 
-/// Server-side protocol defaults (mvrcd --isolation feeds these).
+class SnapshotStore;
+
+/// Server-side protocol defaults (mvrcd's flags feed these).
 struct ProtocolOptions {
   /// Isolation level of sessions created by requests that specify none.
   IsolationLevel default_isolation = IsolationLevel::kMvrc;
+  /// Session snapshot store (borrowed; may be null = no durability). When
+  /// set, mutations auto-flush their session and `snapshot`/`restore`
+  /// commands are served.
+  SnapshotStore* store = nullptr;
+  /// In-flight request gate (borrowed; may be null = unbounded). Requests
+  /// beyond its capacity are shed with a retryable overload error.
+  AdmissionController* admission = nullptr;
 };
 
 /// Executes one parsed request. Never aborts on bad input: every failure

@@ -179,12 +179,13 @@ Result<std::vector<std::string>> WorkloadSession::LoadSql(const std::string& sou
     names.push_back(program.name());
     ++stats_.programs_added;
   }
+  journal_.push_back({"load_sql", source});
   span.AppendArgs("programs=" + std::to_string(names.size()));
   RecordMutation(timer);
   return names;
 }
 
-Status WorkloadSession::LoadWorkload(const Workload& workload) {
+Status WorkloadSession::LoadWorkload(const Workload& workload, const std::string& builtin_name) {
   TraceSpan span("session/load_workload",
                  "programs=" + std::to_string(workload.programs.size()));
   Stopwatch timer;
@@ -206,6 +207,11 @@ Status WorkloadSession::LoadWorkload(const Workload& workload) {
     AppendEntryLocked(program);
     ++stats_.programs_added;
   }
+  if (!builtin_name.empty()) {
+    journal_.push_back({"builtin", builtin_name});
+  } else {
+    replayable_ = false;  // prebuilt Btps have no recorded source to replay
+  }
   RecordMutation(timer);
   return Status();
 }
@@ -220,6 +226,7 @@ Status WorkloadSession::AddProgram(const Btp& program) {
   }
   AppendEntryLocked(program);
   ++stats_.programs_added;
+  replayable_ = false;  // prebuilt Btps have no recorded source to replay
   RecordMutation(timer);
   return Status();
 }
@@ -237,6 +244,7 @@ Status WorkloadSession::RemoveProgram(const std::string& name) {
   // to the two programs of an edge, so removing a program only removes its
   // incident edges.
   ++stats_.programs_removed;
+  journal_.push_back({"remove", name});
   InvalidateGraphLocked();
   RecordMutation(timer);
   return Status();
@@ -247,7 +255,10 @@ Status WorkloadSession::ReplaceProgram(const Btp& program) {
   Stopwatch timer;
   std::lock_guard<std::mutex> lock(mutex_);
   Status status = ReplaceProgramLocked(program);
-  if (status.ok()) RecordMutation(timer);
+  if (status.ok()) {
+    replayable_ = false;  // prebuilt Btps have no recorded source to replay
+    RecordMutation(timer);
+  }
   return status;
 }
 
@@ -319,7 +330,10 @@ Status WorkloadSession::ReplaceProgramSql(const std::string& source) {
   }
   schema_ = workload.schema;
   Status status = ReplaceProgramLocked(workload.programs[0]);
-  if (status.ok()) RecordMutation(timer);
+  if (status.ok()) {
+    journal_.push_back({"replace_sql", source});
+    RecordMutation(timer);
+  }
   return status;
 }
 
@@ -559,6 +573,21 @@ std::optional<Counterexample> WorkloadSession::SearchCounterexample(
     all_ltps.insert(all_ltps.end(), entry.ltps.begin(), entry.ltps.end());
   }
   return FindCounterexample(all_ltps, options, stats);
+}
+
+SessionReplayState WorkloadSession::replay_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionReplayState state;
+  state.settings = settings_.ToString();
+  state.journal = journal_;
+  state.revisions.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    state.revisions.emplace_back(entry.program.name(), entry.revision);
+  }
+  state.next_revision = next_revision_;
+  state.label_counter = label_counter_;
+  state.replayable = replayable_;
+  return state;
 }
 
 SessionStats WorkloadSession::stats() const {

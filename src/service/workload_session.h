@@ -84,6 +84,39 @@ struct SessionStats {
   Json ToJson() const;
 };
 
+/// One replayable mutation in a session's journal — the unit of the durable
+/// snapshot format (src/persist/session_snapshot.h). Replaying a journal in
+/// order through a fresh session reproduces the original bit for bit: every
+/// mutation is deterministic, so the materialized graph, the revisions, and
+/// with them every verdict are identical (the recovery contract the
+/// fault-matrix tests pin).
+///   op = "load_sql"     arg = the SQL source handed to LoadSql
+///   op = "builtin"      arg = the builtin workload name (workloads/builtins.h)
+///   op = "remove"       arg = the program name handed to RemoveProgram
+///   op = "replace_sql"  arg = the SQL source handed to ReplaceProgramSql
+struct SessionJournalOp {
+  std::string op;
+  std::string arg;
+
+  friend bool operator==(const SessionJournalOp&, const SessionJournalOp&) = default;
+};
+
+/// Everything a snapshot needs to rebuild a session and to verify the
+/// rebuild: the settings string, the mutation journal, and the expected
+/// post-replay cursor state (per-program revisions, the revision counter,
+/// the statement-label counter). `replayable` is false when the session was
+/// mutated through a non-journaled entry point (programs handed in as
+/// prebuilt Btps, or a workload without a builtin name) — such sessions
+/// cannot be snapshotted and degrade gracefully to in-memory-only.
+struct SessionReplayState {
+  std::string settings;
+  std::vector<SessionJournalOp> journal;
+  std::vector<std::pair<std::string, int64_t>> revisions;  // (name, revision)
+  int64_t next_revision = 1;
+  int label_counter = 0;
+  bool replayable = true;
+};
+
 /// Outcome of a (possibly cached) full-set robustness check.
 struct CheckResult {
   bool robust = false;
@@ -120,8 +153,11 @@ class WorkloadSession {
   Result<std::vector<std::string>> LoadSql(const std::string& source);
 
   /// Adopts a prebuilt workload: requires an empty session (the schema is
-  /// taken over wholesale); adds every program.
-  Status LoadWorkload(const Workload& workload);
+  /// taken over wholesale); adds every program. `builtin_name`, when
+  /// non-empty, journals the load as a replayable `builtin` op (the caller
+  /// asserts MakeBuiltinWorkload(builtin_name) produced `workload`); without
+  /// it the session becomes non-snapshottable (see SessionReplayState).
+  Status LoadWorkload(const Workload& workload, const std::string& builtin_name = {});
 
   /// Adds one program built against the session's schema. The name must be
   /// unused.
@@ -177,6 +213,10 @@ class WorkloadSession {
                                                      SearchStats* stats);
 
   SessionStats stats() const;
+
+  /// Snapshot view of the session's journal and replay cursors, copied
+  /// atomically with respect to mutations.
+  SessionReplayState replay_state() const;
 
  private:
   // One member program with its unfolding (plain and interned — the
@@ -247,6 +287,10 @@ class WorkloadSession {
   std::optional<MaskedDetector> detector_;
   VerdictCache verdict_cache_;
   SessionStats stats_;
+  // Replayable mutation history (see SessionReplayState); appended only
+  // after a mutation commits, so the journal never records a failed op.
+  std::vector<SessionJournalOp> journal_;
+  bool replayable_ = true;
   int64_t next_revision_ = 1;
   int label_counter_ = 0;  // statement labels handed out to SQL-added programs
 };

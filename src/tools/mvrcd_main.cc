@@ -5,7 +5,8 @@
 //
 // Usage:
 //   mvrcd [--threads=N] [--isolation=mvrc|rc] [--trace=FILE]
-//         [--metrics-json=FILE]
+//         [--metrics-json=FILE] [--state-dir=DIR] [--max-line-bytes=N]
+//         [--max-inflight=N] [--fault=SPEC]
 //
 // Options:
 //   --threads=N          worker threads for graph maintenance and subset
@@ -21,33 +22,102 @@
 //   --metrics-json=FILE  dump the final metrics snapshot (the `metrics`
 //                        command's counters/gauges/histograms) as JSON at
 //                        end of input
+//   --state-dir=DIR      durable sessions: restore every valid snapshot in
+//                        DIR at startup (corrupt files are quarantined to
+//                        *.corrupt, never fatal), auto-snapshot sessions
+//                        after each mutation, and flush all sessions on
+//                        clean shutdown. See docs/DURABILITY.md.
+//   --max-line-bytes=N   bound on one request line (default 1048576). An
+//                        overlong line is consumed to its newline and
+//                        answered with one structured non-retryable error,
+//                        keeping the response stream in sync.
+//   --max-inflight=N     admission bound on concurrently handled requests
+//                        (default unbounded; relevant to embedders and the
+//                        planned socket front end — the stdin loop is
+//                        serial). Shed requests get a retryable error.
+//   --fault=SPEC         arm deterministic fault points, e.g.
+//                        "fs.write_fail@2" or "crash.after_n_writes@3*2";
+//                        for crash-recovery tests (util/fault_injection.h).
 //
 // Blank input lines are ignored. The process exits 0 at end of input.
+// SIGTERM / SIGINT trigger the same graceful path as end of input: flush
+// session snapshots (with --state-dir), the trace, and the metrics dump,
+// then exit 0.
 //
 // Example session (printf emits one request per line; requests elided):
 //   $ printf '%s\n' '{"cmd":"load_sql",...}' '{"cmd":"check",...}' | mvrcd
 //   {"cmd":"load_sql","ok":true,"session":"s","programs":[...],"num_programs":5}
 //   {"cmd":"check","ok":true,"session":"s","robust":true,...}
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "persist/session_snapshot.h"
+#include "persist/snapshot_store.h"
+#include "service/admission.h"
+#include "service/line_reader.h"
 #include "service/protocol.h"
 #include "service/session_manager.h"
+#include "util/fault_injection.h"
+#include "util/json.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+// Installed WITHOUT SA_RESTART so a signal interrupts the blocking read()
+// with EINTR and the input loop can wind down and flush state.
+void InstallSignalHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
 
 int Usage() {
   std::fprintf(stderr,
                "usage: mvrcd [--threads=N] [--isolation=mvrc|rc] [--trace=FILE] "
-               "[--metrics-json=FILE]   (NDJSON requests on stdin)\n");
+               "[--metrics-json=FILE] [--state-dir=DIR] [--max-line-bytes=N] "
+               "[--max-inflight=N] [--fault=SPEC]   (NDJSON requests on stdin)\n");
   return 2;
+}
+
+bool ParseNonNegative(const std::string& arg, const char* prefix, long max, long* out) {
+  const char* value = arg.c_str() + std::strlen(prefix);
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0 || parsed > max) return false;
+  *out = parsed;
+  return true;
+}
+
+void WriteResponseLine(const std::string& response) {
+  std::fwrite(response.data(), 1, response.size(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+// The overflow error mirrors protocol errors (ok/error/retryable) but is
+// produced by the transport layer — the request never reached the parser.
+std::string OverflowResponse(size_t max_line_bytes) {
+  mvrc::Json response = mvrc::Json::Object();
+  response.Set("ok", mvrc::Json::Bool(false));
+  response.Set("error", mvrc::Json::Str("request line exceeds " +
+                                        std::to_string(max_line_bytes) + " bytes"));
+  response.Set("retryable", mvrc::Json::Bool(false));
+  return response.Dump();
 }
 
 }  // namespace
@@ -57,13 +127,15 @@ int main(int argc, char** argv) {
   mvrc::ProtocolOptions options;
   std::string trace_path;
   std::string metrics_path;
+  std::string state_dir;
+  std::string fault_spec;
+  long max_line_bytes = 1 << 20;
+  long max_inflight = 0;  // 0 = unbounded
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
-      const char* value = arg.c_str() + std::strlen("--threads=");
-      char* end = nullptr;
-      long parsed = std::strtol(value, &end, 10);
-      if (end == value || *end != '\0' || parsed < 0 || parsed > 1024) return Usage();
+      long parsed = 0;
+      if (!ParseNonNegative(arg, "--threads=", 1024, &parsed)) return Usage();
       num_threads = static_cast<int>(parsed);
     } else if (arg.rfind("--isolation=", 0) == 0) {
       std::optional<mvrc::IsolationLevel> level =
@@ -76,26 +148,106 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       metrics_path = arg.substr(std::strlen("--metrics-json="));
       if (metrics_path.empty()) return Usage();
+    } else if (arg.rfind("--state-dir=", 0) == 0) {
+      state_dir = arg.substr(std::strlen("--state-dir="));
+      if (state_dir.empty()) return Usage();
+    } else if (arg.rfind("--max-line-bytes=", 0) == 0) {
+      if (!ParseNonNegative(arg, "--max-line-bytes=", 1L << 30, &max_line_bytes) ||
+          max_line_bytes < 16) {
+        return Usage();
+      }
+    } else if (arg.rfind("--max-inflight=", 0) == 0) {
+      if (!ParseNonNegative(arg, "--max-inflight=", 1 << 20, &max_inflight)) return Usage();
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      fault_spec = arg.substr(std::strlen("--fault="));
+      if (fault_spec.empty()) return Usage();
     } else {
       return Usage();
     }
   }
 
+  if (!fault_spec.empty()) {
+    mvrc::Status armed = mvrc::FaultInjection::Global().ArmFromSpec(fault_spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "mvrcd: --fault: %s\n", armed.error().c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<mvrc::SnapshotStore> store;
+  if (!state_dir.empty()) {
+    store = std::make_unique<mvrc::SnapshotStore>(state_dir);
+    mvrc::Status init = store->Init();
+    if (!init.ok()) {
+      std::fprintf(stderr, "mvrcd: --state-dir: %s\n", init.error().c_str());
+      return 2;
+    }
+    options.store = store.get();
+  }
+  std::unique_ptr<mvrc::AdmissionController> admission;
+  if (max_inflight > 0) {
+    admission = std::make_unique<mvrc::AdmissionController>(static_cast<int>(max_inflight));
+    options.admission = admission.get();
+  }
+
   if (!trace_path.empty()) mvrc::TraceBuffer::Global().Start(size_t{1} << 16);
+  InstallSignalHandlers();
 
   {
     // Scope the manager so its pool (and the worker gauge) wind down before
     // the metrics snapshot is written.
     mvrc::SessionManager manager(num_threads);
+
+    if (store != nullptr) {
+      mvrc::RestoreReport report = mvrc::RestoreAllSessions(*store, manager);
+      // Startup recovery goes to stderr, not the response stream: stdout
+      // stays one-response-per-request.
+      std::fprintf(stderr, "mvrcd: restored %zu session(s), quarantined %zu file(s) from %s\n",
+                   report.restored.size(), report.quarantined.size(), store->dir().c_str());
+      for (const std::string& path : report.quarantined) {
+        std::fprintf(stderr, "mvrcd: quarantined %s\n", path.c_str());
+      }
+    }
+
+    mvrc::BoundedLineReader reader(/*fd=*/0, static_cast<size_t>(max_line_bytes), &g_stop);
     std::string line;
-    while (std::getline(std::cin, line)) {
-      // Tolerate CRLF input (telnet-style clients).
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      std::string response = mvrc::HandleRequestLine(manager, line, options);
-      std::fwrite(response.data(), 1, response.size(), stdout);
-      std::fputc('\n', stdout);
-      std::fflush(stdout);
+    bool running = true;
+    while (running && g_stop == 0) {
+      switch (reader.Next(&line)) {
+        case mvrc::BoundedLineReader::Event::kLine:
+          if (line.empty()) break;
+          WriteResponseLine(mvrc::HandleRequestLine(manager, line, options));
+          break;
+        case mvrc::BoundedLineReader::Event::kOverflow:
+          WriteResponseLine(OverflowResponse(static_cast<size_t>(max_line_bytes)));
+          break;
+        case mvrc::BoundedLineReader::Event::kEof:
+        case mvrc::BoundedLineReader::Event::kInterrupted:
+          running = false;
+          break;
+      }
+    }
+
+    // Graceful shutdown — reached on end of input AND on SIGTERM/SIGINT:
+    // flush every session so a restart with the same --state-dir resumes
+    // where this process stopped.
+    if (store != nullptr) {
+      size_t flushed = 0;
+      size_t skipped_count = 0;
+      for (const std::string& name : manager.SessionNames()) {
+        std::shared_ptr<mvrc::WorkloadSession> session = manager.Find(name);
+        if (session == nullptr) continue;
+        bool skipped = false;
+        if (mvrc::TrySnapshotSession(*store, *session, &skipped).ok()) {
+          ++flushed;
+        } else if (skipped) {
+          ++skipped_count;
+        } else {
+          std::fprintf(stderr, "mvrcd: final snapshot of %s failed\n", name.c_str());
+        }
+      }
+      std::fprintf(stderr, "mvrcd: shutdown flush: %zu snapshotted, %zu skipped\n", flushed,
+                   skipped_count);
     }
   }
 

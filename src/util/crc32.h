@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-page
+// checksum of the snapshot store (src/persist/snapshot_store.h). Table-driven,
+// byte at a time; fast enough for the kilobyte-scale pages it guards.
+
+#ifndef MVRC_UTIL_CRC32_H_
+#define MVRC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mvrc {
+
+/// CRC-32 of `data[0..size)`. `seed` chains partial computations:
+/// Crc32(b, n, Crc32(a, m)) == Crc32(concat(a, b), m + n).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace mvrc
+
+#endif  // MVRC_UTIL_CRC32_H_

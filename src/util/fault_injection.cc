@@ -1,0 +1,114 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+namespace {
+
+constexpr const char* kRegistered[] = {
+    "alloc.fail", "crash.after_n_writes", "fs.fsync_fail", "fs.write_fail", "fs.write_short",
+};
+
+bool IsRegistered(const std::string& point) {
+  for (const char* name : kRegistered) {
+    if (point == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::span<const char* const> RegisteredFaultPoints() { return kRegistered; }
+
+FaultInjection& FaultInjection::Global() {
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+void FaultInjection::Arm(const std::string& point, int64_t fire_at, int64_t times) {
+  MVRC_CHECK_MSG(IsRegistered(point), "arming unregistered fault point");
+  MVRC_CHECK_MSG(fire_at >= 1 && times >= 1, "fault schedule must be positive");
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_[point] = PointState{0, fire_at, times};
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+Status FaultInjection::ArmFromSpec(const std::string& spec) {
+  // Validate the whole spec before arming anything: a daemon started with a
+  // half-bad --fault= must not run with half the schedule armed.
+  struct Entry {
+    std::string point;
+    long fire_at;
+    long times;
+  };
+  std::vector<Entry> entries;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+    const size_t at = item.find('@');
+    if (at == std::string::npos) {
+      return Status::Error("fault spec " + item + " missing @N (e.g. fs.write_fail@3)");
+    }
+    const std::string point = item.substr(0, at);
+    if (!IsRegistered(point)) return Status::Error("unknown fault point " + point);
+    const std::string schedule = item.substr(at + 1);
+    const size_t star = schedule.find('*');
+    char* parse_end = nullptr;
+    const std::string fire_text = star == std::string::npos ? schedule : schedule.substr(0, star);
+    long fire_at = std::strtol(fire_text.c_str(), &parse_end, 10);
+    if (parse_end == fire_text.c_str() || *parse_end != '\0' || fire_at < 1) {
+      return Status::Error("fault spec " + item + " has a bad hit count");
+    }
+    long times = 1;
+    if (star != std::string::npos) {
+      const std::string times_text = schedule.substr(star + 1);
+      times = std::strtol(times_text.c_str(), &parse_end, 10);
+      if (parse_end == times_text.c_str() || *parse_end != '\0' || times < 1) {
+        return Status::Error("fault spec " + item + " has a bad repeat count");
+      }
+    }
+    entries.push_back(Entry{point, fire_at, times});
+  }
+  for (const Entry& entry : entries) Arm(entry.point, entry.fire_at, entry.times);
+  return Status();
+}
+
+void FaultInjection::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  fired_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjection::ShouldFailSlow(const char* point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  PointState& state = it->second;
+  ++state.hits;
+  if (state.fire_at == 0) return false;
+  const bool fire = state.hits >= state.fire_at && state.hits < state.fire_at + state.times;
+  if (fire) ++fired_;
+  return fire;
+}
+
+int64_t FaultInjection::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultInjection::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+}  // namespace mvrc

@@ -1,0 +1,109 @@
+// Deterministic fault injection: named fault *points* compiled into the
+// durability code paths (file writes, fsync, rename, allocation) that tests
+// arm to fire on an exact hit count — so every torn-write / crash / failure
+// interleaving the snapshot store can encounter is reproducible on demand.
+//
+// Design:
+//  * A fault point is a call site `FaultInjection::Global().ShouldFail("name")`
+//    (or the MVRC_FAULT_POINT macro). Disarmed — the production state — the
+//    call is one relaxed atomic load and a branch: no lock, no allocation,
+//    no hit counting.
+//  * Tests arm a point with Arm(name, fire_at, times): the point's hits are
+//    then counted (process-wide, under a mutex — these are cold paths) and
+//    ShouldFail returns true on hits fire_at .. fire_at + times - 1. This is
+//    the primitive behind the kill-at-every-fault-point matrix
+//    (tests/persist_test.cc): arm hit 1, 2, 3, ... until a run completes
+//    without firing, and assert every prefix either restores or quarantines.
+//  * ArmFromSpec("fs.write_fail@3") is the same thing as a string, so the
+//    daemon can be faulted from the command line / environment
+//    (mvrcd --fault=SPEC) for crash-recovery smoke tests that need a real
+//    process boundary.
+//
+// The registered point names are a closed catalog (RegisteredFaultPoints) so
+// the matrix test enumerates exactly what the code can fail; arming an
+// unregistered name is a programmer error.
+
+#ifndef MVRC_UTIL_FAULT_INJECTION_H_
+#define MVRC_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mvrc {
+
+/// Every fault point compiled into the codebase, sorted. Tests iterate this
+/// to prove coverage of each; Arm CHECKs membership.
+///
+///   fs.write_short      a page write persists only a prefix (torn write)
+///   fs.write_fail       a page write fails outright
+///   fs.fsync_fail       fsync of the snapshot temp file fails
+///   crash.after_n_writes the process "dies" after the Nth page write: the
+///                       store abandons the attempt mid-file, leaving the
+///                       temp file exactly as a SIGKILL would
+///   alloc.fail          snapshot encoding fails to allocate
+std::span<const char* const> RegisteredFaultPoints();
+
+/// Process-wide fault-point registry. One instance (Global()); tests may
+/// construct private ones to exercise the registry itself.
+class FaultInjection {
+ public:
+  FaultInjection() = default;
+  FaultInjection(const FaultInjection&) = delete;
+  FaultInjection& operator=(const FaultInjection&) = delete;
+
+  static FaultInjection& Global();
+
+  /// Arms `point` (must be in RegisteredFaultPoints) to fire on its
+  /// `fire_at`-th hit (1-based) and the `times - 1` hits after it. Re-arming
+  /// a point replaces its schedule and restarts its hit count.
+  void Arm(const std::string& point, int64_t fire_at, int64_t times = 1);
+
+  /// Arms from a spec string: a comma-separated list of `point@N` (fire on
+  /// hit N once) or `point@N*M` (fire on hits N..N+M-1).
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Disarms every point and clears all hit counts.
+  void Reset();
+
+  /// True when the calling site must fail now. Counts a hit for `point` when
+  /// any point is armed; free (one relaxed load) when none is.
+  bool ShouldFail(const char* point) {
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    return ShouldFailSlow(point);
+  }
+
+  /// Hits recorded for `point` since it was last armed (0 when disarmed —
+  /// hits are only counted while armed, keeping the production path free).
+  int64_t hits(const std::string& point) const;
+
+  /// Total number of times any point actually fired since the last Reset.
+  int64_t fired() const;
+
+ private:
+  struct PointState {
+    int64_t hits = 0;
+    int64_t fire_at = 0;  // 0 = not armed
+    int64_t times = 0;
+  };
+
+  bool ShouldFailSlow(const char* point);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, PointState> points_;
+  int64_t fired_ = 0;
+};
+
+}  // namespace mvrc
+
+// Readable call-site spelling for the branch a fault point compiles to.
+#define MVRC_FAULT_POINT(name) (::mvrc::FaultInjection::Global().ShouldFail(name))
+
+#endif  // MVRC_UTIL_FAULT_INJECTION_H_

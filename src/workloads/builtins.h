@@ -1,0 +1,24 @@
+// Name -> predefined workload resolution, shared by the protocol's
+// load_sql/add_program "builtin" argument and the snapshot restore path
+// (src/persist/session_snapshot.h), which replays `builtin` journal ops and
+// must resolve names identically to the request that recorded them.
+
+#ifndef MVRC_WORKLOADS_BUILTINS_H_
+#define MVRC_WORKLOADS_BUILTINS_H_
+
+#include <optional>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace mvrc {
+
+/// The workload a builtin name denotes: "smallbank", "tpcc", "auction", or
+/// "auction<N>" (the Auction(n) scaling family, 2n programs, admitted while
+/// 2n stays within the core-guided subset-search cap). nullopt for anything
+/// else.
+std::optional<Workload> MakeBuiltinWorkload(const std::string& name);
+
+}  // namespace mvrc
+
+#endif  // MVRC_WORKLOADS_BUILTINS_H_

@@ -1,0 +1,143 @@
+// The fault-injection registry must be exactly as deterministic as the
+// matrix test assumes: a point armed at hit N fires on hit N (and the
+// times-1 hits after it), never before, never after; disarmed points cost
+// nothing and count nothing; and the spec grammar the daemon's --fault=
+// flag exposes parses precisely the schedules Arm() accepts.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/fault_injection.h"
+
+namespace mvrc {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  // The global registry is process-wide state shared with every other test
+  // in the binary; leave it clean in both directions.
+  void SetUp() override { FaultInjection::Global().Reset(); }
+  void TearDown() override { FaultInjection::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, CatalogIsClosedAndSorted) {
+  std::span<const char* const> points = RegisteredFaultPoints();
+  const std::set<std::string> names(points.begin(), points.end());
+  EXPECT_EQ(names.size(), points.size()) << "duplicate fault point";
+  // The durability code paths cover exactly these failure modes; the matrix
+  // test iterates this catalog, so growing it means growing that test.
+  EXPECT_EQ(names, (std::set<std::string>{"alloc.fail", "crash.after_n_writes",
+                                          "fs.fsync_fail", "fs.write_fail",
+                                          "fs.write_short"}));
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end(),
+                             [](const char* a, const char* b) {
+                               return std::string_view(a) < std::string_view(b);
+                             }));
+}
+
+TEST_F(FaultInjectionTest, DisarmedNeverFiresAndNeverCounts) {
+  FaultInjection faults;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(faults.ShouldFail("fs.write_fail"));
+  EXPECT_EQ(faults.hits("fs.write_fail"), 0);
+  EXPECT_EQ(faults.fired(), 0);
+}
+
+TEST_F(FaultInjectionTest, FiresExactlyOnTheArmedHit) {
+  FaultInjection faults;
+  faults.Arm("fs.write_fail", /*fire_at=*/3);
+  EXPECT_FALSE(faults.ShouldFail("fs.write_fail"));  // hit 1
+  EXPECT_FALSE(faults.ShouldFail("fs.write_fail"));  // hit 2
+  EXPECT_TRUE(faults.ShouldFail("fs.write_fail"));   // hit 3: fires
+  EXPECT_FALSE(faults.ShouldFail("fs.write_fail"));  // hit 4: schedule spent
+  EXPECT_EQ(faults.hits("fs.write_fail"), 4);
+  EXPECT_EQ(faults.fired(), 1);
+}
+
+TEST_F(FaultInjectionTest, TimesExtendsTheFiringWindow) {
+  FaultInjection faults;
+  faults.Arm("fs.fsync_fail", /*fire_at=*/2, /*times=*/3);
+  EXPECT_FALSE(faults.ShouldFail("fs.fsync_fail"));
+  EXPECT_TRUE(faults.ShouldFail("fs.fsync_fail"));
+  EXPECT_TRUE(faults.ShouldFail("fs.fsync_fail"));
+  EXPECT_TRUE(faults.ShouldFail("fs.fsync_fail"));
+  EXPECT_FALSE(faults.ShouldFail("fs.fsync_fail"));
+  EXPECT_EQ(faults.fired(), 3);
+}
+
+TEST_F(FaultInjectionTest, PointsCountIndependently) {
+  FaultInjection faults;
+  faults.Arm("fs.write_fail", 1);
+  faults.Arm("alloc.fail", 2);
+  EXPECT_TRUE(faults.ShouldFail("fs.write_fail"));
+  EXPECT_FALSE(faults.ShouldFail("alloc.fail"));  // its own hit 1
+  EXPECT_TRUE(faults.ShouldFail("alloc.fail"));   // its own hit 2
+  EXPECT_EQ(faults.hits("fs.write_fail"), 1);
+  EXPECT_EQ(faults.hits("alloc.fail"), 2);
+}
+
+TEST_F(FaultInjectionTest, RearmRestartsTheHitCount) {
+  FaultInjection faults;
+  faults.Arm("fs.write_short", 2);
+  EXPECT_FALSE(faults.ShouldFail("fs.write_short"));
+  faults.Arm("fs.write_short", 2);  // replace the schedule
+  EXPECT_FALSE(faults.ShouldFail("fs.write_short"));
+  EXPECT_TRUE(faults.ShouldFail("fs.write_short"));
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsEverything) {
+  FaultInjection faults;
+  faults.Arm("fs.write_fail", 1);
+  faults.Reset();
+  EXPECT_FALSE(faults.ShouldFail("fs.write_fail"));
+  EXPECT_EQ(faults.hits("fs.write_fail"), 0);
+  EXPECT_EQ(faults.fired(), 0);
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecSingleAndWindowed) {
+  FaultInjection faults;
+  ASSERT_TRUE(faults.ArmFromSpec("fs.write_fail@2").ok());
+  EXPECT_FALSE(faults.ShouldFail("fs.write_fail"));
+  EXPECT_TRUE(faults.ShouldFail("fs.write_fail"));
+  EXPECT_FALSE(faults.ShouldFail("fs.write_fail"));
+
+  FaultInjection windowed;
+  ASSERT_TRUE(windowed.ArmFromSpec("alloc.fail@1*2").ok());
+  EXPECT_TRUE(windowed.ShouldFail("alloc.fail"));
+  EXPECT_TRUE(windowed.ShouldFail("alloc.fail"));
+  EXPECT_FALSE(windowed.ShouldFail("alloc.fail"));
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecCommaList) {
+  FaultInjection faults;
+  ASSERT_TRUE(faults.ArmFromSpec("fs.write_fail@1,fs.fsync_fail@2*2").ok());
+  EXPECT_TRUE(faults.ShouldFail("fs.write_fail"));
+  EXPECT_FALSE(faults.ShouldFail("fs.fsync_fail"));
+  EXPECT_TRUE(faults.ShouldFail("fs.fsync_fail"));
+  EXPECT_TRUE(faults.ShouldFail("fs.fsync_fail"));
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecRejectsMalformedSpecs) {
+  FaultInjection faults;
+  EXPECT_FALSE(faults.ArmFromSpec("fs.write_fail").ok());         // no @N
+  EXPECT_FALSE(faults.ArmFromSpec("fs.write_fail@").ok());        // empty N
+  EXPECT_FALSE(faults.ArmFromSpec("fs.write_fail@zero").ok());    // not a number
+  EXPECT_FALSE(faults.ArmFromSpec("fs.write_fail@0").ok());       // hits are 1-based
+  EXPECT_FALSE(faults.ArmFromSpec("fs.write_fail@1*0").ok());     // empty window
+  EXPECT_FALSE(faults.ArmFromSpec("no.such.point@1").ok());       // not in catalog
+  // A rejected spec must not leave a partial arming behind, even when the
+  // bad entry comes after good ones.
+  EXPECT_FALSE(faults.ArmFromSpec("fs.write_fail@1,no.such.point@2").ok());
+  EXPECT_FALSE(faults.ShouldFail("fs.write_fail"));
+}
+
+TEST_F(FaultInjectionTest, GlobalMacroReachesTheGlobalRegistry) {
+  FaultInjection::Global().Arm("alloc.fail", 1);
+  EXPECT_TRUE(MVRC_FAULT_POINT("alloc.fail"));
+  EXPECT_FALSE(MVRC_FAULT_POINT("alloc.fail"));
+  EXPECT_EQ(FaultInjection::Global().fired(), 1);
+}
+
+}  // namespace
+}  // namespace mvrc

@@ -6,7 +6,10 @@
 // cross-mutation reuse, the SessionManager registry, and the oversized-
 // workload error path of TryAnalyzeSubsets.
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -17,6 +20,10 @@
 #include <gtest/gtest.h>
 
 #include "btp/unfold.h"
+#include "persist/session_snapshot.h"
+#include "persist/snapshot_store.h"
+#include "service/admission.h"
+#include "util/fault_injection.h"
 #include "robust/core_search.h"
 #include "robust/subsets.h"
 #include "service/protocol.h"
@@ -696,6 +703,189 @@ TEST(ProtocolTest, AuctionNBuiltinScalesThePredefinedWorkload) {
     EXPECT_FALSE(response.GetBool("ok", true)) << bad;
     EXPECT_NE(response.GetString("error").find("unknown builtin"), std::string::npos) << bad;
   }
+}
+
+// --- Durability and degradation: retryable errors, admission, snapshots ---
+
+// A per-test state dir for the protocol-level snapshot/restore tests.
+struct ProtocolTempDir {
+  ProtocolTempDir() {
+    std::string templ = ::testing::TempDir() + "mvrc_service_XXXXXX";
+    std::vector<char> buffer(templ.begin(), templ.end());
+    buffer.push_back('\0');
+    EXPECT_NE(::mkdtemp(buffer.data()), nullptr);
+    path = buffer.data();
+  }
+  ~ProtocolTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+TEST(ProtocolRetryableTest, ClientErrorsAreNeverRetryable) {
+  SessionManager manager;
+  // Every client-caused failure mode carries an explicit retryable:false —
+  // resending identical bytes cannot succeed, and clients must be able to
+  // tell that apart from shedding without string-matching the message.
+  for (const char* line : {
+           "this is not json",
+           "[1,2,3]",                                       // not an object
+           R"({"nocmd":true})",                             // missing cmd
+           R"({"cmd":"frobnicate"})",                       // unknown cmd
+           R"({"cmd":"check","session":"ghost"})",          // unknown session
+           R"({"cmd":"load_sql","session":"s"})",           // missing sql
+           R"({"cmd":"snapshot"})",                         // no store configured
+           R"({"cmd":"restore"})",                          // no store configured
+       }) {
+    SCOPED_TRACE(line);
+    Json response = Request(manager, line);
+    EXPECT_FALSE(response.GetBool("ok", true));
+    const Json* retryable = response.Find("retryable");
+    ASSERT_NE(retryable, nullptr) << "error response without retryable flag";
+    EXPECT_FALSE(retryable->bool_value());
+  }
+}
+
+TEST(ProtocolRetryableTest, ShedRequestsAreRetryable) {
+  SessionManager manager;
+  // max_inflight=0 admits nothing: every request takes the shed path.
+  AdmissionController gate(0);
+  ProtocolOptions options;
+  options.admission = &gate;
+  Json response = Request(manager, R"({"cmd":"stats"})", options);
+  EXPECT_FALSE(response.GetBool("ok", true));
+  const Json* retryable = response.Find("retryable");
+  ASSERT_NE(retryable, nullptr);
+  EXPECT_TRUE(retryable->bool_value());
+  EXPECT_EQ(gate.shed(), 1);
+
+  // With capacity the same request sails through — the gate releases slots.
+  AdmissionController open_gate(1);
+  options.admission = &open_gate;
+  EXPECT_TRUE(Request(manager, R"({"cmd":"stats"})", options).GetBool("ok", false));
+  EXPECT_TRUE(Request(manager, R"({"cmd":"stats"})", options).GetBool("ok", false));
+  EXPECT_EQ(open_gate.inflight(), 0);
+}
+
+TEST(ProtocolSnapshotTest, MutationsAutoFlushAndCommandsRoundTrip) {
+  ProtocolTempDir dir;
+  SnapshotStore store(dir.path);
+  ASSERT_TRUE(store.Init().ok());
+  ProtocolOptions options;
+  options.store = &store;
+
+  SessionManager manager;
+  Json load =
+      Request(manager, R"({"cmd":"load_sql","session":"s","builtin":"smallbank"})", options);
+  ASSERT_TRUE(load.GetBool("ok", false)) << load.GetString("error");
+  // The mutation response reports its own flush...
+  EXPECT_TRUE(load.GetBool("durable", false));
+  // ...and the snapshot really is on disk.
+  EXPECT_EQ(store.ListKeys(), std::vector<std::string>{"s"});
+
+  Json snapshot = Request(manager, R"({"cmd":"snapshot"})", options);
+  ASSERT_TRUE(snapshot.GetBool("ok", false));
+  ASSERT_NE(snapshot.Find("snapshotted"), nullptr);
+  EXPECT_EQ(snapshot.Find("snapshotted")->size(), 1);
+  EXPECT_EQ(snapshot.Find("skipped")->size(), 0);
+  EXPECT_EQ(snapshot.Find("failed")->size(), 0);
+
+  // A restarted daemon = a fresh manager over the same store: `restore`
+  // brings the session back with identical verdicts.
+  Json reference = Request(manager, R"({"cmd":"check","session":"s"})", options);
+  SessionManager restarted;
+  Json restore = Request(restarted, R"({"cmd":"restore"})", options);
+  ASSERT_TRUE(restore.GetBool("ok", false));
+  ASSERT_NE(restore.Find("restored"), nullptr);
+  ASSERT_EQ(restore.Find("restored")->size(), 1);
+  EXPECT_EQ(restore.Find("restored")->at(0).string_value(), "s");
+  EXPECT_EQ(restore.Find("quarantined")->size(), 0);
+  Json recheck = Request(restarted, R"({"cmd":"check","session":"s"})", options);
+  EXPECT_EQ(recheck.GetBool("robust", true), reference.GetBool("robust", false));
+  EXPECT_EQ(recheck.GetInt("num_edges", -1), reference.GetInt("num_edges", -2));
+
+  // Restoring again is a no-op while the session lives.
+  Json again = Request(restarted, R"({"cmd":"restore"})", options);
+  ASSERT_TRUE(again.GetBool("ok", false));
+  EXPECT_EQ(again.Find("restored")->size(), 0);
+}
+
+TEST(ProtocolSnapshotTest, DropSessionDeletesTheSnapshotFile) {
+  ProtocolTempDir dir;
+  SnapshotStore store(dir.path);
+  ASSERT_TRUE(store.Init().ok());
+  ProtocolOptions options;
+  options.store = &store;
+
+  SessionManager manager;
+  ASSERT_TRUE(
+      Request(manager, R"({"cmd":"load_sql","session":"s","builtin":"smallbank"})", options)
+          .GetBool("ok", false));
+  ASSERT_EQ(store.ListKeys().size(), 1u);
+  Json dropped = Request(manager, R"({"cmd":"drop_session","session":"s"})", options);
+  ASSERT_TRUE(dropped.GetBool("ok", false));
+  EXPECT_TRUE(dropped.GetBool("dropped", false));
+  // No stale snapshot left to resurrect the dropped session on restart.
+  EXPECT_TRUE(store.ListKeys().empty());
+  SessionManager restarted;
+  Json restore = Request(restarted, R"({"cmd":"restore"})", options);
+  EXPECT_EQ(restore.Find("restored")->size(), 0);
+}
+
+TEST(ProtocolSnapshotTest, NonReplayableSessionsAreReportedAsSkipped) {
+  ProtocolTempDir dir;
+  SnapshotStore store(dir.path);
+  ASSERT_TRUE(store.Init().ok());
+  ProtocolOptions options;
+  options.store = &store;
+
+  SessionManager manager;
+  // Mutate through the non-journaled entry point: prebuilt Btps, no source.
+  std::shared_ptr<WorkloadSession> session =
+      manager.GetOrCreate("prebuilt", AnalysisSettings::AttrDepFk());
+  ASSERT_TRUE(session->LoadWorkload(MakeSmallBank()).ok());
+
+  Json snapshot = Request(manager, R"({"cmd":"snapshot"})", options);
+  ASSERT_TRUE(snapshot.GetBool("ok", false));
+  EXPECT_EQ(snapshot.Find("snapshotted")->size(), 0);
+  ASSERT_EQ(snapshot.Find("skipped")->size(), 1);
+  EXPECT_EQ(snapshot.Find("skipped")->at(0).string_value(), "prebuilt");
+
+  // The same degradation is visible per-mutation: the protocol-level remove
+  // succeeds but reports the session as not durable.
+  ASSERT_TRUE(session->num_programs() > 0);
+  Json removed = Request(
+      manager, R"({"cmd":"remove_program","session":"prebuilt","name":"Balance"})", options);
+  ASSERT_TRUE(removed.GetBool("ok", false));
+  EXPECT_FALSE(removed.GetBool("durable", true));
+  EXPECT_FALSE(removed.GetString("persist_error").empty());
+}
+
+TEST(ProtocolSnapshotTest, FailedFlushDegradesTheResponseNotTheSession) {
+  ProtocolTempDir dir;
+  SnapshotStore store(dir.path);
+  ASSERT_TRUE(store.Init().ok());
+  ProtocolOptions options;
+  options.store = &store;
+
+  SessionManager manager;
+  FaultInjection::Global().Reset();
+  FaultInjection::Global().Arm("fs.write_fail", 1);
+  Json load =
+      Request(manager, R"({"cmd":"load_sql","session":"s","builtin":"smallbank"})", options);
+  FaultInjection::Global().Reset();
+  // The mutation itself succeeded and the session serves requests...
+  ASSERT_TRUE(load.GetBool("ok", false)) << load.GetString("error");
+  EXPECT_FALSE(load.GetBool("durable", true));
+  EXPECT_FALSE(load.GetString("persist_error").empty());
+  EXPECT_TRUE(
+      Request(manager, R"({"cmd":"check","session":"s"})", options).GetBool("ok", false));
+  // ...only the flush was lost; an explicit snapshot command recovers it.
+  EXPECT_TRUE(store.ListKeys().empty());
+  ASSERT_TRUE(Request(manager, R"({"cmd":"snapshot","session":"s"})", options)
+                  .GetBool("ok", false));
+  EXPECT_EQ(store.ListKeys(), std::vector<std::string>{"s"});
 }
 
 }  // namespace
