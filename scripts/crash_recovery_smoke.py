@@ -15,7 +15,13 @@ recovered world is exactly one of the allowed outcomes:
 Any other outcome — a verdict differing from every prefix, a daemon that
 dies on startup, a half-restored session — fails the script.
 
+The kill matrix runs over both transports (--transport=stdio|tcp|both,
+default both): the victim and survivor daemons speak either stdin/stdout or
+--listen TCP, while the references always come from a stdio daemon — so the
+TCP runs also re-assert cross-transport verdict parity after recovery.
+
 Usage: scripts/crash_recovery_smoke.py [--mvrcd build/mvrcd]
+                                       [--transport stdio|tcp|both]
 """
 
 import argparse
@@ -23,9 +29,11 @@ import json
 import os
 import shutil
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 
 WALLET_SQL = (
@@ -66,37 +74,72 @@ def normalize(response):
 
 
 class Daemon:
-    """One mvrcd process driven synchronously over stdin/stdout."""
+    """One mvrcd process driven synchronously over stdin/stdout or TCP."""
 
-    def __init__(self, mvrcd, state_dir=None):
+    def __init__(self, mvrcd, state_dir=None, transport="stdio"):
+        self.transport = transport
+        self.sock = None
+        self.reader = None
         cmd = [mvrcd]
+        if transport == "tcp":
+            cmd.append("--listen=127.0.0.1:0")
         if state_dir is not None:
             cmd.append(f"--state-dir={state_dir}")
         self.proc = subprocess.Popen(
             cmd,
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
+            stdin=subprocess.PIPE if transport == "stdio" else subprocess.DEVNULL,
+            stdout=subprocess.PIPE if transport == "stdio" else subprocess.DEVNULL,
             stderr=subprocess.PIPE,
             text=True,
         )
+        if transport == "tcp":
+            port = None
+            while True:
+                line = self.proc.stderr.readline()
+                if not line:
+                    raise RuntimeError("daemon exited before listening")
+                if "listening on" in line:
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            # Keep stderr drained so shutdown messages cannot block the
+            # daemon on a full pipe.
+            threading.Thread(
+                target=lambda: [None for _ in self.proc.stderr], daemon=True
+            ).start()
+            self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+            self.sock.settimeout(60)
+            self.reader = self.sock.makefile("r")
 
     def request(self, obj):
-        self.proc.stdin.write(json.dumps(obj) + "\n")
-        self.proc.stdin.flush()
-        line = self.proc.stdout.readline()
+        self.send_only(obj)
+        if self.transport == "tcp":
+            line = self.reader.readline()
+        else:
+            line = self.proc.stdout.readline()
         if not line:
-            raise RuntimeError("daemon closed stdout mid-conversation")
+            raise RuntimeError("daemon closed its response stream mid-conversation")
         return json.loads(line)
 
     def send_only(self, obj):
-        self.proc.stdin.write(json.dumps(obj) + "\n")
-        self.proc.stdin.flush()
+        payload = json.dumps(obj) + "\n"
+        if self.transport == "tcp":
+            self.sock.sendall(payload.encode())
+        else:
+            self.proc.stdin.write(payload)
+            self.proc.stdin.flush()
 
     def kill(self):
         self.proc.kill()
         self.proc.wait()
+        if self.sock is not None:
+            self.sock.close()
 
     def close(self):
+        if self.transport == "tcp":
+            self.sock.close()
+            self.proc.send_signal(signal.SIGTERM)
+            self.proc.wait(timeout=60)
+            return ""
         self.proc.stdin.close()
         self.proc.wait(timeout=60)
         return self.proc.stderr.read()
@@ -118,11 +161,12 @@ def reference_state(mvrcd, prefix_len):
         daemon.kill()
 
 
-def run_one_crash(mvrcd, state_dir, acked, in_flight, references):
+def run_one_crash(mvrcd, state_dir, acked, in_flight, references,
+                  transport="stdio"):
     """Kill a durable daemon after `acked` acknowledged mutations (plus one
     unacknowledged in-flight request when `in_flight`), restart, verify."""
-    label = f"acked={acked} in_flight={in_flight}"
-    victim = Daemon(mvrcd, state_dir)
+    label = f"transport={transport} acked={acked} in_flight={in_flight}"
+    victim = Daemon(mvrcd, state_dir, transport=transport)
     for mutation in MUTATIONS[:acked]:
         response = victim.request(mutation)
         assert response.get("ok"), f"[{label}] mutation failed: {response}"
@@ -134,7 +178,7 @@ def run_one_crash(mvrcd, state_dir, acked, in_flight, references):
         time.sleep(0.02)
     victim.kill()
 
-    survivor = Daemon(mvrcd, state_dir)
+    survivor = Daemon(mvrcd, state_dir, transport=transport)
     try:
         stats = survivor.request({"cmd": "stats", "session": "s"})
         if not stats.get("ok"):
@@ -171,6 +215,10 @@ def run_one_crash(mvrcd, state_dir, acked, in_flight, references):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--mvrcd", default="build/mvrcd", help="daemon binary")
+    parser.add_argument("--transport", default="both",
+                        choices=("stdio", "tcp", "both"),
+                        help="transport(s) the victim/survivor daemons speak "
+                             "(references always use stdio)")
     args = parser.parse_args()
 
     if not os.path.exists(args.mvrcd):
@@ -181,25 +229,29 @@ def main():
     for k in range(len(MUTATIONS) + 1):
         references[k] = reference_state(args.mvrcd, k)
 
-    outcomes = []
-    for acked in range(len(MUTATIONS) + 1):
-        for in_flight in (False, True):
-            if in_flight and acked == len(MUTATIONS):
-                continue
-            state_dir = tempfile.mkdtemp(prefix="mvrc_crash_smoke_")
-            try:
-                outcome = run_one_crash(args.mvrcd, state_dir, acked, in_flight,
-                                        references)
-                outcomes.append(outcome)
-                print(f"acked={acked} in_flight={int(in_flight)}: {outcome}")
-            finally:
-                shutil.rmtree(state_dir, ignore_errors=True)
+    transports = ("stdio", "tcp") if args.transport == "both" else (args.transport,)
+    for transport in transports:
+        outcomes = []
+        for acked in range(len(MUTATIONS) + 1):
+            for in_flight in (False, True):
+                if in_flight and acked == len(MUTATIONS):
+                    continue
+                state_dir = tempfile.mkdtemp(prefix="mvrc_crash_smoke_")
+                try:
+                    outcome = run_one_crash(args.mvrcd, state_dir, acked,
+                                            in_flight, references,
+                                            transport=transport)
+                    outcomes.append(outcome)
+                    print(f"transport={transport} acked={acked} "
+                          f"in_flight={int(in_flight)}: {outcome}")
+                finally:
+                    shutil.rmtree(state_dir, ignore_errors=True)
 
-    restored = sum(1 for o in outcomes if o.startswith("restored"))
-    print(f"crash_recovery_smoke: {len(outcomes)} kills, {restored} restored, "
-          f"{len(outcomes) - restored} degraded cleanly")
-    # The smoke must actually exercise recovery, not just the degraded path.
-    assert restored >= len(MUTATIONS), "too few kills recovered a session"
+        restored = sum(1 for o in outcomes if o.startswith("restored"))
+        print(f"crash_recovery_smoke[{transport}]: {len(outcomes)} kills, "
+              f"{restored} restored, {len(outcomes) - restored} degraded cleanly")
+        # The smoke must actually exercise recovery, not just the degraded path.
+        assert restored >= len(MUTATIONS), "too few kills recovered a session"
     return 0
 
 

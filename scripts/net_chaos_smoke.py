@@ -1,0 +1,410 @@
+#!/usr/bin/env python3
+"""Network chaos smoke test for the mvrcd TCP front end.
+
+Four phases, every one against a real mvrcd process over a real socket:
+
+  1. fault-points: for each net.* fault point, run a small client fleet with
+     retry/backoff against a daemon armed with that point, assert every
+     client still converges on verdicts byte-identical to a stdio reference,
+     and assert the point actually fired (its metric counter moved).
+  2. connection-chaos: clients repeatedly kill their own connection
+     mid-request, reconnect, and retry with a fresh session; verdicts must
+     match the reference and the daemon must survive the whole ordeal.
+  3. kill-under-load: a durable daemon takes a scripted mutation sequence
+     while background clients hammer checks; SIGKILL mid-stream; a restart
+     on the same --state-dir must recover a state matching some acknowledged
+     prefix of the sequence (verdicts compared against stdio references).
+  4. drain: SIGTERM with a response still owed must deliver that response,
+     close cleanly, and exit 0.
+
+Usage: scripts/net_chaos_smoke.py [--mvrcd build/mvrcd]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+WALLET_SQL = (
+    "TABLE Wallet(id, balance, PRIMARY KEY(id));\n"
+    "PROGRAM Deposit(:a, :v):\n"
+    "  UPDATE Wallet SET balance = balance + :v WHERE id = :a;\n"
+    "COMMIT;\n"
+    "PROGRAM Audit(:a):\n"
+    "  SELECT balance INTO :b FROM Wallet WHERE id = :a;\n"
+    "COMMIT;\n"
+)
+
+VOLATILE_KEYS = {"elapsed_us", "cached", "durable", "persist_error"}
+
+# Every networking fault point must be armed at least once per smoke run,
+# with the metric that proves it fired. `spec` bounds the blast radius so
+# the fleet can still converge afterwards.
+FAULT_POINTS = [
+    {"point": "net.accept_fail", "spec": "net.accept_fail@1*2", "counter": "net.accept_errors"},
+    {"point": "net.read_reset", "spec": "net.read_reset@2*3", "counter": "net.read_errors"},
+    {"point": "net.write_short", "spec": "net.write_short@1*40", "counter": "net.partial_writes"},
+    {"point": "net.write_stall", "spec": "net.write_stall@1*5", "counter": "net.write_stalls"},
+]
+
+
+def normalize(response):
+    return {k: v for k, v in response.items() if k not in VOLATILE_KEYS}
+
+
+def client_requests(session):
+    return [
+        {"cmd": "load_sql", "session": session, "sql": WALLET_SQL},
+        {"cmd": "check", "session": session, "method": "type2"},
+        {"cmd": "check", "session": session, "method": "type1"},
+        {"cmd": "stats", "session": session},
+    ]
+
+
+def stdio_reference(mvrcd, requests):
+    """Replays `requests` through a stdio daemon: the parity ground truth."""
+    proc = subprocess.Popen(
+        [mvrcd, "--stdio"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        responses = []
+        for request in requests:
+            proc.stdin.write(json.dumps(request) + "\n")
+            proc.stdin.flush()
+            responses.append(normalize(json.loads(proc.stdout.readline())))
+        return responses
+    finally:
+        proc.kill()
+        proc.wait()
+
+
+class TcpDaemon:
+    """One mvrcd --listen process; the bound port is scraped from stderr."""
+
+    def __init__(self, mvrcd, extra_args=(), state_dir=None):
+        cmd = [mvrcd, "--listen=127.0.0.1:0", *extra_args]
+        if state_dir is not None:
+            cmd.append(f"--state-dir={state_dir}")
+        self.proc = subprocess.Popen(
+            cmd,
+            stdin=subprocess.DEVNULL,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.port = None
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            line = self.proc.stderr.readline()
+            if not line:
+                raise RuntimeError("daemon exited before listening")
+            if "listening on" in line:
+                self.port = int(line.rsplit(":", 1)[1])
+                break
+        if self.port is None:
+            raise RuntimeError("no listening line on stderr")
+        # Keep stderr drained so shutdown-flush messages cannot block the
+        # daemon on a full pipe.
+        self._drain = threading.Thread(
+            target=lambda: [None for _ in self.proc.stderr], daemon=True
+        )
+        self._drain.start()
+
+    def connect(self, timeout=10):
+        sock = socket.create_connection(("127.0.0.1", self.port), timeout=timeout)
+        sock.settimeout(timeout)
+        return sock
+
+    def sigkill(self):
+        self.proc.kill()
+        self.proc.wait()
+
+    def sigterm(self, timeout=30):
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def __del__(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+
+
+class RetryingClient:
+    """A client that survives resets and retryable errors the documented way:
+    reconnect, back off, and replay on a fresh session."""
+
+    def __init__(self, daemon, name, max_attempts=60):
+        self.daemon = daemon
+        self.name = name
+        self.max_attempts = max_attempts
+        self.retries = 0
+        self.conversations = 0
+
+    def run(self, make_requests):
+        """Runs `make_requests(session)` to completion, retrying the whole
+        conversation on a fresh session when the connection dies mid-way
+        (mutations are not idempotent, so replaying a half-acknowledged
+        conversation into the same session would be wrong)."""
+        backoff = 0.01
+        self.conversations += 1
+        for attempt in range(self.max_attempts):
+            session = f"{self.name}-n{self.conversations}-a{attempt}"
+            try:
+                return self._converse(make_requests(session))
+            except (ConnectionError, socket.timeout, json.JSONDecodeError, OSError):
+                self.retries += 1
+                time.sleep(backoff)
+                backoff = min(backoff * 2, 0.2)
+        raise RuntimeError(f"client {self.name}: no success in {self.max_attempts} attempts")
+
+    def _converse(self, requests):
+        sock = self.daemon.connect()
+        try:
+            reader = sock.makefile("r")
+            responses = []
+            for request in requests:
+                sock.sendall((json.dumps(request) + "\n").encode())
+                line = reader.readline()
+                if not line:
+                    raise ConnectionError("connection closed mid-conversation")
+                response = json.loads(line)
+                if not response.get("ok") and response.get("retryable"):
+                    raise ConnectionError(f"retryable shed: {response.get('error')}")
+                responses.append(normalize(response))
+            return responses
+        finally:
+            sock.close()
+
+
+def fetch_counters(daemon):
+    sock = daemon.connect()
+    try:
+        reader = sock.makefile("r")
+        sock.sendall(b'{"cmd":"metrics"}\n')
+        response = json.loads(reader.readline())
+        assert response.get("ok"), f"metrics request failed: {response}"
+        return response["counters"]
+    finally:
+        sock.close()
+
+
+def phase_fault_points(mvrcd, reference):
+    for entry in FAULT_POINTS:
+        daemon = TcpDaemon(mvrcd, extra_args=[f"--fault={entry['spec']}"])
+        try:
+            clients = [RetryingClient(daemon, f"f{i}") for i in range(4)]
+            threads, results = [], {}
+
+            def hammer(client):
+                results[client.name] = client.run(client_requests)
+
+            for client in clients:
+                thread = threading.Thread(target=hammer, args=(client,))
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join()
+
+            for client in clients:
+                got = [strip_session(r) for r in results[client.name]]
+                assert got == reference, (
+                    f"[{entry['point']}] client {client.name} diverged:\n"
+                    f"  got: {got}\n  want: {reference}"
+                )
+            counters = fetch_counters(daemon)
+            assert counters.get(entry["counter"], 0) > 0, (
+                f"[{entry['point']}] armed but {entry['counter']} never moved: "
+                f"{counters}"
+            )
+            print(f"fault-point {entry['point']}: fired "
+                  f"({entry['counter']}={counters[entry['counter']]}), "
+                  f"all clients converged")
+        finally:
+            daemon.sigkill()
+
+
+def strip_session(response):
+    return {k: v for k, v in response.items() if k != "session"}
+
+
+def phase_connection_chaos(mvrcd, reference):
+    daemon = TcpDaemon(mvrcd)
+    try:
+        errors = []
+
+        def chaos_client(index):
+            try:
+                client = RetryingClient(daemon, f"c{index}")
+                for round_no in range(6):
+                    requests = client_requests(f"c{index}-r{round_no}")
+                    if round_no % 2 == 0:
+                        # Kill the connection mid-request: send a request and
+                        # hang up without reading the answer.
+                        sock = daemon.connect()
+                        sock.sendall(
+                            (json.dumps(requests[0]) + "\n").encode())
+                        sock.close()
+                    got = [strip_session(r)
+                           for r in client.run(client_requests)]
+                    if got != reference:
+                        errors.append(f"client {index} round {round_no} diverged")
+                        return
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(f"client {index}: {exc!r}")
+
+        threads = [threading.Thread(target=chaos_client, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, "\n".join(errors)
+
+        # The daemon survived: a fresh conversation still works.
+        final = RetryingClient(daemon, "final").run(client_requests)
+        assert [strip_session(r) for r in final] == reference
+        print("connection-chaos: 4 clients x 6 rounds of mid-request hangups, "
+              "all converged")
+    finally:
+        daemon.sigkill()
+
+
+MUTATIONS = [
+    {"cmd": "load_sql", "session": "s", "builtin": "smallbank"},
+    {"cmd": "remove_program", "session": "s", "name": "Balance"},
+    {"cmd": "load_sql", "session": "s", "sql": WALLET_SQL},
+    {"cmd": "remove_program", "session": "s", "name": "Amalgamate"},
+]
+
+VERDICT_REQUESTS = [
+    {"cmd": "check", "session": "s", "method": "type2"},
+    {"cmd": "check", "session": "s", "method": "type1"},
+]
+
+
+def mutation_reference(mvrcd, prefix_len):
+    requests = MUTATIONS[:prefix_len] + [{"cmd": "stats", "session": "s"}] + VERDICT_REQUESTS
+    responses = stdio_reference(mvrcd, requests)
+    stats = responses[prefix_len]
+    programs = tuple(sorted(stats.get("programs", []))) if stats.get("ok") else ()
+    return programs, responses[prefix_len + 1:]
+
+
+def phase_kill_under_load(mvrcd):
+    references = {k: mutation_reference(mvrcd, k) for k in range(len(MUTATIONS) + 1)}
+    state_dir = tempfile.mkdtemp(prefix="mvrc_net_chaos_")
+    try:
+        daemon = TcpDaemon(mvrcd, state_dir=state_dir)
+        stop_spam = threading.Event()
+
+        def spam_checks():
+            while not stop_spam.is_set():
+                try:
+                    RetryingClient(daemon, "spam", max_attempts=1).run(client_requests)
+                except Exception:  # noqa: BLE001 - load generator, dies with daemon
+                    return
+
+        spammer = threading.Thread(target=spam_checks, daemon=True)
+        spammer.start()
+
+        sock = daemon.connect()
+        reader = sock.makefile("r")
+        acked = 0
+        for index, mutation in enumerate(MUTATIONS):
+            sock.sendall((json.dumps(mutation) + "\n").encode())
+            if index == len(MUTATIONS) - 1:
+                break  # last mutation left in flight when the kill lands
+            response = json.loads(reader.readline())
+            assert response.get("ok"), f"mutation failed: {response}"
+            acked += 1
+        time.sleep(0.02)
+        daemon.sigkill()
+        stop_spam.set()
+        spammer.join(timeout=10)
+
+        survivor = TcpDaemon(mvrcd, state_dir=state_dir)
+        try:
+            sock = survivor.connect()
+            reader = sock.makefile("r")
+
+            def ask(request):
+                sock.sendall((json.dumps(request) + "\n").encode())
+                return json.loads(reader.readline())
+
+            stats = ask({"cmd": "stats", "session": "s"})
+            if not stats.get("ok"):
+                snaps = [f for f in os.listdir(state_dir) if f.endswith(".snap")]
+                assert not snaps, f"session missing but snapshot present: {snaps}"
+                print("kill-under-load: degraded cleanly (no live snapshot)")
+                return
+            programs = tuple(sorted(stats.get("programs", [])))
+            verdicts = [normalize(ask(r)) for r in VERDICT_REQUESTS]
+            upper = min(acked + 1, len(MUTATIONS))
+            matching = [k for k in range(upper + 1)
+                        if references[k] == (programs, verdicts)]
+            assert matching, (
+                f"recovered state matches no acknowledged prefix <= {upper}:\n"
+                f"  programs: {programs}\n  verdicts: {verdicts}"
+            )
+            print(f"kill-under-load: recovered prefix {matching[-1]} of {acked} acked, "
+                  f"verdicts match stdio reference")
+        finally:
+            survivor.sigkill()
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def phase_drain(mvrcd):
+    daemon = TcpDaemon(mvrcd, extra_args=["--drain-timeout=5000"])
+    sock = daemon.connect()
+    reader = sock.makefile("r")
+    request = {"cmd": "load_sql", "session": "d", "sql": WALLET_SQL}
+    sock.sendall((json.dumps(request) + "\n").encode())
+    # Give the daemon time to read the request off the socket; a request the
+    # daemon never received may legitimately be dropped by the drain (the
+    # client's contract is to retry it), and this phase is about the other
+    # promise: a received request's response survives the SIGTERM.
+    # (tests/net_test.cc pins the answered-during-drain case deterministically
+    # with net.write_stall.)
+    time.sleep(0.25)
+    daemon.proc.send_signal(signal.SIGTERM)
+    line = reader.readline()
+    assert line, "drain dropped the in-flight response"
+    response = json.loads(line)
+    assert response.get("ok"), f"drained response not ok: {response}"
+    assert reader.readline() == "", "connection outlived the drain"
+    code = daemon.proc.wait(timeout=30)
+    assert code == 0, f"daemon exited {code} after SIGTERM drain"
+    print("drain: SIGTERM answered the in-flight request, closed, exited 0")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mvrcd", default="build/mvrcd", help="daemon binary")
+    args = parser.parse_args()
+    if not os.path.exists(args.mvrcd):
+        print(f"error: {args.mvrcd} not found (build first)", file=sys.stderr)
+        return 2
+
+    reference = [strip_session(r)
+                 for r in stdio_reference(args.mvrcd, client_requests("ref"))]
+
+    phase_fault_points(args.mvrcd, reference)
+    phase_connection_chaos(args.mvrcd, reference)
+    phase_kill_under_load(args.mvrcd)
+    phase_drain(args.mvrcd)
+    print("net_chaos_smoke: all phases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,371 @@
+#include "net/connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault_injection.h"
+
+namespace mvrc {
+
+namespace {
+
+struct NetCounters {
+  Counter* requests;
+  Counter* closed;
+  Counter* bytes_read;
+  Counter* bytes_written;
+  Counter* read_errors;
+  Counter* write_errors;
+  Counter* overflow_lines;
+  Counter* idle_timeouts;
+  Counter* write_timeouts;
+  Counter* write_stalls;
+  Counter* partial_writes;
+  Histogram* conn_lifetime_us;
+};
+
+const NetCounters& Counters() {
+  static const NetCounters counters = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    NetCounters c;
+    c.requests = registry.counter("net.requests");
+    c.closed = registry.counter("net.closed");
+    c.bytes_read = registry.counter("net.bytes_read");
+    c.bytes_written = registry.counter("net.bytes_written");
+    c.read_errors = registry.counter("net.read_errors");
+    c.write_errors = registry.counter("net.write_errors");
+    c.overflow_lines = registry.counter("net.overflow_lines");
+    c.idle_timeouts = registry.counter("net.idle_timeouts");
+    c.write_timeouts = registry.counter("net.write_timeouts");
+    c.write_stalls = registry.counter("net.write_stalls");
+    c.partial_writes = registry.counter("net.partial_writes");
+    c.conn_lifetime_us = registry.histogram("net.conn_lifetime_us");
+    return c;
+  }();
+  return counters;
+}
+
+}  // namespace
+
+Connection::Connection(int fd, Host& host, const Limits& limits)
+    : fd_(fd), host_(host), limits_(limits), framer_(limits.max_line_bytes) {
+  created_ms_ = host_.loop().NowMs();
+  last_activity_ms_ = created_ms_;
+  last_write_progress_ms_ = created_ms_;
+}
+
+Connection::~Connection() {
+  if (idle_timer_ != TimerWheel::kInvalidTimer) host_.loop().timers().Cancel(idle_timer_);
+  if (write_timer_ != TimerWheel::kInvalidTimer) host_.loop().timers().Cancel(write_timer_);
+  if (fd_ >= 0) {
+    host_.loop().Remove(fd_, this);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Connection::Register() {
+  interest_ = EPOLLIN;
+  Status added = host_.loop().Add(fd_, interest_, this);
+  if (!added.ok()) return added;
+  if (limits_.idle_timeout_ms > 0) ArmIdleTimer(limits_.idle_timeout_ms);
+  return Status();
+}
+
+void Connection::OnEvent(uint32_t events) {
+  if (closed_) return;
+  if ((events & EPOLLERR) != 0) {
+    Counters().read_errors->Add(1);
+    CloseNow("socket-error");
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) HandleWritable();
+  if (closed_) return;
+  if ((events & EPOLLIN) != 0 && !reading_paused_ && !draining_ && !peer_eof_) {
+    HandleReadable();
+  }
+  if (closed_) return;
+  // EPOLLHUP alone (both directions gone) with nothing readable: the peer is
+  // fully gone; flushing can no longer succeed.
+  if ((events & EPOLLHUP) != 0 && (events & EPOLLIN) == 0) CloseNow("hangup");
+}
+
+void Connection::HandleReadable() {
+  TraceSpan span("net/read");
+  char chunk[64 * 1024];
+  while (!closed_ && !reading_paused_ && !peer_eof_) {
+    if (MVRC_FAULT_POINT("net.read_reset")) {
+      Counters().read_errors->Add(1);
+      CloseNow("read-reset(injected)");
+      return;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      Counters().bytes_read->Add(n);
+      last_activity_ms_ = host_.loop().NowMs();
+      framer_.Feed(chunk, static_cast<size_t>(n));
+      ProcessBufferedLines();
+      continue;
+    }
+    if (n == 0) {
+      // Half-close: the client finished sending but may still be reading.
+      // Answer everything received (including a final unterminated line,
+      // mirroring the stdio transport's EOF), then close once flushed.
+      peer_eof_ = true;
+      ProcessBufferedLines();
+      FinishAfterPeerEof();
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    Counters().read_errors->Add(1);
+    CloseNow("read-error");
+    return;
+  }
+  if (!closed_) {
+    FlushWrites();
+    if (!closed_) UpdateInterest();
+  }
+}
+
+void Connection::ProcessBufferedLines() {
+  std::string line;
+  while (!closed_) {
+    // Backpressure: a full write buffer pauses both reading and the
+    // processing of already-buffered lines (their responses would only grow
+    // the buffer further). During drain there is no more reading, so the
+    // remaining buffered lines are answered regardless — that memory is
+    // already bounded.
+    if (!draining_ && PendingWriteBytes() > limits_.max_write_buffer_bytes) {
+      PauseReading();
+      return;
+    }
+    switch (framer_.Next(&line)) {
+      case LineFramer::Event::kLine: {
+        Counters().requests->Add(1);
+        std::optional<std::string> response = host_.DispatchLine(line);
+        if (response.has_value()) QueueResponse(*response);
+        break;
+      }
+      case LineFramer::Event::kOverflow:
+        Counters().overflow_lines->Add(1);
+        QueueResponse(host_.OverflowResponseLine());
+        break;
+      case LineFramer::Event::kNone:
+        return;
+    }
+  }
+}
+
+void Connection::FinishAfterPeerEof() {
+  if (closed_ || eof_finished_ || !peer_eof_) return;
+  // Backpressure may leave complete lines unprocessed; the final line waits
+  // until the buffer drains and processing resumes (ordering: every complete
+  // line answers before the unterminated tail).
+  if (framer_.has_complete_line()) return;
+  eof_finished_ = true;
+  std::string line;
+  switch (framer_.Finish(&line)) {
+    case LineFramer::Event::kLine: {
+      Counters().requests->Add(1);
+      std::optional<std::string> response = host_.DispatchLine(line);
+      if (response.has_value()) QueueResponse(*response);
+      break;
+    }
+    case LineFramer::Event::kOverflow:
+      Counters().overflow_lines->Add(1);
+      QueueResponse(host_.OverflowResponseLine());
+      break;
+    case LineFramer::Event::kNone:
+      break;
+  }
+  // The caller's FlushWrites decides when the connection can close.
+}
+
+void Connection::QueueResponse(const std::string& line) {
+  const bool was_empty = PendingWriteBytes() == 0;
+  write_buffer_.append(line);
+  write_buffer_.push_back('\n');
+  if (was_empty) {
+    last_write_progress_ms_ = host_.loop().NowMs();
+    if (limits_.write_timeout_ms > 0 && write_timer_ == TimerWheel::kInvalidTimer) {
+      ArmWriteTimer(limits_.write_timeout_ms);
+    }
+  }
+}
+
+void Connection::FlushWrites() {
+  if (closed_ || flushing_) return;
+  flushing_ = true;
+  TraceSpan span("net/write");
+  while (true) {
+    bool stalled = false;
+    while (PendingWriteBytes() > 0) {
+      if (MVRC_FAULT_POINT("net.write_stall")) {
+        // Modeled EAGAIN: no progress, keep EPOLLOUT armed; the write timer
+        // decides when a stalled peer becomes a dead one.
+        Counters().write_stalls->Add(1);
+        stalled = true;
+        break;
+      }
+      size_t want = PendingWriteBytes();
+      if (MVRC_FAULT_POINT("net.write_short") && want > 1) want = 1;
+      const ssize_t n = ::send(fd_, write_buffer_.data() + write_pos_, want, MSG_NOSIGNAL);
+      if (n > 0) {
+        if (static_cast<size_t>(n) < PendingWriteBytes()) Counters().partial_writes->Add(1);
+        write_pos_ += static_cast<size_t>(n);
+        Counters().bytes_written->Add(n);
+        last_write_progress_ms_ = host_.loop().NowMs();
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        Counters().write_stalls->Add(1);
+        stalled = true;
+        break;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      // EPIPE / ECONNRESET: the peer is gone; responses can never arrive.
+      Counters().write_errors->Add(1);
+      flushing_ = false;
+      CloseNow("write-error");
+      return;
+    }
+    if (stalled) {
+      // Compact once the flushed prefix dominates.
+      if (write_pos_ > (size_t{256} * 1024) && write_pos_ * 2 > write_buffer_.size()) {
+        write_buffer_.erase(0, write_pos_);
+        write_pos_ = 0;
+      }
+      break;
+    }
+
+    // Fully drained.
+    write_buffer_.clear();
+    write_pos_ = 0;
+    if (write_timer_ != TimerWheel::kInvalidTimer) {
+      host_.loop().timers().Cancel(write_timer_);
+      write_timer_ = TimerWheel::kInvalidTimer;
+    }
+    if (reading_paused_) {
+      // Backpressure released: catch up on lines buffered while paused. Their
+      // responses land in the now-empty buffer; loop to flush them too.
+      reading_paused_ = false;
+      ProcessBufferedLines();
+      if (closed_) {
+        flushing_ = false;
+        return;
+      }
+      FinishAfterPeerEof();
+      if (closed_) {
+        flushing_ = false;
+        return;
+      }
+      if (PendingWriteBytes() > 0) continue;
+    }
+    if (draining_ || (peer_eof_ && eof_finished_)) {
+      flushing_ = false;
+      CloseNow(draining_ ? "drained" : "peer-eof");
+      return;
+    }
+    break;
+  }
+  flushing_ = false;
+  UpdateInterest();
+}
+
+void Connection::HandleWritable() { FlushWrites(); }
+
+void Connection::PauseReading() {
+  if (reading_paused_) return;
+  reading_paused_ = true;
+  UpdateInterest();
+}
+
+void Connection::UpdateInterest() {
+  if (closed_) return;
+  uint32_t interest = 0;
+  if (!reading_paused_ && !draining_ && !peer_eof_) interest |= EPOLLIN;
+  if (PendingWriteBytes() > 0) interest |= EPOLLOUT;
+  if (interest == interest_) return;
+  interest_ = interest;
+  (void)host_.loop().Modify(fd_, interest, this);
+}
+
+void Connection::ArmIdleTimer(int64_t delay_ms) {
+  idle_timer_ = host_.loop().timers().Schedule(host_.loop().NowMs(), delay_ms,
+                                               [this] { OnIdleTimer(); });
+}
+
+void Connection::OnIdleTimer() {
+  idle_timer_ = TimerWheel::kInvalidTimer;
+  if (closed_) return;
+  const int64_t now = host_.loop().NowMs();
+  const int64_t idle_for = now - last_activity_ms_;
+  // "Idle" means the client is neither sending nor owed anything: pending
+  // responses are the write timeout's jurisdiction, and buffered complete
+  // lines mean work is still queued behind backpressure.
+  const bool quiescent = PendingWriteBytes() == 0 && !framer_.has_complete_line();
+  if (quiescent && idle_for >= limits_.idle_timeout_ms) {
+    Counters().idle_timeouts->Add(1);
+    CloseNow("idle-timeout");
+    return;
+  }
+  const int64_t remaining =
+      quiescent ? limits_.idle_timeout_ms - idle_for : limits_.idle_timeout_ms;
+  ArmIdleTimer(remaining);
+}
+
+void Connection::ArmWriteTimer(int64_t delay_ms) {
+  write_timer_ = host_.loop().timers().Schedule(host_.loop().NowMs(), delay_ms,
+                                                [this] { OnWriteTimer(); });
+}
+
+void Connection::OnWriteTimer() {
+  write_timer_ = TimerWheel::kInvalidTimer;
+  if (closed_ || PendingWriteBytes() == 0) return;
+  const int64_t now = host_.loop().NowMs();
+  const int64_t stalled_for = now - last_write_progress_ms_;
+  if (stalled_for >= limits_.write_timeout_ms) {
+    Counters().write_timeouts->Add(1);
+    CloseNow("write-timeout");
+    return;
+  }
+  ArmWriteTimer(limits_.write_timeout_ms - stalled_for);
+}
+
+void Connection::StartDrain() {
+  if (closed_ || draining_) return;
+  draining_ = true;
+  // Answer what was fully received; never read more. A partial line is
+  // dropped — the client retries it after reconnecting.
+  ProcessBufferedLines();
+  if (!closed_) FlushWrites();  // closes once the buffer drains
+}
+
+void Connection::CloseNow(const char* reason) {
+  if (closed_) return;
+  closed_ = true;
+  if (idle_timer_ != TimerWheel::kInvalidTimer) {
+    host_.loop().timers().Cancel(idle_timer_);
+    idle_timer_ = TimerWheel::kInvalidTimer;
+  }
+  if (write_timer_ != TimerWheel::kInvalidTimer) {
+    host_.loop().timers().Cancel(write_timer_);
+    write_timer_ = TimerWheel::kInvalidTimer;
+  }
+  host_.loop().Remove(fd_, this);
+  ::close(fd_);
+  fd_ = -1;
+  Counters().closed->Add(1);
+  Counters().conn_lifetime_us->Record((host_.loop().NowMs() - created_ms_) * 1000);
+  TraceSpan span("net/close", std::string("reason=") + reason);
+  host_.OnConnectionClosed(this);
+}
+
+}  // namespace mvrc

@@ -1,0 +1,137 @@
+// One TCP client connection: non-blocking reads feed a LineFramer (the same
+// framing and --max-line-bytes overflow contract as the stdio transport),
+// complete lines dispatch through the server's RequestDispatcher, and
+// responses queue into a bounded write buffer flushed opportunistically.
+//
+// Robustness mechanics, all local to this class:
+//  * Backpressure: when the write buffer exceeds its cap (a client that
+//    pipelines requests but does not read responses), the connection stops
+//    reading — EPOLLIN interest is dropped and already-buffered lines stay
+//    unprocessed — and resumes only once the buffer fully drains. Memory per
+//    connection is O(max_line_bytes + write cap + one response), never
+//    O(client behavior).
+//  * Timeouts on the loop's timer wheel: an idle timeout kills connections
+//    with no client activity and nothing pending (slowloris senders included
+//    — partial lines do not count as activity unless bytes keep arriving),
+//    and a write timeout kills connections whose peer stops draining
+//    responses (progress-based: any flushed byte resets it).
+//  * Half-close: a peer EOF after a request still gets its responses (and a
+//    final unterminated line is answered, exactly like stdio EOF); the
+//    connection closes once the write buffer drains.
+//  * Graceful drain: StartDrain stops reading, answers every fully received
+//    request, flushes, then closes. The server force-closes stragglers at
+//    its drain deadline.
+//  * Fault points net.read_reset / net.write_short / net.write_stall make
+//    the error, partial-write, and stall paths deterministically testable.
+
+#ifndef MVRC_NET_CONNECTION_H_
+#define MVRC_NET_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/event_loop.h"
+#include "service/line_reader.h"
+
+namespace mvrc {
+
+/// One accepted client socket served on the event loop.
+class Connection : public EventLoop::Handler {
+ public:
+  struct Limits {
+    /// Per-request-line byte cap; longer lines are answered with the shared
+    /// structured overflow error (dispatcher.h) and discarded to their '\n'.
+    size_t max_line_bytes = size_t{1} << 20;
+    /// Write-buffer size above which reading pauses (resumes when fully
+    /// drained). Responses already being built are never truncated.
+    size_t max_write_buffer_bytes = size_t{4} << 20;
+    /// Close after this long with no client bytes and nothing pending.
+    /// 0 disables.
+    int64_t idle_timeout_ms = 60'000;
+    /// Close after this long with queued responses and zero flush progress.
+    /// 0 disables.
+    int64_t write_timeout_ms = 10'000;
+  };
+
+  /// The server-side surface a connection needs; implemented by NetServer.
+  class Host {
+   public:
+    virtual ~Host() = default;
+    virtual EventLoop& loop() = 0;
+    /// Response line for one complete request line (nullopt: blank line).
+    virtual std::optional<std::string> DispatchLine(const std::string& line) = 0;
+    /// The structured error for a line exceeding max_line_bytes.
+    virtual std::string OverflowResponseLine() = 0;
+    /// The connection closed its fd; the host should defer its destruction
+    /// to the end of the current dispatch batch (EventLoop::Defer).
+    virtual void OnConnectionClosed(Connection* connection) = 0;
+  };
+
+  /// Takes ownership of `fd` (non-blocking). Call Register() next.
+  Connection(int fd, Host& host, const Limits& limits);
+  ~Connection() override;  // closes the fd if still open, cancels timers
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Registers with the loop and arms the idle timer.
+  Status Register();
+
+  void OnEvent(uint32_t events) override;
+
+  /// Graceful-drain entry: stop reading, answer already-received requests,
+  /// flush, close. Idempotent.
+  void StartDrain();
+
+  /// Immediate close (used by the server's drain deadline). Idempotent.
+  void CloseNow(const char* reason);
+
+  int fd() const { return fd_; }
+  bool closed() const { return closed_; }
+
+ private:
+  void HandleReadable();
+  void HandleWritable();
+  /// Dispatches buffered complete lines until none remain, the connection
+  /// closes, or backpressure pauses it.
+  void ProcessBufferedLines();
+  /// Answers the final unterminated line after peer EOF (stdio parity).
+  void FinishAfterPeerEof();
+  void QueueResponse(const std::string& line);
+  /// Drains the write buffer. On a full drain, releases backpressure (which
+  /// may dispatch buffered lines and queue more responses — the outer loop
+  /// flushes those too) and closes when draining or after an answered EOF.
+  void FlushWrites();
+  void PauseReading();
+  void UpdateInterest();
+  void ArmIdleTimer(int64_t delay_ms);
+  void OnIdleTimer();
+  void ArmWriteTimer(int64_t delay_ms);
+  void OnWriteTimer();
+  size_t PendingWriteBytes() const { return write_buffer_.size() - write_pos_; }
+
+  int fd_;
+  Host& host_;
+  const Limits limits_;
+  LineFramer framer_;
+  std::string write_buffer_;
+  size_t write_pos_ = 0;
+  uint32_t interest_ = 0;  // current epoll mask
+  bool reading_paused_ = false;
+  bool flushing_ = false;  // FlushWrites reentrancy guard
+  bool peer_eof_ = false;
+  bool eof_finished_ = false;  // final unterminated line already answered
+  bool draining_ = false;
+  bool closed_ = false;
+  int64_t created_ms_ = 0;
+  int64_t last_activity_ms_ = 0;        // last byte read from the client
+  int64_t last_write_progress_ms_ = 0;  // last byte flushed to the client
+  TimerWheel::TimerId idle_timer_ = TimerWheel::kInvalidTimer;
+  TimerWheel::TimerId write_timer_ = TimerWheel::kInvalidTimer;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_NET_CONNECTION_H_

@@ -1,0 +1,110 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace mvrc {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) error_ = std::string("epoll_create1: ") + std::strerror(errno);
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t interest, Handler* handler) {
+  struct epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = interest;
+  event.data.ptr = handler;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) return ErrnoStatus("epoll_ctl add");
+  return Status();
+}
+
+Status EventLoop::Modify(int fd, uint32_t interest, Handler* handler) {
+  struct epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = interest;
+  event.data.ptr = handler;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) return ErrnoStatus("epoll_ctl mod");
+  return Status();
+}
+
+void EventLoop::Remove(int fd, Handler* handler) {
+  // epoll_ctl failure is benign here (the fd may already be closed); what
+  // matters is suppressing any event for this handler still pending in the
+  // current dispatch batch. The pointer is only ever *compared*, never
+  // dereferenced, and deferred destruction keeps it unrecycled until the
+  // batch ends.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (dispatching_ && handler != nullptr) suppressed_.insert(handler);
+}
+
+void EventLoop::Defer(std::function<void()> fn) { deferred_.push_back(std::move(fn)); }
+
+int64_t EventLoop::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int EventLoop::RunOnce(int max_wait_ms) {
+  int64_t now = NowMs();
+  int wait_ms = max_wait_ms;
+  const int64_t tick_in = timers_.MsUntilNextTick(now);
+  if (tick_in >= 0 && tick_in < wait_ms) wait_ms = static_cast<int>(tick_in);
+  if (wait_ms < 0) wait_ms = 0;
+
+  // One batch's worth of events; more simply arrive on the next RunOnce.
+  constexpr int kMaxEvents = 128;
+  struct epoll_event events[kMaxEvents];
+
+  const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, wait_ms);
+  int dispatched = 0;
+  if (n > 0) {
+    dispatching_ = true;
+    suppressed_.clear();
+    for (int i = 0; i < n; ++i) {
+      Handler* handler = static_cast<Handler*>(events[i].data.ptr);
+      if (handler == nullptr || suppressed_.count(handler) != 0) continue;
+      handler->OnEvent(events[i].events);
+      ++dispatched;
+    }
+    dispatching_ = false;
+    suppressed_.clear();
+  }
+
+  // Deferred destructions run before timers so a timer never fires into an
+  // object whose teardown was already queued (destructors cancel timers).
+  while (!deferred_.empty()) {
+    std::vector<std::function<void()>> pending;
+    pending.swap(deferred_);
+    for (std::function<void()>& fn : pending) fn();
+  }
+
+  now = NowMs();
+  timers_.Advance(now);
+  while (!deferred_.empty()) {
+    std::vector<std::function<void()>> pending;
+    pending.swap(deferred_);
+    for (std::function<void()>& fn : pending) fn();
+  }
+  return dispatched;
+}
+
+}  // namespace mvrc

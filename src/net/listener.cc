@@ -1,0 +1,111 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault_injection.h"
+
+namespace mvrc {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Listener::Listener(EventLoop& loop, AcceptCallback on_accept)
+    : loop_(loop), on_accept_(std::move(on_accept)) {}
+
+Listener::~Listener() { Close(); }
+
+Status Listener::Listen(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::Error("invalid IPv4 listen address " + host);
+  }
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return ErrnoStatus("socket");
+  const int enable = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = ErrnoStatus("bind " + host + ":" + std::to_string(port));
+    Close();
+    return status;
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    Status status = ErrnoStatus("listen");
+    Close();
+    return status;
+  }
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&bound), &bound_len) != 0) {
+    Status status = ErrnoStatus("getsockname");
+    Close();
+    return status;
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  Status added = loop_.Add(fd_, EPOLLIN, this);
+  if (!added.ok()) {
+    Close();
+    return added;
+  }
+  return Status();
+}
+
+void Listener::Close() {
+  if (fd_ < 0) return;
+  loop_.Remove(fd_, this);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void Listener::OnEvent(uint32_t events) {
+  if (fd_ < 0 || (events & EPOLLIN) == 0) return;
+  TraceSpan span("net/accept");
+  static Counter* accepted = MetricsRegistry::Global().counter("net.accepted");
+  static Counter* accept_errors = MetricsRegistry::Global().counter("net.accept_errors");
+  int batch = 0;
+  while (true) {
+    const int conn_fd = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (conn_fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      // Transient per-connection accept failures (the peer vanished, fd
+      // exhaustion): count and keep serving — a listener never dies to one
+      // bad accept.
+      accept_errors->Add(1);
+      break;
+    }
+    if (MVRC_FAULT_POINT("net.accept_fail")) {
+      accept_errors->Add(1);
+      ::close(conn_fd);
+      continue;
+    }
+    const int nodelay = 1;
+    (void)::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    accepted->Add(1);
+    ++batch;
+    on_accept_(conn_fd);
+  }
+  if (batch > 0) span.AppendArgs("accepted=" + std::to_string(batch));
+}
+
+}  // namespace mvrc

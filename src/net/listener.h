@@ -1,0 +1,57 @@
+// Non-blocking accept socket for the TCP front end. Owns the listening fd,
+// drains the accept backlog on each readable event, and hands every accepted
+// (already non-blocking, CLOEXEC) connection fd to the server's callback —
+// connection caps and shedding are the server's policy, not the listener's.
+//
+// Fault point: net.accept_fail makes an accepted connection fail before it
+// reaches the callback (the client sees a reset), modeling transient accept
+// errors (ECONNABORTED, EMFILE) deterministically.
+
+#ifndef MVRC_NET_LISTENER_H_
+#define MVRC_NET_LISTENER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/event_loop.h"
+#include "util/result.h"
+
+namespace mvrc {
+
+/// Listening socket registered on an EventLoop.
+class Listener : public EventLoop::Handler {
+ public:
+  /// Called with each accepted connection fd (non-blocking, CLOEXEC); the
+  /// callee owns the fd from that point.
+  using AcceptCallback = std::function<void(int fd)>;
+
+  Listener(EventLoop& loop, AcceptCallback on_accept);
+  ~Listener() override;  // deregisters and closes
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds `host:port` (IPv4 dotted quad; port 0 picks an ephemeral port —
+  /// read it back from bound_port) and starts accepting.
+  Status Listen(const std::string& host, uint16_t port);
+
+  /// The actually bound port (resolves port 0), or 0 before Listen.
+  uint16_t bound_port() const { return bound_port_; }
+
+  /// Stops accepting and closes the socket (idempotent). Pending
+  /// half-accepted connections in the kernel backlog are reset by the close.
+  void Close();
+
+  void OnEvent(uint32_t events) override;
+
+ private:
+  EventLoop& loop_;
+  AcceptCallback on_accept_;
+  int fd_ = -1;
+  uint16_t bound_port_ = 0;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_NET_LISTENER_H_

@@ -1,0 +1,97 @@
+// NetServer: the TCP front end of mvrcd. Owns the event loop, the listener,
+// and every live Connection; implements Connection::Host by forwarding framed
+// request lines to the shared RequestDispatcher (the exact code path the
+// stdio transport uses — see service/dispatcher.h for why that parity
+// matters).
+//
+// Policy that lives here, not in Listener/Connection:
+//  * Connection cap: past --max-conns, a freshly accepted socket gets one
+//    best-effort retryable shed error line and is closed — clients back off
+//    and retry, mirroring admission-controller sheds at the request layer.
+//  * Graceful drain: Run() serves until *stop flips, then stops accepting,
+//    asks every connection to answer what it has fully received, and bounds
+//    the whole goodbye by drain_timeout_ms — stragglers are force-closed.
+//
+// Metrics: net.conns (gauge, live connections), net.conns_shed,
+// net.drain_forced_closes; the rest of the net.* inventory is emitted by
+// Listener and Connection (docs/OBSERVABILITY.md).
+
+#ifndef MVRC_NET_SERVER_H_
+#define MVRC_NET_SERVER_H_
+
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/listener.h"
+#include "service/dispatcher.h"
+#include "util/result.h"
+
+namespace mvrc {
+
+/// The mvrcd TCP front end: accept, frame, dispatch, drain.
+class NetServer : public Connection::Host {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  ///< 0 picks an ephemeral port; read back via port().
+    /// Live-connection cap; accepts beyond it are shed with a retryable
+    /// error. 0 means unbounded.
+    size_t max_conns = 1024;
+    Connection::Limits limits;
+    /// Bound on the graceful goodbye after *stop flips; connections still
+    /// open at the deadline are force-closed. 0 skips the drain entirely.
+    int64_t drain_timeout_ms = 5'000;
+  };
+
+  /// `dispatcher` is borrowed and must outlive the server.
+  NetServer(RequestDispatcher& dispatcher, const Options& options);
+  ~NetServer() override;
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds and starts accepting. Call before Run.
+  Status Start();
+
+  /// The bound port (resolves port 0), or 0 before Start.
+  uint16_t port() const;
+
+  /// Serves until *stop becomes nonzero, then drains gracefully. Epoll waits
+  /// are capped at 100ms so a signal delivered to any thread is observed
+  /// promptly. Returns 0; the caller flushes snapshots afterwards.
+  int Run(const volatile std::sig_atomic_t* stop);
+
+  /// One reactor step (tests drive the server manually with this instead of
+  /// Run). Returns the number of fd events dispatched.
+  int Poll(int max_wait_ms) { return loop_.RunOnce(max_wait_ms); }
+
+  size_t live_connections() const { return connections_.size(); }
+
+  // Connection::Host:
+  EventLoop& loop() override { return loop_; }
+  std::optional<std::string> DispatchLine(const std::string& line) override;
+  std::string OverflowResponseLine() override;
+  void OnConnectionClosed(Connection* connection) override;
+
+ private:
+  void OnAccept(int fd);
+  void Shed(int fd);
+  /// Stops accepting, drains every connection, force-closes at the deadline.
+  void Drain();
+
+  RequestDispatcher& dispatcher_;
+  const Options options_;
+  EventLoop loop_;
+  std::unique_ptr<Listener> listener_;
+  std::unordered_map<Connection*, std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_NET_SERVER_H_

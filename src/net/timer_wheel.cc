@@ -1,0 +1,86 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace mvrc {
+
+TimerWheel::TimerWheel(int64_t tick_ms, size_t num_slots)
+    : tick_ms_(tick_ms), slots_(num_slots) {
+  MVRC_CHECK_MSG(tick_ms >= 1 && num_slots >= 2, "degenerate timer wheel geometry");
+}
+
+TimerWheel::TimerId TimerWheel::Schedule(int64_t now_ms, int64_t delay_ms,
+                                         std::function<void()> fn) {
+  const int64_t now_tick = now_ms / tick_ms_;
+  if (!started_) {
+    current_tick_ = now_tick;
+    started_ = true;
+  }
+  if (delay_ms < 0) delay_ms = 0;
+  const int64_t delay_ticks = std::max<int64_t>(1, (delay_ms + tick_ms_ - 1) / tick_ms_);
+  // Never due before the next Advance step: a timer scheduled "now" fires on
+  // the following tick, and a Schedule racing ahead of a lagging Advance is
+  // pulled back so its slot is still in front of the cursor.
+  const int64_t due_tick = std::max(now_tick + delay_ticks, current_tick_ + 1);
+  const int64_t distance = due_tick - current_tick_;
+
+  const TimerId id = next_id_++;
+  Timer timer;
+  timer.slot = static_cast<size_t>(due_tick % static_cast<int64_t>(slots_.size()));
+  timer.rounds = static_cast<uint64_t>((distance - 1) / static_cast<int64_t>(slots_.size()));
+  timer.deadline_ms = due_tick * tick_ms_;
+  timer.fn = std::move(fn);
+  slots_[timer.slot].push_back(id);
+  timers_.emplace(id, std::move(timer));
+  return id;
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  // The slot list entry is left behind and lazily dropped when its tick is
+  // next processed — Cancel stays O(1).
+  return timers_.erase(id) > 0;
+}
+
+void TimerWheel::Advance(int64_t now_ms) {
+  const int64_t target_tick = now_ms / tick_ms_;
+  if (!started_) {
+    current_tick_ = target_tick;
+    started_ = true;
+    return;
+  }
+  if (target_tick <= current_tick_) return;
+
+  std::vector<std::function<void()>> due;
+  for (int64_t tick = current_tick_ + 1; tick <= target_tick; ++tick) {
+    std::vector<TimerId>& slot = slots_[static_cast<size_t>(
+        tick % static_cast<int64_t>(slots_.size()))];
+    size_t kept = 0;
+    for (const TimerId id : slot) {
+      auto it = timers_.find(id);
+      if (it == timers_.end()) continue;  // cancelled; drop lazily
+      if (it->second.rounds > 0) {
+        --it->second.rounds;
+        slot[kept++] = id;
+        continue;
+      }
+      due.push_back(std::move(it->second.fn));
+      timers_.erase(it);
+    }
+    slot.resize(kept);
+  }
+  current_tick_ = target_tick;
+  // Fire after the wheel is consistent: callbacks may Schedule and Cancel
+  // (their Schedules land relative to the advanced cursor).
+  for (std::function<void()>& fn : due) fn();
+}
+
+int64_t TimerWheel::MsUntilNextTick(int64_t now_ms) const {
+  if (timers_.empty()) return -1;
+  const int64_t into_tick = now_ms % tick_ms_;
+  return std::max<int64_t>(1, tick_ms_ - into_tick);
+}
+
+}  // namespace mvrc

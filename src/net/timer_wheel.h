@@ -1,0 +1,79 @@
+// Hashed timer wheel for the event loop's connection timeouts: Schedule and
+// Cancel are O(1), Advance is O(ticks elapsed + timers due). The daemon arms
+// two timers per connection (idle and write deadlines, rescheduled on
+// activity), so the wheel must stay cheap at thousands of live timers — a
+// sorted structure's O(log n) per reschedule would be paid on every request.
+//
+// Geometry: `num_slots` buckets of `tick_ms` each. A timer due D ticks out
+// lands in slot (current + D) % num_slots with rounds = D / num_slots;
+// Advance walks the elapsed slots, fires entries whose rounds reach zero and
+// re-queues the rest. Timers are identified by monotonically increasing ids
+// held in a side map, so a Cancel of a timer that is already sitting in the
+// due list (two timers firing in one Advance, the first closing the
+// connection that owns the second) is safe: the fired entry is looked up by
+// id and skipped when gone.
+//
+// Single-threaded by design — the event loop owns it; callbacks may freely
+// Schedule and Cancel (including themselves).
+
+#ifndef MVRC_NET_TIMER_WHEEL_H_
+#define MVRC_NET_TIMER_WHEEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace mvrc {
+
+/// Single-threaded hashed wheel of one-shot timers keyed by millisecond
+/// deadlines.
+class TimerWheel {
+ public:
+  using TimerId = uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  /// `tick_ms` is the firing granularity (timers fire at most one tick
+  /// late); `num_slots` trades memory for fewer multi-round entries.
+  explicit TimerWheel(int64_t tick_ms = 10, size_t num_slots = 256);
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Schedules `fn` to fire once, `delay_ms` after `now_ms` (clamped to at
+  /// least one tick). Returns the id to Cancel with (never kInvalidTimer).
+  TimerId Schedule(int64_t now_ms, int64_t delay_ms, std::function<void()> fn);
+
+  /// Cancels a pending timer; false when it already fired or was cancelled.
+  bool Cancel(TimerId id);
+
+  /// Fires every timer whose deadline is at or before `now_ms`. Reentrant
+  /// with respect to Schedule/Cancel from inside callbacks.
+  void Advance(int64_t now_ms);
+
+  /// Milliseconds until the next tick boundary with any timer pending, or
+  /// -1 when no timers are scheduled. An epoll_wait bound, not an exact
+  /// deadline — Advance still decides what actually fires.
+  int64_t MsUntilNextTick(int64_t now_ms) const;
+
+  size_t pending() const { return timers_.size(); }
+
+ private:
+  struct Timer {
+    size_t slot = 0;
+    uint64_t rounds = 0;       // full wheel revolutions still to wait
+    int64_t deadline_ms = 0;   // for MsUntilNextTick and late-Advance checks
+    std::function<void()> fn;
+  };
+
+  const int64_t tick_ms_;
+  std::vector<std::vector<TimerId>> slots_;
+  std::unordered_map<TimerId, Timer> timers_;
+  int64_t current_tick_ = 0;  // last tick Advance fully processed
+  bool started_ = false;      // current_tick_ anchored to the first call
+  TimerId next_id_ = 1;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_NET_TIMER_WHEEL_H_

@@ -1,9 +1,9 @@
 // Admission control for the analysis service: a bounded in-flight gate that
 // sheds load with a *retryable* protocol error instead of queueing without
-// limit. The stdin daemon processes one request at a time, so today the gate
-// matters under direct concurrent HandleRequest callers (tests, embedders)
-// and is the backpressure primitive the planned TCP front end will lean on —
-// a connection handler that cannot enter simply relays the shed response.
+// limit. The gate sits inside HandleRequest, so every transport inherits it:
+// direct embedder calls, the stdio loop, and the TCP front end (src/net/) —
+// a shed request is answered with the retryable error and the client backs
+// off and resends (PROTOCOL.md).
 
 #ifndef MVRC_SERVICE_ADMISSION_H_
 #define MVRC_SERVICE_ADMISSION_H_

@@ -1,0 +1,21 @@
+#include "service/dispatcher.h"
+
+#include "util/json.h"
+
+namespace mvrc {
+
+std::optional<std::string> RequestDispatcher::OnLine(const std::string& line) {
+  if (line.empty()) return std::nullopt;
+  return HandleRequestLine(manager_, line, options_);
+}
+
+std::string RequestDispatcher::OverflowResponse() const {
+  Json response = Json::Object();
+  response.Set("ok", Json::Bool(false));
+  response.Set("error", Json::Str("request line exceeds " + std::to_string(max_line_bytes_) +
+                                  " bytes"));
+  response.Set("retryable", Json::Bool(false));
+  return response.Dump();
+}
+
+}  // namespace mvrc

@@ -1,0 +1,56 @@
+// One request-dispatch path for every transport: the stdio loop and each TCP
+// connection feed framed line events into a RequestDispatcher and relay
+// whatever it returns. Keeping the blank-line rule, the overflow error shape,
+// and the HandleRequestLine call here means the two transports cannot drift —
+// a request line produces byte-identical responses whether it arrived on
+// stdin or a socket (the parity is pinned by tests/net_test.cc and gated at
+// scale by bench_net_throughput).
+
+#ifndef MVRC_SERVICE_DISPATCHER_H_
+#define MVRC_SERVICE_DISPATCHER_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/session_manager.h"
+
+namespace mvrc {
+
+/// Transport-independent request handling: framed line in, response line out.
+class RequestDispatcher {
+ public:
+  /// `manager` and the pointers inside `options` are borrowed and must
+  /// outlive the dispatcher. `max_line_bytes` is echoed in overflow errors
+  /// (the transports enforce the bound via their LineFramer).
+  RequestDispatcher(SessionManager& manager, const ProtocolOptions& options,
+                    size_t max_line_bytes)
+      : manager_(manager), options_(options), max_line_bytes_(max_line_bytes) {}
+
+  RequestDispatcher(const RequestDispatcher&) = delete;
+  RequestDispatcher& operator=(const RequestDispatcher&) = delete;
+
+  /// Handles one complete request line. nullopt for a blank line — blank
+  /// lines are ignored on every transport and produce no response.
+  std::optional<std::string> OnLine(const std::string& line);
+
+  /// The structured error answering a line that exceeded max_line_bytes. It
+  /// mirrors protocol errors (ok/error/retryable) but is produced by the
+  /// transport layer — the request never reached the parser. Non-retryable:
+  /// resending the same oversized bytes cannot succeed.
+  std::string OverflowResponse() const;
+
+  size_t max_line_bytes() const { return max_line_bytes_; }
+  const ProtocolOptions& options() const { return options_; }
+  SessionManager& manager() { return manager_; }
+
+ private:
+  SessionManager& manager_;
+  const ProtocolOptions options_;
+  const size_t max_line_bytes_;
+};
+
+}  // namespace mvrc
+
+#endif  // MVRC_SERVICE_DISPATCHER_H_

@@ -6,15 +6,86 @@
 
 namespace mvrc {
 
+namespace {
+
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+}  // namespace
+
+LineFramer::Event LineFramer::Next(std::string* line) {
+  const size_t newline = buffer_.find('\n', pos_);
+  if (newline != std::string::npos) {
+    const size_t len = newline - pos_;
+    if (!overflowing_ && partial_.size() + len > max_bytes_) {
+      discarded_bytes_ += partial_.size() + len;
+      partial_.clear();
+      overflowing_ = true;
+    }
+    if (!overflowing_) partial_.append(buffer_, pos_, len);
+    pos_ = newline + 1;
+    // Compact once the consumed prefix dominates, keeping the buffer from
+    // growing with the stream.
+    if (pos_ > (size_t{64} * 1024) && pos_ * 2 > buffer_.size()) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    if (overflowing_) {
+      overflowing_ = false;
+      return Event::kOverflow;
+    }
+    *line = std::move(partial_);
+    partial_.clear();
+    StripTrailingCr(line);
+    return Event::kLine;
+  }
+
+  // No newline buffered: fold the tail into the partial line (or the discard
+  // count) and wait for more bytes.
+  const size_t len = buffer_.size() - pos_;
+  if (overflowing_) {
+    discarded_bytes_ += len;
+  } else if (partial_.size() + len > max_bytes_) {
+    discarded_bytes_ += partial_.size() + len;
+    partial_.clear();
+    overflowing_ = true;
+  } else {
+    partial_.append(buffer_, pos_, len);
+  }
+  buffer_.clear();
+  pos_ = 0;
+  return Event::kNone;
+}
+
+LineFramer::Event LineFramer::Finish(std::string* line) {
+  // Drain any complete lines first so callers can call Finish unconditionally
+  // at stream end.
+  if (has_complete_line()) return Next(line);
+  std::string tail;
+  (void)Next(&tail);  // folds the unconsumed buffer tail into partial_
+  if (overflowing_) {
+    overflowing_ = false;
+    return Event::kOverflow;
+  }
+  if (!partial_.empty()) {
+    *line = std::move(partial_);
+    partial_.clear();
+    StripTrailingCr(line);
+    return Event::kLine;
+  }
+  return Event::kNone;
+}
+
 BoundedLineReader::BoundedLineReader(int fd, size_t max_bytes, const volatile int* stop)
-    : fd_(fd), max_bytes_(max_bytes), stop_(stop) {}
+    : fd_(fd), stop_(stop), framer_(max_bytes) {}
 
 bool BoundedLineReader::Refill(Event* event) {
   char chunk[64 * 1024];
   while (true) {
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n > 0) {
-      buffer_.append(chunk, static_cast<size_t>(n));
+      framer_.Feed(chunk, static_cast<size_t>(n));
       return true;
     }
     if (n < 0 && errno == EINTR) {
@@ -33,53 +104,31 @@ bool BoundedLineReader::Refill(Event* event) {
 
 BoundedLineReader::Event BoundedLineReader::Next(std::string* line) {
   line->clear();
-  bool overflowing = false;
   while (true) {
-    const size_t newline = buffer_.find('\n', pos_);
-    if (newline != std::string::npos) {
-      const size_t len = newline - pos_;
-      if (!overflowing && line->size() + len > max_bytes_) {
-        discarded_bytes_ += line->size() + len;
-        line->clear();
-        overflowing = true;
-      }
-      if (!overflowing) line->append(buffer_, pos_, len);
-      pos_ = newline + 1;
-      // Compact once the consumed prefix dominates, keeping the buffer from
-      // growing with the stream.
-      if (pos_ > (size_t{64} * 1024) && pos_ * 2 > buffer_.size()) {
-        buffer_.erase(0, pos_);
-        pos_ = 0;
-      }
-      if (overflowing) return Event::kOverflow;
-      if (!line->empty() && line->back() == '\r') line->pop_back();
-      return Event::kLine;
+    switch (framer_.Next(line)) {
+      case LineFramer::Event::kLine:
+        return Event::kLine;
+      case LineFramer::Event::kOverflow:
+        return Event::kOverflow;
+      case LineFramer::Event::kNone:
+        break;
     }
-
-    // No newline buffered: fold the partial tail into the line (or the
-    // discard count) and read more.
-    const size_t len = buffer_.size() - pos_;
-    if (overflowing) {
-      discarded_bytes_ += len;
-    } else if (line->size() + len > max_bytes_) {
-      discarded_bytes_ += line->size() + len;
-      line->clear();
-      overflowing = true;
-    } else {
-      line->append(buffer_, pos_, len);
+    if (eof_) {
+      if (finished_) return Event::kEof;
+      finished_ = true;
+      switch (framer_.Finish(line)) {
+        case LineFramer::Event::kLine:
+          return Event::kLine;  // final unterminated line
+        case LineFramer::Event::kOverflow:
+          return Event::kOverflow;
+        case LineFramer::Event::kNone:
+          return Event::kEof;
+      }
     }
-    buffer_.clear();
-    pos_ = 0;
-
     Event event = Event::kEof;
-    if (eof_ || !Refill(&event)) {
-      if (!eof_ && event == Event::kInterrupted) return Event::kInterrupted;
-      if (overflowing) return Event::kOverflow;
-      if (!line->empty()) {
-        if (line->back() == '\r') line->pop_back();
-        return Event::kLine;  // final unterminated line
-      }
-      return Event::kEof;
+    if (!Refill(&event)) {
+      if (event == Event::kInterrupted) return Event::kInterrupted;
+      continue;  // eof_ now set; emit the final line / overflow / EOF above
     }
   }
 }

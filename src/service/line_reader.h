@@ -1,13 +1,21 @@
-// Length-capped NDJSON line reader for the daemon's input loop, replacing
-// unbounded std::getline: a client (or a stray binary stream) can no longer
-// make the server allocate an arbitrarily large request line. An overlong
-// line is *consumed to its newline* and reported as kOverflow, so the daemon
-// answers it with one structured error and stays in sync with the stream —
-// graceful degradation instead of OOM.
+// Length-capped NDJSON line framing, shared by both daemon transports so the
+// overflow contract (--max-line-bytes, one structured non-retryable error,
+// stream stays in sync) is identical whether a request arrives on stdin or a
+// TCP connection:
 //
-// Reads the raw fd (not iostreams) so an interrupting signal (SIGTERM /
-// SIGINT installed without SA_RESTART) surfaces as kInterrupted and the
-// daemon can flush snapshots, metrics, and traces before exiting.
+//  * LineFramer is the transport-agnostic core: callers Feed() it raw bytes
+//    as they arrive (a read() chunk, a recv() chunk) and pull complete-line
+//    events out. An overlong line is *consumed to its newline* and reported
+//    as kOverflow — never buffered past the cap, so a slowloris client
+//    dribbling an endless line costs O(cap) memory, not O(stream).
+//  * BoundedLineReader drives a LineFramer from a blocking file descriptor
+//    (the stdio transport), replacing unbounded std::getline. It reads the
+//    raw fd (not iostreams) so an interrupting signal (SIGTERM / SIGINT
+//    installed without SA_RESTART) surfaces as kInterrupted and the daemon
+//    can flush snapshots, metrics, and traces before exiting.
+//
+// The TCP transport (src/net/connection.h) feeds its per-connection framer
+// from non-blocking recv() chunks — same class, same semantics.
 
 #ifndef MVRC_SERVICE_LINE_READER_H_
 #define MVRC_SERVICE_LINE_READER_H_
@@ -17,8 +25,52 @@
 
 namespace mvrc {
 
+/// Incremental '\n'-splitter over Feed()-supplied bytes with a hard per-line
+/// byte cap. Not thread-safe; one instance per input stream.
+class LineFramer {
+ public:
+  enum class Event {
+    kNone,      // no complete line buffered; Feed more bytes
+    kLine,      // a complete line (terminator and trailing '\r' stripped)
+    kOverflow,  // a line exceeded max_bytes; it was discarded to its '\n'
+  };
+
+  explicit LineFramer(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Appends raw stream bytes. Overlong partial lines are discarded eagerly,
+  /// so internal buffering never exceeds max_bytes + the largest fed chunk.
+  void Feed(const char* data, size_t size) { buffer_.append(data, size); }
+
+  /// Extracts the next event. kNone means the buffered bytes hold no
+  /// complete line (the partial tail is retained for the next Feed).
+  Event Next(std::string* line);
+
+  /// End-of-stream: the final unterminated line, if any. kLine when a
+  /// non-empty partial line is pending, kOverflow when the stream ended
+  /// mid-discard, kNone otherwise. Resets the partial state either way.
+  Event Finish(std::string* line);
+
+  /// True when the buffered bytes contain at least one complete line — i.e.
+  /// Next() would return kLine or kOverflow without more input.
+  bool has_complete_line() const { return buffer_.find('\n', pos_) != std::string::npos; }
+
+  /// Bytes held for lines not yet returned (partial line + unconsumed tail).
+  size_t buffered_bytes() const { return partial_.size() + (buffer_.size() - pos_); }
+
+  /// Bytes the cap forced the framer to discard so far (overflow lines).
+  size_t discarded_bytes() const { return discarded_bytes_; }
+
+ private:
+  const size_t max_bytes_;
+  std::string buffer_;    // unconsumed fed bytes
+  size_t pos_ = 0;        // read cursor into buffer_
+  std::string partial_;   // accumulated line prefix awaiting its '\n'
+  bool overflowing_ = false;
+  size_t discarded_bytes_ = 0;
+};
+
 /// Reads '\n'-terminated lines from a file descriptor with a hard per-line
-/// byte cap.
+/// byte cap (a LineFramer fed from blocking read() calls).
 class BoundedLineReader {
  public:
   enum class Event {
@@ -37,19 +89,18 @@ class BoundedLineReader {
   Event Next(std::string* line);
 
   /// Bytes the cap forced the reader to discard so far (overflow lines).
-  size_t discarded_bytes() const { return discarded_bytes_; }
+  size_t discarded_bytes() const { return framer_.discarded_bytes(); }
 
  private:
-  // Refills buffer_; false on EOF or interrupt (*event says which).
+  // Reads one chunk into the framer; false on EOF or interrupt (*event says
+  // which).
   bool Refill(Event* event);
 
   const int fd_;
-  const size_t max_bytes_;
   const volatile int* stop_;
-  std::string buffer_;   // unconsumed input
-  size_t pos_ = 0;       // read cursor into buffer_
+  LineFramer framer_;
   bool eof_ = false;
-  size_t discarded_bytes_ = 0;
+  bool finished_ = false;  // Finish() already consumed the final partial line
 };
 
 }  // namespace mvrc

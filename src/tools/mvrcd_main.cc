@@ -1,14 +1,31 @@
-// mvrcd: the incremental analysis daemon. Reads newline-delimited JSON
-// requests on stdin, writes one JSON response line per request on stdout —
-// suitable for driving from an editor plugin, a CI bot, or a socket wrapper
-// (socat/inetd). See src/service/protocol.h for the command reference.
+// mvrcd: the incremental analysis daemon. Speaks newline-delimited JSON —
+// one request line in, one response line out — over either transport:
+//
+//   * stdio (default, or explicit --stdio): requests on stdin, responses on
+//     stdout; suitable for driving from an editor plugin or a CI bot.
+//   * TCP (--listen=HOST:PORT): a non-blocking epoll front end (src/net/)
+//     serving many concurrent connections, each with its own pipelined
+//     request stream. See docs/NETWORKING.md for the connection lifecycle,
+//     timeout/backpressure semantics, and drain behavior.
+//
+// Both transports share one RequestDispatcher, so a request line produces a
+// byte-identical response either way. See src/service/protocol.h for the
+// command reference.
 //
 // Usage:
-//   mvrcd [--threads=N] [--isolation=mvrc|rc] [--trace=FILE]
+//   mvrcd [--stdio | --listen=HOST:PORT]
+//         [--threads=N] [--isolation=mvrc|rc] [--trace=FILE]
 //         [--metrics-json=FILE] [--state-dir=DIR] [--max-line-bytes=N]
 //         [--max-inflight=N] [--fault=SPEC]
+//         [--max-conns=N] [--idle-timeout=MS] [--write-timeout=MS]
+//         [--drain-timeout=MS]
 //
 // Options:
+//   --stdio              serve NDJSON on stdin/stdout (the default)
+//   --listen=HOST:PORT   serve NDJSON over TCP on HOST:PORT (IPv4 dotted
+//                        quad; ":PORT" binds 127.0.0.1, port 0 picks an
+//                        ephemeral port). The actually bound address is
+//                        printed to stderr as "mvrcd: listening on H:P".
 //   --threads=N          worker threads for graph maintenance and subset
 //                        sweeps (default 1 = serial; 0 = hardware
 //                        concurrency)
@@ -30,19 +47,33 @@
 //   --max-line-bytes=N   bound on one request line (default 1048576). An
 //                        overlong line is consumed to its newline and
 //                        answered with one structured non-retryable error,
-//                        keeping the response stream in sync.
+//                        keeping the response stream in sync — identically
+//                        on both transports.
 //   --max-inflight=N     admission bound on concurrently handled requests
-//                        (default unbounded; relevant to embedders and the
-//                        planned socket front end — the stdin loop is
-//                        serial). Shed requests get a retryable error.
+//                        (default unbounded). Shed requests get a retryable
+//                        error.
+//   --max-conns=N        TCP only: cap on live connections (default 1024;
+//                        0 = unbounded). Accepts beyond the cap get one
+//                        retryable shed error line, then the close.
+//   --idle-timeout=MS    TCP only: close a connection after MS with no
+//                        client bytes and nothing pending (default 60000;
+//                        0 disables)
+//   --write-timeout=MS   TCP only: close a connection whose peer stops
+//                        draining responses — MS with queued output and zero
+//                        flush progress (default 10000; 0 disables)
+//   --drain-timeout=MS   TCP only: bound on the graceful drain after
+//                        SIGTERM/SIGINT (default 5000; 0 = close immediately
+//                        without answering in-flight requests)
 //   --fault=SPEC         arm deterministic fault points, e.g.
-//                        "fs.write_fail@2" or "crash.after_n_writes@3*2";
-//                        for crash-recovery tests (util/fault_injection.h).
+//                        "fs.write_fail@2" or "net.read_reset@3*2"; for
+//                        crash-recovery and network chaos tests
+//                        (util/fault_injection.h)
 //
-// Blank input lines are ignored. The process exits 0 at end of input.
-// SIGTERM / SIGINT trigger the same graceful path as end of input: flush
-// session snapshots (with --state-dir), the trace, and the metrics dump,
-// then exit 0.
+// Blank input lines are ignored. The process exits 0 at end of input (stdio)
+// or on SIGTERM/SIGINT (both transports). Shutdown is graceful either way:
+// over TCP the daemon stops accepting, answers every fully received request
+// (bounded by --drain-timeout), then flushes session snapshots (with
+// --state-dir), the trace, and the metrics dump before exiting 0.
 //
 // Example session (printf emits one request per line; requests elided):
 //   $ printf '%s\n' '{"cmd":"load_sql",...}' '{"cmd":"check",...}' | mvrcd
@@ -57,16 +88,17 @@
 #include <optional>
 #include <string>
 
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "persist/session_snapshot.h"
 #include "persist/snapshot_store.h"
 #include "service/admission.h"
+#include "service/dispatcher.h"
 #include "service/line_reader.h"
 #include "service/protocol.h"
 #include "service/session_manager.h"
 #include "util/fault_injection.h"
-#include "util/json.h"
 
 namespace {
 
@@ -75,7 +107,8 @@ volatile std::sig_atomic_t g_stop = 0;
 void HandleStopSignal(int) { g_stop = 1; }
 
 // Installed WITHOUT SA_RESTART so a signal interrupts the blocking read()
-// with EINTR and the input loop can wind down and flush state.
+// (stdio) or epoll_wait (TCP) with EINTR and the serving loop can wind down
+// and flush state.
 void InstallSignalHandlers() {
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));
@@ -88,9 +121,11 @@ void InstallSignalHandlers() {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mvrcd [--threads=N] [--isolation=mvrc|rc] [--trace=FILE] "
-               "[--metrics-json=FILE] [--state-dir=DIR] [--max-line-bytes=N] "
-               "[--max-inflight=N] [--fault=SPEC]   (NDJSON requests on stdin)\n");
+               "usage: mvrcd [--stdio | --listen=HOST:PORT] [--threads=N] "
+               "[--isolation=mvrc|rc] [--trace=FILE] [--metrics-json=FILE] "
+               "[--state-dir=DIR] [--max-line-bytes=N] [--max-inflight=N] "
+               "[--max-conns=N] [--idle-timeout=MS] [--write-timeout=MS] "
+               "[--drain-timeout=MS] [--fault=SPEC]\n");
   return 2;
 }
 
@@ -103,21 +138,48 @@ bool ParseNonNegative(const std::string& arg, const char* prefix, long max, long
   return true;
 }
 
+// HOST:PORT with HOST an IPv4 dotted quad; ":PORT" binds loopback.
+bool ParseListenAddress(const std::string& spec, std::string* host, uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return false;
+  *host = colon == 0 ? "127.0.0.1" : spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  if (port_text.empty()) return false;
+  char* end = nullptr;
+  long parsed = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || parsed < 0 || parsed > 65535) return false;
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
 void WriteResponseLine(const std::string& response) {
   std::fwrite(response.data(), 1, response.size(), stdout);
   std::fputc('\n', stdout);
   std::fflush(stdout);
 }
 
-// The overflow error mirrors protocol errors (ok/error/retryable) but is
-// produced by the transport layer — the request never reached the parser.
-std::string OverflowResponse(size_t max_line_bytes) {
-  mvrc::Json response = mvrc::Json::Object();
-  response.Set("ok", mvrc::Json::Bool(false));
-  response.Set("error", mvrc::Json::Str("request line exceeds " +
-                                        std::to_string(max_line_bytes) + " bytes"));
-  response.Set("retryable", mvrc::Json::Bool(false));
-  return response.Dump();
+// The stdio serving loop: blocking bounded reads on stdin, every framed line
+// through the same RequestDispatcher the TCP front end uses.
+void ServeStdio(mvrc::RequestDispatcher& dispatcher) {
+  mvrc::BoundedLineReader reader(/*fd=*/0, dispatcher.max_line_bytes(), &g_stop);
+  std::string line;
+  bool running = true;
+  while (running && g_stop == 0) {
+    switch (reader.Next(&line)) {
+      case mvrc::BoundedLineReader::Event::kLine: {
+        std::optional<std::string> response = dispatcher.OnLine(line);
+        if (response.has_value()) WriteResponseLine(*response);
+        break;
+      }
+      case mvrc::BoundedLineReader::Event::kOverflow:
+        WriteResponseLine(dispatcher.OverflowResponse());
+        break;
+      case mvrc::BoundedLineReader::Event::kEof:
+      case mvrc::BoundedLineReader::Event::kInterrupted:
+        running = false;
+        break;
+    }
+  }
 }
 
 }  // namespace
@@ -129,11 +191,22 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string state_dir;
   std::string fault_spec;
+  std::string listen_spec;
+  bool stdio_requested = false;
   long max_line_bytes = 1 << 20;
   long max_inflight = 0;  // 0 = unbounded
+  long max_conns = 1024;
+  long idle_timeout_ms = 60'000;
+  long write_timeout_ms = 10'000;
+  long drain_timeout_ms = 5'000;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
+    if (arg == "--stdio") {
+      stdio_requested = true;
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      listen_spec = arg.substr(std::strlen("--listen="));
+      if (listen_spec.empty()) return Usage();
+    } else if (arg.rfind("--threads=", 0) == 0) {
       long parsed = 0;
       if (!ParseNonNegative(arg, "--threads=", 1024, &parsed)) return Usage();
       num_threads = static_cast<int>(parsed);
@@ -158,12 +231,31 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--max-inflight=", 0) == 0) {
       if (!ParseNonNegative(arg, "--max-inflight=", 1 << 20, &max_inflight)) return Usage();
+    } else if (arg.rfind("--max-conns=", 0) == 0) {
+      if (!ParseNonNegative(arg, "--max-conns=", 1 << 20, &max_conns)) return Usage();
+    } else if (arg.rfind("--idle-timeout=", 0) == 0) {
+      if (!ParseNonNegative(arg, "--idle-timeout=", 1L << 31, &idle_timeout_ms)) return Usage();
+    } else if (arg.rfind("--write-timeout=", 0) == 0) {
+      if (!ParseNonNegative(arg, "--write-timeout=", 1L << 31, &write_timeout_ms)) return Usage();
+    } else if (arg.rfind("--drain-timeout=", 0) == 0) {
+      if (!ParseNonNegative(arg, "--drain-timeout=", 1L << 31, &drain_timeout_ms)) return Usage();
     } else if (arg.rfind("--fault=", 0) == 0) {
       fault_spec = arg.substr(std::strlen("--fault="));
       if (fault_spec.empty()) return Usage();
     } else {
       return Usage();
     }
+  }
+  if (stdio_requested && !listen_spec.empty()) {
+    std::fprintf(stderr, "mvrcd: --stdio and --listen are mutually exclusive\n");
+    return 2;
+  }
+  std::string listen_host;
+  uint16_t listen_port = 0;
+  if (!listen_spec.empty() && !ParseListenAddress(listen_spec, &listen_host, &listen_port)) {
+    std::fprintf(stderr, "mvrcd: bad --listen address '%s' (want HOST:PORT)\n",
+                 listen_spec.c_str());
+    return 2;
   }
 
   if (!fault_spec.empty()) {
@@ -209,23 +301,31 @@ int main(int argc, char** argv) {
       }
     }
 
-    mvrc::BoundedLineReader reader(/*fd=*/0, static_cast<size_t>(max_line_bytes), &g_stop);
-    std::string line;
-    bool running = true;
-    while (running && g_stop == 0) {
-      switch (reader.Next(&line)) {
-        case mvrc::BoundedLineReader::Event::kLine:
-          if (line.empty()) break;
-          WriteResponseLine(mvrc::HandleRequestLine(manager, line, options));
-          break;
-        case mvrc::BoundedLineReader::Event::kOverflow:
-          WriteResponseLine(OverflowResponse(static_cast<size_t>(max_line_bytes)));
-          break;
-        case mvrc::BoundedLineReader::Event::kEof:
-        case mvrc::BoundedLineReader::Event::kInterrupted:
-          running = false;
-          break;
+    mvrc::RequestDispatcher dispatcher(manager, options,
+                                       static_cast<size_t>(max_line_bytes));
+
+    if (listen_spec.empty()) {
+      ServeStdio(dispatcher);
+    } else {
+      mvrc::NetServer::Options server_options;
+      server_options.host = listen_host;
+      server_options.port = listen_port;
+      server_options.max_conns = static_cast<size_t>(max_conns);
+      server_options.limits.max_line_bytes = static_cast<size_t>(max_line_bytes);
+      server_options.limits.idle_timeout_ms = idle_timeout_ms;
+      server_options.limits.write_timeout_ms = write_timeout_ms;
+      server_options.drain_timeout_ms = drain_timeout_ms;
+      mvrc::NetServer server(dispatcher, server_options);
+      mvrc::Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "mvrcd: --listen: %s\n", started.error().c_str());
+        return 2;
       }
+      // Scripts discover an ephemeral port (--listen=:0) from this line.
+      std::fprintf(stderr, "mvrcd: listening on %s:%u\n", listen_host.c_str(),
+                   static_cast<unsigned>(server.port()));
+      std::fflush(stderr);
+      server.Run(&g_stop);
     }
 
     // Graceful shutdown — reached on end of input AND on SIGTERM/SIGINT:

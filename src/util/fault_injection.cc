@@ -10,7 +10,9 @@ namespace mvrc {
 namespace {
 
 constexpr const char* kRegistered[] = {
-    "alloc.fail", "crash.after_n_writes", "fs.fsync_fail", "fs.write_fail", "fs.write_short",
+    "alloc.fail",     "crash.after_n_writes", "fs.fsync_fail",   "fs.write_fail",
+    "fs.write_short", "net.accept_fail",      "net.read_reset",  "net.write_short",
+    "net.write_stall",
 };
 
 bool IsRegistered(const std::string& point) {

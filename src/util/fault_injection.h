@@ -1,7 +1,8 @@
 // Deterministic fault injection: named fault *points* compiled into the
-// durability code paths (file writes, fsync, rename, allocation) that tests
-// arm to fire on an exact hit count — so every torn-write / crash / failure
-// interleaving the snapshot store can encounter is reproducible on demand.
+// durability code paths (file writes, fsync, rename, allocation) and the
+// network front end (accept, socket reads/writes) that tests arm to fire on
+// an exact hit count — so every torn-write / crash / reset / stall
+// interleaving the code can encounter is reproducible on demand.
 //
 // Design:
 //  * A fault point is a call site `FaultInjection::Global().ShouldFail("name")`
@@ -48,6 +49,13 @@ namespace mvrc {
 ///                       store abandons the attempt mid-file, leaving the
 ///                       temp file exactly as a SIGKILL would
 ///   alloc.fail          snapshot encoding fails to allocate
+///   net.accept_fail     an accepted connection fails before registration
+///                       (the client sees a reset — transient accept error)
+///   net.read_reset      a connection read fails as if the peer reset
+///   net.write_short     a connection write persists only one byte (the
+///                       partial-write requeue path)
+///   net.write_stall     a connection write reports EAGAIN without progress
+///                       (backpressure / write-timeout path)
 std::span<const char* const> RegisteredFaultPoints();
 
 /// Process-wide fault-point registry. One instance (Global()); tests may

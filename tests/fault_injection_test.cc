@@ -26,11 +26,14 @@ TEST_F(FaultInjectionTest, CatalogIsClosedAndSorted) {
   std::span<const char* const> points = RegisteredFaultPoints();
   const std::set<std::string> names(points.begin(), points.end());
   EXPECT_EQ(names.size(), points.size()) << "duplicate fault point";
-  // The durability code paths cover exactly these failure modes; the matrix
-  // test iterates this catalog, so growing it means growing that test.
+  // The durability and network code paths cover exactly these failure
+  // modes; the fault-matrix test (persist) and the net fault tests iterate
+  // this catalog, so growing it means growing those tests.
   EXPECT_EQ(names, (std::set<std::string>{"alloc.fail", "crash.after_n_writes",
                                           "fs.fsync_fail", "fs.write_fail",
-                                          "fs.write_short"}));
+                                          "fs.write_short", "net.accept_fail",
+                                          "net.read_reset", "net.write_short",
+                                          "net.write_stall"}));
   EXPECT_TRUE(std::is_sorted(points.begin(), points.end(),
                              [](const char* a, const char* b) {
                                return std::string_view(a) < std::string_view(b);

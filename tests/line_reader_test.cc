@@ -1,0 +1,253 @@
+// The framing layer is shared by both transports, so its contract is pinned
+// hard here: LineFramer (buffer-fed, drives each TCP connection) and
+// BoundedLineReader (fd-fed, drives stdio) must agree byte-for-byte on every
+// chunking of the same stream — lines, CRLF stripping, blank lines, the
+// --max-line-bytes overflow accounting, and the final unterminated line. On
+// top of that, the fd reader's EINTR behavior is stress-tested with real
+// signals: unrelated signals must be invisible (retry), a stop-flag signal
+// must surface as kInterrupted, and no chunking+signal interleaving may ever
+// corrupt or drop a line.
+
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/line_reader.h"
+
+namespace mvrc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LineFramer vs BoundedLineReader differential
+// ---------------------------------------------------------------------------
+
+struct FramedEvent {
+  enum Kind { kLine, kOverflow } kind;
+  // Line content; empty for overflow events (the output string's value is
+  // unspecified on overflow, so the harness normalizes it away).
+  std::string line;
+
+  bool operator==(const FramedEvent& other) const {
+    return kind == other.kind && line == other.line;
+  }
+};
+
+FramedEvent MakeEvent(bool overflow, const std::string& line) {
+  if (overflow) return {FramedEvent::kOverflow, ""};
+  return {FramedEvent::kLine, line};
+}
+
+// Runs the whole stream through a LineFramer, feeding `chunk` bytes at a
+// time, and returns the event sequence (Finish included).
+std::vector<FramedEvent> FramerEvents(const std::string& stream, size_t chunk,
+                                      size_t max_bytes) {
+  LineFramer framer(max_bytes);
+  std::vector<FramedEvent> events;
+  std::string line;
+  for (size_t offset = 0; offset < stream.size(); offset += chunk) {
+    framer.Feed(stream.data() + offset, std::min(chunk, stream.size() - offset));
+    while (true) {
+      const LineFramer::Event event = framer.Next(&line);
+      if (event == LineFramer::Event::kNone) break;
+      events.push_back(MakeEvent(event == LineFramer::Event::kOverflow, line));
+    }
+  }
+  while (true) {
+    const LineFramer::Event event = framer.Finish(&line);
+    if (event == LineFramer::Event::kNone) break;
+    events.push_back(MakeEvent(event == LineFramer::Event::kOverflow, line));
+  }
+  return events;
+}
+
+// Runs the same stream through a BoundedLineReader over a pipe.
+std::vector<FramedEvent> ReaderEvents(const std::string& stream, size_t max_bytes) {
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  std::thread writer([&] {
+    size_t written = 0;
+    while (written < stream.size()) {
+      const ssize_t n = ::write(fds[1], stream.data() + written, stream.size() - written);
+      if (n <= 0) break;
+      written += static_cast<size_t>(n);
+    }
+    ::close(fds[1]);
+  });
+  BoundedLineReader reader(fds[0], max_bytes, nullptr);
+  std::vector<FramedEvent> events;
+  std::string line;
+  bool done = false;
+  while (!done) {
+    switch (reader.Next(&line)) {
+      case BoundedLineReader::Event::kLine:
+        events.push_back(MakeEvent(false, line));
+        break;
+      case BoundedLineReader::Event::kOverflow:
+        events.push_back(MakeEvent(true, line));
+        break;
+      case BoundedLineReader::Event::kEof:
+      case BoundedLineReader::Event::kInterrupted:
+        done = true;
+        break;
+    }
+  }
+  writer.join();
+  ::close(fds[0]);
+  return events;
+}
+
+TEST(LineFramerDifferentialTest, EveryChunkingMatchesTheFdReader) {
+  // Blank lines, CRLF, an oversized line, an oversized final fragment joined
+  // from pieces, and an unterminated tail — all the framing edge cases.
+  const std::string stream = std::string("alpha\n") + "\n" + "beta\r\n" +
+                             std::string(40, 'x') + "\n" + "gamma\n" +
+                             std::string(18, 'y') + std::string(18, 'z') + "\n" +
+                             "tail-no-newline";
+  const size_t max_bytes = 16;
+
+  const std::vector<FramedEvent> reference = ReaderEvents(stream, max_bytes);
+  ASSERT_FALSE(reference.empty());
+  for (size_t chunk = 1; chunk <= 17; ++chunk) {
+    EXPECT_EQ(FramerEvents(stream, chunk, max_bytes), reference)
+        << "chunk size " << chunk;
+  }
+}
+
+TEST(LineFramerDifferentialTest, OverflowOfFinalUnterminatedLineMatches) {
+  const std::string stream = "ok\n" + std::string(100, 'q');  // oversized, no '\n'
+  const size_t max_bytes = 8;
+  const std::vector<FramedEvent> reference = ReaderEvents(stream, max_bytes);
+  ASSERT_EQ(reference.size(), 2u);
+  EXPECT_EQ(reference[0].kind, FramedEvent::kLine);
+  EXPECT_EQ(reference[1].kind, FramedEvent::kOverflow);
+  for (size_t chunk : {size_t{1}, size_t{3}, size_t{64}, stream.size()}) {
+    EXPECT_EQ(FramerEvents(stream, chunk, max_bytes), reference)
+        << "chunk size " << chunk;
+  }
+}
+
+TEST(LineFramerTest, CountsDiscardedBytesAcrossChunkedOverflow) {
+  LineFramer framer(4);
+  const std::string oversized(100, 'a');
+  for (size_t i = 0; i < oversized.size(); ++i) framer.Feed(&oversized[i], 1);
+  std::string line;
+  EXPECT_EQ(framer.Next(&line), LineFramer::Event::kNone);
+  framer.Feed("\n", 1);
+  EXPECT_EQ(framer.Next(&line), LineFramer::Event::kOverflow);
+  EXPECT_EQ(framer.discarded_bytes(), 100u);
+  // The stream resynchronizes after the newline.
+  framer.Feed("ok\n", 3);
+  EXPECT_EQ(framer.Next(&line), LineFramer::Event::kLine);
+  EXPECT_EQ(line, "ok");
+}
+
+// ---------------------------------------------------------------------------
+// EINTR / short-read stress with real signals
+// ---------------------------------------------------------------------------
+
+std::atomic<int> g_signals_seen{0};
+
+void CountSignal(int) { g_signals_seen.fetch_add(1, std::memory_order_relaxed); }
+
+// SIGUSR1 handler WITHOUT SA_RESTART, so a signal during read() surfaces as
+// EINTR — exactly the daemon's shutdown-signal setup.
+void InstallNonRestartingHandler() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = CountSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ASSERT_EQ(sigaction(SIGUSR1, &action, nullptr), 0);
+}
+
+TEST(BoundedLineReaderSignalTest, UnrelatedSignalsNeverCorruptOrDropLines) {
+  InstallNonRestartingHandler();
+  g_signals_seen.store(0);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const pthread_t reader_thread = pthread_self();
+  constexpr int kLines = 200;
+
+  // The writer dribbles bytes in 1..7-byte chunks and fires SIGUSR1 at the
+  // reader between chunks, forcing EINTR into every read position.
+  std::thread writer([&] {
+    std::string payload;
+    for (int i = 0; i < kLines; ++i) {
+      payload += "line-" + std::to_string(i) + "-" + std::string(i % 23, 'p') + "\n";
+    }
+    size_t offset = 0;
+    int chunk = 1;
+    while (offset < payload.size()) {
+      pthread_kill(reader_thread, SIGUSR1);
+      const size_t n = std::min(static_cast<size_t>(chunk), payload.size() - offset);
+      ssize_t written = ::write(fds[1], payload.data() + offset, n);
+      if (written <= 0 && errno == EINTR) continue;
+      ASSERT_GT(written, 0);
+      offset += static_cast<size_t>(written);
+      chunk = chunk % 7 + 1;
+    }
+    pthread_kill(reader_thread, SIGUSR1);
+    ::close(fds[1]);
+  });
+
+  // stop stays 0: every EINTR must be retried invisibly.
+  volatile int stop = 0;
+  BoundedLineReader reader(fds[0], size_t{1} << 16, &stop);
+  std::string line;
+  int next = 0;
+  while (true) {
+    const BoundedLineReader::Event event = reader.Next(&line);
+    if (event == BoundedLineReader::Event::kEof) break;
+    ASSERT_EQ(event, BoundedLineReader::Event::kLine);
+    EXPECT_EQ(line, "line-" + std::to_string(next) + "-" + std::string(next % 23, 'p'));
+    ++next;
+  }
+  writer.join();
+  ::close(fds[0]);
+  EXPECT_EQ(next, kLines);
+  // The interruptions actually happened — this test exercised the EINTR path.
+  EXPECT_GT(g_signals_seen.load(), 0);
+}
+
+TEST(BoundedLineReaderSignalTest, StopFlagSignalSurfacesAsInterrupted) {
+  InstallNonRestartingHandler();
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  volatile int stop = 0;
+  const pthread_t reader_thread = pthread_self();
+
+  // Nothing is ever written: the reader blocks in read() until the stop
+  // signal lands. Keep signaling until the read is actually interrupted
+  // (the first signal could in principle land before read() blocks).
+  std::thread stopper([&] {
+    stop = 1;
+    for (int i = 0; i < 1000 && stop == 1; ++i) {
+      pthread_kill(reader_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  BoundedLineReader reader(fds[0], size_t{1} << 16, &stop);
+  std::string line;
+  EXPECT_EQ(reader.Next(&line), BoundedLineReader::Event::kInterrupted);
+  stop = 2;  // tell the stopper it can quit
+  stopper.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace mvrc
