@@ -252,7 +252,7 @@ int Run(const Options& options) {
 
   doc.Set("workloads", std::move(records));
   doc.Set("overall_speedup", Json::Number(speedup));
-  return bench::FinishBenchJson(std::move(doc), ok, options.json_out) ? 0 : 1;
+  return bench::FinishBenchJson(std::move(doc), ok, options.json_out, options.threads) ? 0 : 1;
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include <sys/resource.h>
@@ -28,8 +29,14 @@ inline int64_t PeakRssBytes() {
 
 /// Stamps the shared trailer onto `doc`, prints the record, and writes it to
 /// `json_out` ("-" disables the file). Returns the final verdict: `ok`,
-/// downgraded to false when the file cannot be written.
-inline bool FinishBenchJson(Json doc, bool ok, const std::string& json_out) {
+/// downgraded to false when the file cannot be written. `threads` is the
+/// bench's configured worker count; hardware_concurrency is stamped
+/// alongside it so speedup numbers can be judged against the machine that
+/// produced them.
+inline bool FinishBenchJson(Json doc, bool ok, const std::string& json_out, int threads = 1) {
+  doc.Set("threads", Json::Int(threads));
+  doc.Set("hardware_concurrency",
+          Json::Int(static_cast<int64_t>(std::thread::hardware_concurrency())));
   doc.Set("peak_rss_bytes", Json::Int(PeakRssBytes()));
   doc.Set("metrics", MetricsRegistry::Global().ToJson());
   doc.Set("ok", Json::Bool(ok));

@@ -364,7 +364,7 @@ int Run(const Options& options) {
 
   doc.Set("workloads", std::move(records));
   ok = BenchOverhead(options, doc) && ok;
-  return bench::FinishBenchJson(std::move(doc), ok, options.json_out) ? 0 : 1;
+  return bench::FinishBenchJson(std::move(doc), ok, options.json_out, options.threads) ? 0 : 1;
 }
 
 }  // namespace

@@ -18,18 +18,74 @@ namespace mvrc {
 
 namespace {
 
-// Per-candidate outcome of one batch: the verdict, plus (for non-robust
-// candidates) the shrunk minimal core and the query counts the worker
-// spent, merged into the stats at the batch barrier.
+// Per-candidate outcome of one round's verdict phase: the verdict plus the
+// query/cache counts the worker spent, merged into the stats at the batch
+// barrier so no shared counters are touched from workers.
 struct CandidateOutcome {
   int verdict = -1;  // -1 unknown, 0 non-robust, 1 robust
   bool from_hook = false;
   bool trivially_robust = false;  // empty candidate; no detector/hook traffic
-  ProgramSet core;
   int64_t candidate_queries = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+};
+
+// One core-extraction work item of the round's second phase: either a whole
+// non-robust candidate (verdict already known, witness extraction only) or
+// one disjoint chunk of it (probe first; a non-robust chunk localizes a
+// core inside itself).
+struct ExtractTask {
+  size_t candidate = 0;  // batch index of the owning candidate
+  ProgramSet subset;
+  bool whole = false;
+};
+
+// What one extraction task produced, written to a disjoint slot per task.
+struct ExtractResult {
+  bool have_core = false;
+  ProgramSet core;
+  int64_t probe_queries = 0;
   int64_t shrink_queries = 0;
   int64_t witness_queries = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
 };
+
+// IsRobust with wide-hook memoization: `wide` is non-null only when both
+// wide callbacks are set, in which case a cached verdict (robust OR
+// non-robust — the hook contract guarantees correctness) skips the detector
+// and every detector answer is stored back. Safe on pool workers: the wide
+// callbacks are thread-safe by contract and all counters are caller-local.
+bool MemoizedIsRobust(const MaskedDetector& detector, Method method, const ProgramSet& subset,
+                      DetectorScratch& scratch, const SubsetSweepHooks* wide,
+                      int64_t& query_bucket, int64_t& cache_hits, int64_t& cache_misses) {
+  if (wide != nullptr) {
+    std::optional<bool> cached = wide->wide_lookup(subset);
+    if (cached.has_value()) {
+      ++cache_hits;
+      return *cached;
+    }
+    ++cache_misses;
+  }
+  ++query_bucket;
+  const bool robust = detector.IsRobust(subset, method, scratch);
+  if (wide != nullptr) wide->wide_store(subset, robust);
+  return robust;
+}
+
+// Runs fn(worker_slot, i) for i in [0, count): fanned across the pool when
+// one is present and there is more than one item, inline on slot 0
+// otherwise. Must only be called from the orchestrating thread — the pool
+// does not support nested ParallelFor (ThreadPool::Wait would deadlock).
+void FanOut(ThreadPool* pool, size_t count, const std::function<void(int, size_t)>& fn) {
+  if (pool != nullptr && count > 1) {
+    pool->ParallelForWorkers(static_cast<int64_t>(count), [&fn](int worker, int64_t i) {
+      fn(worker, static_cast<size_t>(i));
+    });
+  } else {
+    for (size_t i = 0; i < count; ++i) fn(0, i);
+  }
+}
 
 // The programs on the counterexample cycle the detector finds in
 // `candidate` — a non-robust support: restricting to exactly these programs
@@ -78,12 +134,17 @@ ProgramSet WitnessSupport(const MaskedDetector& detector, Method method,
 // survives, the set tested was S_t \ {p} and was robust, and the final set
 // minus p is a subset of it, hence robust too (Proposition 5.2). The result
 // is therefore non-robust with every proper subset robust: a minimal core.
+// Shrink tests go through the wide-hook memo: across mutations the same
+// small supports recur constantly, so they are the cache's best customers.
 ProgramSet ShrinkToCore(const MaskedDetector& detector, Method method, ProgramSet support,
-                        DetectorScratch& scratch, int64_t& shrink_queries) {
+                        DetectorScratch& scratch, const SubsetSweepHooks* wide,
+                        int64_t& shrink_queries, int64_t& cache_hits, int64_t& cache_misses) {
   for (int p : support.ToIndices()) {
     ProgramSet without = support.Without(p);
-    ++shrink_queries;
-    if (!detector.IsRobust(without, method, scratch)) support = std::move(without);
+    if (!MemoizedIsRobust(detector, method, without, scratch, wide, shrink_queries,
+                          cache_hits, cache_misses)) {
+      support = std::move(without);
+    }
   }
   return support;
 }
@@ -151,8 +212,11 @@ Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Me
         "core-guided subset analysis supports 1.." + std::to_string(kMaxCoreSearchPrograms) +
         " programs (got " + std::to_string(n) + ")");
   }
-  // The hook currency is uint32_t masks; wider workloads run hook-free.
-  const bool use_hooks = hooks != nullptr && n <= 32;
+  // Wide hooks memoize every query at any accepted n; without them, the
+  // narrow (uint32_t-mask) hooks cover candidate verdicts up to 32 programs.
+  const SubsetSweepHooks* wide =
+      hooks != nullptr && hooks->wide_lookup && hooks->wide_store ? hooks : nullptr;
+  const bool use_narrow = wide == nullptr && hooks != nullptr && n <= 32;
 
   TraceSpan span("core/search", "programs=" + std::to_string(n));
   Stopwatch timer;
@@ -186,12 +250,15 @@ Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Me
     candidates.reserve(batch);
     for (const ProgramSet& hs : unconfirmed) candidates.push_back(hs.Complement());
 
-    // Hooks run serially on the calling thread, before the fan-out. Only a
-    // cached "robust" settles a candidate — a cached "non-robust" still
-    // needs the detector pass for its witness, so it re-runs below (and is
-    // not re-stored).
+    // Phase A prep (calling thread): trivial candidates, then the narrow
+    // hooks (calling-thread-only by contract). Only a cached "robust"
+    // settles a narrow candidate — a cached "non-robust" still needs the
+    // detector pass, so it re-runs below (and is not re-stored). Wide-hook
+    // lookups instead happen inside the workers, where either cached
+    // verdict settles the candidate (extraction no longer needs the
+    // candidate's own witness query up front).
     std::vector<CandidateOutcome> outcomes(batch);
-    std::vector<int64_t> todo;
+    std::vector<size_t> todo;
     for (size_t i = 0; i < batch; ++i) {
       if (candidates[i].Empty()) {
         // Complement of the full hitting set: the empty subset, trivially
@@ -202,10 +269,9 @@ Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Me
         outcomes[i].trivially_robust = true;
         continue;
       }
-      if (use_hooks && hooks->lookup) {
+      if (use_narrow && hooks->lookup) {
         std::optional<bool> cached = hooks->lookup(candidates[i].ToMask());
         if (cached.has_value()) {
-          ++counts.hook_hits;
           outcomes[i].from_hook = true;
           if (*cached) {
             outcomes[i].verdict = 1;
@@ -213,57 +279,139 @@ Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Me
           }
         }
       }
-      todo.push_back(static_cast<int64_t>(i));
+      todo.push_back(i);
     }
 
-    // Candidate verdicts and per-core shrinking fan out across the pool;
-    // each worker slot owns one scratch, and all query counting lands in
-    // the per-candidate outcome so no shared counters are touched.
-    auto run_candidate = [&](int worker, size_t idx) {
+    // Phase A: candidate verdicts fan out across the pool; each worker slot
+    // owns one scratch, and all counting lands in the per-candidate outcome.
+    FanOut(pool, todo.size(), [&](int worker, size_t t) {
+      const size_t idx = todo[t];
       CandidateOutcome& out = outcomes[idx];
-      DetectorScratch& scratch = scratches[worker];
-      ++out.candidate_queries;
-      const bool robust = detector.IsRobust(candidates[idx], method, scratch);
-      out.verdict = robust ? 1 : 0;
-      if (!robust) {
-        ++out.witness_queries;
-        ProgramSet support =
-            WitnessSupport(detector, method, candidates[idx], node_program, scratch);
-        out.core = ShrinkToCore(detector, method, std::move(support), scratch,
-                                out.shrink_queries);
-      }
-    };
-    if (pool != nullptr && todo.size() > 1) {
-      pool->ParallelForWorkers(static_cast<int64_t>(todo.size()), [&](int worker, int64_t t) {
-        run_candidate(worker, static_cast<size_t>(todo[t]));
-      });
-    } else {
-      for (int64_t t : todo) run_candidate(0, static_cast<size_t>(t));
-    }
+      out.verdict = MemoizedIsRobust(detector, method, candidates[idx], scratches[worker],
+                                     wide, out.candidate_queries, out.cache_hits,
+                                     out.cache_misses)
+                        ? 1
+                        : 0;
+    });
 
-    // Barrier: merge counters, feed hooks, split the batch into confirmed
-    // hitting sets and fresh cores, and repair the hitting-set family.
-    std::vector<ProgramSet> new_cores;
-    std::vector<ProgramSet> still_unconfirmed;
+    std::vector<size_t> pending;  // non-robust candidates awaiting a core
     for (size_t i = 0; i < batch; ++i) {
       CandidateOutcome& out = outcomes[i];
       counts.candidate_queries += out.candidate_queries;
-      counts.shrink_queries += out.shrink_queries;
-      counts.witness_queries += out.witness_queries;
-      if (use_hooks && hooks->store && !out.from_hook && !out.trivially_robust) {
+      counts.cache_hits += out.cache_hits;
+      counts.cache_misses += out.cache_misses;
+      if (wide != nullptr && !out.trivially_robust && out.candidate_queries == 0) {
+        out.from_hook = true;  // the wide cache settled the verdict
+      }
+      if (out.from_hook) ++counts.hook_hits;
+      if (out.verdict != 1) pending.push_back(i);
+    }
+
+    // Phase B plan (calling thread): when the batch alone fills the pool —
+    // or there is no pool — every non-robust candidate takes one
+    // whole-candidate extraction (witness, then greedy shrink: the serial
+    // path's behavior). Otherwise each candidate is split into disjoint
+    // contiguous chunks and the chunks are probed concurrently: a
+    // non-robust chunk contains a core and yields it entirely within the
+    // chunk (chunk-minimal IS globally minimal — minimality is intrinsic),
+    // so a round with a single candidate can surface many cores at once
+    // instead of one per round.
+    std::vector<ExtractTask> tasks;
+    if (pool == nullptr || workers <= 1 ||
+        pending.size() >= static_cast<size_t>(2 * workers)) {
+      for (size_t i : pending) tasks.push_back({i, candidates[i], true});
+    } else if (!pending.empty()) {
+      // ~4 tasks per worker slot across the whole phase: enough slack for
+      // dynamic balancing without probing uselessly tiny chunks.
+      const size_t target = static_cast<size_t>(4) * static_cast<size_t>(workers);
+      const size_t per_candidate = (target + pending.size() - 1) / pending.size();
+      for (size_t i : pending) {
+        const std::vector<int> members = candidates[i].ToIndices();
+        const size_t chunks = std::min(per_candidate, members.size());
+        if (chunks <= 1) {
+          tasks.push_back({i, candidates[i], true});
+          continue;
+        }
+        for (size_t c = 0; c < chunks; ++c) {
+          const size_t begin = c * members.size() / chunks;
+          const size_t end = (c + 1) * members.size() / chunks;
+          ProgramSet chunk(n);
+          for (size_t m = begin; m < end; ++m) chunk.Set(members[m]);
+          tasks.push_back({i, std::move(chunk), false});
+        }
+      }
+    }
+
+    auto extract = [&](int worker, const ExtractTask& task, ExtractResult& res) {
+      DetectorScratch& scratch = scratches[worker];
+      if (!task.whole &&
+          MemoizedIsRobust(detector, method, task.subset, scratch, wide, res.probe_queries,
+                           res.cache_hits, res.cache_misses)) {
+        return;  // robust chunk: no core inside
+      }
+      ++res.witness_queries;
+      ProgramSet support =
+          WitnessSupport(detector, method, task.subset, node_program, scratch);
+      res.core = ShrinkToCore(detector, method, std::move(support), scratch, wide,
+                              res.shrink_queries, res.cache_hits, res.cache_misses);
+      res.have_core = true;
+    };
+    std::vector<ExtractResult> results(tasks.size());
+    FanOut(pool, tasks.size(),
+           [&](int worker, size_t t) { extract(worker, tasks[t], results[t]); });
+
+    // Fallback: a chunked candidate whose chunks all probed robust still
+    // owes a core — its witness cycle spans chunk boundaries. Extract from
+    // the whole candidate, in parallel across such candidates.
+    std::vector<ExtractTask> fallback_tasks;
+    {
+      std::vector<char> has_core(batch, 0);
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        if (results[t].have_core) has_core[tasks[t].candidate] = 1;
+      }
+      for (size_t i : pending) {
+        if (!has_core[i]) fallback_tasks.push_back({i, candidates[i], true});
+      }
+    }
+    counts.fallback_extractions += static_cast<int>(fallback_tasks.size());
+    std::vector<ExtractResult> fallback_results(fallback_tasks.size());
+    FanOut(pool, fallback_tasks.size(), [&](int worker, size_t t) {
+      extract(worker, fallback_tasks[t], fallback_results[t]);
+    });
+
+    // Barrier: merge counters and cores in deterministic order (batch index
+    // order, then task order, then fallbacks), feed the narrow hooks, split
+    // the batch into confirmed hitting sets and survivors, and repair the
+    // family. Dedup is batch-level (two tasks can shrink onto the same
+    // core); cross-batch duplicates are impossible — every candidate (hence
+    // every chunk and every extracted core inside one) contains no
+    // previously known core, and cores are pairwise incomparable by
+    // minimality.
+    std::vector<ProgramSet> new_cores;
+    auto absorb = [&](ExtractResult& res) {
+      counts.probe_queries += res.probe_queries;
+      counts.shrink_queries += res.shrink_queries;
+      counts.witness_queries += res.witness_queries;
+      counts.cache_hits += res.cache_hits;
+      counts.cache_misses += res.cache_misses;
+      if (res.have_core &&
+          std::find(new_cores.begin(), new_cores.end(), res.core) == new_cores.end()) {
+        new_cores.push_back(std::move(res.core));
+      }
+    };
+    for (ExtractResult& res : results) absorb(res);
+    for (ExtractResult& res : fallback_results) absorb(res);
+
+    std::vector<ProgramSet> still_unconfirmed;
+    for (size_t i = 0; i < batch; ++i) {
+      CandidateOutcome& out = outcomes[i];
+      if (use_narrow && hooks->store && !out.from_hook && !out.trivially_robust) {
         hooks->store(candidates[i].ToMask(), out.verdict == 1);
       }
       if (out.verdict == 1) {
         confirmed.push_back(std::move(unconfirmed[i]));
-        continue;
-      }
-      still_unconfirmed.push_back(std::move(unconfirmed[i]));
-      // Batch-level dedup: two candidates can shrink onto the same core.
-      // Cross-batch duplicates are impossible — every candidate contains no
-      // previously known core, and cores are pairwise incomparable by
-      // minimality.
-      if (std::find(new_cores.begin(), new_cores.end(), out.core) == new_cores.end()) {
-        new_cores.push_back(std::move(out.core));
+      } else {
+        still_unconfirmed.push_back(std::move(unconfirmed[i]));
       }
     }
     unconfirmed = std::move(still_unconfirmed);
@@ -323,17 +471,26 @@ Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Me
       if (!above_core) report.robust_masks.push_back(mask);
     }
   }
-  counts.detector_queries = counts.candidate_queries + counts.shrink_queries;
+  counts.detector_queries =
+      counts.candidate_queries + counts.probe_queries + counts.shrink_queries;
   report.detector_queries = counts.detector_queries;
   if (stats != nullptr) *stats = counts;
   MetricsRegistry& registry = MetricsRegistry::Global();
   static Counter* rounds = registry.counter("core_search.rounds");
   static Counter* cores_found = registry.counter("core_search.cores_found");
   static Counter* queries = registry.counter("core_search.detector_queries");
+  static Counter* cache_hits = registry.counter("core.cache_hits");
+  static Counter* cache_misses = registry.counter("core.cache_misses");
+  static Counter* probes = registry.counter("core.probe_queries");
+  static Counter* fallbacks = registry.counter("core.fallback_extractions");
   static Histogram* run_us = registry.histogram("core_search.run_us");
   rounds->Add(counts.rounds);
   cores_found->Add(static_cast<int64_t>(report.cores.size()));
   queries->Add(counts.detector_queries);
+  cache_hits->Add(counts.cache_hits);
+  cache_misses->Add(counts.cache_misses);
+  probes->Add(counts.probe_queries);
+  fallbacks->Add(counts.fallback_extractions);
   run_us->Record(timer.ElapsedMicros());
   span.AppendArgs("rounds=" + std::to_string(counts.rounds) +
                   " cores=" + std::to_string(report.cores.size()));

@@ -34,11 +34,29 @@
 // thousands of queries where the sweep would need 2^64
 // (bench/bench_core_search.cc measures the ratio).
 //
-// Candidate tests and per-core shrinking fan out across the ThreadPool
-// (each worker owns a DetectorScratch); hitting-set bookkeeping is serial.
-// Verdicts are bit-identical to AnalyzeSubsets wherever both run —
-// tests/core_search_test.cc pins this differentially over random workloads
-// under both the MVRC and lock-based-RC policies.
+// Parallelism: each round runs in two pool-fanned phases orchestrated from
+// the calling thread (the ThreadPool does not support nesting). Phase A
+// tests every candidate's verdict concurrently; phase B extracts cores from
+// the non-robust candidates. When a round has fewer non-robust candidates
+// than worker slots — the common shape: round one always has exactly one —
+// phase B *chunks* each candidate into disjoint contiguous pieces and
+// probes them concurrently: a non-robust chunk yields a witness and shrinks
+// to a minimal core entirely within the chunk, so one candidate can surface
+// many cores per round instead of one. Chunks that all come back robust
+// fall back to whole-candidate witness extraction. Chunk cores are globally
+// minimal (minimality is intrinsic, not relative to the chunk), disjoint
+// chunks cannot duplicate each other, and every extracted core is new
+// (candidates contain no known core), so the loop invariants are untouched.
+//
+// The final report is *canonical*: at termination the core family provably
+// equals ALL minimal non-robust subsets (any missed one would sit inside a
+// confirmed robust complement, contradicting upward closure) and the
+// confirmed hitting sets are exactly the minimal hitting sets of that final
+// family — so cores and maximal_sets are independent of thread count,
+// chunking, and discovery order, and the parallel search is bit-identical
+// to the serial one. tests/core_search_test.cc pins this differentially
+// over random workloads under both the MVRC and lock-based-RC policies;
+// only the stats (query counts, rounds) may differ across configurations.
 
 #ifndef MVRC_ROBUST_CORE_SEARCH_H_
 #define MVRC_ROBUST_CORE_SEARCH_H_
@@ -82,16 +100,22 @@ struct CoreSearchOptions {
 };
 
 /// Observability counters for one search run (all detector evaluations, by
-/// purpose). detector_queries = candidate + shrink queries; witness_queries
-/// counts the Find*Cycle calls separately (they re-run a found cycle search
-/// to materialize the witness and are not IsRobust evaluations).
+/// purpose). detector_queries = candidate + probe + shrink queries;
+/// witness_queries counts the Find*Cycle calls separately (they re-run a
+/// found cycle search to materialize the witness and are not IsRobust
+/// evaluations). Query counts depend on the pool's worker count (chunked
+/// extraction) and the hook state; only the report is canonical.
 struct CoreSearchStats {
   int64_t detector_queries = 0;
   int64_t candidate_queries = 0;  // hitting-set complement tests
+  int64_t probe_queries = 0;      // chunk probes during parallel core extraction
   int64_t shrink_queries = 0;     // greedy core-minimization tests
-  int64_t witness_queries = 0;    // witness extractions on non-robust candidates
+  int64_t witness_queries = 0;    // witness extractions on non-robust subsets
+  int64_t cache_hits = 0;         // wide-hook verdicts served, any purpose
+  int64_t cache_misses = 0;       // wide-hook lookups that reached the detector
   int64_t hook_hits = 0;          // candidate verdicts answered by hooks
   int rounds = 0;                 // candidate-batch iterations
+  int fallback_extractions = 0;   // candidates whose chunks all probed robust
 };
 
 /// Core-guided analysis against a caller-owned MaskedDetector — the wide
@@ -99,10 +123,13 @@ struct CoreSearchStats {
 /// representation of the same verdicts (SubsetReport::cores /
 /// maximal_sets; robust_masks is additionally materialized when
 /// num_programs() <= kMaxSubsetPrograms, for differential comparison).
-/// `hooks` follow the SubsetSweepHooks contract and are consulted/fed for
-/// candidate masks only, from the calling thread only, and only when
-/// num_programs() <= 32 (the hook currency is uint32_t masks); shrink
-/// queries bypass them. Errors: program count outside
+/// `hooks` follow the SubsetSweepHooks contract. When the wide pair
+/// (wide_lookup/wide_store) is set, it memoizes EVERY IsRobust evaluation —
+/// candidates, chunk probes, shrink tests — at any accepted program count,
+/// and is invoked from pool workers (must be thread-safe). Otherwise the
+/// narrow pair is consulted/fed for candidate masks only, from the calling
+/// thread only, and only when num_programs() <= 32 (its currency is
+/// uint32_t masks); shrink queries bypass it. Errors: program count outside
 /// [1, kMaxCoreSearchPrograms], or the hitting-set family exceeding
 /// options.max_lattice_sets.
 Result<SubsetReport> AnalyzeSubsetsCoreGuided(const MaskedDetector& detector, Method method,

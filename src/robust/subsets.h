@@ -115,11 +115,26 @@ struct SubsetReport {
 /// the verdict and the detector is skipped. `store(mask, robust)` is called
 /// exactly once for every mask the detector actually evaluated. Hooks never
 /// change the report (assuming `lookup` returns correct verdicts): they only
-/// shortcut detector invocations. Both callbacks are invoked from the
-/// calling thread only, never from pool workers.
+/// shortcut detector invocations. The narrow (uint32_t) callbacks are
+/// invoked from the calling thread only, never from pool workers.
+///
+/// The wide pair is the core-guided search's currency (core_search.h): when
+/// both wide callbacks are set, every IsRobust evaluation of the search —
+/// candidate tests, chunk probes, greedy shrink tests — consults
+/// `wide_lookup` first and feeds `wide_store` with what the detector
+/// decided, for any program count the search accepts. Unlike the narrow
+/// pair, the wide callbacks ARE invoked from pool workers concurrently, so
+/// they must be thread-safe (the service backs them with the internally
+/// synchronized VerdictCache); and a cached non-robust verdict is trusted
+/// outright — the search extracts a witness from the subset without
+/// re-verifying, so an incorrect `wide_lookup` aborts rather than
+/// mis-reporting. When the wide pair is set the narrow pair is ignored by
+/// the core-guided search.
 struct SubsetSweepHooks {
   std::function<std::optional<bool>(uint32_t)> lookup;
   std::function<void(uint32_t, bool)> store;
+  std::function<std::optional<bool>(const ProgramSet&)> wide_lookup;
+  std::function<void(const ProgramSet&, bool)> wide_store;
 };
 
 /// Tests all 2^n - 1 non-empty subsets (1 <= n <= kMaxSubsetPrograms

@@ -451,6 +451,20 @@ std::string WorkloadSession::FingerprintLocked(uint32_t mask, Method method) con
   return fingerprint;
 }
 
+WideFingerprinter WorkloadSession::WideFingerprinterLocked(Method method) const {
+  // Same ingredients as FingerprintLocked — settings, method, per-member
+  // (name, revision) — in the hashed wide currency: one snapshot per search,
+  // a few ns per subset after that. Identical (name, revision) states yield
+  // identical fingerprints across searches, so verdicts persist in the cache
+  // across mutations that leave members' incident cells unchanged.
+  std::vector<std::pair<std::string, int64_t>> members;
+  members.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    members.emplace_back(entry.program.name(), entry.revision);
+  }
+  return WideFingerprinter(settings_.ToString(), static_cast<int>(method), members);
+}
+
 void WorkloadSession::SyncCacheStatsLocked() {
   stats_.verdict_cache_hits = verdict_cache_.hits();
   stats_.verdict_cache_misses = verdict_cache_.misses();
@@ -537,10 +551,12 @@ Result<SubsetReport> WorkloadSession::Subsets(Method method, std::vector<std::st
   // subset requests (and re-checks after mutations, where the verdict cache
   // answers the untouched masks) skip both graph copies and the detector
   // precomputation: exhaustive-range sessions take the sweep (bit-identical
-  // oracle), larger ones the core-guided search. The verdict-cache hooks
-  // speak uint32_t masks, so they are only wired while every subset of the
-  // session fits one (<= 32 programs; FingerprintLocked's per-mask keys are
-  // exact only in that range too). Sessions beyond both regimes get the
+  // oracle) with the narrow string-keyed hooks above; larger ones take the
+  // core-guided search with wide 128-bit fingerprints, which cover every
+  // program count the search accepts. The wide callbacks run on pool
+  // workers, so they touch only the internally synchronized VerdictCache —
+  // never stats_ — and the search's own counters are merged afterwards
+  // under the session lock. Sessions beyond both regimes get the
   // program-count error without building anything.
   const int n = static_cast<int>(entries_.size());
   Result<SubsetReport> report = [&]() -> Result<SubsetReport> {
@@ -548,8 +564,19 @@ Result<SubsetReport> WorkloadSession::Subsets(Method method, std::vector<std::st
       return AnalyzeSubsetsOnDetector(CachedDetectorLocked(), method, pool_, &hooks);
     }
     if (CoreSearchProgramCountOk(n)) {
-      return AnalyzeSubsetsCoreGuided(CachedDetectorLocked(), method, pool_,
-                                      n <= 32 ? &hooks : nullptr);
+      const WideFingerprinter fingerprinter = WideFingerprinterLocked(method);
+      SubsetSweepHooks wide_hooks;
+      wide_hooks.wide_lookup = [this, &fingerprinter](const ProgramSet& subset) {
+        return verdict_cache_.Lookup(fingerprinter.Of(subset));
+      };
+      wide_hooks.wide_store = [this, &fingerprinter](const ProgramSet& subset, bool robust) {
+        verdict_cache_.Store(fingerprinter.Of(subset), robust);
+      };
+      CoreSearchStats search_stats;
+      Result<SubsetReport> wide_report = AnalyzeSubsetsCoreGuided(
+          CachedDetectorLocked(), method, pool_, &wide_hooks, &search_stats);
+      stats_.detector_runs += search_stats.detector_queries;
+      return wide_report;
     }
     return Result<SubsetReport>::Error(
         "subset analysis supports at most " + std::to_string(kMaxCoreSearchPrograms) +

@@ -198,10 +198,12 @@ class WorkloadSession {
   /// the core-guided search (robust/core_search.h) through
   /// kMaxCoreSearchPrograms — same maximal sets, lattice representation
   /// (SubsetReport::cores / maximal_sets) — and an error above that. Both
-  /// regimes are memoized per subset through the verdict cache: subsets
-  /// whose member fingerprints are cached skip the detector (in the
-  /// core-guided regime only while the workload still fits 32-bit masks,
-  /// the cache's currency). When `names` is non-null it receives the member
+  /// regimes are memoized per subset through the verdict cache: the
+  /// exhaustive sweep under narrow string keys, the core-guided search
+  /// under wide 128-bit fingerprints (WideFingerprinter) covering every
+  /// program count it accepts, so subsets whose member fingerprints are
+  /// cached skip the detector in either regime. When `names` is non-null it
+  /// receives the member
   /// program names in mask-bit order, snapshotted atomically with the
   /// analysis — a caller reading names separately could race a concurrent
   /// mutation and mislabel masks.
@@ -263,6 +265,10 @@ class WorkloadSession {
   // that touches cells must call this.
   void InvalidateGraphLocked();
   std::string FingerprintLocked(uint32_t mask, Method method) const;
+  // Snapshot fingerprinter over the current (name, revision) state — the
+  // wide-currency counterpart of FingerprintLocked, feeding the core-guided
+  // search's verdict-cache hooks at any accepted program count.
+  WideFingerprinter WideFingerprinterLocked(Method method) const;
   std::vector<std::pair<int, int>> LtpRangesLocked() const;
   void SyncCacheStatsLocked();
 

@@ -20,6 +20,9 @@ Gauge* WorkersGauge() {
   return workers;
 }
 
+// The pool whose WorkerLoop owns this thread, for the Wait() nesting check.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -54,6 +57,12 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  // A worker waiting on its own pool would deadlock (the queue can never
+  // drain while the waiter occupies a worker slot and the remaining workers
+  // may be parked in the same nested wait). Abort loudly instead.
+  MVRC_CHECK_MSG(tls_worker_pool != this,
+                 "ThreadPool::Wait called from one of the pool's own workers: "
+                 "nested ParallelFor is not supported");
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
@@ -109,6 +118,7 @@ int ThreadPool::ResolveThreadCount(int requested) {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   static Counter* executed = MetricsRegistry::Global().counter("thread_pool.tasks_executed");
   static Counter* busy_us = MetricsRegistry::Global().counter("thread_pool.busy_us");
   static Counter* idle_us = MetricsRegistry::Global().counter("thread_pool.idle_us");

@@ -3,6 +3,13 @@
 // summary-graph builder; both fan independent items over the pool and
 // join at a barrier, so a shared queue is contention-light and keeps the
 // scheduling easy to reason about.
+//
+// The pool does NOT support nesting: Wait() (and hence every ParallelFor*)
+// blocks until the queue drains, so calling it from inside a pool task
+// would deadlock the moment all workers are parked in nested waits. Wait()
+// CHECK-aborts when invoked from one of the pool's own workers; fan out in
+// phases from one orchestrating thread instead (see
+// robust/core_search.cc for the pattern).
 
 #ifndef MVRC_UTIL_THREAD_POOL_H_
 #define MVRC_UTIL_THREAD_POOL_H_

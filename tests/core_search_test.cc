@@ -28,6 +28,7 @@
 #include "robust/masked_detector.h"
 #include "robust/program_set.h"
 #include "robust/subsets.h"
+#include "robust/verdict_cache.h"
 #include "summary/build_summary.h"
 #include "util/thread_pool.h"
 #include "workloads/auction.h"
@@ -254,9 +255,12 @@ void ExpectCoreGuidedMatchesExhaustive(const std::vector<Btp>& programs,
     EXPECT_EQ(lattice_only.IsRobustSubset(mask), expected) << context << " mask=" << mask;
   }
 
-  // Accounting: the stats decompose the total query count.
-  EXPECT_EQ(stats.detector_queries, stats.candidate_queries + stats.shrink_queries)
+  // Accounting: the stats decompose the total query count (serial runs never
+  // chunk, so probe_queries stays zero here).
+  EXPECT_EQ(stats.detector_queries,
+            stats.candidate_queries + stats.probe_queries + stats.shrink_queries)
       << context;
+  EXPECT_EQ(stats.probe_queries, 0) << context;
   EXPECT_EQ(report.detector_queries, stats.detector_queries) << context;
   EXPECT_GT(stats.rounds, 0) << context;
 
@@ -550,7 +554,107 @@ TEST(CoreSearchWideTest, RandomWideWorkloadsAreDetectorConsistent) {
   }
 }
 
+// --- Parallel determinism in the wide regime: the chunked parallel search
+// must report the exact lattice the serial search reports (the canonicity
+// argument in core_search.h), under both isolation policies, across many
+// random 24-program workloads where no exhaustive oracle exists.
+
+class CoreSearchParallelDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoreSearchParallelDifferentialTest, WideParallelLatticeIsBitIdenticalToSerial) {
+  RandomWorkloadGen gen(GetParam() * 7817 + 41);
+  Schema schema;
+  std::vector<Btp> programs = gen.Generate(schema, 24);
+  for (IsolationLevel isolation : {IsolationLevel::kMvrc, IsolationLevel::kRc}) {
+    const AnalysisSettings settings = AnalysisSettings::AttrDepFk().WithIsolation(isolation);
+    const std::string context =
+        "seed=" + std::to_string(GetParam()) + " / " + settings.name();
+    GraphUnderTest t = Build(programs, settings);
+    MaskedDetector detector(t.graph, t.ltp_range, settings.policy());
+    CoreSearchStats serial_stats;
+    Result<SubsetReport> serial =
+        AnalyzeSubsetsCoreGuided(detector, Method::kTypeII, nullptr, nullptr, &serial_stats);
+    ASSERT_TRUE(serial.ok()) << context;
+    ThreadPool pool(8);
+    CoreSearchStats parallel_stats;
+    Result<SubsetReport> parallel =
+        AnalyzeSubsetsCoreGuided(detector, Method::kTypeII, &pool, nullptr, &parallel_stats);
+    ASSERT_TRUE(parallel.ok()) << context;
+    EXPECT_EQ(parallel.value().cores, serial.value().cores) << context;
+    EXPECT_EQ(parallel.value().maximal_sets, serial.value().maximal_sets) << context;
+    EXPECT_EQ(parallel.value().maximal_masks, serial.value().maximal_masks) << context;
+    EXPECT_EQ(parallel.value().num_threads, 8) << context;
+    // Chunked extraction may change the query mix, never the accounting
+    // identity.
+    EXPECT_EQ(parallel_stats.detector_queries,
+              parallel_stats.candidate_queries + parallel_stats.probe_queries +
+                  parallel_stats.shrink_queries)
+        << context;
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoreSearchParallelDifferentialTest, ::testing::Range(0, 20));
+
 // --- Safety valve.
+
+// --- Wide verdict-cache hooks: a second search over a warm cache answers
+// every query from the hooks and still produces the identical report.
+
+TEST(CoreSearchWideHooksTest, WarmCacheAnswersEveryQuery) {
+  Workload workload = MakeAuctionN(12);  // 24 programs: wide regime
+  const AnalysisSettings settings = AnalysisSettings::AttrDep();
+  GraphUnderTest t = Build(workload.programs, settings);
+  MaskedDetector detector(t.graph, t.ltp_range, settings.policy());
+
+  std::vector<std::pair<std::string, int64_t>> members;
+  for (const Btp& program : workload.programs) members.emplace_back(program.name(), 1);
+  const WideFingerprinter fingerprinter(settings.ToString(),
+                                        static_cast<int>(Method::kTypeII), members);
+  VerdictCache cache;
+  SubsetSweepHooks hooks;
+  hooks.wide_lookup = [&](const ProgramSet& subset) {
+    return cache.Lookup(fingerprinter.Of(subset));
+  };
+  hooks.wide_store = [&](const ProgramSet& subset, bool robust) {
+    cache.Store(fingerprinter.Of(subset), robust);
+  };
+
+  ThreadPool pool(4);
+  CoreSearchStats cold_stats;
+  Result<SubsetReport> cold =
+      AnalyzeSubsetsCoreGuided(detector, Method::kTypeII, &pool, &hooks, &cold_stats);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(cold_stats.detector_queries, 0);
+  EXPECT_GT(cold_stats.cache_misses, 0);
+  EXPECT_GT(cache.size(), 0u);
+
+  // Warm run: every IsRobust evaluation — candidates, probes, shrink tests —
+  // hits the cache; the detector is never consulted and the report is
+  // unchanged.
+  CoreSearchStats warm_stats;
+  Result<SubsetReport> warm =
+      AnalyzeSubsetsCoreGuided(detector, Method::kTypeII, &pool, &hooks, &warm_stats);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm_stats.detector_queries, 0);
+  EXPECT_EQ(warm_stats.cache_misses, 0);
+  EXPECT_GT(warm_stats.cache_hits, 0);
+  EXPECT_GT(warm_stats.hook_hits, 0);
+  EXPECT_EQ(warm.value().cores, cold.value().cores);
+  EXPECT_EQ(warm.value().maximal_sets, cold.value().maximal_sets);
+
+  // A serial run reuses the same cache too (wide hooks are not tied to the
+  // pool) — it follows a different round trajectory than the chunked
+  // parallel run, so it may still pay some queries, but cached subsets
+  // (every singleton core's shrink neighborhood, the full set) hit.
+  CoreSearchStats serial_stats;
+  Result<SubsetReport> serial =
+      AnalyzeSubsetsCoreGuided(detector, Method::kTypeII, nullptr, &hooks, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(serial_stats.cache_hits, 0);
+  EXPECT_EQ(serial.value().cores, cold.value().cores);
+  EXPECT_EQ(serial.value().maximal_sets, cold.value().maximal_sets);
+}
 
 TEST(CoreSearchOptionsTest, LatticeBlowupIsAnErrorNotAnOom) {
   // SmallBank under tuple dep has three maximal robust subsets, so the

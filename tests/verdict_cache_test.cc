@@ -2,14 +2,26 @@
 // semantics the analysis service builds on it: hits and misses are
 // accounted, revisions bump cached verdicts out exactly when a mutation
 // changes a program's incident edges, and fingerprints keyed under
-// different isolation levels never collide.
+// different isolation levels never collide. The wide 128-bit currency is
+// covered too: distinctness over exhaustively enumerated subset families,
+// per-member revision sensitivity, and — through a >32-program session —
+// cross-mutation cache hits in the core-guided regime.
 
+#include <cstdint>
+#include <random>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "robust/core_search.h"
+#include "robust/program_set.h"
 #include "robust/verdict_cache.h"
 #include "service/workload_session.h"
+#include "workloads/auction.h"
 #include "workloads/policy_demo.h"
 #include "workloads/smallbank.h"
 
@@ -68,6 +80,101 @@ TEST(VerdictCacheTest, IsolationLevelsDoNotCollide) {
   EXPECT_EQ(cache.Lookup(rc_key), std::optional<bool>(true));
 }
 
+// --- The wide 128-bit currency. -------------------------------------------
+
+std::vector<std::pair<std::string, int64_t>> MakeMembers(int n, int64_t revision = 1) {
+  std::vector<std::pair<std::string, int64_t>> members;
+  for (int i = 0; i < n; ++i) members.emplace_back("P" + std::to_string(i), revision);
+  return members;
+}
+
+TEST(VerdictCacheWideTest, WideLookupStoreAndClear) {
+  const WideFingerprinter fp("ctx", 1, MakeMembers(40));
+  VerdictCache cache;
+  ProgramSet subset(40);
+  subset.Set(0);
+  subset.Set(33);  // crosses the uint32_t boundary
+
+  EXPECT_FALSE(cache.Lookup(fp.Of(subset)).has_value());
+  EXPECT_EQ(cache.misses(), 1);
+  cache.Store(fp.Of(subset), true);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(fp.Of(subset)), std::optional<bool>(true));
+  EXPECT_EQ(cache.hits(), 1);
+
+  // Narrow and wide entries coexist and are counted together.
+  cache.Store("narrow-key", false);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(fp.Of(subset)).has_value());
+}
+
+// Collision safety: every one of the 2^16 subsets of a 16-member list maps
+// to a distinct fingerprint, as do thousands of random subsets of a
+// 40-member list (where exhaustive enumeration is out of reach).
+TEST(VerdictCacheWideTest, FingerprintsAreCollisionFreeOverEnumeratedFamilies) {
+  {
+    const int n = 16;
+    const WideFingerprinter fp("ctx", 1, MakeMembers(n));
+    std::set<std::pair<uint64_t, uint64_t>> seen;
+    for (uint32_t mask = 0; mask < (uint32_t{1} << n); ++mask) {
+      const WideFingerprint f = fp.Of(ProgramSet::FromMask(mask, n));
+      EXPECT_TRUE(seen.insert({f.hi, f.lo}).second) << "collision at mask " << mask;
+    }
+  }
+  {
+    const int n = 40;
+    const WideFingerprinter fp("ctx", 1, MakeMembers(n));
+    std::set<std::pair<uint64_t, uint64_t>> seen;
+    std::set<std::vector<int>> distinct;
+    std::mt19937_64 rng(7);
+    for (int s = 0; s < 20000; ++s) {
+      ProgramSet subset(n);
+      for (int p = 0; p < n; ++p) {
+        if ((rng() & 1) != 0) subset.Set(p);
+      }
+      if (!distinct.insert(subset.ToIndices()).second) continue;
+      const WideFingerprint f = fp.Of(subset);
+      EXPECT_TRUE(seen.insert({f.hi, f.lo}).second) << "collision at sample " << s;
+    }
+  }
+}
+
+// Bumping one member's revision changes exactly the fingerprints of subsets
+// containing that member, and different contexts/methods never share
+// fingerprints even for identical member lists.
+TEST(VerdictCacheWideTest, RevisionContextAndMethodAllSeparateFingerprints) {
+  const int n = 36;
+  auto members = MakeMembers(n);
+  const WideFingerprinter before("ctx", 1, members);
+  members[5].second = 2;  // P5's incident edges changed
+  const WideFingerprinter after("ctx", 1, members);
+  const WideFingerprinter other_method("ctx", 2, MakeMembers(n));
+  const WideFingerprinter other_ctx("ctx2", 1, MakeMembers(n));
+
+  std::mt19937_64 rng(11);
+  int with5 = 0, without5 = 0;
+  for (int s = 0; s < 500; ++s) {
+    ProgramSet subset(n);
+    for (int p = 0; p < n; ++p) {
+      if ((rng() & 1) != 0) subset.Set(p);
+    }
+    if (subset.Empty()) continue;
+    if (subset.Test(5)) {
+      EXPECT_NE(before.Of(subset), after.Of(subset)) << "sample " << s;
+      ++with5;
+    } else {
+      EXPECT_EQ(before.Of(subset), after.Of(subset)) << "sample " << s;
+      ++without5;
+    }
+    EXPECT_NE(before.Of(subset), other_method.Of(subset)) << "sample " << s;
+    EXPECT_NE(before.Of(subset), other_ctx.Of(subset)) << "sample " << s;
+  }
+  EXPECT_GT(with5, 0);
+  EXPECT_GT(without5, 0);
+}
+
 // --- Revision semantics through WorkloadSession. --------------------------
 
 // Replacing a program with an equivalent one preserves cached verdicts;
@@ -124,6 +231,58 @@ TEST(VerdictCacheSessionTest, IsolationLevelsKeepIndependentVerdicts) {
   EXPECT_TRUE(rc_session.Check().from_cache);
   EXPECT_FALSE(mvrc_session.Check().robust);
   EXPECT_TRUE(rc_session.Check().robust);
+}
+
+// Cross-mutation memoization past 32 programs: a 34-program session's
+// core-guided subset analyses hit the wide cache across mutations that
+// preserve member revisions, and keep reporting the exact lattice a
+// from-scratch analysis computes after a real mutation.
+TEST(VerdictCacheSessionTest, WideFingerprintsMemoizeAcrossMutationsPast32Programs) {
+  Workload workload = MakeAuctionN(17);  // 34 programs: wide fingerprints only
+  ASSERT_EQ(workload.programs.size(), 34u);
+  // No-FK attr dep: the per-item bid programs are individually non-robust,
+  // so the lattice is non-trivial and the search issues real queries.
+  const AnalysisSettings settings = AnalysisSettings::AttrDep();
+  WorkloadSession session("wide", settings);
+  ASSERT_TRUE(session.LoadWorkload(workload).ok());
+
+  static Counter* hits_metric = MetricsRegistry::Global().counter("core.cache_hits");
+  static Counter* misses_metric = MetricsRegistry::Global().counter("core.cache_misses");
+
+  const int64_t misses_before = misses_metric->Value();
+  Result<SubsetReport> first = session.Subsets();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().from_core_search);
+  const int64_t runs_after_first = session.stats().detector_runs;
+  EXPECT_GT(runs_after_first, 0);
+  EXPECT_GT(misses_metric->Value(), misses_before);  // cold cache: real queries
+
+  // Identity replace: incident edges unchanged, revisions preserved — the
+  // re-analysis answers every IsRobust evaluation from the wide cache.
+  ASSERT_TRUE(session.ReplaceProgram(workload.programs[0]).ok());
+  const int64_t hits_before = hits_metric->Value();
+  Result<SubsetReport> second = session.Subsets();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(session.stats().detector_runs, runs_after_first);  // zero new queries
+  EXPECT_GT(hits_metric->Value(), hits_before);  // served by cross-mutation hits
+  EXPECT_EQ(second.value().cores, first.value().cores);
+  EXPECT_EQ(second.value().maximal_sets, first.value().maximal_sets);
+
+  // Real mutation: removing a program shifts bit positions, but fingerprints
+  // follow member identity, so verdicts of surviving subsets still hit; the
+  // report matches a from-scratch analysis of the reduced workload.
+  ASSERT_TRUE(session.RemoveProgram(workload.programs[0].name()).ok());
+  const int64_t hits_before_removal = hits_metric->Value();
+  Result<SubsetReport> third = session.Subsets();
+  ASSERT_TRUE(third.ok());
+  EXPECT_GT(hits_metric->Value(), hits_before_removal);
+
+  std::vector<Btp> remaining(workload.programs.begin() + 1, workload.programs.end());
+  Result<SubsetReport> fresh =
+      TryAnalyzeSubsetsCoreGuided(remaining, settings, Method::kTypeII);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(third.value().cores, fresh.value().cores);
+  EXPECT_EQ(third.value().maximal_sets, fresh.value().maximal_sets);
 }
 
 }  // namespace
